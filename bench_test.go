@@ -1,0 +1,86 @@
+package replobj_test
+
+// The testing.B benches regenerate each of the paper's figures (Fig. 4(a-d),
+// Fig. 5(a), Fig. 5(b), Fig. 6(a), Fig. 6(b)) plus the ablations, one bench
+// per table/figure, reporting the headline metric of each experiment as
+// ms/invocation. `go test -bench .` therefore reproduces the entire
+// evaluation section; cmd/replbench prints the full tables.
+
+import (
+	"testing"
+
+	"github.com/replobj/replobj/internal/bench"
+)
+
+// benchCfg keeps bench runs small; cmd/replbench is the tool for
+// paper-scale sample sizes.
+func benchCfg() bench.Config {
+	cfg := bench.Defaults()
+	cfg.PerClient = 20
+	cfg.Warmup = 3
+	return cfg
+}
+
+// reportSeries publishes each series' value at the largest X as a bench
+// metric, e.g. SAT_ms/invocation.
+func reportSeries(b *testing.B, res bench.Result) {
+	b.Helper()
+	for _, s := range res.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		last := s.Points[len(s.Points)-1]
+		b.ReportMetric(last.Y, s.Label+"_ms/inv")
+	}
+}
+
+func benchExperiment(b *testing.B, fn func(bench.Config) (bench.Result, error)) {
+	b.Helper()
+	var res bench.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = fn(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, res)
+}
+
+func BenchmarkFig4a(b *testing.B) {
+	benchExperiment(b, func(c bench.Config) (bench.Result, error) { return bench.Fig4(c, bench.PatternA) })
+}
+
+func BenchmarkFig4b(b *testing.B) {
+	benchExperiment(b, func(c bench.Config) (bench.Result, error) { return bench.Fig4(c, bench.PatternB) })
+}
+
+func BenchmarkFig4c(b *testing.B) {
+	benchExperiment(b, func(c bench.Config) (bench.Result, error) { return bench.Fig4(c, bench.PatternC) })
+}
+
+func BenchmarkFig4d(b *testing.B) {
+	benchExperiment(b, func(c bench.Config) (bench.Result, error) { return bench.Fig4(c, bench.PatternD) })
+}
+
+func BenchmarkFig5a(b *testing.B) { benchExperiment(b, bench.Fig5a) }
+
+func BenchmarkFig5b(b *testing.B) { benchExperiment(b, bench.Fig5b) }
+
+func BenchmarkFig6a(b *testing.B) { benchExperiment(b, bench.Fig6a) }
+
+func BenchmarkFig6b(b *testing.B) { benchExperiment(b, bench.Fig6b) }
+
+func BenchmarkAblationPDS2(b *testing.B) { benchExperiment(b, bench.AB1PDS2) }
+
+func BenchmarkAblationLSAPeriod(b *testing.B) { benchExperiment(b, bench.AB2LSAPeriod) }
+
+func BenchmarkAblationReplyPolicy(b *testing.B) { benchExperiment(b, bench.AB3ReplyPolicy) }
+
+func BenchmarkAblationMATYield(b *testing.B) { benchExperiment(b, bench.AB4MATYield) }
+
+func BenchmarkAblationPDSNested(b *testing.B) { benchExperiment(b, bench.AB5PDSNested) }
+
+func BenchmarkAblationPDSAssignment(b *testing.B) { benchExperiment(b, bench.AB6PDSAssignment) }
+
+func BenchmarkAblationMATPredict(b *testing.B) { benchExperiment(b, bench.AB7MATPredict) }

@@ -1,0 +1,93 @@
+// Command replbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	replbench -exp fig4a            # one experiment (see -list)
+//	replbench -exp all              # everything (default)
+//	replbench -exp table1           # the algorithm property matrix
+//	replbench -n 200 -warmup 20     # larger sample sizes
+//	replbench -csv                  # machine-readable output
+//
+// Experiments run on the virtual-time kernel: a full paper-scale sweep
+// takes seconds of host time and is reproducible run to run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list), 'table1', or 'all'")
+		n       = flag.Int("n", 60, "measured invocations per client")
+		warmup  = flag.Int("warmup", 5, "warm-up invocations per client (excluded)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		latency = flag.Duration("latency", 600*time.Microsecond, "one-way network latency")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	exps := bench.Experiments()
+	if *list {
+		ids := make([]string, 0, len(exps)+1)
+		for id := range exps {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println("table1")
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := bench.Defaults()
+	cfg.PerClient = *n
+	cfg.Warmup = *warmup
+	cfg.Latency = *latency
+
+	show := func(r bench.Result) {
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", r.ID, r.Title, r.CSV())
+		} else {
+			fmt.Println(r.Format())
+		}
+	}
+
+	switch *exp {
+	case "table1":
+		fmt.Println("Table 1 — multithreading algorithms and their properties")
+		fmt.Print(replobj.Table1())
+	case "all":
+		fmt.Println("Table 1 — multithreading algorithms and their properties")
+		fmt.Print(replobj.Table1())
+		fmt.Println()
+		results, err := bench.All(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			show(r)
+		}
+	default:
+		fn, ok := exps[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "replbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		r, err := fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replbench: %v\n", err)
+			os.Exit(1)
+		}
+		show(r)
+	}
+}

@@ -1,0 +1,89 @@
+// Command replclient invokes a method on a replicated object group served
+// by cmd/replnode instances over TCP.
+//
+//	replclient -group counter -addrs host0:7000,host1:7000,host2:7000 \
+//	           -listen :7100 -method add -arg 1 -n 10
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/transport"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+func main() {
+	var (
+		group  = flag.String("group", "counter", "replica group name")
+		addrs  = flag.String("addrs", "", "comma-separated host:port of all replicas, rank order")
+		listen = flag.String("listen", "127.0.0.1:0", "address this client listens on for replies")
+		name   = flag.String("name", "cli", "client name (must be unique per concurrent client)")
+		method = flag.String("method", "get", "method to invoke")
+		arg    = flag.Uint("arg", 1, "single-byte argument for add")
+		n      = flag.Int("n", 1, "number of invocations")
+		policy = flag.String("policy", "majority", "reply policy: first|majority|all")
+	)
+	flag.Parse()
+
+	list := strings.Split(*addrs, ",")
+	if *addrs == "" {
+		fmt.Fprintln(os.Stderr, "replclient: -addrs required")
+		os.Exit(2)
+	}
+
+	rt := vtime.Real()
+	defer rt.Stop()
+	registry := map[wire.NodeID]string{
+		wire.ClientID(*name): *listen,
+	}
+	for i, a := range list {
+		registry[wire.ReplicaID(wire.GroupID(*group), i)] = strings.TrimSpace(a)
+	}
+	net := transport.NewTCP(rt, registry)
+	cluster := replobj.NewCluster(rt, replobj.WithNetwork(net))
+	defer cluster.Close()
+
+	// Registering the group (without starting replicas locally) teaches the
+	// directory where the remote replicas live.
+	if _, err := cluster.NewGroup(*group, len(list)); err != nil {
+		log.Fatal(err)
+	}
+
+	var pol replobj.ReplyPolicy
+	switch *policy {
+	case "first":
+		pol = replobj.First
+	case "all":
+		pol = replobj.All
+	default:
+		pol = replobj.Majority
+	}
+	cl := cluster.NewClient(*name,
+		replobj.WithReplyPolicy(pol),
+		replobj.WithInvocationTimeout(10*time.Second))
+
+	var args []byte
+	if *method == "add" {
+		args = []byte{byte(*arg)}
+	}
+	for i := 0; i < *n; i++ {
+		t0 := time.Now()
+		out, err := cl.Invoke(wire.GroupID(*group), *method, args)
+		if err != nil {
+			log.Fatalf("invoke %d: %v", i, err)
+		}
+		if len(out) == 8 {
+			fmt.Printf("%s -> %d (%v)\n", *method, binary.BigEndian.Uint64(out), time.Since(t0).Round(time.Microsecond))
+		} else {
+			fmt.Printf("%s -> %x (%v)\n", *method, out, time.Since(t0).Round(time.Microsecond))
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package replobj_test
+
+// Multi-process-style deployment test: each replica rank runs in its own
+// Cluster instance (sharing nothing but TCP addresses), exactly like the
+// cmd/replnode binaries would; a client in a fourth "process" invokes the
+// group. Validates StartRank, the TCP reply routing for unregistered
+// clients, and cross-process group communication.
+
+import (
+	"testing"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/transport"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+func TestDistributedProcessesOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-clock TCP test")
+	}
+	rt := vtime.Real()
+	defer rt.Stop()
+
+	// Each "process" binds its own node on port 0; the actual addresses are
+	// exchanged afterwards (lazy dialing makes late registration safe).
+	newGroupProcess := func(rank int) (*replobj.Cluster, *transport.TCPNetwork) {
+		reg := map[wire.NodeID]string{
+			wire.ReplicaID("cnt", rank): "127.0.0.1:0",
+		}
+		net := transport.NewTCP(rt, reg)
+		c := replobj.NewCluster(rt, replobj.WithNetwork(net))
+		g, err := c.NewGroup("cnt", 3,
+			replobj.WithScheduler(replobj.ADSAT),
+			replobj.WithState(func() any { return &counter{} }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Register("add", func(inv *replobj.Invocation) ([]byte, error) {
+			st := inv.State().(*counter)
+			if err := inv.Lock("state"); err != nil {
+				return nil, err
+			}
+			defer func() { _ = inv.Unlock("state") }()
+			st.v += uint64(inv.Args()[0])
+			return u64(st.v), nil
+		})
+		g.StartRank(rank)
+		return c, net
+	}
+
+	var nodes []*replobj.Cluster
+	var nets []*transport.TCPNetwork
+	addrs := map[wire.NodeID]string{}
+	for rank := 0; rank < 3; rank++ {
+		c, net := newGroupProcess(rank)
+		nodes = append(nodes, c)
+		nets = append(nets, net)
+		id := wire.ReplicaID("cnt", rank)
+		addrs[id] = net.Address(id)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	// Exchange addresses: every node learns its peers.
+	for _, net := range nets {
+		for id, addr := range addrs {
+			net.Register(id, addr)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // listeners up
+
+	// Client "process": knows the replica addresses, runs no replicas.
+	reg := map[wire.NodeID]string{wire.ClientID("c1"): "127.0.0.1:0"}
+	for k, v := range addrs {
+		reg[k] = v
+	}
+	clientCluster := replobj.NewCluster(rt, replobj.WithNetwork(transport.NewTCP(rt, reg)))
+	defer clientCluster.Close()
+	if _, err := clientCluster.NewGroup("cnt", 3); err != nil {
+		t.Fatal(err)
+	}
+	cl := clientCluster.NewClient("c1",
+		replobj.WithInvocationTimeout(10*time.Second),
+		replobj.WithReplyPolicy(replobj.All))
+
+	for i := 1; i <= 5; i++ {
+		out, err := cl.Invoke("cnt", "add", []byte{1})
+		if err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+		if got := fromU64(out); got != uint64(i) {
+			t.Fatalf("counter = %d after %d adds", got, i)
+		}
+	}
+	replies, err := cl.InvokeAll("cnt", "add", []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, rep := range replies {
+		if got := fromU64(rep.Result); got != 5 {
+			t.Errorf("%v: counter = %d, want 5", node, got)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Bank: nested invocations and callbacks across replicated object groups.
+//
+// Two replicated groups cooperate: "bank" orchestrates transfers by
+// invoking the "accounts" group (a nested invocation), and "accounts" calls
+// back into "bank" to record an audit entry *while the transfer is still in
+// progress* — the callback pattern that deadlocks a strictly sequential
+// middleware (paper Section 2) but is detected via logical-thread identity
+// and executed on an extra physical thread here. The audit method even
+// re-enters a mutex the original transfer still holds: reentrant locks
+// keyed by logical thread (the SA+L model).
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	replobj "github.com/replobj/replobj"
+)
+
+type accounts struct{ balances map[string]int64 }
+
+type bankState struct{ auditLog []string }
+
+func main() {
+	rt := replobj.NewVirtualRuntime()
+	cluster := replobj.NewCluster(rt)
+
+	bank, err := cluster.NewGroup("bank", 3,
+		replobj.WithScheduler(replobj.ADSAT),
+		replobj.WithState(func() any { return &bankState{} }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acct, err := cluster.NewGroup("accounts", 3,
+		replobj.WithScheduler(replobj.ADSAT),
+		replobj.WithState(func() any {
+			return &accounts{balances: map[string]int64{"alice": 100, "bob": 20}}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// bank.transfer: holds the transfer lock, then delegates to accounts.
+	bank.Register("transfer", func(inv *replobj.Invocation) ([]byte, error) {
+		if err := inv.Lock("transfers"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("transfers") }()
+		return inv.Invoke("accounts", "move", inv.Args())
+	})
+
+	// bank.audit: the callback target — reached from accounts.move while
+	// bank.transfer (same logical thread!) still holds "transfers".
+	bank.Register("audit", func(inv *replobj.Invocation) ([]byte, error) {
+		if err := inv.Lock("transfers"); err != nil { // reentrant
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("transfers") }()
+		st := inv.State().(*bankState)
+		st.auditLog = append(st.auditLog, string(inv.Args()))
+		return nil, nil
+	})
+
+	// accounts.move: args = "from:to:amount(8 bytes BE)".
+	acct.Register("move", func(inv *replobj.Invocation) ([]byte, error) {
+		args := inv.Args()
+		from, to := string(args[:5]), string(args[5:8])
+		amount := int64(binary.BigEndian.Uint64(args[8:]))
+		if err := inv.Lock("ledger"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("ledger") }()
+		st := inv.State().(*accounts)
+		if st.balances[from] < amount {
+			return nil, fmt.Errorf("insufficient funds: %s has %d, needs %d", from, st.balances[from], amount)
+		}
+		st.balances[from] -= amount
+		st.balances[to] += amount
+		// Callback into the bank while its transfer is in flight.
+		entry := fmt.Sprintf("moved %d from %s to %s", amount, from, to)
+		if _, err := inv.Invoke("bank", "audit", []byte(entry)); err != nil {
+			return nil, err
+		}
+		out := make([]byte, 8)
+		binary.BigEndian.PutUint64(out, uint64(st.balances[from]))
+		return out, nil
+	})
+
+	bank.Register("auditlog", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*bankState)
+		if err := inv.Lock("transfers"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("transfers") }()
+		var out []byte
+		for _, e := range st.auditLog {
+			out = append(out, []byte(e+"\n")...)
+		}
+		return out, nil
+	})
+
+	bank.Start()
+	acct.Start()
+
+	replobj.Run(rt, func() {
+		defer cluster.Close()
+		cl := cluster.NewClient("teller")
+
+		move := func(from, to string, amount uint64) {
+			args := make([]byte, 16)
+			copy(args, from)
+			copy(args[5:], to)
+			binary.BigEndian.PutUint64(args[8:], amount)
+			out, err := cl.Invoke("bank", "transfer", args)
+			if err != nil {
+				fmt.Printf("transfer %s->%s %d: REJECTED (%v)\n", from, to, amount, err)
+				return
+			}
+			fmt.Printf("transfer %s->%s %d ok; %s now has %d\n",
+				from, to, amount, from, binary.BigEndian.Uint64(out))
+		}
+
+		move("alice", "bob", 30)
+		move("alice", "bob", 50)
+		move("alice", "bob", 999) // rejected, consistently on every replica
+
+		// All three bank replicas must hold the identical audit log.
+		replies, err := cl.InvokeAll("bank", "auditlog", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\naudit logs per replica:")
+		for node, rep := range replies {
+			fmt.Printf("--- %s ---\n%s", node, rep.Result)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+// Bounded buffer: condition variables on a replicated object.
+//
+// The classic producer/consumer monitor — the paper's Section 5.5 workload.
+// produce() blocks while the buffer is full, consume() while it is empty;
+// notifications and even *time-bounded* waits are scheduled
+// deterministically, so all three replicas observe the identical sequence
+// of hand-offs. A strictly sequential middleware cannot run this object at
+// all: the single thread would block forever in the first wait.
+//
+// Run with: go run ./examples/boundedbuffer
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+)
+
+type buffer struct {
+	capacity int
+	items    []byte
+}
+
+func main() {
+	rt := replobj.NewVirtualRuntime()
+	cluster := replobj.NewCluster(rt)
+
+	group, err := cluster.NewGroup("buffer", 3,
+		replobj.WithScheduler(replobj.ADSAT),
+		replobj.WithState(func() any { return &buffer{capacity: 2} }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	group.Register("produce", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*buffer)
+		if err := inv.Lock("buf"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("buf") }()
+		for len(st.items) >= st.capacity {
+			if _, err := inv.Wait("buf", "notfull", 0); err != nil {
+				return nil, err
+			}
+		}
+		st.items = append(st.items, inv.Args()[0])
+		return nil, inv.Notify("buf", "notempty")
+	})
+
+	group.Register("consume", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*buffer)
+		if err := inv.Lock("buf"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("buf") }()
+		// Time-bounded wait, Java-style: give up after 50ms without data.
+		// The timeout is resolved deterministically on every replica via a
+		// totally-ordered timeout request (paper Section 4.2).
+		for len(st.items) == 0 {
+			timedOut, err := inv.Wait("buf", "notempty", 50*time.Millisecond)
+			if err != nil {
+				return nil, err
+			}
+			if timedOut && len(st.items) == 0 {
+				return []byte{0}, nil // empty marker
+			}
+		}
+		v := st.items[0]
+		st.items = st.items[1:]
+		if err := inv.Notify("buf", "notfull"); err != nil {
+			return nil, err
+		}
+		return []byte{1, v}, nil
+	})
+	group.Start()
+
+	replobj.Run(rt, func() {
+		defer cluster.Close()
+		done := replobj.NewMailbox[struct{}](rt, "producer-done")
+
+		rt.Go("producer", func() {
+			defer done.Put(struct{}{})
+			cl := cluster.NewClient("producer")
+			for i := byte(1); i <= 8; i++ {
+				if i == 5 {
+					// Pause long enough for the consumer's 50ms bounded
+					// wait to fire — watch the deterministic timeout below.
+					rt.Sleep(70 * time.Millisecond)
+				}
+				if _, err := cl.Invoke("buffer", "produce", []byte{i}); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("[%6v] produced %d\n", rt.Now().Round(time.Millisecond), i)
+				rt.Sleep(10 * time.Millisecond)
+			}
+		})
+
+		cl := cluster.NewClient("consumer")
+		got := 0
+		for got < 8 {
+			out, err := cl.Invoke("buffer", "consume", nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if out[0] == 0 {
+				fmt.Printf("[%6v] consume timed out (buffer empty)\n", rt.Now().Round(time.Millisecond))
+				continue
+			}
+			fmt.Printf("[%6v] consumed %d\n", rt.Now().Round(time.Millisecond), out[1])
+			got++
+		}
+		done.Get()
+	})
+}

@@ -1,0 +1,115 @@
+// Chat room: a replicated publish/subscribe object using the Monitor API.
+//
+// Subscribers block inside poll() on the room's monitor until a message
+// with a higher sequence number exists (guard-based Await); publishers
+// Broadcast to wake every subscriber. Bounded waits let subscribers give
+// up deterministically. All of it — including which subscriber sees which
+// message first — is scheduled identically on the three replicas.
+//
+// Run with: go run ./examples/chat
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+)
+
+type room struct {
+	messages []string
+}
+
+func main() {
+	rt := replobj.NewVirtualRuntime()
+	cluster := replobj.NewCluster(rt)
+
+	group, err := cluster.NewGroup("room", 3,
+		replobj.WithScheduler(replobj.MAT),
+		replobj.WithState(func() any { return &room{} }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	group.Register("publish", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*room)
+		mo := replobj.MonitorOf(inv, "room")
+		return nil, mo.Synchronized(func() error {
+			st.messages = append(st.messages, string(inv.Args()))
+			return mo.Broadcast()
+		})
+	})
+
+	// poll(after uint32): block (bounded) until a message newer than
+	// `after` exists; returns [found, seq uint32, text...].
+	group.Register("poll", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*room)
+		after := binary.BigEndian.Uint32(inv.Args())
+		mo := replobj.MonitorOf(inv, "room")
+		var out []byte
+		err := mo.Synchronized(func() error {
+			ok, err := mo.AwaitFor(func() bool {
+				return uint32(len(st.messages)) > after
+			}, 100*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				out = []byte{0}
+				return nil
+			}
+			out = make([]byte, 5)
+			out[0] = 1
+			binary.BigEndian.PutUint32(out[1:], after+1)
+			out = append(out, st.messages[after]...)
+			return nil
+		})
+		return out, err
+	})
+	group.Start()
+
+	replobj.Run(rt, func() {
+		defer cluster.Close()
+		done := replobj.NewMailbox[struct{}](rt, "done")
+
+		for s := 0; s < 2; s++ {
+			name := fmt.Sprintf("sub%d", s)
+			rt.Go(name, func() {
+				defer done.Put(struct{}{})
+				cl := cluster.NewClient(name)
+				var cursor [4]byte
+				seen := 0
+				for seen < 3 {
+					out, err := cl.Invoke("room", "poll", cursor[:])
+					if err != nil {
+						log.Fatal(err)
+					}
+					if out[0] == 0 {
+						fmt.Printf("[%6v] %s: poll timed out, retrying\n",
+							rt.Now().Round(time.Millisecond), name)
+						continue
+					}
+					seq := binary.BigEndian.Uint32(out[1:5])
+					fmt.Printf("[%6v] %s got #%d: %q\n",
+						rt.Now().Round(time.Millisecond), name, seq, out[5:])
+					binary.BigEndian.PutUint32(cursor[:], seq)
+					seen++
+				}
+			})
+		}
+
+		pub := cluster.NewClient("publisher")
+		for i, msg := range []string{"hello", "replicated", "world"} {
+			rt.Sleep(time.Duration(40+60*i) * time.Millisecond)
+			if _, err := pub.Invoke("room", "publish", []byte(msg)); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("[%6v] published %q\n", rt.Now().Round(time.Millisecond), msg)
+		}
+		done.Get()
+		done.Get()
+	})
+}

@@ -1,0 +1,93 @@
+// Failover: ADETS-LSA leader crash and deterministic recovery.
+//
+// ADETS-LSA is the one strategy in the paper whose determinism depends on a
+// distinguished replica (the leader granting locks). This example enables
+// the heartbeat failure detector, crashes the leader mid-workload, and
+// shows the group keep serving: the view change is delivered at the same
+// position of the totally ordered request stream on every surviving
+// replica, the next-ranked replica continues granting where the delivered
+// mutex table ends, and the survivors stay consistent.
+//
+// Run with: go run ./examples/failover
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+)
+
+type register struct{ history []byte }
+
+func main() {
+	rt := replobj.NewVirtualRuntime()
+	cluster := replobj.NewCluster(rt)
+
+	group, err := cluster.NewGroup("reg", 3,
+		replobj.WithScheduler(replobj.LSA),
+		replobj.WithFailureDetection(true),
+		replobj.WithState(func() any { return &register{} }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	group.Register("append", func(inv *replobj.Invocation) ([]byte, error) {
+		if err := inv.Lock("reg"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("reg") }()
+		st := inv.State().(*register)
+		st.history = append(st.history, inv.Args()[0])
+		out := make([]byte, 8)
+		binary.BigEndian.PutUint64(out, uint64(len(st.history)))
+		return out, nil
+	})
+	group.Register("history", func(inv *replobj.Invocation) ([]byte, error) {
+		if err := inv.Lock("reg"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("reg") }()
+		st := inv.State().(*register)
+		return append([]byte(nil), st.history...), nil
+	})
+	group.Start()
+
+	replobj.Run(rt, func() {
+		defer cluster.Close()
+		cl := cluster.NewClient("writer",
+			replobj.WithInvocationTimeout(10*time.Second))
+
+		for i := byte(1); i <= 3; i++ {
+			if _, err := cl.Invoke("reg", "append", []byte{i}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("[%6v] appended %d\n", rt.Now().Round(time.Millisecond), i)
+		}
+
+		leader := group.Members()[0]
+		fmt.Printf("[%6v] crashing the LSA leader %s\n", rt.Now().Round(time.Millisecond), leader)
+		if err := cluster.Crash(leader); err != nil {
+			log.Fatal(err)
+		}
+
+		for i := byte(4); i <= 6; i++ {
+			t0 := rt.Now()
+			if _, err := cl.Invoke("reg", "append", []byte{i}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("[%6v] appended %d (took %v — includes fail-over for the first one)\n",
+				rt.Now().Round(time.Millisecond), i, (rt.Now() - t0).Round(time.Millisecond))
+		}
+
+		// Read back: the majority reply policy means at least two replicas
+		// returned this identical answer (the crashed leader stays silent).
+		history, err := cl.Invoke("reg", "history", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nhistory agreed by the surviving majority: %v\n", history)
+	})
+}

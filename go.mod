@@ -1,0 +1,3 @@
+module github.com/replobj/replobj
+
+go 1.24

@@ -1,0 +1,155 @@
+package mat
+
+import (
+	"testing"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// White-box tests of the primary-token mechanics.
+
+func newBare() (*Scheduler, *vtime.VirtualRuntime) {
+	rt := vtime.Virtual()
+	s := New()
+	s.Start(adets.Env{
+		RT:               rt,
+		Self:             "g/0",
+		Peers:            []wire.NodeID{"g/0"},
+		SendPeer:         func(wire.NodeID, any) {},
+		BroadcastOrdered: func(string, any) {},
+	})
+	return s, rt
+}
+
+func TestSecondariesRunConcurrently(t *testing.T) {
+	s, rt := newBare()
+	defer rt.Stop()
+	vtime.Run(rt, "main", func() {
+		done := vtime.NewMailbox[time.Duration](rt, "done")
+		for i := 0; i < 4; i++ {
+			s.Submit(adets.Request{
+				Logical: wire.LogicalID(rune('a' + i)),
+				Exec: func(*adets.Thread) {
+					rt.Sleep(50 * time.Millisecond) // lock-free computation
+					done.Put(rt.Now())
+				},
+			})
+		}
+		for i := 0; i < 4; i++ {
+			if at, _ := done.Get(); at != 50*time.Millisecond {
+				t.Errorf("secondary finished at %v, want 50ms (concurrent)", at)
+			}
+		}
+		s.Stop()
+	})
+}
+
+func TestTokenPassesInDeliveryOrder(t *testing.T) {
+	s, rt := newBare()
+	defer rt.Stop()
+	var acquired []string
+	vtime.Run(rt, "main", func() {
+		done := vtime.NewMailbox[struct{}](rt, "done")
+		for i := 0; i < 3; i++ {
+			logical := wire.LogicalID(rune('a' + i))
+			// Distinct mutexes: the serialization below comes from the
+			// token alone, never from lock contention.
+			m := adets.MutexID(rune('x' + i))
+			s.Submit(adets.Request{
+				Logical: logical,
+				Exec: func(th *adets.Thread) {
+					if err := s.Lock(th, m); err != nil {
+						t.Errorf("Lock: %v", err)
+					}
+					rt.Lock()
+					acquired = append(acquired, string(logical))
+					rt.Unlock()
+					rt.Sleep(10 * time.Millisecond) // token held through compute
+					_ = s.Unlock(th, m)
+					done.Put(struct{}{})
+				},
+			})
+		}
+		for i := 0; i < 3; i++ {
+			done.Get()
+		}
+		if rt.Now() != 30*time.Millisecond {
+			t.Errorf("finished at %v, want 30ms: token must serialize lock holders' computations", rt.Now())
+		}
+		s.Stop()
+	})
+	for i, want := range []string{"a", "b", "c"} {
+		if acquired[i] != want {
+			t.Errorf("token order = %v, want delivery order", acquired)
+			break
+		}
+	}
+}
+
+func TestYieldDisabledOption(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	s := New(WithYield(false))
+	s.Start(adets.Env{RT: rt, Self: "g/0", Peers: []wire.NodeID{"g/0"},
+		SendPeer: func(wire.NodeID, any) {}, BroadcastOrdered: func(string, any) {}})
+	vtime.Run(rt, "main", func() {
+		done := vtime.NewMailbox[struct{}](rt, "done")
+		// First thread yields (ignored) then computes; the second's lock
+		// must still wait for it.
+		s.Submit(adets.Request{Logical: "a", Exec: func(th *adets.Thread) {
+			_ = s.Lock(th, "m")
+			_ = s.Unlock(th, "m")
+			s.Yield(th) // disabled: token retained
+			rt.Sleep(20 * time.Millisecond)
+			done.Put(struct{}{})
+		}})
+		s.Submit(adets.Request{Logical: "b", Exec: func(th *adets.Thread) {
+			if err := s.Lock(th, "n"); err != nil {
+				t.Errorf("Lock: %v", err)
+			}
+			now := rt.Now()
+			rt.Lock()
+			if now < 20*time.Millisecond {
+				t.Errorf("b locked at %v; disabled yield must keep the token on a", now)
+			}
+			rt.Unlock()
+			_ = s.Unlock(th, "n")
+			done.Put(struct{}{})
+		}})
+		done.Get()
+		done.Get()
+		s.Stop()
+	})
+}
+
+func TestStopUnblocksTokenWaiters(t *testing.T) {
+	s, rt := newBare()
+	defer rt.Stop()
+	vtime.Run(rt, "main", func() {
+		done := vtime.NewMailbox[error](rt, "done")
+		gate := vtime.NewMailbox[struct{}](rt, "gate")
+		s.Submit(adets.Request{Logical: "holder", Exec: func(th *adets.Thread) {
+			_ = s.Lock(th, "m")
+			gate.Get() // hold the token + lock until stopped
+			done.Put(nil)
+		}})
+		s.Submit(adets.Request{Logical: "waiter", Exec: func(th *adets.Thread) {
+			done.Put(s.Lock(th, "m")) // blocks awaiting token, then stop
+		}})
+		rt.Sleep(time.Millisecond)
+		s.Stop()
+		gate.Put(struct{}{})
+		stopped := 0
+		for i := 0; i < 2; i++ {
+			if err, _ := done.Get(); err == adets.ErrStopped {
+				stopped++
+			}
+		}
+		if stopped != 1 {
+			t.Errorf("%d ErrStopped results, want exactly the blocked waiter", stopped)
+		}
+	})
+}

@@ -1,0 +1,949 @@
+// Package pds implements ADETS-PDS — Basile's Preemptive Deterministic
+// Scheduling algorithm (PDS-1 and PDS-2) extended per Section 4.2 of the
+// paper with a practical middleware integration:
+//
+//   - request-to-thread assignment (the paper's synchronized strategy via a
+//     scheduler-managed queue mutex, used in the evaluation, plus the
+//     round-robin alternative);
+//   - condition variables integrated into the round model (Fig. 2): a
+//     waiting thread leaves the active set at the next round boundary, a
+//     notified thread rejoins at the next round start by reacquiring the
+//     mutex;
+//   - automatic thread-pool resizing around a minimum threshold to escape
+//     the all-threads-waiting deadlock;
+//   - deterministic time-bounded waits via totally-ordered timeout
+//     requests executed by normal request-handler threads;
+//   - two nested-invocation strategies: A (no scheduler support — the
+//     thread blocks the round, favoured for short invocations and used in
+//     the paper's evaluation) and B (treat the thread as suspended and
+//     resume it at a round boundary).
+//
+// The algorithm executes in rounds: threads run until each has issued its
+// next mutex request; when every active thread is suspended, a new round
+// starts and requests are granted in increasing thread-ID order (PDS-2
+// additionally grants one extra mutex per thread during phase 1). No
+// communication at all is needed for lock determinism — PDS's signature
+// property.
+package pds
+
+import (
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// QueueMutex is the reserved mutex protecting the incoming request queue
+// under the synchronized assignment strategy. It takes part in rounds like
+// any object-level mutex — the source of PDS's assignment overhead in the
+// paper's Fig. 4(a)/(b).
+const QueueMutex adets.MutexID = "pds/__queue"
+
+// Variant selects PDS-1 or PDS-2.
+type Variant int
+
+// The two algorithm variants of Basile et al.
+const (
+	PDS1 Variant = 1
+	PDS2 Variant = 2
+)
+
+// Assignment selects the request-to-thread assignment strategy.
+type Assignment int
+
+// Assignment strategies of Section 4.2.
+const (
+	// Synchronized: a free thread locks QueueMutex and pops the next
+	// request — consistent on all replicas because the lock is granted by
+	// PDS itself. Used in the paper's evaluation.
+	Synchronized Assignment = iota
+	// RoundRobin: request i goes to thread i mod N. Works well only when
+	// requests have identical computation times.
+	RoundRobin
+)
+
+// NestedStrategy selects how nested invocations interact with rounds.
+type NestedStrategy int
+
+// Nested invocation strategies of Section 4.2.
+const (
+	// NestedBlockRound: no scheduler support; the invoking thread counts as
+	// running, so no new round can start until the reply arrives. Right for
+	// short invocations; used in the paper's evaluation.
+	NestedBlockRound NestedStrategy = iota
+	// NestedSuspend: the invoking thread is treated as suspended; other
+	// threads keep executing rounds and the thread resumes at the round
+	// boundary after its reply — adding up to one round of delay.
+	NestedSuspend
+)
+
+type threadState int
+
+const (
+	stRunning threadState = iota
+	stSuspended
+	stWaiting
+	stIdle
+	stResuming
+	stNestedSusp
+	stRetired
+)
+
+type pdsThread struct {
+	state    threadState
+	inActive bool          // member of the round's active set
+	reqMutex adets.MutexID // pending mutex request while suspended
+	eligible bool          // request may be granted in the current round
+	resume   adets.MutexID // mutex to reacquire when resuming ("" = none)
+	waiting  bool
+	waitSeq  uint64
+	timedOut bool
+	ownQueue []adets.Request // round-robin assignment
+
+	// PDS-2 per-round bookkeeping.
+	got1      bool // received a phase-1 grant this round
+	phase2    bool // received the second grant this round
+	committed bool // this round's second action is decided (second
+	//                    grant received, or suspended/waiting)
+	secondPending bool // suspended on a second request that may still be
+	//                    granted within the current round
+}
+
+type lockState struct {
+	owner wire.LogicalID
+}
+
+type condKey struct {
+	m adets.MutexID
+	c adets.CondID
+}
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// Variant selects PDS-1 (default) or PDS-2.
+	Variant Variant
+	// Assignment selects the request assignment strategy (default
+	// Synchronized, as in the paper's evaluation).
+	Assignment Assignment
+	// Nested selects the nested-invocation strategy (default
+	// NestedBlockRound, as in the paper's evaluation).
+	Nested NestedStrategy
+	// PoolSize is the initial thread-pool size (default 4; the paper's
+	// benchmarks set it to the number of clients).
+	PoolSize int
+	// MinSpare is the minimum number of non-waiting threads maintained by
+	// the automatic resize rule (default 1).
+	MinSpare int
+	// AssignGrace is how long a round that only waits for the queue-mutex
+	// holder may be deferred before the holder is "suspended temporarily
+	// due to the lack of requests" (default 2ms). Requests that are already
+	// in flight land within the grace period and keep the round aligned;
+	// condition-variable resumes pay it as extra delay — the round-model
+	// cost the paper reports for PDS with condition variables.
+	AssignGrace time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Variant == 0 {
+		c.Variant = PDS1
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.MinSpare <= 0 {
+		c.MinSpare = 1
+	}
+	if c.AssignGrace <= 0 {
+		c.AssignGrace = 2 * time.Millisecond
+	}
+}
+
+// Scheduler implements adets.Scheduler with the PDS round model.
+type Scheduler struct {
+	env adets.Env
+	reg *adets.Registry
+	cfg Config
+
+	pool  []*adets.Thread
+	queue []adets.Request
+	rr    int // round-robin cursor
+	round uint64
+	// awaiting is the worker holding QueueMutex on an empty queue: it
+	// counts as running ("the idling thread will not acquire a lock", the
+	// paper's PDS liveness caveat) until a round is actually needed, at
+	// which point the resize rule "suspends the thread temporarily due to
+	// the lack of requests": it goes idle, releasing the queue mutex.
+	awaiting  *adets.Thread
+	convTimer *vtime.Timer // pending awaiting→idle conversion (grace period)
+	locks     map[adets.MutexID]*lockState
+	conds     map[condKey]*adets.FIFO
+	waiters   map[wire.LogicalID]*adets.Thread
+	stopped   bool
+}
+
+var _ adets.Scheduler = (*Scheduler)(nil)
+
+// New returns an ADETS-PDS scheduler.
+func New(cfg Config) *Scheduler {
+	cfg.applyDefaults()
+	return &Scheduler{
+		cfg:     cfg,
+		locks:   make(map[adets.MutexID]*lockState),
+		conds:   make(map[condKey]*adets.FIFO),
+		waiters: make(map[wire.LogicalID]*adets.Thread),
+	}
+}
+
+// Name implements adets.Scheduler.
+func (s *Scheduler) Name() string {
+	if s.cfg.Variant == PDS2 {
+		return "ADETS-PDS-2"
+	}
+	return "ADETS-PDS"
+}
+
+// Capabilities implements adets.Scheduler.
+func (s *Scheduler) Capabilities() adets.Capabilities {
+	return adets.Capabilities{
+		Coordination:      "Locks",
+		DeadlockFree:      "NO",
+		Deployment:        "manual",
+		Multithreading:    "MA (restr.)",
+		ReentrantLocks:    true,
+		ConditionVars:     true,
+		TimedWait:         true,
+		NestedInvocations: true,
+	}
+}
+
+// Start implements adets.Scheduler: the fixed-size pool spins up and every
+// worker immediately requests the queue mutex, forming the first round.
+func (s *Scheduler) Start(env adets.Env) {
+	s.env = env
+	s.reg = adets.NewRegistry(env.RT)
+	rt := env.RT
+	rt.Lock()
+	for i := 0; i < s.cfg.PoolSize; i++ {
+		s.addWorkerLocked()
+	}
+	rt.Unlock()
+}
+
+// addWorkerLocked creates and starts one pool thread.
+func (s *Scheduler) addWorkerLocked() *adets.Thread {
+	t := s.reg.NewThread("pds-worker", "")
+	t.Sched = &pdsThread{state: stRunning, inActive: true}
+	s.pool = append(s.pool, t)
+	s.reg.Spawn(t, func() { s.workerLoop(t) })
+	return t
+}
+
+// Stop implements adets.Scheduler.
+func (s *Scheduler) Stop() {
+	rt := s.env.RT
+	rt.Lock()
+	s.stopped = true
+	if s.convTimer != nil {
+		rt.StopTimerLocked(s.convTimer)
+		s.convTimer = nil
+	}
+	for _, t := range s.pool {
+		t.Unpark(rt)
+	}
+	rt.Unlock()
+}
+
+func st(t *adets.Thread) *pdsThread { return t.Sched.(*pdsThread) }
+
+// Submit implements adets.Scheduler: the request is queued (or assigned
+// round-robin); an idle thread is scheduled to resume at the next round
+// start — Submit is a totally-ordered event, so this is deterministic.
+func (s *Scheduler) Submit(req adets.Request) {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	if s.stopped {
+		return
+	}
+	if s.cfg.Assignment == RoundRobin {
+		n := len(s.pool)
+		if n == 0 {
+			return
+		}
+		var t *adets.Thread
+		for tries := 0; tries < n; tries++ {
+			cand := s.pool[s.rr%n]
+			s.rr++
+			if st(cand).state != stRetired {
+				t = cand
+				break
+			}
+		}
+		if t == nil {
+			return
+		}
+		pt := st(t)
+		pt.ownQueue = append(pt.ownQueue, req)
+		if pt.state == stIdle {
+			// Wake immediately at this totally-ordered point and rejoin the
+			// active set: while it runs, no round can start, so all workers
+			// woken in one burst suspend together and form one round.
+			pt.state = stRunning
+			pt.inActive = true
+			t.Unpark(rt)
+		}
+	} else {
+		s.queue = append(s.queue, req)
+		if s.awaiting != nil {
+			// The queue-mutex holder is parked on the empty queue: hand the
+			// request straight to it.
+			w := s.awaiting
+			s.awaiting = nil
+			w.Unpark(rt)
+		} else {
+			// Resume the lowest-ID idle worker, if any; it rejoins at the
+			// next round start by reacquiring the queue mutex.
+			for _, t := range s.pool {
+				if st(t).state == stIdle {
+					s.wakeIdleLocked(t, QueueMutex)
+					break
+				}
+			}
+		}
+	}
+	s.roundCheckLocked()
+}
+
+// wakeIdleLocked schedules an idle thread to rejoin at the next round
+// start, reacquiring resume (or just running if resume is empty).
+func (s *Scheduler) wakeIdleLocked(t *adets.Thread, resume adets.MutexID) {
+	pt := st(t)
+	if pt.state != stIdle {
+		return
+	}
+	pt.state = stResuming
+	pt.resume = resume
+}
+
+// --- worker loop ---
+
+func (s *Scheduler) workerLoop(t *adets.Thread) {
+	rt := s.env.RT
+	for {
+		var req adets.Request
+		var ok bool
+		if s.cfg.Assignment == RoundRobin {
+			req, ok = s.nextOwn(t)
+		} else {
+			req, ok = s.nextSynchronized(t)
+		}
+		if !ok {
+			return // stopped or retired
+		}
+		t.Logical = req.Logical
+		req.Exec(t)
+		rt.Lock()
+		t.Logical = ""
+		rt.Unlock()
+	}
+}
+
+// nextSynchronized implements the paper's synchronized assignment: lock the
+// queue mutex through PDS itself, pop, unlock. A worker that finds the
+// queue empty "suspends temporarily due to the lack of requests" (paper
+// Section 4.2): it releases the queue mutex, leaves the active set at the
+// next round boundary, and is resumed deterministically by a later Submit.
+//
+// Known limitation, shared with the published algorithm: the empty-queue
+// check races with request arrival, so strict replica determinism of the
+// request-to-thread assignment holds under the paper's own operating
+// assumption — threads kept busy (pool sized to the load, or the paper's
+// "artificial requests"); the resize rule shrinks surplus threads so the
+// steady state satisfies it.
+func (s *Scheduler) nextSynchronized(t *adets.Thread) (adets.Request, bool) {
+	if err := s.Lock(t, QueueMutex); err != nil {
+		return adets.Request{}, false
+	}
+	rt := s.env.RT
+	for {
+		rt.Lock()
+		if s.stopped || st(t).state == stRetired {
+			rt.Unlock()
+			return adets.Request{}, false
+		}
+		if len(s.queue) > 0 {
+			req := s.queue[0]
+			s.queue = s.queue[1:]
+			rt.Unlock()
+			if err := s.Unlock(t, QueueMutex); err != nil {
+				return adets.Request{}, false
+			}
+			return req, true
+		}
+		// Empty queue: keep the queue mutex and park as running. Rounds
+		// stall while we wait — unless one is needed, in which case
+		// roundCheckLocked converts us to idle (releasing the mutex) per
+		// the paper's temporary-suspension rule. Either wake path leaves
+		// us holding the queue mutex again.
+		s.awaiting = t
+		s.roundCheckLocked()
+		t.Park(rt)
+		if s.awaiting == t {
+			s.awaiting = nil
+		}
+		if s.stopped || st(t).state == stRetired {
+			rt.Unlock()
+			return adets.Request{}, false
+		}
+		rt.Unlock()
+	}
+}
+
+// nextOwn implements round-robin assignment: pop the worker's own queue.
+func (s *Scheduler) nextOwn(t *adets.Thread) (adets.Request, bool) {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	pt := st(t)
+	for {
+		if s.stopped || pt.state == stRetired {
+			return adets.Request{}, false
+		}
+		if len(pt.ownQueue) > 0 {
+			req := pt.ownQueue[0]
+			pt.ownQueue = pt.ownQueue[1:]
+			return req, true
+		}
+		pt.state = stIdle
+		pt.committed = true
+		s.roundCheckLocked()
+		t.Park(rt)
+	}
+}
+
+// --- round machinery ---
+
+func (s *Scheduler) lockState(m adets.MutexID) *lockState {
+	ls, ok := s.locks[m]
+	if !ok {
+		ls = &lockState{}
+		s.locks[m] = ls
+	}
+	return ls
+}
+
+func (s *Scheduler) cond(m adets.MutexID, c adets.CondID) *adets.FIFO {
+	k := condKey{m, c}
+	q, ok := s.conds[k]
+	if !ok {
+		q = &adets.FIFO{}
+		s.conds[k] = q
+	}
+	return q
+}
+
+// roundCheckLocked starts a new round when no active thread is running and
+// progress is possible. It first revisits PDS-2 pending second grants —
+// every suspension event may have unblocked one. A worker parked on the
+// empty request queue counts as running; if a round is genuinely needed
+// (object-lock requests, resumptions, queued requests, or the grow rule),
+// the worker is converted to idle first — the paper's "suspend a thread
+// temporarily due to the lack of requests".
+func (s *Scheduler) roundCheckLocked() {
+	s.roundCheck(false)
+}
+
+// roundCheck(force) performs the round condition evaluation; force is set
+// by the expired grace timer and allows converting the queue-waiting worker
+// to idle so the round can start.
+func (s *Scheduler) roundCheck(force bool) {
+	if s.stopped {
+		return
+	}
+	s.evalSecondGrantsLocked()
+	candidates := 0
+	nonWaiting := 0
+	needRound := false
+	for _, t := range s.pool {
+		pt := st(t)
+		switch pt.state {
+		case stRetired:
+			continue
+		case stWaiting:
+		default:
+			nonWaiting++
+		}
+		if pt.inActive && pt.state == stRunning && t != s.awaiting {
+			return // someone is genuinely executing
+		}
+		if pt.state == stSuspended || pt.state == stResuming {
+			candidates++
+		}
+		if pt.state == stResuming ||
+			(pt.state == stSuspended && pt.reqMutex != QueueMutex) ||
+			(pt.state == stSuspended && pt.reqMutex == QueueMutex && len(s.queue) > 0) {
+			needRound = true
+		}
+	}
+	if nonWaiting < s.cfg.MinSpare {
+		needRound = true // grow rule must run (condvar deadlock escape)
+	}
+	if !needRound || candidates == 0 && nonWaiting >= s.cfg.MinSpare {
+		return
+	}
+	if s.awaiting != nil {
+		if !force {
+			// A round is needed but the queue-mutex holder still waits for
+			// a request. In-flight requests land within the grace period
+			// and keep rounds aligned with the assignment chain; only if
+			// none arrives is the worker suspended temporarily.
+			if s.convTimer == nil {
+				s.convTimer = s.env.RT.AfterLocked(s.cfg.AssignGrace, "pds-grace", func() {
+					s.env.RT.Lock()
+					s.convTimer = nil
+					if !s.stopped {
+						s.roundCheck(true)
+					}
+					s.env.RT.Unlock()
+				})
+			}
+			return
+		}
+		// Temporarily suspend the queue-waiting worker so the round can
+		// start: it leaves the active set and releases the queue mutex.
+		w := s.awaiting
+		s.awaiting = nil
+		pt := st(w)
+		pt.state = stIdle
+		pt.committed = true
+		s.lockState(QueueMutex).owner = ""
+		// The freed queue mutex is re-granted by the round (or by
+		// releaseLocked below the round) to a suspended requester.
+	}
+	s.startRoundLocked(nonWaiting)
+}
+
+// startRoundLocked performs the membership adjustment and the phase-1
+// grants of a new round.
+func (s *Scheduler) startRoundLocked(nonWaiting int) {
+	s.round++
+	// Membership: waiting/idle/nested-suspended threads leave the active
+	// set; resuming threads rejoin with their pending reacquisition.
+	for _, t := range s.pool {
+		pt := st(t)
+		switch pt.state {
+		case stWaiting, stIdle, stNestedSusp:
+			pt.inActive = false
+		case stResuming:
+			pt.inActive = true
+			if pt.resume == "" {
+				pt.state = stRunning
+				t.Unpark(s.env.RT)
+			} else {
+				pt.state = stSuspended
+				pt.reqMutex = pt.resume
+				pt.eligible = true
+			}
+			pt.resume = ""
+		case stSuspended:
+			pt.inActive = true
+			pt.eligible = true // requests made last round become grantable
+		}
+		pt.got1 = false
+		pt.phase2 = false
+		pt.committed = false
+		pt.secondPending = false
+	}
+	// Resize rule (Section 4.2): grow when fewer than MinSpare non-waiting
+	// threads remain (the all-threads-waiting deadlock); shrink — but never
+	// below the configured pool size — when resize-added threads sit idle
+	// with no requests in sight.
+	for nonWaiting < s.cfg.MinSpare {
+		t := s.addWorkerLocked()
+		st(t).inActive = true
+		nonWaiting++
+	}
+	if len(s.queue) == 0 {
+		live := 0
+		for _, t := range s.pool {
+			if st(t).state != stRetired {
+				live++
+			}
+		}
+		for _, t := range s.pool {
+			if live <= s.cfg.PoolSize {
+				break
+			}
+			pt := st(t)
+			idleRR := pt.state == stIdle
+			idleSync := pt.state == stSuspended && pt.reqMutex == QueueMutex && !pt.secondPending
+			if idleRR || idleSync {
+				pt.state = stRetired
+				pt.inActive = false
+				t.Unpark(s.env.RT)
+				live--
+			}
+		}
+	}
+	// Phase-1 grants in increasing thread-ID order.
+	for _, t := range s.pool {
+		pt := st(t)
+		if pt.inActive && pt.state == stSuspended && pt.eligible {
+			s.tryGrantThreadLocked(t)
+		}
+	}
+}
+
+// tryGrantThreadLocked grants t its pending request if the mutex is free.
+func (s *Scheduler) tryGrantThreadLocked(t *adets.Thread) {
+	pt := st(t)
+	ls := s.lockState(pt.reqMutex)
+	if ls.owner != "" {
+		return
+	}
+	ls.owner = s.ownerID(t)
+	pt.state = stRunning
+	pt.eligible = false
+	if pt.reqMutex != QueueMutex {
+		// The scheduler-internal queue mutex does not consume the thread's
+		// per-round phase budget; only object-level locks do.
+		pt.got1 = true
+		pt.committed = false // its second action is open again
+	}
+	t.Unpark(s.env.RT)
+	s.evalSecondGrantsLocked()
+}
+
+// evalSecondGrantsLocked revisits PDS-2 pending second requests in thread-ID
+// order. A second request of thread T for mutex m is granted once
+//
+//	(i)  every active thread with a lower ID has received its phase-1
+//	     grant AND committed its second action (second grant received, or
+//	     suspended for the rest of the round), and
+//	(ii) m is free.
+//
+// Both conditions flip at deterministic points of other threads' execution
+// (grants, unlocks, suspensions), never on raw request-arrival timing —
+// this is what makes the immediate second grant replica-deterministic.
+// Re-evaluated after every such event.
+func (s *Scheduler) evalSecondGrantsLocked() {
+	if s.cfg.Variant != PDS2 {
+		return
+	}
+	progress := true
+	for progress {
+		progress = false
+		for _, t := range s.pool {
+			pt := st(t)
+			if !pt.secondPending {
+				continue
+			}
+			if !s.allLowerCommittedLocked(t) {
+				continue
+			}
+			ls := s.lockState(pt.reqMutex)
+			if ls.owner != "" {
+				continue
+			}
+			ls.owner = s.ownerID(t)
+			pt.secondPending = false
+			pt.state = stRunning
+			pt.phase2 = true
+			pt.committed = true
+			t.Unpark(s.env.RT)
+			progress = true
+		}
+	}
+}
+
+// allLowerCommittedLocked reports whether every active lower-ID thread has
+// received its phase-1 grant and committed its second action.
+func (s *Scheduler) allLowerCommittedLocked(t *adets.Thread) bool {
+	for _, o := range s.pool {
+		if o.ID >= t.ID {
+			break
+		}
+		pt := st(o)
+		if !pt.inActive || pt.state == stRetired {
+			continue
+		}
+		if !pt.got1 || !pt.committed {
+			return false
+		}
+	}
+	return true
+}
+
+// ownerID returns the ownership identity for t: its logical thread when
+// executing a request, or a worker-unique placeholder between requests
+// (queue-mutex acquisitions).
+func (s *Scheduler) ownerID(t *adets.Thread) wire.LogicalID {
+	if t.Logical != "" {
+		return t.Logical
+	}
+	return wire.LogicalID("pds-worker-" + itoa(t.ID))
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// releaseLocked frees m and grants it to the lowest-ID eligible suspended
+// requester of the current round ("as soon as T1 unlocks m, T2 may execute
+// concurrently"); pending PDS-2 second requests get the leftovers.
+func (s *Scheduler) releaseLocked(m adets.MutexID) {
+	ls := s.lockState(m)
+	ls.owner = ""
+	for _, t := range s.pool {
+		pt := st(t)
+		if pt.inActive && pt.state == stSuspended && pt.eligible && pt.reqMutex == m {
+			s.tryGrantThreadLocked(t)
+			return
+		}
+	}
+	s.evalSecondGrantsLocked()
+}
+
+// --- scheduler interface: synchronization hooks ---
+
+// Lock implements adets.Scheduler. The first request after a round start
+// suspends the thread (PDS-1); under PDS-2 a second request during phase 1
+// may be granted immediately.
+func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	if s.stopped {
+		return adets.ErrStopped
+	}
+	pt := st(t)
+	if s.cfg.Variant == PDS2 && pt.got1 && !pt.phase2 && m != QueueMutex {
+		// Second request within the round (PDS-2): not immediately
+		// suspended — it stays grantable until the round ends.
+		pt.state = stSuspended
+		pt.reqMutex = m
+		pt.eligible = false
+		pt.secondPending = true
+		s.evalSecondGrantsLocked()
+		if pt.secondPending {
+			s.roundCheckLocked()
+		}
+		t.Park(rt)
+		if s.stopped || pt.state == stRetired {
+			return adets.ErrStopped
+		}
+		return nil
+	}
+	pt.state = stSuspended
+	pt.reqMutex = m
+	pt.eligible = false // becomes grantable at the next round start
+	pt.committed = true // this round's participation is decided
+	s.roundCheckLocked()
+	t.Park(rt)
+	if s.stopped || pt.state == stRetired {
+		return adets.ErrStopped
+	}
+	return nil // granted by round machinery
+}
+
+// Unlock implements adets.Scheduler.
+func (s *Scheduler) Unlock(t *adets.Thread, m adets.MutexID) error {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	if s.stopped {
+		return adets.ErrStopped
+	}
+	ls := s.lockState(m)
+	if ls.owner != s.ownerID(t) {
+		return adets.ErrNotHeld
+	}
+	s.releaseLocked(m)
+	return nil
+}
+
+// Wait implements adets.Scheduler per the paper's Fig. 2: the thread is
+// considered suspended for the round check, leaves the active set at the
+// next round boundary, and — once notified or timed out — reacquires the
+// mutex starting with the following round.
+func (s *Scheduler) Wait(t *adets.Thread, m adets.MutexID, c adets.CondID, d time.Duration) (bool, error) {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	if s.stopped {
+		return false, adets.ErrStopped
+	}
+	ls := s.lockState(m)
+	if ls.owner != s.ownerID(t) {
+		return false, adets.ErrNotHeld
+	}
+	pt := st(t)
+	pt.waiting = true
+	pt.timedOut = false
+	pt.waitSeq++
+	s.waiters[t.Logical] = t
+	s.cond(m, c).Push(t)
+	if d > 0 {
+		s.armTimeoutLocked(t, m, c, pt.waitSeq, d)
+	}
+	pt.state = stWaiting
+	pt.committed = true
+	s.releaseLocked(m)
+	s.roundCheckLocked()
+	t.Park(rt)
+	pt.waiting = false
+	delete(s.waiters, t.Logical)
+	if s.stopped || pt.state == stRetired {
+		return false, adets.ErrStopped
+	}
+	return pt.timedOut, nil
+}
+
+// armTimeoutLocked schedules the local timer whose expiry broadcasts the
+// deterministic timeout request (handled by a normal request-handler
+// thread via HandleOrdered/Submit).
+func (s *Scheduler) armTimeoutLocked(t *adets.Thread, m adets.MutexID, c adets.CondID, seq uint64, d time.Duration) {
+	msg := adets.TimeoutMsg{Target: t.Logical, Mutex: m, Cond: c, WaitSeq: seq}
+	s.env.RT.AfterLocked(d, "pds-timeout/"+string(t.Logical), func() {
+		s.env.BroadcastOrdered(adets.TimeoutID(msg), msg)
+	})
+}
+
+// Notify implements adets.Scheduler: the deterministically-first waiter is
+// resumed, reacquiring the mutex from the next round on.
+func (s *Scheduler) Notify(t *adets.Thread, m adets.MutexID, c adets.CondID) error {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	if s.stopped {
+		return adets.ErrStopped
+	}
+	ls := s.lockState(m)
+	if ls.owner != s.ownerID(t) {
+		return adets.ErrNotHeld
+	}
+	if w := s.cond(m, c).Pop(); w != nil {
+		s.resumeWaiterLocked(w, m, false)
+	}
+	return nil
+}
+
+// NotifyAll implements adets.Scheduler.
+func (s *Scheduler) NotifyAll(t *adets.Thread, m adets.MutexID, c adets.CondID) error {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	if s.stopped {
+		return adets.ErrStopped
+	}
+	ls := s.lockState(m)
+	if ls.owner != s.ownerID(t) {
+		return adets.ErrNotHeld
+	}
+	for _, w := range s.cond(m, c).Drain() {
+		s.resumeWaiterLocked(w, m, false)
+	}
+	return nil
+}
+
+func (s *Scheduler) resumeWaiterLocked(w *adets.Thread, m adets.MutexID, timedOut bool) {
+	pt := st(w)
+	pt.timedOut = timedOut
+	pt.state = stResuming
+	pt.resume = m
+	s.roundCheckLocked()
+}
+
+// Yield implements adets.Scheduler (no-op under the round model).
+func (s *Scheduler) Yield(*adets.Thread) {}
+
+// BeginNested implements adets.Scheduler with the configured strategy.
+func (s *Scheduler) BeginNested(t *adets.Thread) {
+	rt := s.env.RT
+	rt.Lock()
+	if s.cfg.Nested == NestedSuspend {
+		pt := st(t)
+		pt.state = stNestedSusp
+		pt.committed = true
+		s.roundCheckLocked()
+	}
+	// Strategy A: state stays stRunning — the round cannot start while the
+	// reply is outstanding, exactly the behaviour evaluated in the paper.
+	t.Park(rt)
+	if pt := st(t); pt.state == stNestedSusp {
+		// The reply raced ahead of the park (real-time mode): EndNested
+		// left a permit instead of the round-boundary resume. Run on.
+		pt.state = stRunning
+	}
+	rt.Unlock()
+}
+
+// EndNested implements adets.Scheduler.
+func (s *Scheduler) EndNested(t *adets.Thread) {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	if s.cfg.Nested == NestedSuspend {
+		pt := st(t)
+		if pt.state == stNestedSusp {
+			// Resume at the next round boundary, no mutex to reacquire.
+			pt.state = stResuming
+			pt.resume = ""
+			s.roundCheckLocked()
+			return
+		}
+	}
+	t.Unpark(rt)
+}
+
+// ViewChanged implements adets.Scheduler: PDS needs no communication and no
+// membership information — its signature advantage (Section 3.2).
+func (s *Scheduler) ViewChanged(gcs.View) {}
+
+// HandleOrdered implements adets.Scheduler: the timeout request enters the
+// normal request queue and is executed by a pool thread that locks the
+// mutex first — the deterministic resolution of the timeout-vs-notify race.
+func (s *Scheduler) HandleOrdered(id string, payload any) bool {
+	msg, ok := payload.(adets.TimeoutMsg)
+	if !ok {
+		return false
+	}
+	s.Submit(adets.Request{
+		Logical: wire.LogicalID(id),
+		Exec:    func(t *adets.Thread) { s.timeoutExec(t, msg) },
+	})
+	return true
+}
+
+func (s *Scheduler) timeoutExec(t *adets.Thread, msg adets.TimeoutMsg) {
+	if err := s.Lock(t, msg.Mutex); err != nil {
+		return
+	}
+	rt := s.env.RT
+	rt.Lock()
+	w := s.waiters[msg.Target]
+	if w != nil {
+		pt := st(w)
+		if pt.waiting && pt.waitSeq == msg.WaitSeq {
+			s.cond(msg.Mutex, msg.Cond).Remove(w)
+			s.resumeWaiterLocked(w, msg.Mutex, true)
+		}
+	}
+	rt.Unlock()
+	_ = s.Unlock(t, msg.Mutex)
+}
+
+// HandleDirect implements adets.Scheduler.
+func (s *Scheduler) HandleDirect(wire.NodeID, any) bool { return false }

@@ -1,0 +1,142 @@
+package adets
+
+import (
+	"time"
+
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Reentrancy implements reentrant locks on top of any scheduler that
+// supports plain locks, exactly as the paper prescribes (Section 4): a
+// per-(logical thread, mutex) hold counter, with only the 0→1 and 1→0
+// transitions reaching the underlying algorithm.
+//
+// Hold counts are keyed by *logical* thread, so a callback executing on an
+// extra physical thread may re-enter a mutex held by its originating
+// request (the SA+L and MA models of Section 3.1).
+//
+// The invocation context owns one Reentrancy per scheduler instance. All
+// methods require the runtime lock NOT to be held; they delegate blocking
+// operations to the scheduler, which synchronizes internally.
+type Reentrancy struct {
+	sched Scheduler
+	// holds is only mutated while the runtime lock is held via the
+	// scheduler's internal synchronization... it is not: Lock/Unlock below
+	// run outside the runtime lock, so Reentrancy brings its own discipline:
+	// entries for a logical thread are only touched by physical threads of
+	// that logical thread, which never run concurrently with each other
+	// except callbacks — and a callback only runs while its originator is
+	// blocked in a nested invocation. A plain map with the runtime lock
+	// held for map mutation keeps the race detector satisfied.
+	rt interface {
+		Lock()
+		Unlock()
+	}
+	holds map[holdKey]int
+}
+
+type holdKey struct {
+	logical wire.LogicalID
+	mutex   MutexID
+}
+
+// NewReentrancy returns a reentrancy layer over sched.
+func NewReentrancy(rt interface {
+	Lock()
+	Unlock()
+}, sched Scheduler) *Reentrancy {
+	return &Reentrancy{sched: sched, rt: rt, holds: make(map[holdKey]int)}
+}
+
+// Lock acquires m for t, counting re-entries.
+func (r *Reentrancy) Lock(t *Thread, m MutexID) error {
+	k := holdKey{t.Logical, m}
+	r.rt.Lock()
+	n := r.holds[k]
+	if n > 0 {
+		r.holds[k] = n + 1
+		r.rt.Unlock()
+		return nil
+	}
+	r.rt.Unlock()
+	if err := r.sched.Lock(t, m); err != nil {
+		return err
+	}
+	r.rt.Lock()
+	r.holds[k] = 1
+	r.rt.Unlock()
+	return nil
+}
+
+// Unlock releases one hold of m; only the last release reaches the
+// scheduler.
+func (r *Reentrancy) Unlock(t *Thread, m MutexID) error {
+	k := holdKey{t.Logical, m}
+	r.rt.Lock()
+	n := r.holds[k]
+	if n == 0 {
+		r.rt.Unlock()
+		return ErrNotHeld
+	}
+	if n > 1 {
+		r.holds[k] = n - 1
+		r.rt.Unlock()
+		return nil
+	}
+	delete(r.holds, k)
+	r.rt.Unlock()
+	return r.sched.Unlock(t, m)
+}
+
+// Wait fully releases the monitor (whatever the re-entry depth — Java
+// semantics), waits on (m, c), and restores the depth before returning.
+func (r *Reentrancy) Wait(t *Thread, m MutexID, c CondID, d time.Duration) (bool, error) {
+	k := holdKey{t.Logical, m}
+	r.rt.Lock()
+	depth := r.holds[k]
+	if depth == 0 {
+		r.rt.Unlock()
+		return false, ErrNotHeld
+	}
+	delete(r.holds, k)
+	r.rt.Unlock()
+	timedOut, err := r.sched.Wait(t, m, c, d)
+	r.rt.Lock()
+	// Restore the depth on success (the scheduler reacquired the
+	// single-level lock) and on failure (every scheduler error path —
+	// ErrUnsupported, ErrNotHeld, ErrStopped — rejects the wait before
+	// releasing, so the monitor is still logically held).
+	r.holds[k] = depth
+	r.rt.Unlock()
+	return timedOut, err
+}
+
+// Notify requires the monitor to be held, then delegates.
+func (r *Reentrancy) Notify(t *Thread, m MutexID, c CondID) error {
+	if !r.Held(t, m) {
+		return ErrNotHeld
+	}
+	return r.sched.Notify(t, m, c)
+}
+
+// NotifyAll requires the monitor to be held, then delegates.
+func (r *Reentrancy) NotifyAll(t *Thread, m MutexID, c CondID) error {
+	if !r.Held(t, m) {
+		return ErrNotHeld
+	}
+	return r.sched.NotifyAll(t, m, c)
+}
+
+// Held reports whether t's logical thread currently holds m.
+func (r *Reentrancy) Held(t *Thread, m MutexID) bool {
+	r.rt.Lock()
+	defer r.rt.Unlock()
+	return r.holds[holdKey{t.Logical, m}] > 0
+}
+
+// Depth returns t's current re-entry depth on m.
+func (r *Reentrancy) Depth(t *Thread, m MutexID) int {
+	r.rt.Lock()
+	defer r.rt.Unlock()
+	return r.holds[holdKey{t.Logical, m}]
+}

@@ -1,0 +1,213 @@
+package sat
+
+import (
+	"testing"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// White-box tests of the SA activation machinery: single active thread,
+// deterministic succession via the ready queue, callback priority.
+
+func newBare() (*Scheduler, *vtime.VirtualRuntime) {
+	rt := vtime.Virtual()
+	s := New()
+	s.Start(adets.Env{
+		RT:               rt,
+		Self:             "g/0",
+		Peers:            []wire.NodeID{"g/0"},
+		SendPeer:         func(wire.NodeID, any) {},
+		BroadcastOrdered: func(string, any) {},
+	})
+	return s, rt
+}
+
+// submitBlocking submits a request whose body parks on `gate` until
+// released, recording its start into order.
+func submitBlocking(s *Scheduler, rt *vtime.VirtualRuntime, logical string, callback bool, order *[]string, gate *vtime.Mailbox[struct{}]) {
+	s.Submit(adets.Request{
+		Logical:  wire.LogicalID(logical),
+		Callback: callback,
+		Exec: func(t *adets.Thread) {
+			rt.Lock()
+			*order = append(*order, logical)
+			rt.Unlock()
+			if gate != nil {
+				gate.Get()
+			}
+		},
+	})
+}
+
+func TestSingleActiveThreadInvariant(t *testing.T) {
+	s, rt := newBare()
+	defer rt.Stop()
+	var order []string
+	vtime.Run(rt, "main", func() {
+		running := 0
+		max := 0
+		done := vtime.NewMailbox[struct{}](rt, "done")
+		for i := 0; i < 5; i++ {
+			logical := wire.LogicalID(rune('a' + i))
+			s.Submit(adets.Request{
+				Logical: logical,
+				Exec: func(t *adets.Thread) {
+					rt.Lock()
+					running++
+					if running > max {
+						max = running
+					}
+					order = append(order, string(logical))
+					rt.Unlock()
+					rt.Sleep(10) // overlap window (10ns of virtual time)
+					rt.Lock()
+					running--
+					rt.Unlock()
+					done.Put(struct{}{})
+				},
+			})
+		}
+		for i := 0; i < 5; i++ {
+			done.Get()
+		}
+		rt.Lock()
+		if max != 1 {
+			t.Errorf("max concurrently running = %d, want 1 (SA invariant)", max)
+		}
+		rt.Unlock()
+		s.Stop()
+	})
+	if len(order) != 5 {
+		t.Errorf("order = %v", order)
+	}
+	for i, want := range []string{"a", "b", "c", "d", "e"} {
+		if order[i] != want {
+			t.Errorf("activation order[%d] = %q, want %q (delivery order)", i, order[i], want)
+		}
+	}
+}
+
+func TestCallbackActivatesBeforeQueuedRequests(t *testing.T) {
+	s, rt := newBare()
+	defer rt.Stop()
+	var order []string
+	vtime.Run(rt, "main", func() {
+		gate := vtime.NewMailbox[struct{}](rt, "gate")
+		done := vtime.NewMailbox[struct{}](rt, "done")
+		// The first request blocks "in a nested invocation".
+		s.Submit(adets.Request{
+			Logical: "origin",
+			Exec: func(th *adets.Thread) {
+				rt.Lock()
+				order = append(order, "origin")
+				rt.Unlock()
+				s.BeginNested(th) // yields activation until EndNested
+				done.Put(struct{}{})
+			},
+		})
+		// Two ordinary requests queue up...
+		for _, l := range []string{"q1", "q2"} {
+			l := l
+			s.Submit(adets.Request{
+				Logical: wire.LogicalID(l),
+				Exec: func(*adets.Thread) {
+					rt.Lock()
+					order = append(order, l)
+					rt.Unlock()
+					gate.Get()
+					done.Put(struct{}{})
+				},
+			})
+		}
+		rt.Sleep(1000) // let origin park and q1 activate (and block on gate)
+		// ...then a callback for the blocked logical thread arrives: it must
+		// be activated ahead of q2 as soon as q1 yields.
+		s.Submit(adets.Request{
+			Logical:  "origin",
+			Callback: true,
+			Exec: func(*adets.Thread) {
+				rt.Lock()
+				order = append(order, "callback")
+				rt.Unlock()
+				done.Put(struct{}{})
+			},
+		})
+		gate.Put(struct{}{}) // release q1
+		gate.Put(struct{}{}) // release q2 (once it eventually runs)
+		for i := 0; i < 3; i++ {
+			done.Get()
+		}
+		// Resume origin and drain it.
+		s.Submit(adets.Request{Logical: "x", Exec: func(th *adets.Thread) {}})
+		rt.Lock()
+		got := append([]string(nil), order...)
+		rt.Unlock()
+		want := []string{"origin", "q1", "callback", "q2"}
+		for i := range want {
+			if i >= len(got) || got[i] != want[i] {
+				t.Errorf("order = %v, want prefix %v", got, want)
+				break
+			}
+		}
+		s.Stop()
+	})
+}
+
+func TestBasicSATRejectsCondVars(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	s := New(Basic())
+	s.Start(adets.Env{RT: rt, Self: "g/0", Peers: []wire.NodeID{"g/0"},
+		SendPeer: func(wire.NodeID, any) {}, BroadcastOrdered: func(string, any) {}})
+	if s.Name() != "SAT" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.HandleOrdered("x", adets.TimeoutMsg{}) {
+		t.Error("basic SAT must not consume timeout messages")
+	}
+	caps := s.Capabilities()
+	if caps.ConditionVars || caps.TimedWait {
+		t.Errorf("basic SAT capabilities = %+v", caps)
+	}
+	s.Stop()
+}
+
+func TestUnlockGrantsFIFO(t *testing.T) {
+	s, rt := newBare()
+	defer rt.Stop()
+	var grants []string
+	vtime.Run(rt, "main", func() {
+		done := vtime.NewMailbox[struct{}](rt, "done")
+		for i := 0; i < 3; i++ {
+			logical := wire.LogicalID(rune('a' + i))
+			s.Submit(adets.Request{
+				Logical: logical,
+				Exec: func(th *adets.Thread) {
+					if err := s.Lock(th, "m"); err != nil {
+						t.Errorf("Lock: %v", err)
+					}
+					rt.Lock()
+					grants = append(grants, string(logical))
+					rt.Unlock()
+					rt.Sleep(100)
+					if err := s.Unlock(th, "m"); err != nil {
+						t.Errorf("Unlock: %v", err)
+					}
+					done.Put(struct{}{})
+				},
+			})
+		}
+		for i := 0; i < 3; i++ {
+			done.Get()
+		}
+		s.Stop()
+	})
+	for i, want := range []string{"a", "b", "c"} {
+		if grants[i] != want {
+			t.Errorf("grant order = %v, want FIFO by blocking order", grants)
+			break
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package schedtest
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// TestUnlockWithoutHoldFails: every lock-aware scheduler rejects unlocking
+// a mutex the logical thread does not hold.
+func TestUnlockWithoutHoldFails(t *testing.T) {
+	for name, factory := range factories {
+		switch name {
+		case "SEQ", "SL":
+			continue // implicit coordination: lock ops are no-ops
+		}
+		t.Run(name, func(t *testing.T) {
+			c := New(1, factory)
+			c.Run(func() {
+				c.Submit("cl0", false, func(ic *Ictx) {
+					if err := ic.Unlock("never-locked"); err != adets.ErrNotHeld {
+						t.Errorf("Unlock = %v, want ErrNotHeld", err)
+					}
+				})
+				if _, err := c.Await(1, timeout); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+// TestNotifyWithoutHoldFails: Java semantics — notify requires the monitor.
+func TestNotifyWithoutHoldFails(t *testing.T) {
+	for name, factory := range factories {
+		if !caps(name).ConditionVars {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			c := New(1, factory)
+			c.Run(func() {
+				c.Submit("cl0", false, func(ic *Ictx) {
+					if err := ic.Notify("m", ""); err != adets.ErrNotHeld {
+						t.Errorf("Notify = %v, want ErrNotHeld", err)
+					}
+					if err := ic.NotifyAll("m", ""); err != adets.ErrNotHeld {
+						t.Errorf("NotifyAll = %v, want ErrNotHeld", err)
+					}
+					if _, err := ic.Wait("m", "", 0); err != adets.ErrNotHeld {
+						t.Errorf("Wait = %v, want ErrNotHeld", err)
+					}
+				})
+				if _, err := c.Await(1, timeout); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+// TestNotifyAllWakesAllInOrder: waiters resume in their deterministic wait
+// order on every replica.
+func TestNotifyAllWakesAllInOrder(t *testing.T) {
+	for name, factory := range factories {
+		if !caps(name).ConditionVars {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			c := New(3, factory)
+			c.Run(func() {
+				const waiters = 3
+				for i := 0; i < waiters; i++ {
+					logical := fmt.Sprintf("w%d", i)
+					// Stagger so wait order is deterministic.
+					pre := time.Duration(i+1) * time.Millisecond
+					c.Submit(wire.LogicalID(logical), false, func(ic *Ictx) {
+						ic.Compute(pre)
+						_ = ic.Lock("m")
+						if _, err := ic.Wait("m", "", 0); err != nil {
+							t.Errorf("Wait: %v", err)
+						}
+						ic.Trace("woke:%s", logical)
+						_ = ic.Unlock("m")
+					})
+				}
+				c.Submit("broadcaster", false, func(ic *Ictx) {
+					ic.Compute(20 * time.Millisecond)
+					_ = ic.Lock("m")
+					_ = ic.NotifyAll("m", "")
+					_ = ic.Unlock("m")
+				})
+				if _, err := c.Await(waiters+1, timeout); err != nil {
+					t.Fatal(err)
+				}
+			})
+			traces := c.Traces()
+			want := []string{"woke:w0", "woke:w1", "woke:w2"}
+			for i, tr := range traces {
+				if !reflect.DeepEqual(tr, want) {
+					t.Errorf("replica %d wake order = %v, want %v", i, tr, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,155 @@
+// Package seq implements strictly sequential request execution — the SEQ
+// baseline of the paper (Table 1): one request at a time, implicit
+// synchronization, no condition variables, no support for external
+// interactions. A nested invocation blocks the only thread; a callback into
+// the object therefore deadlocks, which is precisely the motivation the
+// paper gives for multithreaded strategies (Section 2).
+package seq
+
+import (
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Scheduler is the sequential baseline.
+type Scheduler struct {
+	env     adets.Env
+	reg     *adets.Registry
+	queue   []adets.Request
+	busy    bool
+	stopped bool
+	worker  *adets.Thread
+}
+
+var _ adets.Scheduler = (*Scheduler)(nil)
+
+// New returns a sequential scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements adets.Scheduler.
+func (s *Scheduler) Name() string { return "SEQ" }
+
+// Capabilities implements adets.Scheduler.
+func (s *Scheduler) Capabilities() adets.Capabilities {
+	return adets.Capabilities{
+		Coordination:   "implicit",
+		DeadlockFree:   "NO",
+		Deployment:     "-",
+		Multithreading: "S",
+	}
+}
+
+// Start implements adets.Scheduler.
+func (s *Scheduler) Start(env adets.Env) {
+	s.env = env
+	s.reg = adets.NewRegistry(env.RT)
+}
+
+// Stop implements adets.Scheduler.
+func (s *Scheduler) Stop() {
+	s.env.RT.Lock()
+	s.stopped = true
+	s.queue = nil
+	if s.worker != nil && !s.busy {
+		s.worker.Unpark(s.env.RT)
+	}
+	s.env.RT.Unlock()
+}
+
+// Submit implements adets.Scheduler: requests execute one after another in
+// delivery order, each to completion.
+func (s *Scheduler) Submit(req adets.Request) {
+	s.env.RT.Lock()
+	defer s.env.RT.Unlock()
+	if s.stopped {
+		return
+	}
+	s.queue = append(s.queue, req)
+	if s.worker == nil {
+		s.worker = s.reg.NewThread("seq-worker", "")
+		w := s.worker
+		s.reg.Spawn(w, func() { s.loop(w) })
+		return
+	}
+	if !s.busy {
+		s.worker.Unpark(s.env.RT)
+	}
+}
+
+func (s *Scheduler) loop(w *adets.Thread) {
+	rt := s.env.RT
+	rt.Lock()
+	for {
+		if s.stopped {
+			rt.Unlock()
+			return
+		}
+		if len(s.queue) == 0 {
+			s.busy = false
+			w.Park(rt)
+			continue
+		}
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		s.busy = true
+		w.Logical = req.Logical
+		rt.Unlock()
+		req.Exec(w)
+		rt.Lock()
+	}
+}
+
+// Lock implements adets.Scheduler. With a single thread, mutual exclusion
+// is implicit; the operation records nothing.
+func (s *Scheduler) Lock(*adets.Thread, adets.MutexID) error { return nil }
+
+// Unlock implements adets.Scheduler.
+func (s *Scheduler) Unlock(*adets.Thread, adets.MutexID) error { return nil }
+
+// Wait implements adets.Scheduler: unsupported — the single thread waiting
+// on a condition variable could never be notified. Object code falls back
+// to polling, as the paper's evaluation does (Section 5.5).
+func (s *Scheduler) Wait(*adets.Thread, adets.MutexID, adets.CondID, time.Duration) (bool, error) {
+	return false, adets.ErrUnsupported
+}
+
+// Notify implements adets.Scheduler (unsupported).
+func (s *Scheduler) Notify(*adets.Thread, adets.MutexID, adets.CondID) error {
+	return adets.ErrUnsupported
+}
+
+// NotifyAll implements adets.Scheduler (unsupported).
+func (s *Scheduler) NotifyAll(*adets.Thread, adets.MutexID, adets.CondID) error {
+	return adets.ErrUnsupported
+}
+
+// Yield implements adets.Scheduler (no-op: there is nothing to yield to).
+func (s *Scheduler) Yield(*adets.Thread) {}
+
+// BeginNested implements adets.Scheduler: the single thread blocks until
+// the reply is delivered; no other request makes progress meanwhile — the
+// deadlock hazard of the S model the paper describes in Section 2.
+func (s *Scheduler) BeginNested(t *adets.Thread) {
+	s.env.RT.Lock()
+	t.Park(s.env.RT)
+	s.env.RT.Unlock()
+}
+
+// EndNested implements adets.Scheduler.
+func (s *Scheduler) EndNested(t *adets.Thread) {
+	s.env.RT.Lock()
+	t.Unpark(s.env.RT)
+	s.env.RT.Unlock()
+}
+
+// ViewChanged implements adets.Scheduler (membership is irrelevant to SEQ).
+func (s *Scheduler) ViewChanged(gcs.View) {}
+
+// HandleOrdered implements adets.Scheduler.
+func (s *Scheduler) HandleOrdered(string, any) bool { return false }
+
+// HandleDirect implements adets.Scheduler.
+func (s *Scheduler) HandleDirect(wire.NodeID, any) bool { return false }

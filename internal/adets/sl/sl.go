@@ -1,0 +1,161 @@
+// Package sl implements the single-logical-thread model pioneered by the
+// Eternal middleware (paper Section 3.2): execution is sequential, but
+// nested invocations are tagged with the originating logical thread, so a
+// callback — a request whose logical thread matches the one currently
+// blocked in a nested invocation — is recognized and executed on an
+// additional physical thread instead of deadlocking.
+package sl
+
+import (
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Scheduler is the Eternal-style SL scheduler.
+type Scheduler struct {
+	env     adets.Env
+	reg     *adets.Registry
+	queue   []adets.Request
+	busy    bool
+	stopped bool
+	worker  *adets.Thread
+}
+
+var _ adets.Scheduler = (*Scheduler)(nil)
+
+// New returns an SL scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements adets.Scheduler.
+func (s *Scheduler) Name() string { return "Eternal" }
+
+// Capabilities implements adets.Scheduler.
+func (s *Scheduler) Capabilities() adets.Capabilities {
+	return adets.Capabilities{
+		Coordination:   "implicit",
+		DeadlockFree:   "CB",
+		Deployment:     "interception",
+		Multithreading: "SL",
+		Callbacks:      true,
+	}
+}
+
+// Start implements adets.Scheduler.
+func (s *Scheduler) Start(env adets.Env) {
+	s.env = env
+	s.reg = adets.NewRegistry(env.RT)
+}
+
+// Stop implements adets.Scheduler.
+func (s *Scheduler) Stop() {
+	s.env.RT.Lock()
+	s.stopped = true
+	s.queue = nil
+	if s.worker != nil && !s.busy {
+		s.worker.Unpark(s.env.RT)
+	}
+	s.env.RT.Unlock()
+}
+
+// Submit implements adets.Scheduler. Ordinary requests queue sequentially;
+// callbacks run immediately on an extra physical thread under the same
+// logical identity.
+func (s *Scheduler) Submit(req adets.Request) {
+	s.env.RT.Lock()
+	defer s.env.RT.Unlock()
+	if s.stopped {
+		return
+	}
+	if req.Callback {
+		t := s.reg.NewThread("sl-callback", req.Logical)
+		s.reg.Spawn(t, func() { req.Exec(t) })
+		return
+	}
+	s.queue = append(s.queue, req)
+	if s.worker == nil {
+		s.worker = s.reg.NewThread("sl-worker", "")
+		w := s.worker
+		s.reg.Spawn(w, func() { s.loop(w) })
+		return
+	}
+	if !s.busy {
+		s.worker.Unpark(s.env.RT)
+	}
+}
+
+func (s *Scheduler) loop(w *adets.Thread) {
+	rt := s.env.RT
+	rt.Lock()
+	for {
+		if s.stopped {
+			rt.Unlock()
+			return
+		}
+		if len(s.queue) == 0 {
+			s.busy = false
+			w.Park(rt)
+			continue
+		}
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		s.busy = true
+		w.Logical = req.Logical
+		rt.Unlock()
+		req.Exec(w)
+		rt.Lock()
+	}
+}
+
+// Lock implements adets.Scheduler: coordination is implicit; within one
+// logical thread, callback and originator never run simultaneously (the
+// originator is blocked in the nested invocation while the callback runs).
+func (s *Scheduler) Lock(*adets.Thread, adets.MutexID) error { return nil }
+
+// Unlock implements adets.Scheduler.
+func (s *Scheduler) Unlock(*adets.Thread, adets.MutexID) error { return nil }
+
+// Wait implements adets.Scheduler (unsupported, as in Eternal).
+func (s *Scheduler) Wait(*adets.Thread, adets.MutexID, adets.CondID, time.Duration) (bool, error) {
+	return false, adets.ErrUnsupported
+}
+
+// Notify implements adets.Scheduler (unsupported).
+func (s *Scheduler) Notify(*adets.Thread, adets.MutexID, adets.CondID) error {
+	return adets.ErrUnsupported
+}
+
+// NotifyAll implements adets.Scheduler (unsupported).
+func (s *Scheduler) NotifyAll(*adets.Thread, adets.MutexID, adets.CondID) error {
+	return adets.ErrUnsupported
+}
+
+// Yield implements adets.Scheduler (no-op).
+func (s *Scheduler) Yield(*adets.Thread) {}
+
+// BeginNested implements adets.Scheduler: the thread blocks until the reply
+// arrives; callbacks issued by the invoked service execute meanwhile on
+// extra physical threads of the same logical thread.
+func (s *Scheduler) BeginNested(t *adets.Thread) {
+	s.env.RT.Lock()
+	t.Park(s.env.RT)
+	s.env.RT.Unlock()
+}
+
+// EndNested implements adets.Scheduler.
+func (s *Scheduler) EndNested(t *adets.Thread) {
+	s.env.RT.Lock()
+	t.Unpark(s.env.RT)
+	s.env.RT.Unlock()
+}
+
+// ViewChanged implements adets.Scheduler.
+func (s *Scheduler) ViewChanged(gcs.View) {}
+
+// HandleOrdered implements adets.Scheduler.
+func (s *Scheduler) HandleOrdered(string, any) bool { return false }
+
+// HandleDirect implements adets.Scheduler.
+func (s *Scheduler) HandleDirect(wire.NodeID, any) bool { return false }

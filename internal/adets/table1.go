@@ -1,0 +1,55 @@
+package adets
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Row is one line of the paper's Table 1 ("Overview of multithreading
+// algorithms and their properties").
+type Table1Row struct {
+	Name           string
+	Coordination   string
+	DeadlockFree   string
+	Deployment     string
+	Multithreading string
+}
+
+// PaperTable1 is Table 1 exactly as printed in the paper, used as the
+// reference the implemented capability metadata is checked against.
+// ("Deadl.-Free" and "Interaction" are one column pair in the paper; the
+// Interaction column equals the DeadlockFree column for every surveyed
+// system except SEQ, whose interaction support is "NO" — we follow the
+// combined reading used by the paper's text.)
+var PaperTable1 = []Table1Row{
+	{Name: "SEQ", Coordination: "implicit", DeadlockFree: "NO", Deployment: "-", Multithreading: "S"},
+	{Name: "Eternal", Coordination: "implicit", DeadlockFree: "CB", Deployment: "interception", Multithreading: "SL"},
+	{Name: "SAT", Coordination: "Locks", DeadlockFree: "NI+CB", Deployment: "interception", Multithreading: "SA"},
+	{Name: "ADETS-SAT", Coordination: "Java", DeadlockFree: "NI+CB", Deployment: "transformation", Multithreading: "SA+L"},
+	{Name: "ADETS-MAT", Coordination: "Java", DeadlockFree: "NI+CB", Deployment: "transformation", Multithreading: "MA"},
+	{Name: "LSA", Coordination: "Locks/Monitor", DeadlockFree: "NI+CB", Deployment: "manual", Multithreading: "MA"},
+	{Name: "PDS", Coordination: "Locks", DeadlockFree: "NO", Deployment: "manual", Multithreading: "MA (restr.)"},
+}
+
+// Row converts a scheduler's capability metadata into a Table 1 row.
+func Row(name string, c Capabilities) Table1Row {
+	return Table1Row{
+		Name:           name,
+		Coordination:   c.Coordination,
+		DeadlockFree:   c.DeadlockFree,
+		Deployment:     c.Deployment,
+		Multithreading: c.Multithreading,
+	}
+}
+
+// FormatTable1 renders rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-14s %-12s %-15s %s\n",
+		"", "Coordination", "Deadl.-Free", "Deployment", "Multithreading")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-14s %-12s %-15s %s\n",
+			r.Name, r.Coordination, r.DeadlockFree, r.Deployment, r.Multithreading)
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package adets
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Thread is a physical request-handler thread under scheduler control.
+//
+// Numeric IDs are assigned in creation order. Because schedulers create
+// threads only at totally-ordered points (request delivery, round starts),
+// the numbering is identical on every replica and may be used for
+// deterministic choices (PDS grants mutexes in increasing thread-ID order).
+// Threads whose creation is not delivery-ordered (LSA's timeout threads)
+// are identified by their deterministic LogicalID instead.
+type Thread struct {
+	// ID is the replica-deterministic creation index (see type comment).
+	ID uint64
+	// Logical is the logical thread this physical thread executes for.
+	Logical wire.LogicalID
+	// Name is a diagnostic label.
+	Name string
+
+	parker *vtime.Parker
+
+	// Scheduler-private per-thread state; owned by the algorithm.
+	Sched any
+}
+
+// Park suspends the thread; the runtime lock must be held.
+func (t *Thread) Park(rt vtime.Runtime) { rt.Park(t.parker) }
+
+// ParkTimeout suspends the thread for at most d; reports timeout. The
+// runtime lock must be held.
+func (t *Thread) ParkTimeout(rt vtime.Runtime, d time.Duration) bool {
+	return rt.ParkTimeout(t.parker, d)
+}
+
+// Unpark resumes the thread; the runtime lock must be held.
+func (t *Thread) Unpark(rt vtime.Runtime) { rt.Unpark(t.parker) }
+
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread{%d %s %s}", t.ID, t.Name, t.Logical)
+}
+
+// Registry assigns deterministic thread IDs and spawns the backing
+// goroutines. One per scheduler instance; all methods require the runtime
+// lock unless stated otherwise.
+type Registry struct {
+	rt   vtime.Runtime
+	next uint64
+}
+
+// NewRegistry returns a Registry on rt.
+func NewRegistry(rt vtime.Runtime) *Registry {
+	return &Registry{rt: rt}
+}
+
+// NewThread allocates a thread record (no goroutine yet). Runtime lock
+// required: the ID must be taken at a deterministic point.
+func (r *Registry) NewThread(name string, logical wire.LogicalID) *Thread {
+	t := &Thread{
+		ID:      r.next,
+		Logical: logical,
+		Name:    name,
+		parker:  vtime.NewParker(name),
+	}
+	r.next++
+	return t
+}
+
+// Spawn starts the thread body on a tracked goroutine. Runtime lock
+// required (schedulers spawn threads at deterministic points while holding
+// it).
+func (r *Registry) Spawn(t *Thread, body func()) {
+	r.rt.GoLocked(t.Name, body)
+}
+
+// FIFO is a deterministic queue of threads — the building block for lock
+// wait queues, condition-variable queues, and ready queues. The zero value
+// is an empty queue.
+type FIFO struct {
+	items []*Thread
+}
+
+// Push appends t.
+func (q *FIFO) Push(t *Thread) { q.items = append(q.items, t) }
+
+// PushFront prepends t (used to prioritize callbacks, which unblock the
+// logical thread the object is already waiting for).
+func (q *FIFO) PushFront(t *Thread) {
+	q.items = append([]*Thread{t}, q.items...)
+}
+
+// Pop removes and returns the head, or nil if empty.
+func (q *FIFO) Pop() *Thread {
+	if len(q.items) == 0 {
+		return nil
+	}
+	t := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return t
+}
+
+// Peek returns the head without removing it, or nil.
+func (q *FIFO) Peek() *Thread {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// Remove deletes t from the queue, reporting whether it was present.
+func (q *FIFO) Remove(t *Thread) bool {
+	for i, x := range q.items {
+		if x == t {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the queue length.
+func (q *FIFO) Len() int { return len(q.items) }
+
+// Contains reports whether t is queued.
+func (q *FIFO) Contains(t *Thread) bool {
+	for _, x := range q.items {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain empties the queue, returning the former contents in order.
+func (q *FIFO) Drain() []*Thread {
+	out := q.items
+	q.items = nil
+	return out
+}
+
+// Snapshot returns a copy of the queue contents in order.
+func (q *FIFO) Snapshot() []*Thread {
+	return append([]*Thread(nil), q.items...)
+}

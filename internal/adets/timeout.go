@@ -1,0 +1,100 @@
+package adets
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// TimeoutMsg is the deterministic wait-timeout request used by ADETS-SAT,
+// ADETS-MAT and ADETS-PDS (paper Section 4.2): when a time-bounded wait
+// expires locally, the replica broadcasts this message through the group's
+// total order; the *delivery* of the message — identically positioned on
+// every replica — performs the wakeup. Every replica's local timer produces
+// the same message id, so the group orders it exactly once.
+type TimeoutMsg struct {
+	// Target identifies the waiting logical thread.
+	Target wire.LogicalID
+	// Mutex and Cond identify the condition variable waited on.
+	Mutex MutexID
+	Cond  CondID
+	// WaitSeq distinguishes successive waits by the same logical thread.
+	WaitSeq uint64
+}
+
+func init() {
+	wire.RegisterPayload(TimeoutMsg{})
+}
+
+// TimeoutID returns the globally unique, replica-deterministic broadcast id
+// for a timeout message.
+func TimeoutID(m TimeoutMsg) string {
+	return fmt.Sprintf("adets-timeout/%s/%d", m.Target, m.WaitSeq)
+}
+
+// Timeouts arms local timers for time-bounded waits and broadcasts the
+// deterministic timeout request on expiry. One per scheduler instance.
+// All methods require the runtime lock to be held.
+type Timeouts struct {
+	env Env
+	// waitSeq counts waits *per logical thread*: the n-th wait of a logical
+	// thread happens at the same program point on every replica, so the
+	// (logical, seq) pair — and with it the broadcast id — is
+	// replica-deterministic. A scheduler-global counter would not be.
+	waitSeq map[wire.LogicalID]uint64
+	pending map[wire.LogicalID]*vtime.Timer
+}
+
+// NewTimeouts returns a timeout helper bound to env.
+func NewTimeouts(env Env) *Timeouts {
+	return &Timeouts{
+		env:     env,
+		waitSeq: make(map[wire.LogicalID]uint64),
+		pending: make(map[wire.LogicalID]*vtime.Timer),
+	}
+}
+
+// Arm registers a time-bounded wait for t and schedules the local timer.
+// It returns the WaitSeq identifying this wait. Runtime lock required.
+func (to *Timeouts) Arm(t *Thread, m MutexID, c CondID, d time.Duration) uint64 {
+	to.waitSeq[t.Logical]++
+	seq := to.waitSeq[t.Logical]
+	msg := TimeoutMsg{Target: t.Logical, Mutex: m, Cond: c, WaitSeq: seq}
+	logical := t.Logical
+	timer := to.env.RT.AfterLocked(d, "adets-timeout/"+string(t.Logical), func() {
+		// Runs without the lock, on its own tracked goroutine. The
+		// broadcast id is identical on all replicas; the group orders it
+		// once and delivers it everywhere at the same stream position.
+		to.env.BroadcastOrdered(TimeoutID(msg), msg)
+	})
+	to.pending[logical] = timer
+	return seq
+}
+
+// Current returns the WaitSeq of t's most recently armed wait (0 if none).
+// Runtime lock required.
+func (to *Timeouts) Current(t *Thread) uint64 {
+	return to.waitSeq[t.Logical]
+}
+
+// Disarm cancels the local timer for t's pending wait (the wait was
+// notified before expiring). A late broadcast that already left is
+// harmless: the scheduler checks WaitSeq before acting. Runtime lock
+// required.
+func (to *Timeouts) Disarm(t *Thread) {
+	if timer, ok := to.pending[t.Logical]; ok {
+		delete(to.pending, t.Logical)
+		to.env.RT.StopTimerLocked(timer)
+	}
+}
+
+// StopAll cancels all pending timers (scheduler shutdown). Runtime lock
+// required.
+func (to *Timeouts) StopAll() {
+	for k, timer := range to.pending {
+		to.env.RT.StopTimerLocked(timer)
+		delete(to.pending, k)
+	}
+}

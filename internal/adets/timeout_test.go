@@ -1,0 +1,108 @@
+package adets
+
+import (
+	"testing"
+	"time"
+
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+func timeoutEnv(rt vtime.Runtime, sink *[]string) Env {
+	return Env{
+		RT:       rt,
+		Self:     "r/0",
+		Peers:    []wire.NodeID{"r/0"},
+		SendPeer: func(wire.NodeID, any) {},
+		BroadcastOrdered: func(id string, payload any) {
+			rt.Lock()
+			*sink = append(*sink, id)
+			rt.Unlock()
+		},
+	}
+}
+
+func TestTimeoutsArmFiresBroadcast(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	var sent []string
+	to := NewTimeouts(timeoutEnv(rt, &sent))
+	th := &Thread{Logical: "cl1"}
+	vtime.Run(rt, "main", func() {
+		rt.Lock()
+		seq := to.Arm(th, "m", "", 10*time.Millisecond)
+		rt.Unlock()
+		if seq != 1 {
+			t.Errorf("first WaitSeq = %d, want 1", seq)
+		}
+		rt.Sleep(20 * time.Millisecond)
+		rt.Lock()
+		defer rt.Unlock()
+		if len(sent) != 1 || sent[0] != TimeoutID(TimeoutMsg{Target: "cl1", WaitSeq: 1}) {
+			t.Errorf("broadcasts = %v", sent)
+		}
+	})
+}
+
+func TestTimeoutsDisarmCancels(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	var sent []string
+	to := NewTimeouts(timeoutEnv(rt, &sent))
+	th := &Thread{Logical: "cl1"}
+	vtime.Run(rt, "main", func() {
+		rt.Lock()
+		to.Arm(th, "m", "", 10*time.Millisecond)
+		to.Disarm(th)
+		rt.Unlock()
+		rt.Sleep(30 * time.Millisecond)
+		rt.Lock()
+		defer rt.Unlock()
+		if len(sent) != 0 {
+			t.Errorf("disarmed timer still broadcast: %v", sent)
+		}
+	})
+}
+
+func TestTimeoutsPerLogicalSequencing(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	var sent []string
+	to := NewTimeouts(timeoutEnv(rt, &sent))
+	a := &Thread{Logical: "a"}
+	b := &Thread{Logical: "b"}
+	vtime.Run(rt, "main", func() {
+		rt.Lock()
+		defer rt.Unlock()
+		// Interleaved arms by two logical threads must keep independent
+		// counters — the sequence is per logical thread, never global
+		// (a global counter would diverge across replicas).
+		if s := to.Arm(a, "m", "", time.Hour); s != 1 {
+			t.Errorf("a#1 = %d", s)
+		}
+		to.Disarm(a)
+		if s := to.Arm(b, "m", "", time.Hour); s != 1 {
+			t.Errorf("b#1 = %d", s)
+		}
+		to.Disarm(b)
+		if s := to.Arm(a, "m", "", time.Hour); s != 2 {
+			t.Errorf("a#2 = %d", s)
+		}
+		if got := to.Current(a); got != 2 {
+			t.Errorf("Current(a) = %d", got)
+		}
+		if got := to.Current(b); got != 1 {
+			t.Errorf("Current(b) = %d", got)
+		}
+		to.StopAll()
+	})
+}
+
+func TestTimeoutIDUniquePerWait(t *testing.T) {
+	a := TimeoutID(TimeoutMsg{Target: "x", WaitSeq: 1})
+	b := TimeoutID(TimeoutMsg{Target: "x", WaitSeq: 2})
+	c := TimeoutID(TimeoutMsg{Target: "y", WaitSeq: 1})
+	if a == b || a == c || b == c {
+		t.Errorf("timeout ids collide: %q %q %q", a, b, c)
+	}
+}

@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+)
+
+// This file defines the benchmark object implementations — the handlers the
+// paper's Section 5 deploys on the replicated groups — and the
+// deterministic client-side parameter generation (mutex choice, randomized
+// durations). Parameters are computed by the client and shipped in the
+// request arguments, so every replica sees identical values by
+// construction.
+
+// Pattern selects one of the local-computation behaviours of Fig. 3.
+type Pattern byte
+
+// The four patterns of the paper's Fig. 3 plus the yield ablation variant.
+const (
+	// PatternA: compute.
+	PatternA Pattern = 'a'
+	// PatternB: compute – lock – state access – unlock.
+	PatternB Pattern = 'b'
+	// PatternC: lock – state access and compute – unlock.
+	PatternC Pattern = 'c'
+	// PatternD: lock – state access – unlock – compute.
+	PatternD Pattern = 'd'
+	// PatternDYield: PatternD with an explicit Yield after the unlock —
+	// the paper's suggested MAT remedy (Section 5.3), ablation AB4.
+	PatternDYield Pattern = 'y'
+	// PatternDouble: lock m1 – compute – lock m2 – compute – unlock both;
+	// exercises PDS-2's two-grants-per-round rule, ablation AB1.
+	PatternDouble Pattern = '2'
+)
+
+// ComputeTime is the paper's local computation duration.
+const ComputeTime = 100 * time.Millisecond
+
+// NumMutexes is the paper's fine-grained lock count for Fig. 4.
+const NumMutexes = 10
+
+// registerLocalObject installs the "work" method implementing Fig. 3's
+// patterns. Args: [pattern, mutexIdx, mutex2Idx].
+func registerLocalObject(g *replobj.Group, compute time.Duration) {
+	g.Register("work", func(inv *replobj.Invocation) ([]byte, error) {
+		args := inv.Args()
+		p := Pattern(args[0])
+		m := replobj.MutexID(fmt.Sprintf("m%d", args[1]))
+		switch p {
+		case PatternA:
+			inv.Compute(compute)
+		case PatternB:
+			inv.Compute(compute)
+			if err := inv.Lock(m); err != nil {
+				return nil, err
+			}
+			// state access: negligible time (paper Section 5.3)
+			if err := inv.Unlock(m); err != nil {
+				return nil, err
+			}
+		case PatternC:
+			if err := inv.Lock(m); err != nil {
+				return nil, err
+			}
+			inv.Compute(compute)
+			if err := inv.Unlock(m); err != nil {
+				return nil, err
+			}
+		case PatternD, PatternDYield:
+			if err := inv.Lock(m); err != nil {
+				return nil, err
+			}
+			if err := inv.Unlock(m); err != nil {
+				return nil, err
+			}
+			if p == PatternDYield {
+				inv.Yield()
+			}
+			inv.Compute(compute)
+		case PatternDouble:
+			m2 := replobj.MutexID(fmt.Sprintf("m%d", args[2]))
+			if err := inv.Lock(m); err != nil {
+				return nil, err
+			}
+			inv.Compute(compute / 10)
+			if err := inv.Lock(m2); err != nil {
+				return nil, err
+			}
+			inv.Compute(compute / 10)
+			if err := inv.Unlock(m2); err != nil {
+				return nil, err
+			}
+			if err := inv.Unlock(m); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("bench: unknown pattern %q", p)
+		}
+		return nil, nil
+	})
+}
+
+// mix hashes (client, seq) into a deterministic pseudo-random stream so
+// clients pick "random" mutexes and durations reproducibly.
+func mix(client, seq, salt uint64) uint64 {
+	x := client*0x9E3779B97F4A7C15 ^ seq*0xC2B2AE3D27D4EB4F ^ salt*0x165667B19E3779F9
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+// localArgs builds the "work" arguments for one invocation. The two-mutex
+// pattern acquires in increasing index order (standard lock ordering —
+// otherwise the workload itself could deadlock, under any scheduler).
+func localArgs(p Pattern, client, seq int) []byte {
+	m1 := mix(uint64(client), uint64(seq), 1) % NumMutexes
+	m2 := mix(uint64(client), uint64(seq), 2) % NumMutexes
+	if m2 == m1 {
+		m2 = (m2 + 1) % NumMutexes
+	}
+	if m2 < m1 {
+		m1, m2 = m2, m1
+	}
+	return []byte{byte(p), byte(m1), byte(m2)}
+}
+
+// registerMixedObject installs "mixed" (ablation AB7): half of the
+// requests are pure computations, half lock-compute-unlock on a shared
+// mutex. Args: [kind(0=compute,1=locker), declare(0/1)]. With declare=1 a
+// computation-only request announces NoMoreLocks up front — the explicit
+// form of the paper's synchronization-prediction follow-up — so under
+// ADETS-MAT it steps out of the token order and never delays the lockers.
+func registerMixedObject(g *replobj.Group, compute time.Duration) {
+	g.Register("mixed", func(inv *replobj.Invocation) ([]byte, error) {
+		args := inv.Args()
+		if args[0] == 0 {
+			if args[1] == 1 {
+				inv.DeclareNoMoreLocks()
+			}
+			inv.Compute(compute)
+			return nil, nil
+		}
+		if err := inv.Lock("state"); err != nil {
+			return nil, err
+		}
+		inv.Compute(compute / 10)
+		if err := inv.Unlock("state"); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+}
+
+// registerSleepObject installs "sleep": suspend for the duration encoded in
+// the arguments (the external service B of the nested-invocation
+// benchmarks).
+func registerSleepObject(g *replobj.Group) {
+	g.Register("sleep", func(inv *replobj.Invocation) ([]byte, error) {
+		inv.Compute(time.Duration(binary.BigEndian.Uint16(inv.Args())) * time.Millisecond)
+		return nil, nil
+	})
+}
+
+// registerForwardObject installs "fwd" on group A: a single nested
+// invocation of B's "sleep" (Fig. 5(a)).
+func registerForwardObject(g *replobj.Group, target replobj.GroupID) {
+	g.Register("fwd", func(inv *replobj.Invocation) ([]byte, error) {
+		return inv.Invoke(target, "sleep", inv.Args())
+	})
+}
+
+// registerPermObject installs "perm" on group A (Fig. 5(b)): execute the
+// three elements N (nested invocation of B), C (computation), S
+// (synchronized state update) in the order given by the arguments.
+// Args: [perm0, perm1, perm2, N_ms uint16, C_ms uint16].
+func registerPermObject(g *replobj.Group, target replobj.GroupID) {
+	g.Register("perm", func(inv *replobj.Invocation) ([]byte, error) {
+		args := inv.Args()
+		nDur := args[3:5]
+		cDur := time.Duration(binary.BigEndian.Uint16(args[5:7])) * time.Millisecond
+		for _, el := range args[:3] {
+			switch el {
+			case 'N':
+				if _, err := inv.Invoke(target, "sleep", nDur); err != nil {
+					return nil, err
+				}
+			case 'C':
+				inv.Compute(cDur)
+			case 'S':
+				if err := inv.Lock("state"); err != nil {
+					return nil, err
+				}
+				if err := inv.Unlock("state"); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("bench: bad perm element %q", el)
+			}
+		}
+		return nil, nil
+	})
+}
+
+// permArgs builds "perm" arguments: N uniform in [100,150)ms, C uniform in
+// [75,125)ms, exactly the paper's Section 5.4 parameters.
+func permArgs(perm string, client, seq int) []byte {
+	n := 100 + mix(uint64(client), uint64(seq), 3)%50
+	c := 75 + mix(uint64(client), uint64(seq), 4)%50
+	out := make([]byte, 7)
+	copy(out, perm)
+	binary.BigEndian.PutUint16(out[3:5], uint16(n))
+	binary.BigEndian.PutUint16(out[5:7], uint16(c))
+	return out
+}
+
+// Perms are the six interaction patterns of Fig. 5(b).
+var Perms = []string{"NCS", "CNS", "NSC", "CSN", "SCN", "SNC"}
+
+// bufState is the buffer object of the condition-variable benchmarks.
+type bufState struct {
+	cap   int // 0 = unbounded
+	items []byte
+}
+
+// DispatchCost models the server-side CPU each invocation consumes
+// (unmarshalling, dispatch, handler prologue) — roughly 1 ms on the paper's
+// testbed, where a full invocation took 4–5 ms. It is what makes the
+// sequential polling fallback degrade: every unsuccessful poll still
+// occupies the single-threaded server (paper Section 5.5).
+const DispatchCost = time.Millisecond
+
+// registerBufferObject installs the producer/consumer methods of Section
+// 5.5: blocking produce/consume (condition variables) plus the polling
+// variants used by the sequential baseline. Every method consumes
+// DispatchCost of (simulated) server CPU.
+func registerBufferObject(g *replobj.Group) {
+	g.Register("produce", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*bufState)
+		inv.Compute(DispatchCost)
+		if err := inv.Lock("buf"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("buf") }()
+		for st.cap > 0 && len(st.items) >= st.cap {
+			if _, err := inv.Wait("buf", "notfull", 0); err != nil {
+				return nil, err
+			}
+		}
+		st.items = append(st.items, inv.Args()[0])
+		if err := inv.Notify("buf", "notempty"); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	g.Register("consume", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*bufState)
+		inv.Compute(DispatchCost)
+		if err := inv.Lock("buf"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("buf") }()
+		for len(st.items) == 0 {
+			if _, err := inv.Wait("buf", "notempty", 0); err != nil {
+				return nil, err
+			}
+		}
+		v := st.items[0]
+		st.items = st.items[1:]
+		if st.cap > 0 {
+			if err := inv.Notify("buf", "notfull"); err != nil {
+				return nil, err
+			}
+		}
+		return []byte{v}, nil
+	})
+	// Polling variants: non-blocking, first byte 1 = success.
+	g.Register("tryproduce", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*bufState)
+		inv.Compute(DispatchCost)
+		if st.cap > 0 && len(st.items) >= st.cap {
+			return []byte{0}, nil
+		}
+		st.items = append(st.items, inv.Args()[0])
+		return []byte{1}, nil
+	})
+	g.Register("tryconsume", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*bufState)
+		inv.Compute(DispatchCost)
+		if len(st.items) == 0 {
+			return []byte{0}, nil
+		}
+		v := st.items[0]
+		st.items = st.items[1:]
+		return []byte{1, v}, nil
+	})
+}
+
+// PollInterval is the retry delay of the sequential polling fallback.
+const PollInterval = 5 * time.Millisecond

@@ -1,0 +1,278 @@
+// Package client implements the replication-aware client stub: it submits
+// invocation requests to every member of a replicated object group,
+// retransmits on silence, deduplicates replies per replica, and returns
+// once the configured reply policy is satisfied.
+//
+// The default policy is Majority: FTflex-style infrastructures do not trust
+// a single reply under fail-over, and — as DESIGN.md explains — waiting for
+// a majority is what makes ADETS-LSA's follower lag visible at the client,
+// as in the paper's measurements.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/replica"
+	"github.com/replobj/replobj/internal/transport"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// ReplyPolicy decides how many replica replies complete an invocation.
+type ReplyPolicy int
+
+// Reply policies.
+const (
+	// Majority waits for ⌊n/2⌋+1 replies (default).
+	Majority ReplyPolicy = iota
+	// First returns on the first reply.
+	First
+	// All waits for every replica.
+	All
+)
+
+func (p ReplyPolicy) need(n int) int {
+	switch p {
+	case First:
+		return 1
+	case All:
+		return n
+	default:
+		return n/2 + 1
+	}
+}
+
+func (p ReplyPolicy) String() string {
+	switch p {
+	case First:
+		return "first"
+	case All:
+		return "all"
+	default:
+		return "majority"
+	}
+}
+
+// ErrTimeout is returned when the reply policy is not satisfied in time.
+var ErrTimeout = errors.New("client: invocation timed out")
+
+// Config parameterizes a client.
+type Config struct {
+	RT        vtime.Runtime
+	Name      string
+	Directory *replica.Directory
+	Network   transport.Network
+	Policy    ReplyPolicy
+	// Timeout bounds one invocation end to end (default 30s).
+	Timeout time.Duration
+	// Retransmit is the retransmission interval (default 2s).
+	Retransmit time.Duration
+}
+
+// Client is a replication-aware stub. Safe for use by one goroutine at a
+// time per Client; create one per simulated client.
+type Client struct {
+	rt      vtime.Runtime
+	self    wire.NodeID
+	dir     *replica.Directory
+	ep      transport.Endpoint
+	policy  ReplyPolicy
+	timeout time.Duration
+	retry   time.Duration
+
+	// guarded by the runtime lock
+	calls   map[wire.InvocationID]*call
+	reqSeq  uint64
+	stopped bool
+}
+
+type call struct {
+	parker  *vtime.Parker
+	replies map[wire.NodeID]replica.Reply
+	need    int
+	done    bool
+}
+
+// New builds a client stub.
+func New(cfg Config) *Client {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Retransmit <= 0 {
+		cfg.Retransmit = 2 * time.Second
+	}
+	c := &Client{
+		rt:      cfg.RT,
+		self:    wire.ClientID(cfg.Name),
+		dir:     cfg.Directory,
+		policy:  cfg.Policy,
+		timeout: cfg.Timeout,
+		retry:   cfg.Retransmit,
+		calls:   make(map[wire.InvocationID]*call),
+	}
+	c.ep = cfg.Network.Endpoint(c.self)
+	cfg.RT.Go("client-recv/"+string(c.self), c.recvLoop)
+	return c
+}
+
+// Close detaches the client.
+func (c *Client) Close() {
+	c.rt.Lock()
+	c.stopped = true
+	for _, cl := range c.calls {
+		c.rt.Unpark(cl.parker)
+	}
+	c.rt.Unlock()
+	c.ep.Close()
+}
+
+func (c *Client) recvLoop() {
+	for {
+		msg, ok := c.ep.Recv()
+		if !ok {
+			return
+		}
+		reply, ok := msg.Payload.(replica.Reply)
+		if !ok {
+			continue
+		}
+		c.rt.Lock()
+		cl := c.calls[reply.ID]
+		if cl != nil && !cl.done {
+			cl.replies[reply.From] = reply
+			if len(cl.replies) >= cl.need {
+				cl.done = true
+				c.rt.Unpark(cl.parker)
+			}
+		}
+		c.rt.Unlock()
+	}
+}
+
+// Invoke calls a method on a replicated object group and blocks until the
+// reply policy is satisfied or the timeout expires. It must run on a
+// tracked goroutine.
+func (c *Client) Invoke(group wire.GroupID, method string, args []byte) ([]byte, error) {
+	cl, members, err := c.invoke(group, method, args, -1)
+	if err != nil {
+		return nil, err
+	}
+	// Pick the answer deterministically: all correct replicas return the
+	// same result; take the lowest-ranked responder for stability.
+	c.rt.Lock()
+	var best *replica.Reply
+	for _, m := range members {
+		if rep, ok := cl.replies[m]; ok {
+			best = &rep
+			break
+		}
+	}
+	c.rt.Unlock()
+	if best == nil {
+		return nil, errors.New("client: no reply recorded")
+	}
+	if best.Err != "" {
+		return nil, errors.New(best.Err)
+	}
+	return best.Result, nil
+}
+
+// InvokeAll waits for every replica's reply (policy All for this call) and
+// returns them per node — used by consistency checks and tooling.
+func (c *Client) InvokeAll(group wire.GroupID, method string, args []byte) (map[wire.NodeID]replica.Reply, error) {
+	cl, _, err := c.invoke(group, method, args, len(c.dir.Members(group)))
+	if err != nil {
+		return nil, err
+	}
+	c.rt.Lock()
+	out := make(map[wire.NodeID]replica.Reply, len(cl.replies))
+	for n, rep := range cl.replies {
+		out[n] = rep
+	}
+	c.rt.Unlock()
+	return out, nil
+}
+
+// invoke runs the request/retransmit/collect loop until `need` replies
+// arrived (need < 0 applies the configured policy).
+func (c *Client) invoke(group wire.GroupID, method string, args []byte, need int) (*call, []wire.NodeID, error) {
+	members := c.dir.Members(group)
+	if len(members) == 0 {
+		return nil, nil, fmt.Errorf("client: unknown group %q", group)
+	}
+	if need < 0 {
+		need = c.policy.need(len(members))
+	}
+	c.rt.Lock()
+	if c.stopped {
+		c.rt.Unlock()
+		return nil, nil, errors.New("client: closed")
+	}
+	c.reqSeq++
+	logical := wire.LogicalID(fmt.Sprintf("%s#%d", c.self, c.reqSeq))
+	id := wire.InvocationID{Logical: logical, Seq: 0}
+	cl := &call{
+		parker:  vtime.NewParker("client-call/" + string(logical)),
+		replies: make(map[wire.NodeID]replica.Reply),
+		need:    need,
+	}
+	c.calls[id] = cl
+	c.rt.Unlock()
+
+	req := replica.Request{
+		ID:      id,
+		Group:   group,
+		Method:  method,
+		Args:    args,
+		Kind:    replica.KindClient,
+		ReplyTo: c.self,
+	}
+	sub := gcs.Submit{Group: group, ID: id.String(), Origin: c.self, Payload: req}
+	send := func() {
+		for _, m := range members {
+			c.ep.Send(m, sub)
+		}
+	}
+	send()
+
+	deadline := c.rt.Now() + c.timeout
+	defer func() {
+		c.rt.Lock()
+		delete(c.calls, id)
+		c.rt.Unlock()
+	}()
+	for {
+		now := c.rt.Now() // before taking the lock: Now() locks internally
+		c.rt.Lock()
+		if cl.done {
+			c.rt.Unlock()
+			break
+		}
+		remaining := deadline - now
+		if remaining <= 0 {
+			c.rt.Unlock()
+			return nil, nil, fmt.Errorf("%w: %s.%s after %v (got %d/%d replies)",
+				ErrTimeout, group, method, c.timeout, len(cl.replies), cl.need)
+		}
+		wait := c.retry
+		if wait > remaining {
+			wait = remaining
+		}
+		timedOut := c.rt.ParkTimeout(cl.parker, wait)
+		stopped := c.stopped
+		c.rt.Unlock()
+		if stopped {
+			return nil, nil, errors.New("client: closed")
+		}
+		if timedOut {
+			send() // retransmit; replicas deduplicate
+		}
+	}
+	return cl, members, nil
+}
+
+// NodeID returns the client's transport identity.
+func (c *Client) NodeID() wire.NodeID { return c.self }

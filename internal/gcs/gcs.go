@@ -1,0 +1,211 @@
+// Package gcs implements the group communication substrate of the
+// middleware: reliable totally-ordered broadcast within a replica group,
+// group membership with deterministic view changes, and a heartbeat failure
+// detector.
+//
+// It plays the role of the Aspectix group communication module in the
+// paper's FTflex stack (Section 5.1): client requests, nested-invocation
+// replies, deterministic-timeout requests, and LSA mutex-table updates all
+// travel through it, and every replica observes them in the same total
+// order. View changes are delivered *in-stream* as ordered events, so a
+// scheduler such as ADETS-LSA sees the leader change at exactly the same
+// logical position on every replica.
+//
+// The protocol is a fixed-sequencer total order: the lowest-ranked live
+// member sequences. On suspicion of a member, a new view is proposed; the
+// new sequencer synchronizes ordered-message tails from all live members,
+// rebroadcasts the union, and resumes numbering in the same sequence space.
+//
+// Assumptions (documented limits, adequate for the paper's experiments):
+// crash-stop failures, at most a minority of a group failing, and an
+// eventually well-behaved network. Byzantine failures are out of scope
+// (the paper's LSA discussion mentions a Byzantine fail-over variant; we
+// implement the crash variant).
+package gcs
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// View is a group membership view: a monotonically increasing epoch and the
+// live members in rank order (a subset of the initial membership, original
+// order preserved).
+type View struct {
+	Epoch   uint64
+	Members []wire.NodeID
+}
+
+// Sequencer returns the member responsible for ordering in this view.
+func (v View) Sequencer() wire.NodeID {
+	if len(v.Members) == 0 {
+		return ""
+	}
+	return v.Members[0]
+}
+
+// Contains reports whether id is a member of the view.
+func (v View) Contains(id wire.NodeID) bool {
+	for _, m := range v.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// clone returns a deep copy of the view.
+func (v View) clone() View {
+	return View{Epoch: v.Epoch, Members: append([]wire.NodeID(nil), v.Members...)}
+}
+
+func (v View) String() string {
+	return fmt.Sprintf("view{epoch=%d members=%v}", v.Epoch, v.Members)
+}
+
+// Delivery is one element of the totally ordered stream a member hands to
+// the layer above.
+type Delivery struct {
+	// Seq is the position in the group-wide total order. Seqs are contiguous
+	// and shared across view changes.
+	Seq uint64
+	// ID is the submitter-chosen unique id of the message (used for
+	// deduplication end to end).
+	ID string
+	// Origin is the node that submitted the message.
+	Origin wire.NodeID
+	// Payload is the application payload, nil for view events.
+	Payload any
+	// NewView is non-nil when this delivery announces a membership change.
+	NewView *View
+}
+
+// --- protocol payloads ---
+
+// Submit asks the sequencer to order a payload.
+type Submit struct {
+	Group   wire.GroupID
+	ID      string
+	Origin  wire.NodeID
+	Payload any
+}
+
+// Ordered is a sequenced message broadcast by the sequencer.
+type Ordered struct {
+	Group   wire.GroupID
+	Epoch   uint64
+	Seq     uint64
+	ID      string
+	Origin  wire.NodeID
+	Payload any
+	// View is non-nil for in-stream view-change announcements.
+	View *View
+}
+
+// Nack requests retransmission of ordered messages starting at Want.
+type Nack struct {
+	Group wire.GroupID
+	From  wire.NodeID
+	Want  uint64
+}
+
+// Heartbeat is the failure-detector beacon.
+type Heartbeat struct {
+	Group wire.GroupID
+	From  wire.NodeID
+	Epoch uint64
+}
+
+// Propose announces a candidate next view after a suspicion.
+type Propose struct {
+	Group wire.GroupID
+	From  wire.NodeID
+	View  View
+}
+
+// SyncReq is sent by the sequencer of a proposed view to collect state.
+// It carries the proposed view so a member that missed the Propose can
+// adopt it.
+type SyncReq struct {
+	Group wire.GroupID
+	From  wire.NodeID
+	View  View
+}
+
+// SyncResp carries a member's ordered-message tail to the new sequencer.
+type SyncResp struct {
+	Group     wire.GroupID
+	From      wire.NodeID
+	Epoch     uint64
+	Delivered uint64    // highest contiguously delivered seq
+	Tail      []Ordered // retained ordered messages (any order)
+	Pending   []Submit  // submits cached but possibly never ordered
+}
+
+func init() {
+	wire.RegisterPayload(Submit{})
+	wire.RegisterPayload(Ordered{})
+	wire.RegisterPayload(Nack{})
+	wire.RegisterPayload(Heartbeat{})
+	wire.RegisterPayload(Propose{})
+	wire.RegisterPayload(SyncReq{})
+	wire.RegisterPayload(SyncResp{})
+}
+
+// rankSubset returns the members of initial, in rank order, minus the
+// excluded set — the deterministic membership rule every node applies.
+func rankSubset(initial []wire.NodeID, excluded map[wire.NodeID]bool) []wire.NodeID {
+	out := make([]wire.NodeID, 0, len(initial))
+	for _, m := range initial {
+		if !excluded[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Config configures a group member.
+type Config struct {
+	// Group is the group identifier; messages for other groups are ignored.
+	Group wire.GroupID
+	// Self is this member's node id; must appear in Members.
+	Self wire.NodeID
+	// Members is the initial membership in rank order.
+	Members []wire.NodeID
+	// Send transmits a payload to a peer (provided by the owner of the
+	// transport endpoint). It must be safe to call from multiple goroutines
+	// and must not be called with the runtime lock held — the Member
+	// guarantees the latter.
+	Send func(to wire.NodeID, payload any)
+
+	// FailureDetection enables heartbeats and view changes.
+	FailureDetection bool
+	// HeartbeatEvery is the heartbeat period (default 25ms).
+	HeartbeatEvery time.Duration
+	// SuspectAfter is the silence threshold for suspicion (default 100ms).
+	SuspectAfter time.Duration
+	// SyncGrace bounds how long a new sequencer waits for SyncResps from
+	// members that stay silent (default 2×SuspectAfter).
+	SyncGrace time.Duration
+
+	// LogRetain is how many ordered messages are kept for retransmission
+	// and view synchronization (default 4096).
+	LogRetain int
+}
+
+func (c *Config) applyDefaults() {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 25 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 100 * time.Millisecond
+	}
+	if c.SyncGrace <= 0 {
+		c.SyncGrace = 2 * c.SuspectAfter
+	}
+	if c.LogRetain <= 0 {
+		c.LogRetain = 4096
+	}
+}

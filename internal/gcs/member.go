@@ -1,0 +1,404 @@
+package gcs
+
+import (
+	"time"
+
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Member is one group member's instance of the total-order protocol.
+// All state is guarded by the runtime lock; public methods take it
+// internally and must be called without it.
+type Member struct {
+	rt  vtime.Runtime
+	cfg Config
+
+	deliveries *vtime.Mailbox[Delivery]
+
+	view       View
+	installing *View // adopted proposal, not yet installed via view event
+
+	// Sequencer state.
+	nextSeq    uint64
+	orderedIDs map[string]bool
+	idToSeq    map[string]uint64 // ordered id → sequence number (for resends)
+	idOrder    []string          // FIFO for pruning orderedIDs
+
+	// Delivery state.
+	nextDeliver  uint64
+	pendingOrder map[uint64]Ordered
+
+	// Retained ordered messages for NACK retransmission and view sync.
+	log map[uint64]Ordered
+
+	// Submits seen but possibly not yet ordered; resubmitted on view change.
+	submitCache map[string]Submit
+	cacheOrder  []string
+
+	// Failure detection.
+	lastSeen  map[wire.NodeID]time.Duration
+	fdTimer   *vtime.Timer
+	syncTimer *vtime.Timer
+	syncResps map[wire.NodeID]SyncResp
+	stopped   bool
+}
+
+// NewMember creates a member. Call Start before use and Stop when done.
+func NewMember(rt vtime.Runtime, cfg Config) *Member {
+	cfg.applyDefaults()
+	return &Member{
+		rt:           rt,
+		cfg:          cfg,
+		deliveries:   vtime.NewMailbox[Delivery](rt, "gcs/"+string(cfg.Self)),
+		view:         View{Epoch: 0, Members: append([]wire.NodeID(nil), cfg.Members...)},
+		nextSeq:      1,
+		nextDeliver:  1,
+		orderedIDs:   make(map[string]bool),
+		idToSeq:      make(map[string]uint64),
+		pendingOrder: make(map[uint64]Ordered),
+		log:          make(map[uint64]Ordered),
+		submitCache:  make(map[string]Submit),
+		lastSeen:     make(map[wire.NodeID]time.Duration),
+	}
+}
+
+// Start begins failure detection (if enabled).
+func (m *Member) Start() {
+	if m.cfg.FailureDetection {
+		m.scheduleFDTick()
+	}
+}
+
+// Stop cancels timers and closes the delivery stream.
+func (m *Member) Stop() {
+	m.rt.Lock()
+	m.stopped = true
+	fd, sy := m.fdTimer, m.syncTimer
+	m.fdTimer, m.syncTimer = nil, nil
+	m.rt.Unlock()
+	m.rt.StopTimer(fd)
+	m.rt.StopTimer(sy)
+	m.deliveries.Close()
+}
+
+// Deliver blocks until the next totally-ordered delivery; ok is false after
+// Stop.
+func (m *Member) Deliver() (Delivery, bool) {
+	return m.deliveries.Get()
+}
+
+// DeliverTimeout is Deliver with a deadline; the third result reports a
+// timeout.
+func (m *Member) DeliverTimeout(d time.Duration) (Delivery, bool, bool) {
+	return m.deliveries.GetTimeout(d)
+}
+
+// View returns the currently installed view.
+func (m *Member) View() View {
+	m.rt.Lock()
+	defer m.rt.Unlock()
+	return m.view.clone()
+}
+
+// Broadcast submits a payload for total ordering on behalf of this member.
+// The id must be globally unique; duplicate ids are ordered at most once.
+func (m *Member) Broadcast(id string, payload any) {
+	sub := Submit{Group: m.cfg.Group, ID: id, Origin: m.cfg.Self, Payload: payload}
+	var act actions
+	m.rt.Lock()
+	if !m.stopped {
+		m.handleSubmitLocked(sub, &act)
+	}
+	m.rt.Unlock()
+	act.do(m.cfg.Send)
+}
+
+// Handle processes an incoming payload, returning true if it was a group
+// communication message for this member's group (consumed), false
+// otherwise.
+func (m *Member) Handle(from wire.NodeID, payload any) bool {
+	group, isGCS := payloadGroup(payload)
+	if !isGCS || group != m.cfg.Group {
+		return false
+	}
+	now := m.rt.Now()
+	var act actions
+	m.rt.Lock()
+	if m.stopped {
+		m.rt.Unlock()
+		return true
+	}
+	m.touchLocked(from, now)
+	switch p := payload.(type) {
+	case Submit:
+		m.handleSubmitLocked(p, &act)
+	case Ordered:
+		m.handleOrderedLocked(p, &act)
+	case Nack:
+		m.handleNackLocked(p, &act)
+	case Heartbeat:
+		// touch already recorded liveness
+	case Propose:
+		m.adoptProposalLocked(p.View, &act)
+	case SyncReq:
+		m.handleSyncReqLocked(p, &act)
+	case SyncResp:
+		m.handleSyncRespLocked(p, &act)
+	}
+	m.rt.Unlock()
+	act.do(m.cfg.Send)
+	return true
+}
+
+func payloadGroup(payload any) (wire.GroupID, bool) {
+	switch p := payload.(type) {
+	case Submit:
+		return p.Group, true
+	case Ordered:
+		return p.Group, true
+	case Nack:
+		return p.Group, true
+	case Heartbeat:
+		return p.Group, true
+	case Propose:
+		return p.Group, true
+	case SyncReq:
+		return p.Group, true
+	case SyncResp:
+		return p.Group, true
+	}
+	return "", false
+}
+
+// --- actions ---
+
+type outMsg struct {
+	to      wire.NodeID
+	payload any
+}
+
+// actions accumulates sends to perform after the runtime lock is released
+// (the transport schedules timers, which itself needs the lock). Deliveries
+// go straight to the mailbox via PutLocked, preserving total order.
+type actions struct {
+	sends []outMsg
+}
+
+func (a *actions) send(to wire.NodeID, payload any) {
+	a.sends = append(a.sends, outMsg{to: to, payload: payload})
+}
+
+func (a *actions) do(send func(to wire.NodeID, payload any)) {
+	for _, s := range a.sends {
+		send(s.to, s.payload)
+	}
+}
+
+// --- core paths ---
+
+func (m *Member) isSequencerLocked() bool {
+	return m.installing == nil && m.view.Sequencer() == m.cfg.Self
+}
+
+func (m *Member) handleSubmitLocked(sub Submit, act *actions) {
+	if m.orderedIDs[sub.ID] {
+		// A duplicate of something already ordered — usually a client
+		// retransmission because some replica never received the ordered
+		// message (e.g. the final message of a burst was lost and no later
+		// traffic triggered a NACK). Re-broadcast the retained log from that
+		// point through the frontier: trailing messages (such as a
+		// scheduler's mutex-table update ordered right after the request)
+		// may be the very thing the lagging replica is missing.
+		if m.isSequencerLocked() {
+			if seq, ok := m.idToSeq[sub.ID]; ok {
+				const batch = 64
+				for s := seq; s < m.nextSeq && s < seq+batch; s++ {
+					o, ok := m.log[s]
+					if !ok {
+						continue
+					}
+					for _, peer := range m.view.Members {
+						if peer != m.cfg.Self {
+							act.send(peer, o)
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	m.cacheSubmitLocked(sub)
+	if m.isSequencerLocked() {
+		m.orderLocked(sub.ID, sub.Origin, sub.Payload, nil, act)
+		return
+	}
+	// Not the sequencer (or a view change is in progress): if this submit
+	// originated here, forward it to the sequencer. Submits from clients
+	// reach the sequencer directly, so those are only cached for potential
+	// resubmission after a view change.
+	if sub.Origin == m.cfg.Self && m.installing == nil {
+		act.send(m.view.Sequencer(), sub)
+	}
+}
+
+// orderLocked assigns the next sequence number and broadcasts. Only the
+// sequencer calls it.
+func (m *Member) orderLocked(id string, origin wire.NodeID, payload any, view *View, act *actions) {
+	if id != "" && m.orderedIDs[id] {
+		return
+	}
+	o := Ordered{
+		Group:   m.cfg.Group,
+		Epoch:   m.view.Epoch,
+		Seq:     m.nextSeq,
+		ID:      id,
+		Origin:  origin,
+		Payload: payload,
+		View:    view,
+	}
+	m.nextSeq++
+	m.markOrderedIDLocked(id)
+	if id != "" {
+		m.idToSeq[id] = o.Seq
+	}
+	for _, peer := range m.view.Members {
+		if peer != m.cfg.Self {
+			act.send(peer, o)
+		}
+	}
+	m.handleOrderedLocked(o, act)
+}
+
+func (m *Member) handleOrderedLocked(o Ordered, act *actions) {
+	if o.Seq < m.nextDeliver {
+		return // duplicate
+	}
+	m.pendingOrder[o.Seq] = o
+	m.retainLocked(o)
+	if m.nextSeq <= o.Seq {
+		m.nextSeq = o.Seq + 1 // keep the shared sequence space monotone
+	}
+	for {
+		next, ok := m.pendingOrder[m.nextDeliver]
+		if !ok {
+			break
+		}
+		delete(m.pendingOrder, m.nextDeliver)
+		m.nextDeliver++
+		m.deliverLocked(next, act)
+	}
+	if len(m.pendingOrder) > 0 {
+		act.send(m.view.Sequencer(), Nack{Group: m.cfg.Group, From: m.cfg.Self, Want: m.nextDeliver})
+	}
+}
+
+func (m *Member) deliverLocked(o Ordered, act *actions) {
+	m.markOrderedIDLocked(o.ID)
+	if o.ID != "" {
+		m.idToSeq[o.ID] = o.Seq
+	}
+	delete(m.submitCache, o.ID)
+	if o.View == nil && o.Payload == nil {
+		return // gap filler ordered by a recovering sequencer
+	}
+	d := Delivery{Seq: o.Seq, ID: o.ID, Origin: o.Origin, Payload: o.Payload}
+	if o.View != nil {
+		v := o.View.clone()
+		d.NewView = &v
+		m.installViewLocked(v, act)
+	}
+	m.deliveries.PutLocked(d)
+}
+
+func (m *Member) installViewLocked(v View, act *actions) {
+	if v.Epoch <= m.view.Epoch {
+		return // stale re-announcement from a tail rebroadcast
+	}
+	m.view = v.clone()
+	if m.installing != nil && m.installing.Epoch <= v.Epoch {
+		m.installing = nil
+	}
+	m.syncResps = nil
+	m.syncTimer = nil // a late fire re-checks state and is a no-op
+	// Resubmit cached submits so nothing that only the crashed sequencer
+	// saw is lost. The new sequencer deduplicates by id.
+	if m.view.Sequencer() == m.cfg.Self {
+		for _, id := range append([]string(nil), m.cacheOrder...) {
+			if sub, ok := m.submitCache[id]; ok {
+				m.orderLocked(sub.ID, sub.Origin, sub.Payload, nil, act)
+			}
+		}
+		return
+	}
+	for _, id := range m.cacheOrder {
+		if sub, ok := m.submitCache[id]; ok {
+			act.send(m.view.Sequencer(), sub)
+		}
+	}
+}
+
+func (m *Member) handleNackLocked(n Nack, act *actions) {
+	// Resend whatever is retained from Want upward (bounded batch).
+	const batch = 256
+	sent := 0
+	for seq := n.Want; seq < m.nextSeq && sent < batch; seq++ {
+		if o, ok := m.log[seq]; ok {
+			act.send(n.From, o)
+			sent++
+		}
+	}
+}
+
+// --- bookkeeping ---
+
+const maxTrackedIDs = 1 << 14
+
+func (m *Member) markOrderedIDLocked(id string) {
+	if id == "" || m.orderedIDs[id] {
+		return
+	}
+	m.orderedIDs[id] = true
+	m.idOrder = append(m.idOrder, id)
+	if len(m.idOrder) > maxTrackedIDs {
+		old := m.idOrder[0]
+		m.idOrder = m.idOrder[1:]
+		delete(m.orderedIDs, old)
+		delete(m.idToSeq, old)
+	}
+}
+
+func (m *Member) cacheSubmitLocked(sub Submit) {
+	if _, ok := m.submitCache[sub.ID]; ok {
+		return
+	}
+	m.submitCache[sub.ID] = sub
+	m.cacheOrder = append(m.cacheOrder, sub.ID)
+	if len(m.cacheOrder) > maxTrackedIDs {
+		old := m.cacheOrder[0]
+		m.cacheOrder = m.cacheOrder[1:]
+		delete(m.submitCache, old)
+	}
+}
+
+func (m *Member) retainLocked(o Ordered) {
+	m.log[o.Seq] = o
+	if len(m.log) <= 2*m.cfg.LogRetain {
+		return
+	}
+	// Rebuild, keeping a window below the delivery frontier plus everything
+	// not yet delivered.
+	floor := uint64(0)
+	if m.nextDeliver > uint64(m.cfg.LogRetain) {
+		floor = m.nextDeliver - uint64(m.cfg.LogRetain)
+	}
+	for seq := range m.log {
+		if seq < floor {
+			delete(m.log, seq)
+		}
+	}
+}
+
+func (m *Member) touchLocked(from wire.NodeID, now time.Duration) {
+	m.lastSeen[from] = now
+}

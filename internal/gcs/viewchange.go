@@ -1,0 +1,259 @@
+package gcs
+
+import (
+	"sort"
+
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// This file implements failure detection and view changes: suspicion,
+// proposal, tail synchronization by the new sequencer, and the in-stream
+// view-change announcement.
+
+func (m *Member) scheduleFDTick() {
+	m.rt.Lock()
+	if m.stopped {
+		m.rt.Unlock()
+		return
+	}
+	m.fdTimer = m.rt.AfterLocked(m.cfg.HeartbeatEvery, "gcs-fd/"+string(m.cfg.Self), m.fdTick)
+	m.rt.Unlock()
+}
+
+func (m *Member) fdTick() {
+	now := m.rt.Now()
+	var act actions
+	m.rt.Lock()
+	if m.stopped {
+		m.rt.Unlock()
+		return
+	}
+	hb := Heartbeat{Group: m.cfg.Group, From: m.cfg.Self, Epoch: m.view.Epoch}
+	for _, peer := range m.view.Members {
+		if peer != m.cfg.Self {
+			act.send(peer, hb)
+		}
+	}
+	// Suspect silent members of the current view.
+	suspects := make(map[wire.NodeID]bool)
+	for _, peer := range m.view.Members {
+		if peer == m.cfg.Self {
+			continue
+		}
+		seen, ok := m.lastSeen[peer]
+		if !ok {
+			m.lastSeen[peer] = now // never heard from it: start the clock
+			continue
+		}
+		if now-seen > m.cfg.SuspectAfter {
+			suspects[peer] = true
+		}
+	}
+	if len(suspects) > 0 && m.installing == nil && m.view.Contains(m.cfg.Self) {
+		members := rankSubset(m.view.Members, suspects)
+		if len(members) > 0 {
+			next := View{Epoch: m.view.Epoch + 1, Members: members}
+			prop := Propose{Group: m.cfg.Group, From: m.cfg.Self, View: next}
+			for _, peer := range members {
+				if peer != m.cfg.Self {
+					act.send(peer, prop)
+				}
+			}
+			m.adoptProposalLocked(next, &act)
+		}
+	}
+	m.rt.Unlock()
+	act.do(m.cfg.Send)
+	m.scheduleFDTick()
+}
+
+// adoptProposalLocked moves the member into the "installing" state for a
+// higher-epoch view. If this member is the proposed sequencer it starts the
+// tail synchronization round.
+func (m *Member) adoptProposalLocked(v View, act *actions) {
+	cur := m.view.Epoch
+	if m.installing != nil && m.installing.Epoch > cur {
+		cur = m.installing.Epoch
+	}
+	if v.Epoch <= cur {
+		return
+	}
+	vv := v.clone()
+	m.installing = &vv
+	m.syncResps = make(map[wire.NodeID]SyncResp)
+	if vv.Sequencer() != m.cfg.Self {
+		return
+	}
+	// New sequencer: collect tails from every proposed member.
+	req := SyncReq{Group: m.cfg.Group, From: m.cfg.Self, View: vv}
+	for _, peer := range vv.Members {
+		if peer != m.cfg.Self {
+			act.send(peer, req)
+		}
+	}
+	m.syncResps[m.cfg.Self] = m.tailLocked(vv.Epoch)
+	epoch := vv.Epoch
+	m.syncTimer = m.rt.AfterLocked(m.cfg.SyncGrace, "gcs-syncgrace/"+string(m.cfg.Self), func() {
+		var act2 actions
+		m.rt.Lock()
+		if !m.stopped && m.installing != nil && m.installing.Epoch == epoch &&
+			m.installing.Sequencer() == m.cfg.Self {
+			m.finishSyncLocked(&act2)
+		}
+		m.rt.Unlock()
+		act2.do(m.cfg.Send)
+	})
+	m.maybeFinishSyncLocked(act)
+}
+
+func (m *Member) handleSyncReqLocked(req SyncReq, act *actions) {
+	m.adoptProposalLocked(req.View, act)
+	if req.View.Epoch <= m.view.Epoch {
+		return // already installed; the requester has moved on too
+	}
+	act.send(req.From, m.tailLocked(req.View.Epoch))
+}
+
+func (m *Member) handleSyncRespLocked(resp SyncResp, act *actions) {
+	if m.installing == nil || resp.Epoch != m.installing.Epoch ||
+		m.installing.Sequencer() != m.cfg.Self {
+		return
+	}
+	m.syncResps[resp.From] = resp
+	m.maybeFinishSyncLocked(act)
+}
+
+func (m *Member) maybeFinishSyncLocked(act *actions) {
+	if m.installing == nil || m.installing.Sequencer() != m.cfg.Self {
+		return
+	}
+	for _, peer := range m.installing.Members {
+		if _, ok := m.syncResps[peer]; !ok {
+			return
+		}
+	}
+	m.finishSyncLocked(act)
+}
+
+// finishSyncLocked is run by the new sequencer once all live members
+// answered (or the grace period expired). It merges tails, rebroadcasts the
+// union so every member can close gaps, fills irrecoverably lost sequence
+// numbers with no-ops, announces the view in-stream, and re-orders cached
+// submits.
+func (m *Member) finishSyncLocked(act *actions) {
+	v := m.installing.clone()
+	merged := make(map[uint64]Ordered, len(m.log))
+	for seq, o := range m.log {
+		merged[seq] = o
+	}
+	minDelivered := m.nextDeliver - 1
+	maxSeq := m.nextSeq - 1
+	pending := make(map[string]Submit)
+	for _, resp := range m.syncResps {
+		if resp.Delivered < minDelivered {
+			minDelivered = resp.Delivered
+		}
+		if resp.Delivered > maxSeq {
+			maxSeq = resp.Delivered
+		}
+		for _, o := range resp.Tail {
+			if o.Seq > maxSeq {
+				maxSeq = o.Seq
+			}
+			if _, ok := merged[o.Seq]; !ok {
+				merged[o.Seq] = o
+			}
+		}
+		for _, sub := range resp.Pending {
+			pending[sub.ID] = sub
+		}
+	}
+	for seq := range merged {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	for _, o := range merged {
+		m.markOrderedIDLocked(o.ID)
+	}
+	// Rebroadcast the tail above the lowest delivery frontier so every
+	// member can fill its gaps; sequence numbers nobody retains are filled
+	// with no-ops so the delivery frontier can pass them (their submits are
+	// re-ordered below or retransmitted by clients).
+	for seq := minDelivered + 1; seq <= maxSeq; seq++ {
+		o, ok := merged[seq]
+		if !ok {
+			o = Ordered{Group: m.cfg.Group, Epoch: v.Epoch, Seq: seq, Origin: m.cfg.Self}
+		}
+		for _, peer := range v.Members {
+			if peer != m.cfg.Self {
+				act.send(peer, o)
+			}
+		}
+		m.handleOrderedLocked(o, act)
+	}
+	// Become the sequencer of the new view: continue the shared numbering.
+	if m.nextSeq <= maxSeq {
+		m.nextSeq = maxSeq + 1
+	}
+	m.installing = nil
+	prevEpoch := m.view.Epoch
+	m.view = v.clone()
+	m.view.Epoch = prevEpoch // authoritative bump happens at delivery
+	m.orderLocked(viewEventID(v), m.cfg.Self, nil, &v, act)
+	// Re-order surviving submits in a deterministic order.
+	for id, sub := range m.submitCache {
+		pending[id] = sub
+	}
+	ids := make([]string, 0, len(pending))
+	for id := range pending {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sub := pending[id]
+		if !m.orderedIDs[sub.ID] {
+			m.orderLocked(sub.ID, sub.Origin, sub.Payload, nil, act)
+		}
+	}
+}
+
+// tailLocked snapshots this member's retained state for the new sequencer.
+func (m *Member) tailLocked(epoch uint64) SyncResp {
+	tail := make([]Ordered, 0, len(m.log))
+	for _, o := range m.log {
+		tail = append(tail, o)
+	}
+	pend := make([]Submit, 0, len(m.submitCache))
+	for _, id := range m.cacheOrder {
+		if sub, ok := m.submitCache[id]; ok {
+			pend = append(pend, sub)
+		}
+	}
+	return SyncResp{
+		Group:     m.cfg.Group,
+		From:      m.cfg.Self,
+		Epoch:     epoch,
+		Delivered: m.nextDeliver - 1,
+		Tail:      tail,
+		Pending:   pend,
+	}
+}
+
+func viewEventID(v View) string {
+	return "viewevent/" + string(v.Sequencer()) + "/" + itoa(v.Epoch)
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,189 @@
+// Package passive implements passive (primary-backup) replication on top of
+// the deterministic scheduling infrastructure — the paper's second
+// motivation for determinism (Section 1): "a secondary replica has to have
+// the same deterministic behaviour if it wants to obtain a state identical
+// to that of a failed primary by re-executing requests from such a log."
+//
+// The primary executes client requests and journals them at their totally
+// ordered dispatch points; the state is checkpointed periodically, and the
+// journal holds only the suffix since the last checkpoint. A backup
+// restores the checkpoint and re-executes the journal under the *same*
+// deterministic scheduler, reaching the identical state.
+//
+// Replay determinism holds for the strategies whose every scheduling
+// decision is anchored to the delivered request stream: SEQ, SL, SAT,
+// ADETS-SAT and ADETS-MAT. ADETS-LSA's leader grants (its mutex tables)
+// and ADETS-PDS's round compositions depend on execution timing; to replay
+// those, the journal would also have to capture the scheduler's own
+// decisions — exactly the determinism requirement the paper derives for
+// passive replication.
+package passive
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/replica"
+	"github.com/replobj/replobj/internal/vtime"
+)
+
+// Snapshotter is implemented by object states that support checkpointing.
+type Snapshotter interface {
+	// Snapshot serializes the state; it is called while the caller holds
+	// whatever locks make the state quiescent.
+	Snapshot() ([]byte, error)
+	// Restore replaces the state from a snapshot.
+	Restore(data []byte) error
+}
+
+// Journal records the requests a primary executed, plus at most one
+// checkpoint that truncates it. Safe for concurrent use.
+type Journal struct {
+	mu         sync.Mutex
+	entries    []replica.Request
+	checkpoint []byte
+	haveCkpt   bool
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// Record appends a request (installed as the group's WithJournal hook).
+func (j *Journal) Record(req replica.Request) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries = append(j.entries, req)
+}
+
+// Len returns the number of journaled requests since the last checkpoint.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Checkpoint installs a state snapshot and truncates the journal. The
+// snapshot must capture the state *after* the already-journaled requests;
+// call it from a quiescent point (e.g. a dedicated "checkpoint" method
+// executed through the group itself, so it is ordered with the requests).
+func (j *Journal) Checkpoint(snapshot []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.checkpoint = append([]byte(nil), snapshot...)
+	j.haveCkpt = true
+	j.entries = nil
+}
+
+// Contents returns the checkpoint (nil if none) and a copy of the entries.
+func (j *Journal) Contents() (checkpoint []byte, entries []replica.Request, haveCkpt bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]byte(nil), j.checkpoint...), append([]replica.Request(nil), j.entries...), j.haveCkpt
+}
+
+// ReplayConfig describes how to reconstruct the backup.
+type ReplayConfig struct {
+	// RT is the runtime the backup runs on.
+	RT vtime.Runtime
+	// Scheduler is the strategy the primary used; must be replay-safe
+	// (see the package comment).
+	Scheduler replobj.SchedulerKind
+	// State builds the empty object state (it must implement Snapshotter
+	// if the journal carries a checkpoint).
+	State func() any
+	// Register installs the object's handlers on the backup group.
+	Register func(g *replobj.Group)
+	// Timeout bounds each replayed invocation (default 30s).
+	Timeout time.Duration
+}
+
+// ErrNotReplaySafe is returned for scheduler strategies whose decisions are
+// not fully anchored to the request stream.
+var ErrNotReplaySafe = errors.New("passive: scheduler strategy is not replay-safe (its scheduling decisions are not functions of the request log alone)")
+
+func replaySafe(kind replobj.SchedulerKind) bool {
+	switch kind {
+	case replobj.SEQ, replobj.SL, replobj.SAT, replobj.ADSAT, replobj.MAT:
+		return true
+	}
+	return false
+}
+
+// Replay reconstructs a backup from a journal: it restores the checkpoint
+// (if any), re-executes every journaled request in order under the same
+// deterministic scheduler, and returns the reconstructed state.
+//
+// The returned state object is live only until the function returns; copy
+// out what you need inside inspect (called before teardown, with no
+// requests in flight).
+func Replay(cfg ReplayConfig, j *Journal, inspect func(state any)) error {
+	if !replaySafe(cfg.Scheduler) {
+		return ErrNotReplaySafe
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	checkpoint, entries, haveCkpt := j.Contents()
+
+	cluster := replobj.NewCluster(cfg.RT)
+	var state any
+	g, err := cluster.NewGroup("passive-backup", 1,
+		replobj.WithScheduler(cfg.Scheduler),
+		replobj.WithState(func() any {
+			state = cfg.State()
+			return state
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	cfg.Register(g)
+	g.Start()
+
+	if haveCkpt {
+		snap, ok := state.(Snapshotter)
+		if !ok {
+			return fmt.Errorf("passive: journal has a checkpoint but the state does not implement Snapshotter")
+		}
+		if err := snap.Restore(checkpoint); err != nil {
+			return fmt.Errorf("passive: restore checkpoint: %w", err)
+		}
+	}
+
+	var replayErr error
+	vtime.Run(cfg.RT, "passive-replay", func() {
+		defer cluster.Close()
+		// Submissions must reach the backup in journal order, but the
+		// *executions* must be free to interleave under the scheduler —
+		// strictly sequential replay would deadlock any workload in which
+		// one request waits on a condition variable for a later one.
+		// Launch one client per entry, staggered by 1µs of virtual time so
+		// the arrival (and thus delivery) order equals the journal order.
+		results := vtime.NewMailbox[error](cfg.RT, "passive-replay-results")
+		for i, req := range entries {
+			i, req := i, req
+			cl := cluster.NewClient(fmt.Sprintf("passive-replayer-%d", i),
+				replobj.WithInvocationTimeout(cfg.Timeout))
+			cfg.RT.Go(fmt.Sprintf("replay-%d", i), func() {
+				_, err := cl.Invoke("passive-backup", req.Method, req.Args)
+				if err != nil {
+					err = fmt.Errorf("passive: replay entry %d (%s): %w", i, req.Method, err)
+				}
+				results.Put(err)
+			})
+			cfg.RT.Sleep(time.Microsecond)
+		}
+		for range entries {
+			if err, _ := results.Get(); err != nil && replayErr == nil {
+				replayErr = err
+			}
+		}
+		if replayErr == nil && inspect != nil {
+			inspect(state)
+		}
+	})
+	return replayErr
+}

@@ -1,0 +1,279 @@
+package passive
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/vtime"
+)
+
+// journalState is the test object: an append-only log guarded by a mutex,
+// with produce/consume coordination to exercise condition variables during
+// replay.
+type journalState struct {
+	Entries []byte
+	Items   []byte
+}
+
+func (s *journalState) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *journalState) Restore(data []byte) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(s)
+}
+
+func registerHandlers(g *replobj.Group) {
+	g.Register("append", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*journalState)
+		if err := inv.Lock("log"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("log") }()
+		inv.Compute(time.Millisecond)
+		st.Entries = append(st.Entries, inv.Args()[0])
+		return nil, nil
+	})
+	g.Register("produce", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*journalState)
+		if err := inv.Lock("buf"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("buf") }()
+		st.Items = append(st.Items, inv.Args()[0])
+		return nil, inv.Notify("buf", "")
+	})
+	g.Register("consume", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*journalState)
+		if err := inv.Lock("buf"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("buf") }()
+		for len(st.Items) == 0 {
+			if _, err := inv.Wait("buf", "", 0); err != nil {
+				return nil, err
+			}
+		}
+		v := st.Items[0]
+		st.Items = st.Items[1:]
+		if err := inv.Lock("log"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("log") }()
+		st.Entries = append(st.Entries, v|0x80)
+		return []byte{v}, nil
+	})
+}
+
+// runPrimary executes a workload on a journaling single-replica primary and
+// returns the journal and the primary's final state.
+func runPrimary(t *testing.T, kind replobj.SchedulerKind, workload func(rt vtime.Runtime, c *replobj.Cluster)) (*Journal, journalState) {
+	t.Helper()
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	j := NewJournal()
+	c := replobj.NewCluster(rt)
+	var state *journalState
+	g, err := c.NewGroup("primary", 1,
+		replobj.WithScheduler(kind),
+		replobj.WithJournal(j.Record),
+		replobj.WithState(func() any {
+			state = &journalState{}
+			return state
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerHandlers(g)
+	g.Start()
+	var final journalState
+	vtime.Run(rt, "primary-main", func() {
+		defer c.Close()
+		workload(rt, c)
+		final = *state // no requests in flight: workload has drained
+	})
+	return j, final
+}
+
+func replayAndCompare(t *testing.T, kind replobj.SchedulerKind, j *Journal, want journalState) {
+	t.Helper()
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	var got journalState
+	err := Replay(ReplayConfig{
+		RT:        rt,
+		Scheduler: kind,
+		State:     func() any { return &journalState{} },
+		Register:  registerHandlers,
+	}, j, func(state any) {
+		got = *state.(*journalState)
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !reflect.DeepEqual(got.Entries, want.Entries) {
+		t.Errorf("replayed entries %v != primary %v", got.Entries, want.Entries)
+	}
+	if !reflect.DeepEqual(got.Items, want.Items) {
+		t.Errorf("replayed items %v != primary %v", got.Items, want.Items)
+	}
+}
+
+// TestReplayReachesPrimaryState: concurrent clients on the primary; the
+// backup re-executes the journal and must match byte for byte — for every
+// replay-safe strategy.
+func TestReplayReachesPrimaryState(t *testing.T) {
+	for _, kind := range []replobj.SchedulerKind{replobj.SEQ, replobj.SL, replobj.SAT, replobj.ADSAT, replobj.MAT} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			j, final := runPrimary(t, kind, func(rt vtime.Runtime, c *replobj.Cluster) {
+				done := vtime.NewMailbox[error](rt, "done")
+				for ci := 0; ci < 3; ci++ {
+					ci := ci
+					rt.Go("client", func() {
+						cl := c.NewClient(fmt.Sprintf("c%d", ci))
+						var err error
+						for i := 0; i < 4 && err == nil; i++ {
+							_, err = cl.Invoke("primary", "append", []byte{byte(ci*16 + i)})
+						}
+						done.Put(err)
+					})
+				}
+				for i := 0; i < 3; i++ {
+					if err, _ := done.Get(); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+			if j.Len() != 12 {
+				t.Fatalf("journal has %d entries, want 12", j.Len())
+			}
+			replayAndCompare(t, kind, j, final)
+		})
+	}
+}
+
+// TestReplayWithConditionVariables: the journal interleaves consumes that
+// wait with produces that notify; replay must not deadlock and must reach
+// the same state (exercises the pipelined re-submission).
+func TestReplayWithConditionVariables(t *testing.T) {
+	for _, kind := range []replobj.SchedulerKind{replobj.ADSAT, replobj.MAT} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			j, final := runPrimary(t, kind, func(rt vtime.Runtime, c *replobj.Cluster) {
+				done := vtime.NewMailbox[error](rt, "done")
+				rt.Go("consumer", func() {
+					cl := c.NewClient("cons")
+					var err error
+					for i := 0; i < 4 && err == nil; i++ {
+						_, err = cl.Invoke("primary", "consume", nil)
+					}
+					done.Put(err)
+				})
+				rt.Go("producer", func() {
+					cl := c.NewClient("prod")
+					var err error
+					for i := 1; i <= 4 && err == nil; i++ {
+						rt.Sleep(3 * time.Millisecond)
+						_, err = cl.Invoke("primary", "produce", []byte{byte(i)})
+					}
+					done.Put(err)
+				})
+				for i := 0; i < 2; i++ {
+					if err, _ := done.Get(); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+			replayAndCompare(t, kind, j, final)
+		})
+	}
+}
+
+// TestCheckpointTruncatesJournal: a checkpoint plus journal suffix replays
+// to the full state.
+func TestCheckpointTruncatesJournal(t *testing.T) {
+	kind := replobj.ADSAT
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	j := NewJournal()
+	c := replobj.NewCluster(rt)
+	var state *journalState
+	g, err := c.NewGroup("primary", 1,
+		replobj.WithScheduler(kind),
+		replobj.WithJournal(j.Record),
+		replobj.WithState(func() any {
+			state = &journalState{}
+			return state
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerHandlers(g)
+	// A checkpoint method executed *through the group* is ordered with the
+	// requests, so the snapshot is consistent with the journal cut.
+	g.Register("checkpoint", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*journalState)
+		if err := inv.Lock("log"); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock("log") }()
+		return st.Snapshot()
+	})
+	g.Start()
+
+	var final journalState
+	vtime.Run(rt, "main", func() {
+		defer c.Close()
+		cl := c.NewClient("c1")
+		for i := 0; i < 5; i++ {
+			if _, err := cl.Invoke("primary", "append", []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := cl.Invoke("primary", "checkpoint", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Checkpoint(snap)
+		for i := 5; i < 8; i++ {
+			if _, err := cl.Invoke("primary", "append", []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		final = *state
+	})
+	if j.Len() >= 4 {
+		t.Fatalf("journal holds %d entries after checkpoint, want < 4", j.Len())
+	}
+	replayAndCompare(t, kind, j, final)
+}
+
+// TestReplayRejectsUnsafeSchedulers: LSA and PDS require their scheduler
+// decisions in the journal; Replay must refuse rather than diverge.
+func TestReplayRejectsUnsafeSchedulers(t *testing.T) {
+	for _, kind := range []replobj.SchedulerKind{replobj.LSA, replobj.PDS, replobj.PDS2} {
+		rt := vtime.Virtual()
+		err := Replay(ReplayConfig{
+			RT:        rt,
+			Scheduler: kind,
+			State:     func() any { return &journalState{} },
+			Register:  registerHandlers,
+		}, NewJournal(), nil)
+		rt.Stop()
+		if err != ErrNotReplaySafe {
+			t.Errorf("%s: err = %v, want ErrNotReplaySafe", kind, err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// ErrStopped is returned for operations on a stopped replica.
+var ErrStopped = errors.New("replica: stopped")
+
+// Invocation is the execution context of one method invocation — the Go
+// counterpart of the paper's transformed synchronization operations: every
+// lock, condition-variable and nested-invocation operation is routed
+// through the deterministic scheduler.
+type Invocation struct {
+	r         *Replica
+	t         *adets.Thread
+	req       Request
+	nestedSeq uint64
+	anonSeq   uint64
+}
+
+// Args returns the marshalled invocation arguments.
+func (inv *Invocation) Args() []byte { return inv.req.Args }
+
+// State returns this replica's private object state (see Config.State).
+func (inv *Invocation) State() any { return inv.r.state }
+
+// Method returns the invoked method name.
+func (inv *Invocation) Method() string { return inv.req.Method }
+
+// Logical returns the logical thread id of this invocation chain.
+func (inv *Invocation) Logical() wire.LogicalID { return inv.req.Logical() }
+
+// Replica returns the executing replica's node id (diagnostics only; do
+// not branch behaviour on it, or replicas diverge).
+func (inv *Invocation) Replica() wire.NodeID { return inv.r.self }
+
+// Lock acquires the named reentrant mutex through the scheduler.
+func (inv *Invocation) Lock(m adets.MutexID) error {
+	return inv.r.reent.Lock(inv.t, m)
+}
+
+// Unlock releases one hold of m.
+func (inv *Invocation) Unlock(m adets.MutexID) error {
+	return inv.r.reent.Unlock(inv.t, m)
+}
+
+// NewMutex creates an anonymous mutex with a replica-deterministic identity
+// derived from the creating logical thread and a per-invocation counter —
+// the dynamic mutex IDs of ADETS-LSA (paper Section 4.1) generalized to all
+// schedulers.
+func (inv *Invocation) NewMutex() adets.MutexID {
+	inv.anonSeq++
+	return adets.MutexID(fmt.Sprintf("anon/%s/%d", inv.req.ID, inv.anonSeq))
+}
+
+// Wait waits on m's condition variable c (empty c = the mutex's implicit
+// Java-style condition variable); d > 0 bounds the wait and the result
+// reports whether the deterministic timeout fired.
+func (inv *Invocation) Wait(m adets.MutexID, c adets.CondID, d time.Duration) (timedOut bool, err error) {
+	return inv.r.reent.Wait(inv.t, m, c, d)
+}
+
+// Notify wakes the deterministically-first waiter of (m, c).
+func (inv *Invocation) Notify(m adets.MutexID, c adets.CondID) error {
+	return inv.r.reent.Notify(inv.t, m, c)
+}
+
+// NotifyAll wakes all waiters of (m, c).
+func (inv *Invocation) NotifyAll(m adets.MutexID, c adets.CondID) error {
+	return inv.r.reent.NotifyAll(inv.t, m, c)
+}
+
+// Yield offers the scheduler a voluntary scheduling point (ADETS-MAT's
+// remedy for trailing computations, paper Section 5.3).
+func (inv *Invocation) Yield() { inv.r.sched.Yield(inv.t) }
+
+// DeclareNoMoreLocks tells a prediction-capable scheduler (ADETS-MAT) that
+// this invocation will acquire no further mutexes — the explicit-API form
+// of the paper's synchronization-prediction follow-up work. Under other
+// schedulers it is a no-op. A later Lock fails with
+// adets.ErrLockAfterDeclaration.
+func (inv *Invocation) DeclareNoMoreLocks() {
+	if lp, ok := inv.r.sched.(adets.LockPredictor); ok {
+		lp.NoMoreLocks(inv.t)
+	}
+}
+
+// Now returns the current time of the replica's runtime (virtual time
+// under simulation, wall clock in real deployments).
+func (inv *Invocation) Now() time.Duration { return inv.r.rt.Now() }
+
+// Compute simulates local computation taking d, exactly as the paper's
+// benchmarks do: the request-handler thread suspends for the duration,
+// freeing the (virtual) CPU. Under vtime.Real it is a plain sleep; real
+// computations can simply be executed inline instead.
+func (inv *Invocation) Compute(d time.Duration) { inv.r.rt.Sleep(d) }
+
+// Invoke performs a nested invocation of another replicated object. The
+// request carries this chain's logical thread id, so the target detects
+// callbacks; the reply is delivered through this group's total order and
+// resumes the thread at the same position on every replica.
+func (inv *Invocation) Invoke(group wire.GroupID, method string, args []byte) ([]byte, error) {
+	inv.nestedSeq++
+	id := wire.InvocationID{Logical: inv.req.Logical(), Seq: inv.nestedSeq + inv.req.ID.Seq*1000}
+	req := Request{
+		ID:     id,
+		Group:  group,
+		Method: method,
+		Args:   args,
+		Kind:   KindNested,
+		Origin: inv.r.group,
+	}
+	r := inv.r
+	r.rt.Lock()
+	if r.stopped {
+		r.rt.Unlock()
+		return nil, ErrStopped
+	}
+	nc := &nestedCall{thread: inv.t}
+	r.nested[id] = nc
+	// The originator is now "at" its nested invocation: deferred callbacks
+	// of this logical thread may run, and an early reply is consumed here.
+	logical := inv.req.Logical()
+	r.nestedWaiting[logical]++
+	flush := r.pendingCallbacks[logical]
+	delete(r.pendingCallbacks, logical)
+	if early, ok := r.earlyReplies[id]; ok {
+		delete(r.earlyReplies, id)
+		nc.reply = &early
+	}
+	r.rt.Unlock()
+
+	for _, cb := range flush {
+		r.submitRequest(cb, true)
+	}
+	if nc.reply == nil {
+		sub := gcs.Submit{
+			Group:   group,
+			ID:      id.String(),
+			Origin:  r.self,
+			Payload: req,
+		}
+		for _, m := range r.dir.Members(group) {
+			r.ep.Send(m, sub)
+		}
+	} else {
+		// The reply raced ahead of this thread (it lagged structurally);
+		// deposit the resume so BeginNested returns immediately.
+		r.sched.EndNested(inv.t)
+	}
+	r.sched.BeginNested(inv.t) // blocks until the ordered reply resumes us
+
+	r.rt.Lock()
+	delete(r.nested, id)
+	r.nestedWaiting[logical]--
+	if r.nestedWaiting[logical] == 0 {
+		delete(r.nestedWaiting, logical)
+	}
+	reply := nc.reply
+	stopped := r.stopped
+	r.rt.Unlock()
+	if reply == nil {
+		if stopped {
+			return nil, ErrStopped
+		}
+		return nil, errors.New("replica: nested invocation resumed without reply")
+	}
+	if reply.Err != "" {
+		return nil, errors.New(reply.Err)
+	}
+	return reply.Result, nil
+}

@@ -1,0 +1,408 @@
+// Package replica implements the object-replication runtime: the object
+// adapter (at-most-once semantics, method dispatch), the integration of the
+// deterministic thread scheduler between the group communication module and
+// the object implementation (exactly the FTflex layering of the paper's
+// Section 5.1), and the nested-invocation machinery with logical-thread
+// tagging and callback detection.
+package replica
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/transport"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Directory maps groups to their replica node ids; it is the deployment
+// descriptor shared by replicas and clients. It is safe for concurrent use
+// so groups can be added while others already run.
+type Directory struct {
+	mu sync.RWMutex
+	m  map[wire.GroupID][]wire.NodeID
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{m: make(map[wire.GroupID][]wire.NodeID)}
+}
+
+// Add registers (or replaces) a group's membership in rank order.
+func (d *Directory) Add(g wire.GroupID, members []wire.NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m[g] = append([]wire.NodeID(nil), members...)
+}
+
+// Members returns the replica nodes of g (nil if unknown).
+func (d *Directory) Members(g wire.GroupID) []wire.NodeID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]wire.NodeID(nil), d.m[g]...)
+}
+
+// Groups returns all registered group ids.
+func (d *Directory) Groups() []wire.GroupID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]wire.GroupID, 0, len(d.m))
+	for g := range d.m {
+		out = append(out, g)
+	}
+	return out
+}
+
+// RequestKind distinguishes top-level client requests from nested
+// invocations issued by another replicated object.
+type RequestKind uint8
+
+// Request kinds.
+const (
+	KindClient RequestKind = iota
+	KindNested
+)
+
+// Request is a method invocation travelling through the total order.
+type Request struct {
+	ID      wire.InvocationID
+	Group   wire.GroupID
+	Method  string
+	Args    []byte
+	Kind    RequestKind
+	ReplyTo wire.NodeID  // client endpoint (KindClient)
+	Origin  wire.GroupID // originating group (KindNested)
+}
+
+// Reply is an invocation result. Client replies travel directly; nested
+// replies are submitted into the originating group's total order so every
+// replica resumes the blocked thread at the same position.
+type Reply struct {
+	ID     wire.InvocationID
+	From   wire.NodeID
+	Result []byte
+	Err    string
+}
+
+func init() {
+	wire.RegisterPayload(Request{})
+	wire.RegisterPayload(Reply{})
+}
+
+// Handler executes one method; it may use every Invocation facility
+// (locks, condition variables, nested invocations, simulated computation).
+type Handler func(inv *Invocation) ([]byte, error)
+
+// Config assembles a replica.
+type Config struct {
+	RT        vtime.Runtime
+	Group     wire.GroupID
+	Self      wire.NodeID
+	Directory *Directory
+	Network   transport.Network
+	Scheduler adets.Scheduler
+	// State, if non-nil, builds this replica's private object state,
+	// retrievable in handlers via Invocation.State. Each replica gets its
+	// own instance; handlers must guard access with scheduler locks.
+	State func() any
+	// Journal, if non-nil, is invoked for every fresh (non-duplicate)
+	// request at its totally-ordered dispatch point — the hook passive
+	// replication uses to log what the primary executed since the last
+	// checkpoint (paper Section 1).
+	Journal func(Request)
+	// GCS carries the group communication knobs (failure detection etc.);
+	// Group/Self/Members/Send are filled in by the replica.
+	GCS gcs.Config
+}
+
+// Replica is one member of a replicated object group.
+type Replica struct {
+	rt      vtime.Runtime
+	group   wire.GroupID
+	self    wire.NodeID
+	dir     *Directory
+	ep      transport.Endpoint
+	member  *gcs.Member
+	sched   adets.Scheduler
+	reent   *adets.Reentrancy
+	state   any
+	journal func(Request)
+
+	handlers map[string]Handler
+
+	// All fields below are guarded by the runtime lock.
+	seen        map[wire.InvocationID]bool // delivered at least once
+	seenOrder   []wire.InvocationID
+	cache       map[wire.InvocationID]Reply // completed (reply cache)
+	logicalLive map[wire.LogicalID]int
+	nested      map[wire.InvocationID]*nestedCall
+	// earlyReplies buffers nested replies that arrive before this replica's
+	// own thread reached the Invoke (possible when a thread lags behind its
+	// peers structurally, e.g. an LSA follower waiting for a mutex table).
+	earlyReplies map[wire.InvocationID]Reply
+	// nestedWaiting counts, per logical thread, local threads inside a
+	// nested invocation; callbacks are deferred until the originator has
+	// reached its Invoke so the logical program order (pre-invoke code →
+	// callback) holds on every replica.
+	nestedWaiting    map[wire.LogicalID]int
+	pendingCallbacks map[wire.LogicalID][]Request
+	stopped          bool
+}
+
+type nestedCall struct {
+	thread *adets.Thread
+	reply  *Reply
+}
+
+// New wires a replica together: transport endpoint, group member,
+// scheduler.
+func New(cfg Config) *Replica {
+	r := &Replica{
+		rt:               cfg.RT,
+		group:            cfg.Group,
+		self:             cfg.Self,
+		dir:              cfg.Directory,
+		sched:            cfg.Scheduler,
+		handlers:         make(map[string]Handler),
+		seen:             make(map[wire.InvocationID]bool),
+		cache:            make(map[wire.InvocationID]Reply),
+		logicalLive:      make(map[wire.LogicalID]int),
+		nested:           make(map[wire.InvocationID]*nestedCall),
+		earlyReplies:     make(map[wire.InvocationID]Reply),
+		nestedWaiting:    make(map[wire.LogicalID]int),
+		pendingCallbacks: make(map[wire.LogicalID][]Request),
+	}
+	if cfg.State != nil {
+		r.state = cfg.State()
+	}
+	r.journal = cfg.Journal
+	r.ep = cfg.Network.Endpoint(cfg.Self)
+	g := cfg.GCS
+	g.Group = cfg.Group
+	g.Self = cfg.Self
+	g.Members = cfg.Directory.Members(cfg.Group)
+	g.Send = r.ep.Send
+	r.member = gcs.NewMember(cfg.RT, g)
+	r.reent = adets.NewReentrancy(cfg.RT, cfg.Scheduler)
+	return r
+}
+
+// Register binds a method name to a handler. Must be called before Start.
+func (r *Replica) Register(method string, h Handler) {
+	r.handlers[method] = h
+}
+
+// Start launches the replica's receive and dispatch loops and the
+// scheduler.
+func (r *Replica) Start() {
+	rank := 0
+	members := r.dir.Members(r.group)
+	for i, m := range members {
+		if m == r.self {
+			rank = i
+		}
+	}
+	_ = rank
+	r.sched.Start(adets.Env{
+		RT:       r.rt,
+		Self:     r.self,
+		Peers:    members,
+		SendPeer: r.ep.Send,
+		BroadcastOrdered: func(id string, payload any) {
+			r.member.Broadcast(id, payload)
+		},
+	})
+	r.member.Start()
+	r.rt.Go("replica-recv/"+string(r.self), r.recvLoop)
+	r.rt.Go("replica-dispatch/"+string(r.self), r.dispatchLoop)
+}
+
+// Stop tears the replica down.
+func (r *Replica) Stop() {
+	r.rt.Lock()
+	r.stopped = true
+	r.rt.Unlock()
+	r.sched.Stop()
+	r.member.Stop()
+	r.ep.Close()
+}
+
+// recvLoop feeds transport messages to the group member and the scheduler.
+func (r *Replica) recvLoop() {
+	for {
+		msg, ok := r.ep.Recv()
+		if !ok {
+			return
+		}
+		if r.member.Handle(msg.From, msg.Payload) {
+			continue
+		}
+		if r.sched.HandleDirect(msg.From, msg.Payload) {
+			continue
+		}
+		// Unknown direct message: dropped (a real middleware would log).
+	}
+}
+
+// dispatchLoop consumes the totally ordered stream: requests, nested
+// replies, scheduler messages, view changes.
+func (r *Replica) dispatchLoop() {
+	for {
+		d, ok := r.member.Deliver()
+		if !ok {
+			return
+		}
+		if d.NewView != nil {
+			r.sched.ViewChanged(*d.NewView)
+			if d.Payload == nil {
+				continue
+			}
+		}
+		switch p := d.Payload.(type) {
+		case Request:
+			r.dispatchRequest(p)
+		case Reply:
+			r.dispatchNestedReply(p)
+		default:
+			if p != nil {
+				r.sched.HandleOrdered(d.ID, p)
+			}
+		}
+	}
+}
+
+// dispatchRequest applies at-most-once semantics and hands fresh requests
+// to the scheduler. Everything here happens at a totally ordered point, so
+// the classification (duplicate? callback?) is identical on every replica.
+func (r *Replica) dispatchRequest(req Request) {
+	r.rt.Lock()
+	if r.stopped {
+		r.rt.Unlock()
+		return
+	}
+	if r.seen[req.ID] {
+		cached, done := r.cache[req.ID]
+		r.rt.Unlock()
+		if done {
+			r.sendReply(req, cached)
+		}
+		// Still executing: the original execution will reply.
+		return
+	}
+	r.markSeenLocked(req.ID)
+	if r.journal != nil && req.Kind == KindClient {
+		r.journal(req)
+	}
+	callback := r.logicalLive[req.Logical()] > 0
+	r.logicalLive[req.Logical()]++
+	if callback && r.nestedWaiting[req.Logical()] == 0 {
+		// The originating thread has not reached its nested invocation on
+		// this replica yet (it lags structurally, e.g. an LSA follower
+		// waiting for a mutex-table grant). Running the callback now would
+		// execute "later" code of the logical thread before "earlier" code.
+		// Defer it; Invoke flushes it once the originator is in place.
+		r.pendingCallbacks[req.Logical()] = append(r.pendingCallbacks[req.Logical()], req)
+		r.rt.Unlock()
+		return
+	}
+	r.rt.Unlock()
+	r.submitRequest(req, callback)
+}
+
+func (r *Replica) submitRequest(req Request, callback bool) {
+	r.sched.Submit(adets.Request{
+		ID:       req.ID,
+		Logical:  req.Logical(),
+		Callback: callback,
+		Exec:     func(t *adets.Thread) { r.execute(req, t) },
+	})
+}
+
+// Logical returns the logical thread of a request.
+func (req Request) Logical() wire.LogicalID { return req.ID.Logical }
+
+func (r *Replica) execute(req Request, t *adets.Thread) {
+	inv := &Invocation{r: r, t: t, req: req}
+	var reply Reply
+	h, ok := r.handlers[req.Method]
+	if !ok {
+		reply = Reply{ID: req.ID, From: r.self, Err: fmt.Sprintf("replica: unknown method %q", req.Method)}
+	} else {
+		result, err := h(inv)
+		reply = Reply{ID: req.ID, From: r.self, Result: result}
+		if err != nil {
+			reply.Err = err.Error()
+		}
+	}
+	r.rt.Lock()
+	r.cache[req.ID] = reply
+	r.logicalLive[req.Logical()]--
+	if r.logicalLive[req.Logical()] == 0 {
+		delete(r.logicalLive, req.Logical())
+	}
+	r.rt.Unlock()
+	r.sendReply(req, reply)
+}
+
+// sendReply routes a reply: directly to the client, or into the
+// originating group's total order for nested invocations.
+func (r *Replica) sendReply(req Request, reply Reply) {
+	switch req.Kind {
+	case KindClient:
+		r.ep.Send(req.ReplyTo, reply)
+	case KindNested:
+		sub := gcs.Submit{
+			Group:   req.Origin,
+			ID:      "nested-reply/" + req.ID.String(),
+			Origin:  r.self,
+			Payload: reply,
+		}
+		for _, m := range r.dir.Members(req.Origin) {
+			r.ep.Send(m, sub)
+		}
+	}
+}
+
+// dispatchNestedReply resumes the thread blocked on the invocation, or
+// buffers the reply if the local thread has not issued the call yet.
+func (r *Replica) dispatchNestedReply(reply Reply) {
+	r.rt.Lock()
+	nc := r.nested[reply.ID]
+	if nc == nil {
+		if !r.stopped {
+			r.earlyReplies[reply.ID] = reply
+		}
+		r.rt.Unlock()
+		return
+	}
+	if nc.reply != nil {
+		r.rt.Unlock()
+		return // duplicate
+	}
+	cp := reply
+	nc.reply = &cp
+	t := nc.thread
+	r.rt.Unlock()
+	r.sched.EndNested(t)
+}
+
+const maxSeen = 1 << 14
+
+func (r *Replica) markSeenLocked(id wire.InvocationID) {
+	r.seen[id] = true
+	r.seenOrder = append(r.seenOrder, id)
+	if len(r.seenOrder) > maxSeen {
+		old := r.seenOrder[0]
+		r.seenOrder = r.seenOrder[1:]
+		delete(r.seen, old)
+		delete(r.cache, old)
+	}
+}
+
+// Scheduler exposes the scheduler (capability metadata, tests).
+func (r *Replica) Scheduler() adets.Scheduler { return r.sched }
+
+// Member exposes the group member (tests).
+func (r *Replica) Member() *gcs.Member { return r.member }

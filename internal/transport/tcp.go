@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// TCPNetwork is a Network over real TCP connections. Node addresses come
+// from a static registry, mirroring a deployment descriptor. It must be
+// used with vtime.Real(): connection reads block outside the virtual
+// kernel's knowledge, so it cannot participate in simulated time.
+type TCPNetwork struct {
+	rt    vtime.Runtime
+	mu    sync.Mutex
+	addrs map[wire.NodeID]string
+}
+
+var _ Network = (*TCPNetwork)(nil)
+
+// NewTCP returns a TCP network using the given node→address registry.
+func NewTCP(rt vtime.Runtime, addrs map[wire.NodeID]string) *TCPNetwork {
+	cp := make(map[wire.NodeID]string, len(addrs))
+	for k, v := range addrs {
+		cp[k] = v
+	}
+	return &TCPNetwork{rt: rt, addrs: cp}
+}
+
+// Register adds or replaces a node's address. Registration may happen
+// after endpoints exist: connections are dialed lazily at first send, so a
+// deployment can bind every node on port 0 first and exchange the actual
+// addresses afterwards.
+func (n *TCPNetwork) Register(id wire.NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addrs[id] = addr
+}
+
+// Address returns the registered (post-Listen: actual) address of a node.
+func (n *TCPNetwork) Address(id wire.NodeID) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.addrs[id]
+}
+
+// Endpoint implements Network. It starts listening on the node's registered
+// address immediately; errors surface through EndpointErr.
+func (n *TCPNetwork) Endpoint(id wire.NodeID) Endpoint {
+	ep, err := n.Listen(id)
+	if err != nil {
+		return &brokenEndpoint{id: id, err: err}
+	}
+	return ep
+}
+
+// Listen binds id's registered address and returns its endpoint.
+func (n *TCPNetwork) Listen(id wire.NodeID) (*TCPEndpoint, error) {
+	n.mu.Lock()
+	addr, ok := n.addrs[id]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address registered for node %q", id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s for %q: %w", addr, id, err)
+	}
+	ep := &TCPEndpoint{
+		net:     n,
+		id:      id,
+		ln:      ln,
+		inbox:   vtime.NewMailbox[wire.Message](n.rt, "tcp/"+string(id)),
+		conns:   make(map[wire.NodeID]*tcpConn),
+		pending: make(map[wire.NodeID][]wire.Message),
+	}
+	// If the registry used port 0, record the actual bound address so peers
+	// in the same process can reach this node.
+	n.mu.Lock()
+	n.addrs[id] = ln.Addr().String()
+	n.mu.Unlock()
+	n.rt.Go("tcp-accept/"+string(id), ep.acceptLoop)
+	return ep, nil
+}
+
+// TCPEndpoint is one node's TCP attachment.
+type TCPEndpoint struct {
+	net   *TCPNetwork
+	id    wire.NodeID
+	ln    net.Listener
+	inbox *vtime.Mailbox[wire.Message]
+
+	mu    sync.Mutex
+	conns map[wire.NodeID]*tcpConn
+	// pending buffers messages to nodes with no address and no learned
+	// connection yet — e.g. a reply to a client whose ordered request
+	// (relayed by the sequencer) overtook its own direct connection. The
+	// buffer flushes as soon as the sender's connection is learned.
+	pending map[wire.NodeID][]wire.Message
+	closed  bool
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *wire.Encoder
+}
+
+// ID implements Endpoint.
+func (e *TCPEndpoint) ID() wire.NodeID { return e.id }
+
+// Addr returns the actual listening address.
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// Send implements Endpoint: best-effort, drops on persistent connection
+// errors. Messages to nodes that are neither registered nor connected yet
+// are buffered briefly (see pending).
+func (e *TCPEndpoint) Send(to wire.NodeID, payload any) {
+	msg := wire.Message{From: e.id, To: to, Payload: payload}
+	conn, err := e.connTo(to)
+	if err != nil {
+		const maxPending = 128
+		e.mu.Lock()
+		if !e.closed && len(e.pending[to]) < maxPending {
+			e.pending[to] = append(e.pending[to], msg)
+		}
+		e.mu.Unlock()
+		return
+	}
+	conn.mu.Lock()
+	err = conn.enc.Encode(&msg)
+	conn.mu.Unlock()
+	if err != nil {
+		e.dropConn(to, conn)
+	}
+}
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv() (wire.Message, bool) {
+	return e.inbox.Get()
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[wire.NodeID]*tcpConn{}
+	e.mu.Unlock()
+	_ = e.ln.Close()
+	for _, c := range conns {
+		_ = c.c.Close()
+	}
+	e.inbox.Close()
+}
+
+func (e *TCPEndpoint) connTo(to wire.NodeID) (*tcpConn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, errors.New("transport: endpoint closed")
+	}
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	e.net.mu.Lock()
+	addr, ok := e.net.addrs[to]
+	e.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for node %q", to)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q at %s: %w", to, addr, err)
+	}
+	c := &tcpConn{c: raw, enc: wire.NewEncoder(raw)}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		_ = raw.Close()
+		return nil, errors.New("transport: endpoint closed")
+	}
+	if existing, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		_ = raw.Close()
+		return existing, nil
+	}
+	e.conns[to] = c
+	e.mu.Unlock()
+
+	// Outgoing connections are also read: the peer may reply on the same
+	// socket or, more commonly here, simply never write. Reading reaps EOFs.
+	e.net.rt.Go("tcp-read/"+string(e.id), func() { e.readLoop(raw) })
+	return c, nil
+}
+
+func (e *TCPEndpoint) dropConn(to wire.NodeID, c *tcpConn) {
+	e.mu.Lock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	_ = c.c.Close()
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.net.rt.Go("tcp-read/"+string(e.id), func() { e.readLoop(conn) })
+	}
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	dec := wire.NewDecoder(conn)
+	wrapped := &tcpConn{c: conn, enc: wire.NewEncoder(conn)}
+	learned := false
+	for {
+		var m wire.Message
+		if err := dec.Decode(&m); err != nil {
+			if err != io.EOF {
+				_ = conn.Close()
+			}
+			return
+		}
+		if !learned && m.From != "" {
+			// Remember the sender's connection so replies can travel back
+			// over it — this is how replicas answer clients that have no
+			// entry in the static address registry — and flush anything
+			// buffered for that sender.
+			learned = true
+			e.mu.Lock()
+			if _, exists := e.conns[m.From]; !exists && !e.closed {
+				e.conns[m.From] = wrapped
+			}
+			flush := e.pending[m.From]
+			delete(e.pending, m.From)
+			e.mu.Unlock()
+			for i := range flush {
+				wrapped.mu.Lock()
+				err := wrapped.enc.Encode(&flush[i])
+				wrapped.mu.Unlock()
+				if err != nil {
+					break
+				}
+			}
+		}
+		e.inbox.Put(m)
+	}
+}
+
+// brokenEndpoint satisfies Endpoint for nodes whose listener failed; every
+// operation is inert and the error is available via EndpointErr.
+type brokenEndpoint struct {
+	id  wire.NodeID
+	err error
+}
+
+var _ Endpoint = (*brokenEndpoint)(nil)
+
+func (b *brokenEndpoint) ID() wire.NodeID            { return b.id }
+func (b *brokenEndpoint) Send(wire.NodeID, any)      {}
+func (b *brokenEndpoint) Recv() (wire.Message, bool) { return wire.Message{}, false }
+func (b *brokenEndpoint) Close()                     {}
+
+// EndpointErr returns the bind error of an endpoint created through
+// Network.Endpoint, or nil if it is healthy.
+func EndpointErr(e Endpoint) error {
+	if b, ok := e.(*brokenEndpoint); ok {
+		return b.err
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package vtime
+
+import "time"
+
+// Mailbox is an unbounded FIFO queue integrated with a Runtime: Get parks
+// the calling tracked goroutine until an item arrives, so the virtual kernel
+// correctly accounts for the blocked reader. It is the building block for
+// message queues throughout the middleware.
+//
+// All methods acquire the runtime lock internally; call them without it.
+type Mailbox[T any] struct {
+	rt      Runtime
+	name    string
+	items   []T
+	waiters []*Parker
+	closed  bool
+}
+
+// NewMailbox returns an empty mailbox on rt. The name is used in diagnostic
+// dumps for parked readers.
+func NewMailbox[T any](rt Runtime, name string) *Mailbox[T] {
+	return &Mailbox[T]{rt: rt, name: name}
+}
+
+// Put appends v and wakes the oldest blocked reader, if any. Putting to a
+// closed mailbox is a silent no-op (late messages after shutdown).
+func (m *Mailbox[T]) Put(v T) {
+	m.rt.Lock()
+	defer m.rt.Unlock()
+	if m.closed {
+		return
+	}
+	m.items = append(m.items, v)
+	m.wakeOneLocked()
+}
+
+// Get blocks until an item is available or the mailbox is closed. The second
+// result is false if the mailbox was closed and drained.
+func (m *Mailbox[T]) Get() (T, bool) {
+	v, ok, _ := m.get(0)
+	return v, ok
+}
+
+// GetTimeout is Get with a deadline; the third result reports a timeout.
+func (m *Mailbox[T]) GetTimeout(d time.Duration) (v T, ok bool, timedOut bool) {
+	return m.get(d)
+}
+
+func (m *Mailbox[T]) get(d time.Duration) (v T, ok bool, timedOut bool) {
+	m.rt.Lock()
+	defer m.rt.Unlock()
+	for len(m.items) == 0 {
+		if m.closed {
+			return v, false, false
+		}
+		p := NewParker(m.name + "/get")
+		m.waiters = append(m.waiters, p)
+		if m.rt.ParkTimeout(p, d) {
+			m.removeWaiterLocked(p)
+			return v, false, true
+		}
+	}
+	v = m.items[0]
+	m.items[0] = *new(T)
+	m.items = m.items[1:]
+	return v, true, false
+}
+
+// TryGet pops an item without blocking.
+func (m *Mailbox[T]) TryGet() (T, bool) {
+	m.rt.Lock()
+	defer m.rt.Unlock()
+	var v T
+	if len(m.items) == 0 {
+		return v, false
+	}
+	v = m.items[0]
+	m.items[0] = *new(T)
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox[T]) Len() int {
+	m.rt.Lock()
+	defer m.rt.Unlock()
+	return len(m.items)
+}
+
+// Close wakes all blocked readers; subsequent Gets return ok=false once the
+// queue is drained, and Puts are dropped.
+func (m *Mailbox[T]) Close() {
+	m.rt.Lock()
+	defer m.rt.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, p := range m.waiters {
+		m.rt.Unpark(p)
+	}
+	m.waiters = nil
+}
+
+func (m *Mailbox[T]) wakeOneLocked() {
+	if len(m.waiters) == 0 {
+		return
+	}
+	p := m.waiters[0]
+	m.waiters[0] = nil
+	m.waiters = m.waiters[1:]
+	m.rt.Unpark(p)
+}
+
+func (m *Mailbox[T]) removeWaiterLocked(p *Parker) {
+	for i, w := range m.waiters {
+		if w == p {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return
+		}
+	}
+}

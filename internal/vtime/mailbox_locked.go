@@ -1,0 +1,14 @@
+package vtime
+
+// PutLocked is Put for callers that already hold the runtime lock. It
+// exists so a state machine can atomically update its state and emit
+// deliveries in a guaranteed order: two goroutines that each (under the
+// lock) advance the state and enqueue the corresponding items can never
+// interleave their enqueues out of order.
+func (m *Mailbox[T]) PutLocked(v T) {
+	if m.closed {
+		return
+	}
+	m.items = append(m.items, v)
+	m.wakeOneLocked()
+}

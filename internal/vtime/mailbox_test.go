@@ -1,0 +1,152 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMailboxPutGetFIFO(t *testing.T) {
+	rt := Virtual()
+	defer rt.Stop()
+	Run(rt, "main", func() {
+		m := NewMailbox[int](rt, "m")
+		for i := 1; i <= 5; i++ {
+			m.Put(i)
+		}
+		if got := m.Len(); got != 5 {
+			t.Errorf("Len = %d, want 5", got)
+		}
+		for i := 1; i <= 5; i++ {
+			v, ok := m.Get()
+			if !ok || v != i {
+				t.Errorf("Get = (%d, %v), want (%d, true)", v, ok, i)
+			}
+		}
+	})
+}
+
+func TestMailboxGetBlocksUntilPut(t *testing.T) {
+	rt := Virtual()
+	defer rt.Stop()
+	Run(rt, "main", func() {
+		m := NewMailbox[string](rt, "m")
+		rt.Go("producer", func() {
+			rt.Sleep(40 * time.Millisecond)
+			m.Put("hello")
+		})
+		v, ok := m.Get()
+		if !ok || v != "hello" {
+			t.Errorf("Get = (%q, %v), want (hello, true)", v, ok)
+		}
+		if now := rt.Now(); now != 40*time.Millisecond {
+			t.Errorf("unblocked at %v, want 40ms", now)
+		}
+	})
+}
+
+func TestMailboxTryGet(t *testing.T) {
+	rt := Virtual()
+	defer rt.Stop()
+	Run(rt, "main", func() {
+		m := NewMailbox[int](rt, "m")
+		if _, ok := m.TryGet(); ok {
+			t.Error("TryGet on empty = true, want false")
+		}
+		m.Put(7)
+		if v, ok := m.TryGet(); !ok || v != 7 {
+			t.Errorf("TryGet = (%d, %v), want (7, true)", v, ok)
+		}
+	})
+}
+
+func TestMailboxGetTimeout(t *testing.T) {
+	rt := Virtual()
+	defer rt.Stop()
+	Run(rt, "main", func() {
+		m := NewMailbox[int](rt, "m")
+		_, ok, timedOut := m.GetTimeout(25 * time.Millisecond)
+		if ok || !timedOut {
+			t.Errorf("GetTimeout = (ok=%v, timedOut=%v), want (false, true)", ok, timedOut)
+		}
+		if now := rt.Now(); now != 25*time.Millisecond {
+			t.Errorf("timed out at %v, want 25ms", now)
+		}
+		m.Put(1)
+		v, ok, timedOut := m.GetTimeout(25 * time.Millisecond)
+		if !ok || timedOut || v != 1 {
+			t.Errorf("GetTimeout = (%d, %v, %v), want (1, true, false)", v, ok, timedOut)
+		}
+	})
+}
+
+func TestMailboxClose(t *testing.T) {
+	rt := Virtual()
+	defer rt.Stop()
+	Run(rt, "main", func() {
+		m := NewMailbox[int](rt, "m")
+		results := NewMailbox[bool](rt, "results")
+		rt.Go("reader", func() {
+			_, ok := m.Get()
+			results.Put(ok)
+		})
+		rt.Sleep(10 * time.Millisecond) // let the reader park
+		m.Close()
+		ok, _ := results.Get()
+		if ok {
+			t.Error("Get after Close = ok, want !ok")
+		}
+		// Put after close is dropped.
+		m.Put(9)
+		if _, ok := m.TryGet(); ok {
+			t.Error("TryGet found item put after Close")
+		}
+		m.Close() // double close is a no-op
+	})
+}
+
+func TestMailboxCloseDrainsBufferedItems(t *testing.T) {
+	rt := Virtual()
+	defer rt.Stop()
+	Run(rt, "main", func() {
+		m := NewMailbox[int](rt, "m")
+		m.Put(1)
+		m.Put(2)
+		m.Close()
+		if v, ok := m.Get(); !ok || v != 1 {
+			t.Errorf("Get = (%d, %v), want (1, true)", v, ok)
+		}
+		if v, ok := m.Get(); !ok || v != 2 {
+			t.Errorf("Get = (%d, %v), want (2, true)", v, ok)
+		}
+		if _, ok := m.Get(); ok {
+			t.Error("Get on drained closed mailbox = ok, want !ok")
+		}
+	})
+}
+
+func TestMailboxManyProducersOneConsumer(t *testing.T) {
+	rt := Virtual()
+	defer rt.Stop()
+	Run(rt, "main", func() {
+		m := NewMailbox[int](rt, "m")
+		const n = 50
+		for i := 0; i < n; i++ {
+			i := i
+			rt.Go("producer", func() {
+				rt.Sleep(time.Duration(i%7) * time.Millisecond)
+				m.Put(i)
+			})
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			v, ok := m.Get()
+			if !ok {
+				t.Fatal("mailbox closed unexpectedly")
+			}
+			seen[v] = true
+		}
+		if len(seen) != n {
+			t.Errorf("received %d distinct items, want %d", len(seen), n)
+		}
+	})
+}

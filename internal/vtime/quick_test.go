@@ -1,0 +1,134 @@
+package vtime
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickTimersFireInDeadlineOrder: any set of timer durations fires in
+// nondecreasing deadline order, with equal deadlines in creation order.
+func TestQuickTimersFireInDeadlineOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		rt := Virtual()
+		defer rt.Stop()
+		type fired struct {
+			idx int
+			at  time.Duration
+		}
+		got := make([]fired, 0, len(raw))
+		done := NewMailbox[struct{}](rt, "done")
+		for i, r := range raw {
+			i := i
+			d := time.Duration(r%1000) * time.Millisecond
+			rt.After(d, "t", func() {
+				now := rt.Now()
+				rt.Lock()
+				got = append(got, fired{idx: i, at: now})
+				rt.Unlock()
+				done.Put(struct{}{})
+			})
+		}
+		ok := true
+		Run(rt, "main", func() {
+			for range raw {
+				done.Get()
+			}
+		})
+		// Fire times must be the sorted durations.
+		want := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			want[i] = time.Duration(r%1000) * time.Millisecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		// got is appended under the kernel lock but callbacks of distinct
+		// deadlines cannot overlap in virtual time; compare the observed
+		// times sorted by index of arrival.
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].at != want[i] {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParallelSleepMax: N goroutines sleeping d_i concurrently finish
+// at exactly max(d_i) — the unlimited-CPU model of the paper.
+func TestQuickParallelSleepMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		rt := Virtual()
+		defer rt.Stop()
+		var max time.Duration
+		for _, r := range raw {
+			d := time.Duration(r%500) * time.Millisecond
+			if d > max {
+				max = d
+			}
+		}
+		var finished time.Duration
+		Run(rt, "main", func() {
+			done := NewMailbox[struct{}](rt, "done")
+			for _, r := range raw {
+				d := time.Duration(r%500) * time.Millisecond
+				rt.Go("sleeper", func() {
+					rt.Sleep(d)
+					done.Put(struct{}{})
+				})
+			}
+			for range raw {
+				done.Get()
+			}
+			finished = rt.Now()
+		})
+		return finished == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMailboxPreservesFIFO: any put sequence is received in order.
+func TestQuickMailboxPreservesFIFO(t *testing.T) {
+	f := func(values []int32) bool {
+		rt := Virtual()
+		defer rt.Stop()
+		ok := true
+		Run(rt, "main", func() {
+			m := NewMailbox[int32](rt, "m")
+			for _, v := range values {
+				m.Put(v)
+			}
+			for _, want := range values {
+				got, alive := m.Get()
+				if !alive || got != want {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package vtime
+
+import (
+	"sync"
+	"time"
+)
+
+// RealRuntime implements Runtime over wall-clock time and standard sync
+// primitives. It is used for real deployments (TCP transport) and for
+// validating that results obtained under the virtual kernel carry over.
+type RealRuntime struct {
+	mu      sync.Mutex
+	start   time.Time
+	stopped bool
+}
+
+var _ Runtime = (*RealRuntime)(nil)
+
+// Real returns a new wall-clock runtime starting now.
+func Real() *RealRuntime {
+	return &RealRuntime{start: time.Now()}
+}
+
+// Now implements Runtime.
+func (rt *RealRuntime) Now() time.Duration { return time.Since(rt.start) }
+
+// Go implements Runtime.
+func (rt *RealRuntime) Go(_ string, fn func()) { go fn() }
+
+// GoLocked implements Runtime.
+func (rt *RealRuntime) GoLocked(_ string, fn func()) { go fn() }
+
+// Lock implements Runtime.
+func (rt *RealRuntime) Lock() { rt.mu.Lock() }
+
+// Unlock implements Runtime.
+func (rt *RealRuntime) Unlock() { rt.mu.Unlock() }
+
+// Park implements Runtime.
+func (rt *RealRuntime) Park(p *Parker) {
+	if p.permit {
+		p.permit = false
+		return
+	}
+	p.parked = true
+	rt.mu.Unlock()
+	<-p.ch
+	rt.mu.Lock()
+}
+
+// ParkTimeout implements Runtime.
+func (rt *RealRuntime) ParkTimeout(p *Parker, d time.Duration) bool {
+	if d <= 0 {
+		rt.Park(p)
+		return false
+	}
+	if p.permit {
+		p.permit = false
+		return false
+	}
+	p.parked = true
+	rt.mu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.ch:
+		rt.mu.Lock()
+		return false
+	case <-t.C:
+		rt.mu.Lock()
+		if !p.parked {
+			// An Unpark raced with the timeout and won: it already cleared
+			// parked and deposited a wake token under the lock. Consume it
+			// and report a normal wakeup.
+			<-p.ch
+			return false
+		}
+		p.parked = false
+		return true
+	}
+}
+
+// Unpark implements Runtime.
+func (rt *RealRuntime) Unpark(p *Parker) {
+	if !p.parked {
+		p.permit = true
+		return
+	}
+	p.parked = false
+	p.ch <- struct{}{}
+}
+
+// Sleep implements Runtime.
+func (rt *RealRuntime) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// After implements Runtime.
+func (rt *RealRuntime) After(d time.Duration, name string, fn func()) *Timer {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.AfterLocked(d, name, fn)
+}
+
+// AfterLocked implements Runtime.
+func (rt *RealRuntime) AfterLocked(d time.Duration, name string, fn func()) *Timer {
+	t := &Timer{deadline: rt.Now() + d, name: name}
+	if rt.stopped {
+		t.cancelled = true
+		return t
+	}
+	af := time.AfterFunc(d, func() {
+		rt.mu.Lock()
+		dead := rt.stopped
+		rt.mu.Unlock()
+		if !dead {
+			fn()
+		}
+	})
+	t.stopReal = af.Stop
+	return t
+}
+
+// StopTimer implements Runtime.
+func (rt *RealRuntime) StopTimer(t *Timer) bool {
+	return rt.StopTimerLocked(t)
+}
+
+// StopTimerLocked implements Runtime. (The real implementation has no
+// lock-sensitive state; time.Timer.Stop is safe either way.)
+func (rt *RealRuntime) StopTimerLocked(t *Timer) bool {
+	if t == nil || t.cancelled || t.stopReal == nil {
+		return false
+	}
+	t.cancelled = true
+	return t.stopReal()
+}
+
+// Stop implements Runtime.
+func (rt *RealRuntime) Stop() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.stopped = true
+}

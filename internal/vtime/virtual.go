@@ -1,0 +1,303 @@
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DeadlockInfo describes a global deadlock detected by the virtual kernel:
+// every tracked goroutine is parked and no timer is pending, so virtual time
+// can never advance again.
+type DeadlockInfo struct {
+	// Now is the virtual time at which the deadlock was detected.
+	Now time.Duration
+	// Parked lists the diagnostic names of all parked goroutines.
+	Parked []string
+}
+
+func (d DeadlockInfo) String() string {
+	return fmt.Sprintf("vtime: global deadlock at %v; parked: [%s]",
+		d.Now, strings.Join(d.Parked, ", "))
+}
+
+// VirtualRuntime is the discrete-event implementation of Runtime.
+// Create one with Virtual.
+type VirtualRuntime struct {
+	mu       sync.Mutex
+	now      time.Duration
+	runnable int
+	live     int
+	seq      uint64
+	timers   timerHeap
+	parked   map[*Parker]struct{}
+	stopped  bool
+
+	// onDeadlock, if non-nil, is invoked (with the kernel lock held) when a
+	// global deadlock is detected. If it returns true the kernel assumes the
+	// handler resolved the situation (e.g. by recording it for a test);
+	// otherwise the kernel panics with the DeadlockInfo.
+	onDeadlock func(DeadlockInfo) bool
+}
+
+var _ Runtime = (*VirtualRuntime)(nil)
+
+// Virtual returns a new discrete-event runtime starting at time zero.
+func Virtual() *VirtualRuntime {
+	return &VirtualRuntime{parked: make(map[*Parker]struct{})}
+}
+
+// SetDeadlockHandler installs fn as the global-deadlock handler. fn runs
+// with the kernel lock held and must not block; returning true suppresses
+// the default panic. Used by tests that assert deadlock behaviour (the
+// paper's motivation for multithreading, Section 2).
+func (rt *VirtualRuntime) SetDeadlockHandler(fn func(DeadlockInfo) bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.onDeadlock = fn
+}
+
+// Now implements Runtime.
+func (rt *VirtualRuntime) Now() time.Duration {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.now
+}
+
+// Go implements Runtime.
+func (rt *VirtualRuntime) Go(name string, fn func()) {
+	rt.mu.Lock()
+	rt.GoLocked(name, fn)
+	rt.mu.Unlock()
+}
+
+// GoLocked implements Runtime.
+func (rt *VirtualRuntime) GoLocked(_ string, fn func()) {
+	rt.runnable++
+	rt.live++
+	go func() {
+		defer func() {
+			rt.mu.Lock()
+			rt.runnable--
+			rt.live--
+			if rt.runnable == 0 {
+				rt.advanceLocked()
+			}
+			rt.mu.Unlock()
+		}()
+		fn()
+	}()
+}
+
+// Lock implements Runtime.
+func (rt *VirtualRuntime) Lock() { rt.mu.Lock() }
+
+// Unlock implements Runtime.
+func (rt *VirtualRuntime) Unlock() { rt.mu.Unlock() }
+
+// Park implements Runtime.
+func (rt *VirtualRuntime) Park(p *Parker) {
+	rt.parkTimeoutLocked(p, 0)
+}
+
+// ParkTimeout implements Runtime.
+func (rt *VirtualRuntime) ParkTimeout(p *Parker, d time.Duration) bool {
+	return rt.parkTimeoutLocked(p, d)
+}
+
+func (rt *VirtualRuntime) parkTimeoutLocked(p *Parker, d time.Duration) bool {
+	if p.permit {
+		p.permit = false
+		return false
+	}
+	p.parked = true
+	p.timedOut = false
+	if d > 0 {
+		p.timer = rt.addTimerLocked(d, p.name+"/timeout", func() {
+			// Runs with the kernel lock held during advanceLocked.
+			if p.parked {
+				p.parked = false
+				p.timedOut = true
+				delete(rt.parked, p)
+				rt.runnable++
+				p.ch <- struct{}{}
+			}
+		})
+	}
+	rt.parked[p] = struct{}{}
+	rt.runnable--
+	if rt.runnable == 0 {
+		rt.advanceLocked()
+	}
+	rt.mu.Unlock()
+	<-p.ch
+	rt.mu.Lock()
+	if p.timer != nil {
+		p.timer.cancelled = true
+		p.timer = nil
+	}
+	return p.timedOut
+}
+
+// Unpark implements Runtime.
+func (rt *VirtualRuntime) Unpark(p *Parker) {
+	if !p.parked {
+		p.permit = true
+		return
+	}
+	p.parked = false
+	delete(rt.parked, p)
+	rt.runnable++
+	p.ch <- struct{}{}
+}
+
+// Sleep implements Runtime.
+func (rt *VirtualRuntime) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.parkTimeoutLocked(NewParker("sleep"), d)
+	rt.mu.Unlock()
+}
+
+// After implements Runtime. The callback runs as a new tracked goroutine.
+func (rt *VirtualRuntime) After(d time.Duration, name string, fn func()) *Timer {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.AfterLocked(d, name, fn)
+}
+
+// AfterLocked implements Runtime.
+func (rt *VirtualRuntime) AfterLocked(d time.Duration, name string, fn func()) *Timer {
+	if rt.stopped {
+		return &Timer{cancelled: true}
+	}
+	return rt.addTimerLocked(d, name, func() {
+		// goLocked-equivalent: we already hold the kernel lock.
+		rt.runnable++
+		rt.live++
+		go func() {
+			defer func() {
+				rt.mu.Lock()
+				rt.runnable--
+				rt.live--
+				if rt.runnable == 0 {
+					rt.advanceLocked()
+				}
+				rt.mu.Unlock()
+			}()
+			fn()
+		}()
+	})
+}
+
+// Stop implements Runtime.
+func (rt *VirtualRuntime) Stop() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.stopped = true
+	rt.timers = nil
+}
+
+// StopTimer cancels t. It reports whether the timer was pending (and is now
+// guaranteed not to fire). Must be called without the runtime lock held.
+func (rt *VirtualRuntime) StopTimer(t *Timer) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.StopTimerLocked(t)
+}
+
+// StopTimerLocked implements Runtime.
+func (rt *VirtualRuntime) StopTimerLocked(t *Timer) bool {
+	if t == nil || t.cancelled {
+		return false
+	}
+	t.cancelled = true
+	return true
+}
+
+func (rt *VirtualRuntime) addTimerLocked(d time.Duration, name string, fire func()) *Timer {
+	rt.seq++
+	t := &Timer{deadline: rt.now + d, seq: rt.seq, name: name, fire: fire}
+	heap.Push(&rt.timers, t)
+	return t
+}
+
+// advanceLocked is called whenever the runnable count reaches zero. It fires
+// timers (advancing virtual time) until some goroutine becomes runnable
+// again, the runtime is stopped, or a deadlock is detected.
+func (rt *VirtualRuntime) advanceLocked() {
+	for rt.runnable == 0 && !rt.stopped {
+		// Drop cancelled timers lazily.
+		for len(rt.timers) > 0 && rt.timers[0].cancelled {
+			heap.Pop(&rt.timers)
+		}
+		if len(rt.timers) == 0 {
+			if rt.live == 0 {
+				return // clean quiescence: every tracked goroutine finished
+			}
+			info := DeadlockInfo{Now: rt.now, Parked: rt.parkedNamesLocked()}
+			if rt.onDeadlock != nil && rt.onDeadlock(info) {
+				return
+			}
+			// Terminal: stop the kernel and release the lock before
+			// panicking so that a recovering test binary does not wedge on
+			// the kernel mutex.
+			rt.stopped = true
+			rt.mu.Unlock()
+			panic(info.String())
+		}
+		t := heap.Pop(&rt.timers).(*Timer)
+		if t.deadline > rt.now {
+			rt.now = t.deadline
+		}
+		t.fire()
+	}
+}
+
+func (rt *VirtualRuntime) parkedNamesLocked() []string {
+	names := make([]string, 0, len(rt.parked))
+	for p := range rt.parked {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// timerHeap orders timers by deadline, breaking ties by creation sequence so
+// equal-deadline timers fire in a deterministic order.
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

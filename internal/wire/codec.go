@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// maxFrame bounds a single encoded message; anything larger is treated as a
+// protocol error rather than an allocation request.
+const maxFrame = 16 << 20 // 16 MiB
+
+// Encoder writes length-prefixed gob frames to an underlying writer.
+// It is not safe for concurrent use; callers serialize writes per
+// connection.
+type Encoder struct {
+	w   *bufio.Writer
+	enc *gob.Encoder
+	buf frameBuffer
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	e := &Encoder{w: bufio.NewWriter(w)}
+	e.enc = gob.NewEncoder(&e.buf)
+	return e
+}
+
+// Encode writes one message frame and flushes it.
+func (e *Encoder) Encode(m *Message) error {
+	e.buf.b = e.buf.b[:0]
+	if err := e.enc.Encode(m); err != nil {
+		return fmt.Errorf("wire: encode message: %w", err)
+	}
+	if len(e.buf.b) > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(e.buf.b))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(e.buf.b)))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := e.w.Write(e.buf.b); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	if err := e.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush frame: %w", err)
+	}
+	return nil
+}
+
+type frameBuffer struct{ b []byte }
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+// Decoder reads length-prefixed gob frames.
+type Decoder struct {
+	r   *bufio.Reader
+	dec *gob.Decoder
+	cur frameReader
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	d := &Decoder{r: bufio.NewReader(r)}
+	d.dec = gob.NewDecoder(&d.cur)
+	return d
+}
+
+// Decode reads the next message frame into m.
+func (d *Decoder) Decode(m *Message) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("wire: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	d.cur.buf = make([]byte, n)
+	if _, err := io.ReadFull(d.r, d.cur.buf); err != nil {
+		return fmt.Errorf("wire: read frame body: %w", err)
+	}
+	d.cur.off = 0
+	if err := d.dec.Decode(m); err != nil {
+		return fmt.Errorf("wire: decode message: %w", err)
+	}
+	return nil
+}
+
+type frameReader struct {
+	buf []byte
+	off int
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	if f.off >= len(f.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[f.off:])
+	f.off += n
+	return n, nil
+}

@@ -1,0 +1,65 @@
+// Package wire defines the shared vocabulary of the middleware: node,
+// group and invocation identifiers, the transport message envelope, and the
+// gob-based codec used by the TCP transport.
+//
+// It corresponds to the IIOP/GIOP layer of the paper's CORBA-based FTflex
+// infrastructure: a small, stable set of types every other layer speaks.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// NodeID identifies a process endpoint: a replica ("groupA/0") or a client
+// ("client/c1").
+type NodeID string
+
+// GroupID identifies a replicated object group.
+type GroupID string
+
+// ReplicaID builds the NodeID of the i-th replica of a group.
+func ReplicaID(g GroupID, i int) NodeID {
+	return NodeID(fmt.Sprintf("%s/%d", g, i))
+}
+
+// ClientID builds the NodeID of a client endpoint.
+func ClientID(name string) NodeID {
+	return NodeID("client/" + name)
+}
+
+// LogicalID identifies a logical thread of execution (paper Section 3.1,
+// the SL and SA+L models). A chain of nested invocations — even one that
+// calls back into the originating object — carries a single LogicalID, which
+// is what lets a replica (a) detect callbacks and run them on an extra
+// physical thread, and (b) grant reentrant locks owned by the same logical
+// thread.
+type LogicalID string
+
+// InvocationID uniquely identifies one method invocation for at-most-once
+// semantics: the logical thread plus a per-thread invocation counter.
+// Retransmissions reuse the same InvocationID and are answered from the
+// reply cache.
+type InvocationID struct {
+	Logical LogicalID
+	Seq     uint64
+}
+
+func (id InvocationID) String() string {
+	return fmt.Sprintf("%s#%d", id.Logical, id.Seq)
+}
+
+// Message is the transport envelope. Payload is one of the protocol structs
+// registered with RegisterPayload (gob needs concrete types for the TCP
+// path; the in-process transport passes the value through untouched).
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+}
+
+// RegisterPayload registers a payload type with the codec. Each protocol
+// layer registers its message structs from an init function.
+func RegisterPayload(v any) {
+	gob.Register(v)
+}

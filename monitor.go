@@ -1,0 +1,106 @@
+package replobj
+
+import (
+	"time"
+
+	"github.com/replobj/replobj/internal/replica"
+)
+
+// Monitor is Hoare/Java-style sugar over an Invocation's raw lock and
+// condition-variable operations: a named monitor with Synchronized regions
+// and guard-based waiting. It mirrors the programming model the paper
+// assumes for replicated objects ("the developer can make use of the
+// programming model he is used to").
+type Monitor struct {
+	inv *replica.Invocation
+	m   MutexID
+}
+
+// MonitorOf returns the invocation's view of the named monitor.
+func MonitorOf(inv *Invocation, name string) Monitor {
+	return Monitor{inv: inv, m: MutexID(name)}
+}
+
+// Synchronized runs body while holding the monitor (reentrant), releasing
+// it on every return path. It is the `synchronized (m) { ... }` block.
+func (mo Monitor) Synchronized(body func() error) error {
+	if err := mo.inv.Lock(mo.m); err != nil {
+		return err
+	}
+	defer func() { _ = mo.inv.Unlock(mo.m) }()
+	return body()
+}
+
+// Await blocks until guard() holds, waiting on the monitor's implicit
+// condition variable between evaluations — the canonical
+// `while (!guard) wait();` loop. The monitor must be held.
+func (mo Monitor) Await(guard func() bool) error {
+	for !guard() {
+		if _, err := mo.inv.Wait(mo.m, "", 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AwaitFor is Await with a deadline across the whole loop; it reports
+// whether the guard held (false: the bound elapsed first). Deterministic
+// like every timed wait: the expiry is resolved through the total order.
+func (mo Monitor) AwaitFor(guard func() bool, d time.Duration) (bool, error) {
+	remaining := d
+	for !guard() {
+		if remaining <= 0 {
+			return false, nil
+		}
+		start := mo.inv.Now()
+		timedOut, err := mo.inv.Wait(mo.m, "", remaining)
+		if err != nil {
+			return false, err
+		}
+		remaining -= mo.inv.Now() - start
+		if timedOut {
+			return guard(), nil
+		}
+	}
+	return true, nil
+}
+
+// Signal wakes one thread blocked in Await on this monitor.
+func (mo Monitor) Signal() error { return mo.inv.Notify(mo.m, "") }
+
+// Broadcast wakes all threads blocked in Await on this monitor.
+func (mo Monitor) Broadcast() error { return mo.inv.NotifyAll(mo.m, "") }
+
+// Cond returns a named condition variable of this monitor, for objects
+// that need more than the implicit one (full Hoare monitors; the bounded
+// buffer's notfull/notempty pair).
+func (mo Monitor) Cond(name string) MonitorCond {
+	return MonitorCond{mo: mo, c: CondID(name)}
+}
+
+// MonitorCond is one named condition variable of a monitor.
+type MonitorCond struct {
+	mo Monitor
+	c  CondID
+}
+
+// Await blocks until guard() holds, waiting on this condition variable.
+func (mc MonitorCond) Await(guard func() bool) error {
+	for !guard() {
+		if _, err := mc.mo.inv.Wait(mc.mo.m, mc.c, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Wait waits once on the condition variable (d > 0 bounds it).
+func (mc MonitorCond) Wait(d time.Duration) (timedOut bool, err error) {
+	return mc.mo.inv.Wait(mc.mo.m, mc.c, d)
+}
+
+// Signal wakes one waiter.
+func (mc MonitorCond) Signal() error { return mc.mo.inv.Notify(mc.mo.m, mc.c) }
+
+// Broadcast wakes all waiters.
+func (mc MonitorCond) Broadcast() error { return mc.mo.inv.NotifyAll(mc.mo.m, mc.c) }

@@ -1,0 +1,214 @@
+package replobj_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/vtime"
+)
+
+// queueState backs the Monitor-API tests: a FIFO with guard-based waiting.
+type queueState struct{ items []byte }
+
+func monitorGroup(t *testing.T, c *replobj.Cluster, kind replobj.SchedulerKind) *replobj.Group {
+	t.Helper()
+	g, err := c.NewGroup("q", 3,
+		replobj.WithScheduler(kind),
+		replobj.WithState(func() any { return &queueState{} }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Register("put", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*queueState)
+		mo := replobj.MonitorOf(inv, "q")
+		return nil, mo.Synchronized(func() error {
+			st.items = append(st.items, inv.Args()[0])
+			return mo.Signal()
+		})
+	})
+	g.Register("take", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*queueState)
+		mo := replobj.MonitorOf(inv, "q")
+		var v byte
+		err := mo.Synchronized(func() error {
+			if err := mo.Await(func() bool { return len(st.items) > 0 }); err != nil {
+				return err
+			}
+			v = st.items[0]
+			st.items = st.items[1:]
+			return nil
+		})
+		return []byte{v}, err
+	})
+	g.Register("takeFor", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*queueState)
+		mo := replobj.MonitorOf(inv, "q")
+		var out []byte
+		err := mo.Synchronized(func() error {
+			ok, err := mo.AwaitFor(func() bool { return len(st.items) > 0 },
+				time.Duration(inv.Args()[0])*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				out = []byte{0}
+				return nil
+			}
+			v := st.items[0]
+			st.items = st.items[1:]
+			out = []byte{1, v}
+			return nil
+		})
+		return out, err
+	})
+	g.Start()
+	return g
+}
+
+func TestMonitorSynchronizedAndAwait(t *testing.T) {
+	for _, kind := range []replobj.SchedulerKind{replobj.ADSAT, replobj.MAT, replobj.LSA} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			rt := vtime.Virtual()
+			c := replobj.NewCluster(rt)
+			monitorGroup(t, c, kind)
+			run(rt, c, func() {
+				done := vtime.NewMailbox[error](rt, "done")
+				rt.Go("taker", func() {
+					cl := c.NewClient("taker")
+					out, err := cl.Invoke("q", "take", nil)
+					if err == nil && out[0] != 7 {
+						err = fmt.Errorf("took %d, want 7", out[0])
+					}
+					done.Put(err)
+				})
+				rt.Go("putter", func() {
+					rt.Sleep(10 * time.Millisecond)
+					cl := c.NewClient("putter")
+					_, err := cl.Invoke("q", "put", []byte{7})
+					done.Put(err)
+				})
+				for i := 0; i < 2; i++ {
+					if err, _ := done.Get(); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestMonitorAwaitForTimesOut(t *testing.T) {
+	rt := vtime.Virtual()
+	c := replobj.NewCluster(rt)
+	monitorGroup(t, c, replobj.ADSAT)
+	run(rt, c, func() {
+		cl := c.NewClient("c1")
+		out, err := cl.Invoke("q", "takeFor", []byte{20}) // 20ms bound, no putter
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != 0 {
+			t.Errorf("takeFor = %v, want timeout marker", out)
+		}
+	})
+}
+
+func TestMonitorAwaitForSucceedsWithinBound(t *testing.T) {
+	rt := vtime.Virtual()
+	c := replobj.NewCluster(rt)
+	monitorGroup(t, c, replobj.ADSAT)
+	run(rt, c, func() {
+		done := vtime.NewMailbox[error](rt, "done")
+		rt.Go("taker", func() {
+			cl := c.NewClient("taker")
+			out, err := cl.Invoke("q", "takeFor", []byte{200})
+			if err == nil && (out[0] != 1 || out[1] != 9) {
+				err = fmt.Errorf("takeFor = %v, want [1 9]", out)
+			}
+			done.Put(err)
+		})
+		rt.Go("putter", func() {
+			rt.Sleep(10 * time.Millisecond)
+			cl := c.NewClient("putter")
+			_, err := cl.Invoke("q", "put", []byte{9})
+			done.Put(err)
+		})
+		for i := 0; i < 2; i++ {
+			if err, _ := done.Get(); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}
+
+func TestMonitorNamedConds(t *testing.T) {
+	rt := vtime.Virtual()
+	c := replobj.NewCluster(rt)
+	g, err := c.NewGroup("b", 3,
+		replobj.WithScheduler(replobj.MAT),
+		replobj.WithState(func() any { return &queueState{} }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Register("put", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*queueState)
+		mo := replobj.MonitorOf(inv, "b")
+		return nil, mo.Synchronized(func() error {
+			if err := mo.Cond("notfull").Await(func() bool { return len(st.items) < 2 }); err != nil {
+				return err
+			}
+			st.items = append(st.items, inv.Args()[0])
+			return mo.Cond("notempty").Signal()
+		})
+	})
+	g.Register("take", func(inv *replobj.Invocation) ([]byte, error) {
+		st := inv.State().(*queueState)
+		mo := replobj.MonitorOf(inv, "b")
+		var v byte
+		err := mo.Synchronized(func() error {
+			if err := mo.Cond("notempty").Await(func() bool { return len(st.items) > 0 }); err != nil {
+				return err
+			}
+			v = st.items[0]
+			st.items = st.items[1:]
+			return mo.Cond("notfull").Broadcast()
+		})
+		return []byte{v}, err
+	})
+	g.Start()
+	run(rt, c, func() {
+		done := vtime.NewMailbox[error](rt, "done")
+		rt.Go("producer", func() {
+			cl := c.NewClient("p")
+			var err error
+			for i := 1; i <= 5 && err == nil; i++ {
+				_, err = cl.Invoke("b", "put", []byte{byte(i)})
+			}
+			done.Put(err)
+		})
+		rt.Go("consumer", func() {
+			cl := c.NewClient("c")
+			sum := 0
+			var err error
+			for i := 0; i < 5 && err == nil; i++ {
+				var out []byte
+				out, err = cl.Invoke("b", "take", nil)
+				if err == nil {
+					sum += int(out[0])
+				}
+			}
+			if err == nil && sum != 15 {
+				err = fmt.Errorf("sum = %d, want 15", sum)
+			}
+			done.Put(err)
+		})
+		for i := 0; i < 2; i++ {
+			if err, _ := done.Get(); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package replobj_test
+
+// End-to-end validation that the identical stack runs on the wall clock
+// (vtime.Real) — over the in-process transport and over real TCP — since
+// all experiments use the virtual kernel. Durations are kept short and
+// assertions generous: these tests check correctness, not timing.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/transport"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+func realCounterWorkload(t *testing.T, c *replobj.Cluster, kind replobj.SchedulerKind) {
+	t.Helper()
+	counterGroup(t, c, "cnt", 3, replobj.WithScheduler(kind))
+	done := make(chan error, 2)
+	for ci := 0; ci < 2; ci++ {
+		name := fmt.Sprintf("c%d", ci)
+		go func() {
+			cl := c.NewClient(name, replobj.WithInvocationTimeout(10*time.Second))
+			var err error
+			for i := 0; i < 5 && err == nil; i++ {
+				_, err = cl.Invoke("cnt", "add", []byte{1})
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("client error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("clients timed out on the real clock")
+		}
+	}
+	reader := c.NewClient("reader", replobj.WithReplyPolicy(replobj.All),
+		replobj.WithInvocationTimeout(10*time.Second))
+	replies, err := reader.InvokeAll("cnt", "get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, rep := range replies {
+		if got := fromU64(rep.Result); got != 10 {
+			t.Errorf("%v: counter = %d, want 10", node, got)
+		}
+	}
+}
+
+func TestRealClockInprocAllSchedulers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-clock test")
+	}
+	for _, kind := range []replobj.SchedulerKind{replobj.SEQ, replobj.ADSAT, replobj.MAT, replobj.LSA, replobj.PDS} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			rt := vtime.Real()
+			defer rt.Stop()
+			c := replobj.NewCluster(rt, replobj.WithLatency(200*time.Microsecond))
+			defer c.Close()
+			realCounterWorkload(t, c, kind)
+		})
+	}
+}
+
+func TestRealClockTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-clock TCP test")
+	}
+	rt := vtime.Real()
+	defer rt.Stop()
+	addrs := map[wire.NodeID]string{
+		wire.ClientID("c0"):     "127.0.0.1:0",
+		wire.ClientID("c1"):     "127.0.0.1:0",
+		wire.ClientID("reader"): "127.0.0.1:0",
+	}
+	for i := 0; i < 3; i++ {
+		addrs[wire.ReplicaID("cnt", i)] = "127.0.0.1:0"
+	}
+	net := transport.NewTCP(rt, addrs)
+	c := replobj.NewCluster(rt, replobj.WithNetwork(net))
+	defer c.Close()
+	realCounterWorkload(t, c, replobj.MAT)
+}

@@ -1,0 +1,514 @@
+// Package replobj is a middleware for deterministically multithreaded
+// replicated objects — a Go implementation and reproduction of
+// "Multithreading Strategies for Replicated Objects" (Domaschka,
+// Bestfleisch, Hauck, Reiser, Kapitza; Middleware 2008).
+//
+// Replicated objects execute method invocations on every replica; to keep
+// replica state consistent, every source of scheduling non-determinism —
+// lock grants, condition-variable wakeups, wait timeouts, nested-invocation
+// resume points — is decided by a deterministic thread scheduler. The
+// package offers all strategies surveyed and introduced by the paper:
+//
+//	SEQ        strictly sequential execution (baseline)
+//	SL         Eternal's single logical thread (callbacks only)
+//	SAT        single active thread, plain locks (Zhao et al.)
+//	ADETS-SAT  SAT + reentrant locks, condition variables, timed waits
+//	ADETS-MAT  true multithreading with a primary-token discipline
+//	ADETS-LSA  leader/follower loose synchronization (Basile's LSA + Java model)
+//	ADETS-PDS  round-based preemptive deterministic scheduling (PDS-1/PDS-2)
+//
+// A Cluster hosts replica groups and clients over a shared network —
+// in-process with simulated latency under vtime.Virtual() (the evaluation
+// setup), or real TCP under vtime.Real(). Quickstart:
+//
+//	rt := vtime.Virtual()
+//	c := replobj.NewCluster(rt)
+//	g, _ := c.NewGroup("counter", 3, replobj.WithScheduler(replobj.MAT))
+//	g.Register("add", func(inv *replobj.Invocation) ([]byte, error) {
+//	    inv.Lock("state"); defer inv.Unlock("state")
+//	    ...
+//	})
+//	g.Start()
+//	cl := c.NewClient("c1")
+//	out, err := cl.Invoke("counter", "add", []byte{1})
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's measurements.
+package replobj
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/adets/lsa"
+	"github.com/replobj/replobj/internal/adets/mat"
+	"github.com/replobj/replobj/internal/adets/pds"
+	"github.com/replobj/replobj/internal/adets/sat"
+	"github.com/replobj/replobj/internal/adets/seq"
+	"github.com/replobj/replobj/internal/adets/sl"
+	"github.com/replobj/replobj/internal/client"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/replica"
+	"github.com/replobj/replobj/internal/transport"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Re-exported vocabulary so applications need only this package.
+type (
+	// Invocation is the method execution context (locks, condition
+	// variables, nested invocations, simulated computation).
+	Invocation = replica.Invocation
+	// Handler executes one method of a replicated object.
+	Handler = replica.Handler
+	// MutexID names a mutex.
+	MutexID = adets.MutexID
+	// CondID names a condition variable of a mutex ("" = implicit).
+	CondID = adets.CondID
+	// GroupID identifies a replicated object group.
+	GroupID = wire.GroupID
+	// NodeID identifies a replica or client endpoint.
+	NodeID = wire.NodeID
+	// ReplyPolicy selects how many replica replies a client waits for.
+	ReplyPolicy = client.ReplyPolicy
+	// Request is the wire form of a method invocation (journaling,
+	// passive replication).
+	Request = replica.Request
+	// Capabilities is a scheduler's Table 1 row plus feature flags.
+	Capabilities = adets.Capabilities
+)
+
+// Reply policies re-exported from the client stub.
+const (
+	Majority = client.Majority
+	First    = client.First
+	All      = client.All
+)
+
+// SchedulerKind names one of the paper's scheduling strategies.
+type SchedulerKind string
+
+// The available strategies (Table 1 of the paper).
+const (
+	SEQ   SchedulerKind = "SEQ"
+	SL    SchedulerKind = "SL"
+	SAT   SchedulerKind = "SAT"
+	ADSAT SchedulerKind = "ADETS-SAT"
+	MAT   SchedulerKind = "ADETS-MAT"
+	LSA   SchedulerKind = "ADETS-LSA"
+	PDS   SchedulerKind = "ADETS-PDS"
+	PDS2  SchedulerKind = "ADETS-PDS-2"
+)
+
+// Kinds lists every scheduler kind in the paper's Table 1 order.
+func Kinds() []SchedulerKind {
+	return []SchedulerKind{SEQ, SL, SAT, ADSAT, MAT, LSA, PDS, PDS2}
+}
+
+// ClusterOption configures a Cluster.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	latency time.Duration
+	jitter  time.Duration
+	seed    int64
+	network transport.Network
+}
+
+// WithLatency sets the one-way message latency of the simulated LAN
+// (default 600 µs, approximating the paper's 100 Mbit/s switched Ethernet).
+func WithLatency(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.latency = d }
+}
+
+// WithJitter adds deterministic pseudo-random jitter in [0, j) to every
+// delivery.
+func WithJitter(j time.Duration, seed int64) ClusterOption {
+	return func(c *clusterConfig) { c.jitter = j; c.seed = seed }
+}
+
+// WithNetwork substitutes a custom transport (e.g. transport.NewTCP for a
+// real deployment). The latency/jitter options are ignored then.
+func WithNetwork(n transport.Network) ClusterOption {
+	return func(c *clusterConfig) { c.network = n }
+}
+
+// Cluster hosts replica groups and clients over one network.
+type Cluster struct {
+	rt      vtime.Runtime
+	net     transport.Network
+	inproc  *transport.Inproc // nil when a custom network is used
+	dir     *replica.Directory
+	groups  map[GroupID]*Group
+	clients []*client.Client
+}
+
+// NewCluster builds a cluster on rt.
+func NewCluster(rt vtime.Runtime, opts ...ClusterOption) *Cluster {
+	cfg := clusterConfig{latency: transport.DefaultLatency}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Cluster{
+		rt:     rt,
+		dir:    replica.NewDirectory(),
+		groups: make(map[GroupID]*Group),
+	}
+	if cfg.network != nil {
+		c.net = cfg.network
+	} else {
+		iopts := []transport.InprocOption{transport.WithLatency(cfg.latency)}
+		if cfg.jitter > 0 {
+			iopts = append(iopts, transport.WithJitter(cfg.jitter, cfg.seed))
+		}
+		c.inproc = transport.NewInproc(rt, iopts...)
+		c.net = c.inproc
+	}
+	return c
+}
+
+// Runtime returns the cluster's execution substrate.
+func (c *Cluster) Runtime() vtime.Runtime { return c.rt }
+
+// Directory returns the deployment descriptor.
+func (c *Cluster) Directory() *replica.Directory { return c.dir }
+
+// Crash makes a node unreachable (in-process network only) — the crash
+// model used by the fail-over experiments.
+func (c *Cluster) Crash(node NodeID) error {
+	if c.inproc == nil {
+		return fmt.Errorf("replobj: Crash requires the in-process network")
+	}
+	c.inproc.Crash(node)
+	return nil
+}
+
+// SetDropRule installs (or clears, with nil) a message-drop predicate on
+// the in-process network — the loss-injection hook for resilience tests.
+func (c *Cluster) SetDropRule(f func(from, to NodeID) bool) error {
+	if c.inproc == nil {
+		return fmt.Errorf("replobj: SetDropRule requires the in-process network")
+	}
+	if f == nil {
+		c.inproc.SetDropRule(nil)
+	} else {
+		c.inproc.SetDropRule(func(from, to wire.NodeID) bool { return f(from, to) })
+	}
+	return nil
+}
+
+// Close stops all groups and clients and shuts the runtime down.
+func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	for _, g := range c.groups {
+		g.Stop()
+	}
+}
+
+// GroupOption configures a replica group.
+type GroupOption func(*groupConfig)
+
+type groupConfig struct {
+	kind             SchedulerKind
+	state            func() any
+	journal          func(replica.Request)
+	factory          func(rank int) adets.Scheduler
+	lsaPeriod        time.Duration
+	pds              pds.Config
+	pdsSet           bool
+	matYield         bool
+	matYieldSet      bool
+	failureDetection bool
+	gcs              gcs.Config
+}
+
+// WithScheduler selects the scheduling strategy (default ADETS-SAT).
+func WithScheduler(kind SchedulerKind) GroupOption {
+	return func(g *groupConfig) { g.kind = kind }
+}
+
+// WithState installs a per-replica object-state factory; handlers retrieve
+// the instance via Invocation.State and must guard access with scheduler
+// locks.
+func WithState(factory func() any) GroupOption {
+	return func(g *groupConfig) { g.state = factory }
+}
+
+// WithJournal installs a request journal on the group's rank-0 replica: fn
+// is called for every fresh client request at its totally-ordered dispatch
+// point. Passive replication records these entries and replays them on a
+// backup (see the passive package).
+func WithJournal(fn func(replica.Request)) GroupOption {
+	return func(g *groupConfig) { g.journal = fn }
+}
+
+// WithSchedulerFactory installs a custom scheduler constructor, overriding
+// WithScheduler (rank is the replica's position in the group).
+func WithSchedulerFactory(f func(rank int) adets.Scheduler) GroupOption {
+	return func(g *groupConfig) { g.factory = f }
+}
+
+// WithLSAPeriod sets ADETS-LSA's mutex-table broadcast period.
+func WithLSAPeriod(d time.Duration) GroupOption {
+	return func(g *groupConfig) { g.lsaPeriod = d }
+}
+
+// WithPDSConfig overrides the full ADETS-PDS configuration (variant is
+// still forced by the chosen SchedulerKind).
+func WithPDSConfig(cfg pds.Config) GroupOption {
+	return func(g *groupConfig) { g.pds = cfg; g.pdsSet = true }
+}
+
+// WithPDSPool sets the ADETS-PDS thread-pool size (the paper sizes it to
+// the number of clients).
+func WithPDSPool(n int) GroupOption {
+	return func(g *groupConfig) { g.pds.PoolSize = n; g.pdsSet = true }
+}
+
+// WithMATYield enables or disables honouring Yield under ADETS-MAT.
+func WithMATYield(enabled bool) GroupOption {
+	return func(g *groupConfig) { g.matYield = enabled; g.matYieldSet = true }
+}
+
+// WithFailureDetection enables heartbeats and view changes (required for
+// the LSA fail-over experiments; off by default to keep simulations lean).
+func WithFailureDetection(enabled bool) GroupOption {
+	return func(g *groupConfig) { g.failureDetection = enabled }
+}
+
+// WithGCSConfig overrides group communication tuning (heartbeat period,
+// suspicion threshold, retention).
+func WithGCSConfig(cfg gcs.Config) GroupOption {
+	return func(g *groupConfig) { g.gcs = cfg }
+}
+
+// Group is a replicated object group. Replica instances are created when
+// started: Start runs all ranks in this process (simulations, tests);
+// StartRank runs a single rank (real deployments where the other ranks are
+// remote processes).
+type Group struct {
+	id       GroupID
+	cluster  *Cluster
+	cfg      groupConfig
+	handlers map[string]Handler
+	replicas map[int]*replica.Replica
+	members  []NodeID
+}
+
+// NewGroup creates a group of n replicas with the configured scheduler.
+// Register handlers, then call Start.
+func (c *Cluster) NewGroup(name string, n int, opts ...GroupOption) (*Group, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("replobj: group %q needs at least one replica", name)
+	}
+	id := GroupID(name)
+	if _, dup := c.groups[id]; dup {
+		return nil, fmt.Errorf("replobj: group %q already exists", name)
+	}
+	cfg := groupConfig{kind: ADSAT}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	members := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		members[i] = wire.ReplicaID(id, i)
+	}
+	c.dir.Add(id, members)
+
+	// Validate the scheduler configuration eagerly.
+	if _, err := cfg.scheduler(0); err != nil {
+		return nil, err
+	}
+	g := &Group{
+		id:       id,
+		cluster:  c,
+		cfg:      cfg,
+		handlers: make(map[string]Handler),
+		replicas: make(map[int]*replica.Replica),
+		members:  members,
+	}
+	c.groups[id] = g
+	return g, nil
+}
+
+func (cfg *groupConfig) scheduler(rank int) (adets.Scheduler, error) {
+	if cfg.factory != nil {
+		return cfg.factory(rank), nil
+	}
+	switch cfg.kind {
+	case SEQ:
+		return seq.New(), nil
+	case SL:
+		return sl.New(), nil
+	case SAT:
+		return sat.New(sat.Basic()), nil
+	case ADSAT, "":
+		return sat.New(), nil
+	case MAT:
+		var opts []mat.Option
+		if cfg.matYieldSet {
+			opts = append(opts, mat.WithYield(cfg.matYield))
+		}
+		return mat.New(opts...), nil
+	case LSA:
+		var opts []lsa.Option
+		if cfg.lsaPeriod > 0 {
+			opts = append(opts, lsa.WithPeriod(cfg.lsaPeriod))
+		}
+		return lsa.New(opts...), nil
+	case PDS:
+		p := cfg.pds
+		p.Variant = pds.PDS1
+		return pds.New(p), nil
+	case PDS2:
+		p := cfg.pds
+		p.Variant = pds.PDS2
+		return pds.New(p), nil
+	}
+	return nil, fmt.Errorf("replobj: unknown scheduler kind %q", cfg.kind)
+}
+
+// Register binds a method handler on every (future) replica. Must precede
+// Start/StartRank.
+func (g *Group) Register(method string, h Handler) {
+	g.handlers[method] = h
+}
+
+// Start launches all replicas in this process.
+func (g *Group) Start() {
+	for i := range g.members {
+		g.StartRank(i)
+	}
+}
+
+// StartRank launches a single replica — the deployment entry point when
+// the group's other ranks run in other processes (cmd/replnode).
+func (g *Group) StartRank(rank int) {
+	if rank < 0 || rank >= len(g.members) {
+		return
+	}
+	if _, running := g.replicas[rank]; running {
+		return
+	}
+	sched, err := g.cfg.scheduler(rank)
+	if err != nil {
+		return // validated at NewGroup; unreachable
+	}
+	gcfg := g.cfg.gcs
+	gcfg.FailureDetection = g.cfg.failureDetection
+	rcfg := replica.Config{
+		RT:        g.cluster.rt,
+		Group:     g.id,
+		Self:      g.members[rank],
+		Directory: g.cluster.dir,
+		Network:   g.cluster.net,
+		Scheduler: sched,
+		State:     g.cfg.state,
+		GCS:       gcfg,
+	}
+	if rank == 0 {
+		rcfg.Journal = g.cfg.journal
+	}
+	r := replica.New(rcfg)
+	for m, h := range g.handlers {
+		r.Register(m, h)
+	}
+	g.replicas[rank] = r
+	r.Start()
+}
+
+// Stop shuts all locally running replicas down.
+func (g *Group) Stop() {
+	for _, r := range g.replicas {
+		r.Stop()
+	}
+}
+
+// Members returns the group's replica node ids in rank order.
+func (g *Group) Members() []NodeID {
+	return append([]NodeID(nil), g.members...)
+}
+
+// Replica returns the rank's locally running replica, or nil.
+func (g *Group) Replica(rank int) *replica.Replica { return g.replicas[rank] }
+
+// ClientOption configures a client stub.
+type ClientOption func(*client.Config)
+
+// WithReplyPolicy selects the reply-collection policy (default Majority).
+func WithReplyPolicy(p ReplyPolicy) ClientOption {
+	return func(c *client.Config) { c.Policy = p }
+}
+
+// WithInvocationTimeout bounds one invocation end to end.
+func WithInvocationTimeout(d time.Duration) ClientOption {
+	return func(c *client.Config) { c.Timeout = d }
+}
+
+// WithRetransmit sets the client retransmission interval.
+func WithRetransmit(d time.Duration) ClientOption {
+	return func(c *client.Config) { c.Retransmit = d }
+}
+
+// NewClient creates a client stub attached to the cluster's network.
+func (c *Cluster) NewClient(name string, opts ...ClientOption) *Client {
+	cfg := client.Config{
+		RT:        c.rt,
+		Name:      name,
+		Directory: c.dir,
+		Network:   c.net,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cl := client.New(cfg)
+	c.clients = append(c.clients, cl)
+	return cl
+}
+
+// Client is the replication-aware stub.
+type Client = client.Client
+
+// Table1 returns the implemented schedulers' capability matrix in the
+// paper's Table 1 layout, with the sequential baseline first.
+func Table1() string {
+	rows := []adets.Table1Row{
+		adets.Row("SEQ", seq.New().Capabilities()),
+		adets.Row("Eternal", sl.New().Capabilities()),
+		adets.Row("SAT", sat.New(sat.Basic()).Capabilities()),
+		adets.Row("ADETS-SAT", sat.New().Capabilities()),
+		adets.Row("ADETS-MAT", mat.New().Capabilities()),
+		adets.Row("LSA", lsa.New().Capabilities()),
+		adets.Row("PDS", pds.New(pds.Config{}).Capabilities()),
+	}
+	return adets.FormatTable1(rows)
+}
+
+// Runtime is the execution substrate interface (virtual or real time).
+type Runtime = vtime.Runtime
+
+// NewVirtualRuntime returns the discrete-event substrate used for
+// simulations and experiments: time advances only when every tracked
+// goroutine is blocked, so sweeps run in milliseconds and reproducibly.
+func NewVirtualRuntime() *vtime.VirtualRuntime { return vtime.Virtual() }
+
+// NewRealRuntime returns the wall-clock substrate for real deployments.
+func NewRealRuntime() *vtime.RealRuntime { return vtime.Real() }
+
+// Run executes fn on a tracked goroutine of rt and blocks until it
+// returns — the bridge from main() into a runtime.
+func Run(rt Runtime, fn func()) { vtime.Run(rt, "main", fn) }
+
+// Mailbox is a runtime-integrated FIFO queue: Get parks the calling
+// tracked goroutine, so the virtual kernel accounts for the blocked
+// reader. Use it (never a bare channel receive) whenever a tracked
+// goroutine must wait for another under a virtual runtime.
+type Mailbox[T any] = vtime.Mailbox[T]
+
+// NewMailbox creates a Mailbox on rt; the name appears in deadlock dumps.
+func NewMailbox[T any](rt Runtime, name string) *Mailbox[T] {
+	return vtime.NewMailbox[T](rt, name)
+}

@@ -31,6 +31,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		latency = flag.Duration("latency", 600*time.Microsecond, "one-way network latency")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		metrics = flag.Bool("metrics", false, "collect cluster metrics and print a summary at the end")
 	)
 	flag.Parse()
 
@@ -52,6 +53,15 @@ func main() {
 	cfg.PerClient = *n
 	cfg.Warmup = *warmup
 	cfg.Latency = *latency
+	if *metrics {
+		cfg.Metrics = replobj.NewMetricsRegistry()
+	}
+	defer func() {
+		if cfg.Metrics != nil {
+			fmt.Println("\n--- metrics summary (all scenarios) ---")
+			fmt.Print(cfg.Metrics.Summary())
+		}
+	}()
 
 	show := func(r bench.Result) {
 		if *csv {

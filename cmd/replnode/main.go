@@ -10,19 +10,27 @@
 // then invoke with cmd/replclient. The demo object is a counter with the
 // methods "add" (one byte: the increment; returns the 8-byte big-endian
 // value) and "get".
+//
+// With -http the node serves /metrics (Prometheus text format),
+// /trace?stream=...&n=... (schedule-trace tail) and /debug/pprof/*.
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/obs"
 	"github.com/replobj/replobj/internal/transport"
 	"github.com/replobj/replobj/internal/vtime"
 	"github.com/replobj/replobj/internal/wire"
@@ -32,11 +40,13 @@ type counter struct{ value uint64 }
 
 func main() {
 	var (
-		group = flag.String("group", "counter", "replica group name")
-		rank  = flag.Int("rank", 0, "this replica's rank (index into -addrs)")
-		addrs = flag.String("addrs", "", "comma-separated host:port of all replicas, rank order")
-		sched = flag.String("scheduler", "ADETS-MAT", "scheduling strategy (see replbench Table 1)")
-		fd    = flag.Bool("fd", true, "enable failure detection / view changes")
+		group    = flag.String("group", "counter", "replica group name")
+		rank     = flag.Int("rank", 0, "this replica's rank (index into -addrs)")
+		addrs    = flag.String("addrs", "", "comma-separated host:port of all replicas, rank order")
+		sched    = flag.String("scheduler", "ADETS-MAT", "scheduling strategy (see replbench Table 1)")
+		fd       = flag.Bool("fd", true, "enable failure detection / view changes")
+		httpAddr = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. :7070)")
+		retain   = flag.Int("trace", obs.DefaultRetain, "schedule-trace events retained per stream (0 disables tracing)")
 	)
 	flag.Parse()
 
@@ -53,12 +63,18 @@ func main() {
 	}
 	net := transport.NewTCP(rt, registry)
 
-	cluster := replobj.NewCluster(rt, replobj.WithNetwork(net))
-	g, err := cluster.NewGroup(*group, len(list),
+	metrics := replobj.NewMetricsRegistry()
+	copts := []replobj.ClusterOption{replobj.WithNetwork(net), replobj.WithMetrics(metrics)}
+	cluster := replobj.NewCluster(rt, copts...)
+	gopts := []replobj.GroupOption{
 		replobj.WithScheduler(replobj.SchedulerKind(*sched)),
 		replobj.WithFailureDetection(*fd),
 		replobj.WithState(func() any { return &counter{} }),
-	)
+	}
+	if *retain > 0 {
+		gopts = append(gopts, replobj.WithSchedTrace(*retain))
+	}
+	g, err := cluster.NewGroup(*group, len(list), gopts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,11 +107,54 @@ func main() {
 	log.Printf("replnode: %s rank %d (%s) serving with %s; ^C to stop",
 		*group, *rank, list[*rank], *sched)
 
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		traces := make(map[string]*obs.Trace)
+		if tr := g.Trace(*rank); tr != nil {
+			traces[fmt.Sprintf("%s/%d", *group, *rank)] = tr
+		}
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: obs.Handler(metrics, traces)}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("replnode: http server: %v", err)
+			}
+		}()
+		log.Printf("replnode: observability on http://%s/metrics", *httpAddr)
+	}
+
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
 	log.Println("replnode: shutting down")
+	// Ordered teardown: stop the replica first (scheduler, group member,
+	// then the TCP endpoint — which closes the listener and every
+	// connection), flush the schedule trace, then the HTTP server.
 	g.Stop()
+	flushTrace(g.Trace(*rank))
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = httpSrv.Shutdown(ctx)
+		cancel()
+	}
 	rt.Stop()
 	time.Sleep(100 * time.Millisecond)
+}
+
+// flushTrace prints the final per-stream digests so operators can compare
+// replicas after a run: equal digests at equal counts certify identical
+// schedules.
+func flushTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	snap := tr.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := snap[name]
+		log.Printf("replnode: trace %-24s events=%d digest=%016x", name, s.Count, s.Digest)
+	}
 }

@@ -100,6 +100,9 @@ type Env struct {
 	// Scheduler.HandleOrdered exactly once per unique id. Used for
 	// deterministic wait-timeout handling (paper Section 4.2).
 	BroadcastOrdered func(id string, payload any)
+	// Obs carries the metrics and schedule-trace hooks for this scheduler
+	// instance. May be nil (all hooks no-op).
+	Obs *SchedObs
 }
 
 // Scheduler is the ADETS plug-in interface. All methods except Start/Stop

@@ -170,6 +170,7 @@ func (s *Scheduler) Submit(req adets.Request) {
 	if s.stopped {
 		return
 	}
+	s.env.Obs.Submitted()
 	t := s.reg.NewThread("lsa/"+string(req.Logical), req.Logical)
 	t.Sched = &lsaThread{}
 	s.threads[t] = true
@@ -223,6 +224,12 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 		return adets.ErrStopped
 	}
 	s.requestLocked(t, m)
+	blocked := !st(t).granted
+	var t0 time.Duration
+	if blocked && s.env.Obs != nil {
+		s.env.Obs.Blocked()
+		t0 = rt.NowLocked()
+	}
 	// Park unconditionally: if the grant already happened, the unpark left
 	// a permit and Park returns immediately — no lost wakeup, no stale
 	// permit.
@@ -230,7 +237,13 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 	granted := st(t).granted
 	st(t).granted = false
 	if !granted && s.stopped {
+		if blocked {
+			s.env.Obs.Unblocked()
+		}
 		return adets.ErrStopped
+	}
+	if blocked && s.env.Obs != nil {
+		s.env.Obs.GrantedAfterBlock(rt.NowLocked() - t0)
 	}
 	return nil
 }
@@ -289,6 +302,7 @@ func (s *Scheduler) nextArrivalLocked(ls *lockState) *adets.Thread {
 func (s *Scheduler) grantLocked(ls *lockState, th *adets.Thread, m adets.MutexID, log bool) {
 	delete(ls.pending, th.Logical)
 	ls.owner = th.Logical
+	s.env.Obs.Grant(m, string(th.Logical))
 	st(th).granted = true
 	th.Unpark(s.env.RT) // harmless permit if the thread has not parked yet
 	if log {
@@ -308,6 +322,7 @@ func (s *Scheduler) Unlock(t *adets.Thread, m adets.MutexID) error {
 	if ls.owner != t.Logical {
 		return adets.ErrNotHeld
 	}
+	s.env.Obs.Unlock(m, string(t.Logical))
 	ls.owner = ""
 	s.tryGrantLocked(m)
 	return nil
@@ -339,6 +354,7 @@ func (s *Scheduler) Wait(t *adets.Thread, m adets.MutexID, c adets.CondID, d tim
 	if d > 0 {
 		timer = s.spawnTimeoutThreadLocked(t, m, c, lst.waitSeq, d)
 	}
+	s.env.Obs.WaitStart(m, c, string(t.Logical))
 	ls.owner = ""
 	s.tryGrantLocked(m)
 	t.Park(rt) // woken when re-granted m after notify/timeout
@@ -376,6 +392,8 @@ func (s *Scheduler) spawnTimeoutThreadLocked(target *adets.Thread, m adets.Mutex
 			rt.Lock()
 			w := s.waiters[target.Logical]
 			if w != nil && st(w).waiting && st(w).waitSeq == seq {
+				s.env.Obs.TimeoutFired()
+				s.env.Obs.Wake(m, c, string(w.Logical), true)
 				s.cond(m, c).Remove(w)
 				st(w).timedOut = true
 				s.requeueWaiterLocked(w, m)
@@ -409,6 +427,7 @@ func (s *Scheduler) Notify(t *adets.Thread, m adets.MutexID, c adets.CondID) err
 		return adets.ErrNotHeld
 	}
 	if w := s.cond(m, c).Pop(); w != nil {
+		s.env.Obs.Wake(m, c, string(w.Logical), false)
 		s.requeueWaiterLocked(w, m)
 	}
 	return nil
@@ -427,6 +446,7 @@ func (s *Scheduler) NotifyAll(t *adets.Thread, m adets.MutexID, c adets.CondID) 
 		return adets.ErrNotHeld
 	}
 	for _, w := range s.cond(m, c).Drain() {
+		s.env.Obs.Wake(m, c, string(w.Logical), false)
 		s.requeueWaiterLocked(w, m)
 	}
 	return nil
@@ -466,6 +486,7 @@ func (s *Scheduler) ViewChanged(v gcs.View) {
 	if len(v.Members) == 0 {
 		return
 	}
+	s.env.Obs.ViewChange(v.Epoch)
 	was := s.leader
 	s.leader = v.Members[0]
 	if s.leader == s.env.Self && was != s.env.Self {

@@ -150,6 +150,7 @@ func (s *Scheduler) Submit(req adets.Request) {
 	if s.stopped {
 		return
 	}
+	s.env.Obs.Submitted()
 	t := s.reg.NewThread("mat/"+string(req.Logical), req.Logical)
 	t.Sched = &matThread{state: stRunning}
 	s.threads[t] = true
@@ -259,17 +260,27 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 			ls := s.lock(m)
 			if ls.owner == "" {
 				ls.owner = t.Logical // acquire; remain primary
+				s.env.Obs.Grant(m, string(t.Logical))
 				return nil
 			}
 			// Held by a blocked thread: enqueue, pass the token on. The
 			// per-lock grant order equals token-acquisition order, so it is
 			// deterministic.
+			var t0 time.Duration
+			if s.env.Obs != nil {
+				s.env.Obs.Blocked()
+				t0 = rt.NowLocked()
+			}
 			ls.waiters.Push(t)
 			mst.state = stBlockedLock
 			s.leaveSuccessionLocked(t)
 			t.Park(rt)
 			if s.stopped {
+				s.env.Obs.Unblocked()
 				return adets.ErrStopped
+			}
+			if s.env.Obs != nil {
+				s.env.Obs.GrantedAfterBlock(rt.NowLocked() - t0)
 			}
 			return nil // grant path set ownership and re-queued us
 		}
@@ -295,17 +306,19 @@ func (s *Scheduler) Unlock(t *adets.Thread, m adets.MutexID) error {
 	if ls.owner != t.Logical {
 		return adets.ErrNotHeld
 	}
-	s.releaseLocked(ls)
+	s.env.Obs.Unlock(m, string(t.Logical))
+	s.releaseLocked(m, ls)
 	return nil
 }
 
-func (s *Scheduler) releaseLocked(ls *lockState) {
+func (s *Scheduler) releaseLocked(m adets.MutexID, ls *lockState) {
 	w := ls.waiters.Pop()
 	if w == nil {
 		ls.owner = ""
 		return
 	}
 	ls.owner = w.Logical
+	s.env.Obs.Grant(m, string(w.Logical))
 	st(w).state = stRunning
 	s.succession.Push(w)
 	w.Unpark(s.env.RT)
@@ -334,7 +347,8 @@ func (s *Scheduler) Wait(t *adets.Thread, m adets.MutexID, c adets.CondID, d tim
 	s.waiters[t.Logical] = t
 	s.cond(m, c).Push(t)
 	mst.state = stWaiting
-	s.releaseLocked(ls)
+	s.env.Obs.WaitStart(m, c, string(t.Logical))
+	s.releaseLocked(m, ls)
 	s.leaveSuccessionLocked(t)
 	t.Park(rt)
 	mst.waiting = false
@@ -359,7 +373,7 @@ func (s *Scheduler) Notify(t *adets.Thread, m adets.MutexID, c adets.CondID) err
 		return adets.ErrNotHeld
 	}
 	if w := s.cond(m, c).Pop(); w != nil {
-		s.wakeWaiterLocked(w, m, false)
+		s.wakeWaiterLocked(w, m, c, false)
 	}
 	return nil
 }
@@ -377,7 +391,7 @@ func (s *Scheduler) NotifyAll(t *adets.Thread, m adets.MutexID, c adets.CondID) 
 		return adets.ErrNotHeld
 	}
 	for _, w := range s.cond(m, c).Drain() {
-		s.wakeWaiterLocked(w, m, false)
+		s.wakeWaiterLocked(w, m, c, false)
 	}
 	return nil
 }
@@ -385,12 +399,14 @@ func (s *Scheduler) NotifyAll(t *adets.Thread, m adets.MutexID, c adets.CondID) 
 // wakeWaiterLocked queues a woken condition waiter on the mutex entry
 // queue; the caller holds the mutex, so the waiter resumes at a later
 // deterministic unlock.
-func (s *Scheduler) wakeWaiterLocked(w *adets.Thread, m adets.MutexID, timedOut bool) {
+func (s *Scheduler) wakeWaiterLocked(w *adets.Thread, m adets.MutexID, c adets.CondID, timedOut bool) {
 	wst := st(w)
 	wst.timedOut = timedOut
+	s.env.Obs.Wake(m, c, string(w.Logical), timedOut)
 	ls := s.lock(m)
 	if ls.owner == "" {
 		ls.owner = w.Logical
+		s.env.Obs.Grant(m, string(w.Logical))
 		wst.state = stRunning
 		s.succession.Push(w)
 		w.Unpark(s.env.RT)
@@ -478,8 +494,9 @@ func (s *Scheduler) timeoutExec(t *adets.Thread, msg adets.TimeoutMsg) {
 	if w != nil {
 		wst := st(w)
 		if wst.waiting && wst.waitSeq == msg.WaitSeq {
+			s.env.Obs.TimeoutFired()
 			s.cond(msg.Mutex, msg.Cond).Remove(w)
-			s.wakeWaiterLocked(w, msg.Mutex, true)
+			s.wakeWaiterLocked(w, msg.Mutex, msg.Cond, true)
 		}
 	}
 	rt.Unlock()

@@ -1,0 +1,173 @@
+package adets
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/replobj/replobj/internal/obs"
+)
+
+// SchedObs bundles the metrics and the deterministic schedule trace of one
+// scheduler instance. Every method is safe on a nil receiver, so schedulers
+// instrument unconditionally and a disabled deployment (nil Env.Obs) pays
+// one branch per hook and zero allocations.
+//
+// Trace streams follow the determinism contract documented in package obs:
+// per-mutex events (grant/unlock/wait/wake) go to "mutex/<m>", PDS round
+// starts to "rounds", strategy-global decisions (sequential execution
+// order, view changes) to "sched". Block events are deliberately metrics-
+// only: whether a thread finds a mutex held depends on real-time arrival
+// order (e.g. against an ADETS-MAT secondary's unlock), while the resulting
+// grant sequence is still deterministic.
+type SchedObs struct {
+	tr *obs.Trace
+
+	grants   *obs.Counter
+	blocks   *obs.Counter
+	wakes    *obs.Counter
+	timeouts *obs.Counter
+	requests *obs.Counter
+	rounds   *obs.Counter
+	views    *obs.Counter
+
+	waitQueue *obs.Gauge
+
+	grantLat   *obs.Histogram
+	reentDepth *obs.Histogram
+}
+
+// NewSchedObs builds the observability hooks for one scheduler. reg and tr
+// may each be nil; with both nil the result is nil (fully disabled).
+// strategy and node become metric labels.
+func NewSchedObs(reg *obs.Registry, tr *obs.Trace, strategy, node string) *SchedObs {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	l := `{node="` + node + `",strategy="` + strategy + `"}`
+	return &SchedObs{
+		tr:         tr,
+		grants:     reg.Counter("replobj_sched_grants_total" + l),
+		blocks:     reg.Counter("replobj_sched_blocks_total" + l),
+		wakes:      reg.Counter("replobj_sched_wakes_total" + l),
+		timeouts:   reg.Counter("replobj_sched_timeout_fires_total" + l),
+		requests:   reg.Counter("replobj_sched_requests_total" + l),
+		rounds:     reg.Counter("replobj_sched_rounds_total" + l),
+		views:      reg.Counter("replobj_sched_view_changes_total" + l),
+		waitQueue:  reg.Gauge("replobj_sched_wait_queue_depth" + l),
+		grantLat:   reg.Histogram("replobj_sched_grant_wait_seconds"+l, obs.LatencyBuckets()),
+		reentDepth: reg.Histogram("replobj_sched_reentrancy_depth"+l, obs.DepthBuckets()),
+	}
+}
+
+// Trace returns the underlying schedule trace (nil when disabled).
+func (s *SchedObs) Trace() *obs.Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Submitted counts a totally-ordered request handed to the scheduler.
+func (s *SchedObs) Submitted() {
+	if s != nil {
+		s.requests.Inc()
+	}
+}
+
+// Exec records an execution-order decision of a sequential strategy.
+func (s *SchedObs) Exec(logical string) {
+	if s != nil {
+		s.tr.Record("sched", obs.KindExec, logical, "")
+	}
+}
+
+// Grant records mutex m being granted to a logical thread.
+func (s *SchedObs) Grant(m MutexID, logical string) {
+	if s != nil {
+		s.grants.Inc()
+		s.tr.Record("mutex/"+string(m), obs.KindGrant, logical, "")
+	}
+}
+
+// Blocked counts a thread enqueueing on a held mutex (metrics only — block
+// order is not replica-deterministic).
+func (s *SchedObs) Blocked() {
+	if s != nil {
+		s.blocks.Inc()
+		s.waitQueue.Inc()
+	}
+}
+
+// GrantedAfterBlock records how long a blocked thread waited for its grant.
+func (s *SchedObs) GrantedAfterBlock(wait time.Duration) {
+	if s != nil {
+		s.waitQueue.Dec()
+		s.grantLat.ObserveDuration(wait)
+	}
+}
+
+// Unblocked removes a thread from the wait-queue gauge without a grant
+// (scheduler stopped while the thread was parked).
+func (s *SchedObs) Unblocked() {
+	if s != nil {
+		s.waitQueue.Dec()
+	}
+}
+
+// Unlock records mutex m being released by a logical thread.
+func (s *SchedObs) Unlock(m MutexID, logical string) {
+	if s != nil {
+		s.tr.Record("mutex/"+string(m), obs.KindUnlock, logical, "")
+	}
+}
+
+// WaitStart records the owner releasing m to wait on condition c.
+func (s *SchedObs) WaitStart(m MutexID, c CondID, logical string) {
+	if s != nil {
+		s.tr.Record("mutex/"+string(m), obs.KindWait, logical, string(c))
+	}
+}
+
+// Wake records a waiter of (m, c) being woken by a notification or a
+// deterministic timeout.
+func (s *SchedObs) Wake(m MutexID, c CondID, logical string, timedOut bool) {
+	if s != nil {
+		s.wakes.Inc()
+		detail := string(c)
+		if timedOut {
+			detail += "/timeout"
+		}
+		s.tr.Record("mutex/"+string(m), obs.KindWake, logical, detail)
+	}
+}
+
+// TimeoutFired counts a deterministic wait-timeout firing.
+func (s *SchedObs) TimeoutFired() {
+	if s != nil {
+		s.timeouts.Inc()
+	}
+}
+
+// Round records a scheduling round starting (ADETS-PDS).
+func (s *SchedObs) Round(n uint64) {
+	if s != nil {
+		s.rounds.Inc()
+		s.tr.Record("rounds", obs.KindRound, "", strconv.FormatUint(n, 10))
+	}
+}
+
+// ViewChange records a membership change reaching the scheduler.
+func (s *SchedObs) ViewChange(epoch uint64) {
+	if s != nil {
+		s.views.Inc()
+		s.tr.Record("sched", obs.KindView, "", strconv.FormatUint(epoch, 10))
+	}
+}
+
+// ReentrantDepth samples a re-entry depth > 1 observed by the reentrancy
+// layer.
+func (s *SchedObs) ReentrantDepth(d int) {
+	if s != nil {
+		s.reentDepth.Observe(float64(d))
+	}
+}

@@ -267,6 +267,7 @@ func (s *Scheduler) Submit(req adets.Request) {
 	if s.stopped {
 		return
 	}
+	s.env.Obs.Submitted()
 	if s.cfg.Assignment == RoundRobin {
 		n := len(s.pool)
 		if n == 0 {
@@ -518,6 +519,7 @@ func (s *Scheduler) roundCheck(force bool) {
 		pt := st(w)
 		pt.state = stIdle
 		pt.committed = true
+		s.env.Obs.Unlock(QueueMutex, string(s.ownerID(w)))
 		s.lockState(QueueMutex).owner = ""
 		// The freed queue mutex is re-granted by the round (or by
 		// releaseLocked below the round) to a suspended requester.
@@ -529,6 +531,7 @@ func (s *Scheduler) roundCheck(force bool) {
 // grants of a new round.
 func (s *Scheduler) startRoundLocked(nonWaiting int) {
 	s.round++
+	s.env.Obs.Round(s.round)
 	// Membership: waiting/idle/nested-suspended threads leave the active
 	// set; resuming threads rejoin with their pending reacquisition.
 	for _, t := range s.pool {
@@ -604,6 +607,7 @@ func (s *Scheduler) tryGrantThreadLocked(t *adets.Thread) {
 		return
 	}
 	ls.owner = s.ownerID(t)
+	s.env.Obs.Grant(pt.reqMutex, string(ls.owner))
 	pt.state = stRunning
 	pt.eligible = false
 	if pt.reqMutex != QueueMutex {
@@ -648,6 +652,7 @@ func (s *Scheduler) evalSecondGrantsLocked() {
 				continue
 			}
 			ls.owner = s.ownerID(t)
+			s.env.Obs.Grant(pt.reqMutex, string(ls.owner))
 			pt.secondPending = false
 			pt.state = stRunning
 			pt.phase2 = true
@@ -736,13 +741,22 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 		pt.reqMutex = m
 		pt.eligible = false
 		pt.secondPending = true
+		var t0 time.Duration
+		if s.env.Obs != nil {
+			s.env.Obs.Blocked()
+			t0 = rt.NowLocked()
+		}
 		s.evalSecondGrantsLocked()
 		if pt.secondPending {
 			s.roundCheckLocked()
 		}
 		t.Park(rt)
 		if s.stopped || pt.state == stRetired {
+			s.env.Obs.Unblocked()
 			return adets.ErrStopped
+		}
+		if s.env.Obs != nil {
+			s.env.Obs.GrantedAfterBlock(rt.NowLocked() - t0)
 		}
 		return nil
 	}
@@ -750,10 +764,19 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 	pt.reqMutex = m
 	pt.eligible = false // becomes grantable at the next round start
 	pt.committed = true // this round's participation is decided
+	var t0 time.Duration
+	if s.env.Obs != nil {
+		s.env.Obs.Blocked()
+		t0 = rt.NowLocked()
+	}
 	s.roundCheckLocked()
 	t.Park(rt)
 	if s.stopped || pt.state == stRetired {
+		s.env.Obs.Unblocked()
 		return adets.ErrStopped
+	}
+	if s.env.Obs != nil {
+		s.env.Obs.GrantedAfterBlock(rt.NowLocked() - t0)
 	}
 	return nil // granted by round machinery
 }
@@ -770,6 +793,7 @@ func (s *Scheduler) Unlock(t *adets.Thread, m adets.MutexID) error {
 	if ls.owner != s.ownerID(t) {
 		return adets.ErrNotHeld
 	}
+	s.env.Obs.Unlock(m, string(ls.owner))
 	s.releaseLocked(m)
 	return nil
 }
@@ -800,6 +824,7 @@ func (s *Scheduler) Wait(t *adets.Thread, m adets.MutexID, c adets.CondID, d tim
 	}
 	pt.state = stWaiting
 	pt.committed = true
+	s.env.Obs.WaitStart(m, c, string(t.Logical))
 	s.releaseLocked(m)
 	s.roundCheckLocked()
 	t.Park(rt)
@@ -835,7 +860,7 @@ func (s *Scheduler) Notify(t *adets.Thread, m adets.MutexID, c adets.CondID) err
 		return adets.ErrNotHeld
 	}
 	if w := s.cond(m, c).Pop(); w != nil {
-		s.resumeWaiterLocked(w, m, false)
+		s.resumeWaiterLocked(w, m, c, false)
 	}
 	return nil
 }
@@ -853,14 +878,15 @@ func (s *Scheduler) NotifyAll(t *adets.Thread, m adets.MutexID, c adets.CondID) 
 		return adets.ErrNotHeld
 	}
 	for _, w := range s.cond(m, c).Drain() {
-		s.resumeWaiterLocked(w, m, false)
+		s.resumeWaiterLocked(w, m, c, false)
 	}
 	return nil
 }
 
-func (s *Scheduler) resumeWaiterLocked(w *adets.Thread, m adets.MutexID, timedOut bool) {
+func (s *Scheduler) resumeWaiterLocked(w *adets.Thread, m adets.MutexID, c adets.CondID, timedOut bool) {
 	pt := st(w)
 	pt.timedOut = timedOut
+	s.env.Obs.Wake(m, c, string(w.Logical), timedOut)
 	pt.state = stResuming
 	pt.resume = m
 	s.roundCheckLocked()
@@ -937,8 +963,9 @@ func (s *Scheduler) timeoutExec(t *adets.Thread, msg adets.TimeoutMsg) {
 	if w != nil {
 		pt := st(w)
 		if pt.waiting && pt.waitSeq == msg.WaitSeq {
+			s.env.Obs.TimeoutFired()
 			s.cond(msg.Mutex, msg.Cond).Remove(w)
-			s.resumeWaiterLocked(w, msg.Mutex, true)
+			s.resumeWaiterLocked(w, msg.Mutex, msg.Cond, true)
 		}
 	}
 	rt.Unlock()

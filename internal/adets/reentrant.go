@@ -33,6 +33,7 @@ type Reentrancy struct {
 		Unlock()
 	}
 	holds map[holdKey]int
+	obs   *SchedObs
 }
 
 type holdKey struct {
@@ -48,6 +49,10 @@ func NewReentrancy(rt interface {
 	return &Reentrancy{sched: sched, rt: rt, holds: make(map[holdKey]int)}
 }
 
+// SetObs attaches observability hooks (sampling re-entry depths). Must be
+// called before the scheduler starts taking requests.
+func (r *Reentrancy) SetObs(o *SchedObs) { r.obs = o }
+
 // Lock acquires m for t, counting re-entries.
 func (r *Reentrancy) Lock(t *Thread, m MutexID) error {
 	k := holdKey{t.Logical, m}
@@ -56,6 +61,7 @@ func (r *Reentrancy) Lock(t *Thread, m MutexID) error {
 	if n > 0 {
 		r.holds[k] = n + 1
 		r.rt.Unlock()
+		r.obs.ReentrantDepth(n + 1)
 		return nil
 	}
 	r.rt.Unlock()

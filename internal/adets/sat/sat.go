@@ -159,6 +159,7 @@ func (s *Scheduler) Submit(req adets.Request) {
 	if s.stopped {
 		return
 	}
+	s.env.Obs.Submitted()
 	t := s.reg.NewThread("sat/"+string(req.Logical), req.Logical)
 	t.Sched = &satThread{state: stReady}
 	s.threads[t] = true
@@ -248,14 +249,24 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 	ls := s.lock(m)
 	if ls.owner == "" {
 		ls.owner = t.Logical // uncontended: no scheduling point
+		s.env.Obs.Grant(m, string(t.Logical))
 		return nil
+	}
+	var t0 time.Duration
+	if s.env.Obs != nil {
+		s.env.Obs.Blocked()
+		t0 = rt.NowLocked()
 	}
 	ls.waiters.Push(t)
 	st(t).state = stBlockedLock
 	s.deactivateLocked(t)
 	t.Park(rt)
 	if s.stopped {
+		s.env.Obs.Unblocked()
 		return adets.ErrStopped
+	}
+	if s.env.Obs != nil {
+		s.env.Obs.GrantedAfterBlock(rt.NowLocked() - t0)
 	}
 	// Woken ⇒ granted ownership and activated.
 	return nil
@@ -274,18 +285,20 @@ func (s *Scheduler) Unlock(t *adets.Thread, m adets.MutexID) error {
 	if ls.owner != t.Logical {
 		return adets.ErrNotHeld
 	}
-	s.releaseLocked(ls)
+	s.env.Obs.Unlock(m, string(t.Logical))
+	s.releaseLocked(m, ls)
 	return nil
 }
 
 // releaseLocked hands the mutex to the deterministically-first waiter.
-func (s *Scheduler) releaseLocked(ls *lockState) {
+func (s *Scheduler) releaseLocked(m adets.MutexID, ls *lockState) {
 	w := ls.waiters.Pop()
 	if w == nil {
 		ls.owner = ""
 		return
 	}
 	ls.owner = w.Logical
+	s.env.Obs.Grant(m, string(w.Logical))
 	st(w).state = stReady
 	s.ready.Push(w)
 	s.scheduleLocked()
@@ -315,7 +328,8 @@ func (s *Scheduler) Wait(t *adets.Thread, m adets.MutexID, c adets.CondID, d tim
 	s.waiters[t.Logical] = t
 	s.cond(m, c).Push(t)
 	cst.state = stWaiting
-	s.releaseLocked(ls) // wait releases the monitor
+	s.env.Obs.WaitStart(m, c, string(t.Logical))
+	s.releaseLocked(m, ls) // wait releases the monitor
 	s.deactivateLocked(t)
 	t.Park(rt)
 	// Woken ⇒ reacquired the mutex (wake path queued us on it) and
@@ -356,7 +370,7 @@ func (s *Scheduler) NotifyAll(t *adets.Thread, m adets.MutexID, c adets.CondID) 
 		return adets.ErrNotHeld
 	}
 	for _, w := range s.cond(m, c).Drain() {
-		s.wakeWaiterLocked(w, m, false)
+		s.wakeWaiterLocked(w, m, c, false)
 	}
 	return nil
 }
@@ -373,18 +387,20 @@ func (s *Scheduler) notifyLocked(t *adets.Thread, m adets.MutexID, c adets.CondI
 	if w == nil {
 		return nil
 	}
-	s.wakeWaiterLocked(w, m, timedOut)
+	s.wakeWaiterLocked(w, m, c, timedOut)
 	return nil
 }
 
 // wakeWaiterLocked moves a condition waiter to the mutex entry queue (Java
 // semantics: a notified thread must reacquire the monitor before resuming).
-func (s *Scheduler) wakeWaiterLocked(w *adets.Thread, m adets.MutexID, timedOut bool) {
+func (s *Scheduler) wakeWaiterLocked(w *adets.Thread, m adets.MutexID, c adets.CondID, timedOut bool) {
 	wst := st(w)
 	wst.timedOut = timedOut
+	s.env.Obs.Wake(m, c, string(w.Logical), timedOut)
 	ls := s.lock(m)
 	if ls.owner == "" {
 		ls.owner = w.Logical
+		s.env.Obs.Grant(m, string(w.Logical))
 		wst.state = stReady
 		s.ready.Push(w)
 		s.scheduleLocked()
@@ -464,8 +480,9 @@ func (s *Scheduler) timeoutExec(t *adets.Thread, msg adets.TimeoutMsg) {
 	if w != nil {
 		wst := st(w)
 		if wst.waiting && wst.waitSeq == msg.WaitSeq {
+			s.env.Obs.TimeoutFired()
 			s.cond(msg.Mutex, msg.Cond).Remove(w)
-			s.wakeWaiterLocked(w, msg.Mutex, true)
+			s.wakeWaiterLocked(w, msg.Mutex, msg.Cond, true)
 		}
 	}
 	rt.Unlock()

@@ -67,6 +67,7 @@ func (s *Scheduler) Submit(req adets.Request) {
 	if s.stopped {
 		return
 	}
+	s.env.Obs.Submitted()
 	s.queue = append(s.queue, req)
 	if s.worker == nil {
 		s.worker = s.reg.NewThread("seq-worker", "")
@@ -97,6 +98,7 @@ func (s *Scheduler) loop(w *adets.Thread) {
 		s.busy = true
 		w.Logical = req.Logical
 		rt.Unlock()
+		s.env.Obs.Exec(string(req.Logical))
 		req.Exec(w)
 		rt.Lock()
 	}

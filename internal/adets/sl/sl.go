@@ -69,6 +69,7 @@ func (s *Scheduler) Submit(req adets.Request) {
 	if s.stopped {
 		return
 	}
+	s.env.Obs.Submitted()
 	if req.Callback {
 		t := s.reg.NewThread("sl-callback", req.Logical)
 		s.reg.Spawn(t, func() { req.Exec(t) })
@@ -104,6 +105,7 @@ func (s *Scheduler) loop(w *adets.Thread) {
 		s.busy = true
 		w.Logical = req.Logical
 		rt.Unlock()
+		s.env.Obs.Exec(string(req.Logical))
 		req.Exec(w)
 		rt.Lock()
 	}

@@ -36,6 +36,9 @@ type Config struct {
 	Latency time.Duration
 	// Policy is the client reply-collection policy.
 	Policy replobj.ReplyPolicy
+	// Metrics, if non-nil, collects cluster metrics across every scenario
+	// of the run (cmd/replbench prints a summary at the end).
+	Metrics *replobj.MetricsRegistry
 }
 
 // Defaults returns the standard experiment configuration.
@@ -172,7 +175,11 @@ type clientScript func(rt vtime.Runtime, cl *replobj.Client, clientIdx int) ([]t
 func runScenario(cfg Config, n int, setup func(c *replobj.Cluster) error, script clientScript) (float64, error) {
 	rt := vtime.Virtual()
 	defer rt.Stop()
-	c := replobj.NewCluster(rt, replobj.WithLatency(cfg.Latency))
+	copts := []replobj.ClusterOption{replobj.WithLatency(cfg.Latency)}
+	if cfg.Metrics != nil {
+		copts = append(copts, replobj.WithMetrics(cfg.Metrics))
+	}
+	c := replobj.NewCluster(rt, copts...)
 	var total time.Duration
 	var count int
 	var firstErr error

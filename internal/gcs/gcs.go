@@ -193,6 +193,9 @@ type Config struct {
 	// LogRetain is how many ordered messages are kept for retransmission
 	// and view synchronization (default 4096).
 	LogRetain int
+
+	// Stats receives protocol metrics. May be nil (all recordings no-op).
+	Stats *Stats
 }
 
 func (c *Config) applyDefaults() {

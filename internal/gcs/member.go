@@ -36,6 +36,11 @@ type Member struct {
 	submitCache map[string]Submit
 	cacheOrder  []string
 
+	// Broadcast timestamps for self-originated ids, used to measure
+	// broadcast→deliver latency. Only populated when cfg.Stats is set.
+	submitAt    map[string]time.Duration
+	submitAtIDs []string
+
 	// Failure detection.
 	lastSeen  map[wire.NodeID]time.Duration
 	fdTimer   *vtime.Timer
@@ -108,10 +113,34 @@ func (m *Member) Broadcast(id string, payload any) {
 	var act actions
 	m.rt.Lock()
 	if !m.stopped {
+		if st := m.cfg.Stats; st != nil {
+			st.Broadcasts.Inc()
+			m.noteSubmitLocked(id, m.rt.NowLocked())
+		}
 		m.handleSubmitLocked(sub, &act)
 	}
 	m.rt.Unlock()
 	act.do(m.cfg.Send)
+}
+
+// noteSubmitLocked remembers when a self-originated id was broadcast so its
+// delivery latency can be observed. The map is capped to bound memory when
+// deliveries stall.
+func (m *Member) noteSubmitLocked(id string, now time.Duration) {
+	const maxTrackedSubmits = 1 << 13
+	if m.submitAt == nil {
+		m.submitAt = make(map[string]time.Duration)
+	}
+	if _, ok := m.submitAt[id]; ok {
+		return
+	}
+	m.submitAt[id] = now
+	m.submitAtIDs = append(m.submitAtIDs, id)
+	if len(m.submitAtIDs) > maxTrackedSubmits {
+		old := m.submitAtIDs[0]
+		m.submitAtIDs = m.submitAtIDs[1:]
+		delete(m.submitAt, old)
+	}
 }
 
 // Handle processes an incoming payload, returning true if it was a group
@@ -294,6 +323,15 @@ func (m *Member) handleOrderedLocked(o Ordered, act *actions) {
 }
 
 func (m *Member) deliverLocked(o Ordered, act *actions) {
+	if st := m.cfg.Stats; st != nil {
+		st.Delivered.Inc()
+		if o.Origin == m.cfg.Self && o.ID != "" {
+			if t0, ok := m.submitAt[o.ID]; ok {
+				delete(m.submitAt, o.ID)
+				st.DeliverLatency.Observe((m.rt.NowLocked() - t0).Seconds())
+			}
+		}
+	}
 	m.markOrderedIDLocked(o.ID)
 	if o.ID != "" {
 		m.idToSeq[o.ID] = o.Seq
@@ -314,6 +352,9 @@ func (m *Member) deliverLocked(o Ordered, act *actions) {
 func (m *Member) installViewLocked(v View, act *actions) {
 	if v.Epoch <= m.view.Epoch {
 		return // stale re-announcement from a tail rebroadcast
+	}
+	if st := m.cfg.Stats; st != nil {
+		st.ViewChanges.Inc()
 	}
 	m.view = v.clone()
 	if m.installing != nil && m.installing.Epoch <= v.Epoch {
@@ -339,6 +380,9 @@ func (m *Member) installViewLocked(v View, act *actions) {
 }
 
 func (m *Member) handleNackLocked(n Nack, act *actions) {
+	if st := m.cfg.Stats; st != nil {
+		st.Nacks.Inc()
+	}
 	// Resend whatever is retained from Want upward (bounded batch).
 	const batch = 256
 	sent := 0

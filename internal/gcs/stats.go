@@ -1,0 +1,36 @@
+package gcs
+
+import "github.com/replobj/replobj/internal/obs"
+
+// Stats collects group-communication metrics for one member. All fields are
+// nil-safe: a nil *Stats (or one built from a nil registry) makes every
+// recording a no-op, so the hot path pays nothing when observability is off.
+type Stats struct {
+	Broadcasts  *obs.Counter
+	Delivered   *obs.Counter
+	Nacks       *obs.Counter
+	ViewChanges *obs.Counter
+	Heartbeats  *obs.Counter
+	Suspicions  *obs.Counter
+	// DeliverLatency measures broadcast-to-self-delivery time in seconds
+	// for messages this member originated.
+	DeliverLatency *obs.Histogram
+}
+
+// NewStats builds the member's metric set in reg, labelling every series
+// with the node ID. A nil registry yields nil (all recordings no-op).
+func NewStats(reg *obs.Registry, node string) *Stats {
+	if reg == nil {
+		return nil
+	}
+	label := `{node="` + node + `"}`
+	return &Stats{
+		Broadcasts:     reg.Counter("replobj_gcs_broadcasts_total" + label),
+		Delivered:      reg.Counter("replobj_gcs_delivered_total" + label),
+		Nacks:          reg.Counter("replobj_gcs_nacks_total" + label),
+		ViewChanges:    reg.Counter("replobj_gcs_view_changes_total" + label),
+		Heartbeats:     reg.Counter("replobj_gcs_heartbeats_sent_total" + label),
+		Suspicions:     reg.Counter("replobj_gcs_suspicions_total" + label),
+		DeliverLatency: reg.Histogram("replobj_gcs_deliver_latency_seconds"+label, obs.LatencyBuckets()),
+	}
+}

@@ -32,6 +32,9 @@ func (m *Member) fdTick() {
 	for _, peer := range m.view.Members {
 		if peer != m.cfg.Self {
 			act.send(peer, hb)
+			if st := m.cfg.Stats; st != nil {
+				st.Heartbeats.Inc()
+			}
 		}
 	}
 	// Suspect silent members of the current view.
@@ -48,6 +51,9 @@ func (m *Member) fdTick() {
 		if now-seen > m.cfg.SuspectAfter {
 			suspects[peer] = true
 		}
+	}
+	if st := m.cfg.Stats; st != nil {
+		st.Suspicions.Add(uint64(len(suspects)))
 	}
 	if len(suspects) > 0 && m.installing == nil && m.view.Contains(m.cfg.Self) {
 		members := rankSubset(m.view.Members, suspects)

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+)
+
+// Handler serves the observability endpoints of one process:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/trace          human-readable tail of every schedule trace
+//	                (?stream=mutex/state&n=50 to filter/limit)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// Registry and traces may be nil; the endpoints then render empty output.
+func Handler(reg *Registry, traces map[string]*Trace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = reg.WriteTo(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		stream := r.URL.Query().Get("stream")
+		n := 50
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		names := make([]string, 0, len(traces))
+		for name := range traces {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "=== trace %s ===\n", name)
+			traces[name].Dump(w, stream, n)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

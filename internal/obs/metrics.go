@@ -1,0 +1,376 @@
+// Package obs is the stdlib-only observability layer of the middleware: a
+// registry of atomic counters, gauges and bucketed histograms rendered in
+// Prometheus text exposition format, and a deterministic schedule trace
+// whose per-stream rolling digests double as a replica-divergence oracle
+// (see trace.go).
+//
+// Design constraints, in force everywhere the package is used:
+//
+//   - Hot-path updates are single atomic operations — the registry lock is
+//     only taken at metric registration and at render time.
+//   - Every method is nil-receiver safe: a disabled deployment passes nil
+//     registries/traces around and instrumented code paths cost one
+//     predictable branch and zero allocations.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on a nil receiver.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one. Safe on a nil receiver.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Add adds d. Safe on a nil receiver.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Set replaces the value. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram. Bounds are upper bucket limits in
+// ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, non-cumulative
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// LatencyBuckets are the default bounds for latency histograms, in seconds
+// (100 µs … 10 s, roughly exponential).
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// DepthBuckets are the default bounds for small-integer distributions such
+// as queue depths and reentrancy depths.
+func DepthBuckets() []float64 {
+	return []float64{1, 2, 3, 4, 8, 16, 32, 64}
+}
+
+// Observe records one sample. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds. Safe on a nil receiver.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// Count returns the number of samples (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all samples (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// BucketCount returns the cumulative count of samples ≤ the i-th bound
+// (i == len(bounds) means the +Inf bucket).
+func (h *Histogram) BucketCount(i int) uint64 {
+	if h == nil {
+		return 0
+	}
+	var c uint64
+	for j := 0; j <= i && j < len(h.counts); j++ {
+		c += h.counts[j].Load()
+	}
+	return c
+}
+
+// Registry holds named metrics. Metric names use the Prometheus exposition
+// syntax, optionally with inline labels: `replobj_grants_total` or
+// `replobj_grants_total{node="counter/0"}`. Registration takes the registry
+// lock; updates on the returned metric are lock-free.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter. On a nil registry
+// it returns nil, which is itself a valid no-op metric.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the given
+// bucket bounds (ascending); nil on a nil registry. Bounds are fixed at
+// first registration.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// family strips the label set from a metric name.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// spliceLabel inserts an extra label into a metric name, merging with any
+// existing label set: spliceLabel(`m{a="1"}`, "_bucket", `le="5"`) returns
+// `m_bucket{a="1",le="5"}`.
+func spliceLabel(name, suffix, label string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		inner := name[i+1 : len(name)-1]
+		return name[:i] + suffix + "{" + inner + "," + label + "}"
+	}
+	return name + suffix + "{" + label + "}"
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders every metric in Prometheus text exposition format,
+// sorted by name, with one `# TYPE` line per family.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	var b strings.Builder
+	r.mu.RLock()
+	type entry struct {
+		name string
+		kind string // "counter", "gauge", "histogram"
+	}
+	entries := make([]entry, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		entries = append(entries, entry{n, "counter"})
+	}
+	for n := range r.gauges {
+		entries = append(entries, entry{n, "gauge"})
+	}
+	for n := range r.hists {
+		entries = append(entries, entry{n, "histogram"})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	typed := make(map[string]bool)
+	for _, e := range entries {
+		fam := family(e.name)
+		if !typed[fam] {
+			typed[fam] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", fam, e.kind)
+		}
+		switch e.kind {
+		case "counter":
+			fmt.Fprintf(&b, "%s %d\n", e.name, r.counters[e.name].Value())
+		case "gauge":
+			fmt.Fprintf(&b, "%s %d\n", e.name, r.gauges[e.name].Value())
+		case "histogram":
+			h := r.hists[e.name]
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&b, "%s %d\n",
+					spliceLabel(e.name, "_bucket", `le="`+formatBound(bound)+`"`), cum)
+			}
+			fmt.Fprintf(&b, "%s %d\n",
+				spliceLabel(e.name, "_bucket", `le="+Inf"`), h.Count())
+			fmt.Fprintf(&b, "%s %s\n", withSuffix(e.name, "_sum"), formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s %d\n", withSuffix(e.name, "_count"), h.Count())
+		}
+	}
+	r.mu.RUnlock()
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// withSuffix appends a name suffix before any label set.
+func withSuffix(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// Render returns the Prometheus exposition text ("" on nil).
+func (r *Registry) Render() string {
+	var b strings.Builder
+	_, _ = r.WriteTo(&b)
+	return b.String()
+}
+
+// Summary returns a compact human-readable dump: one `name value` line per
+// counter/gauge and `name count=N sum=S` per histogram, sorted, zero-valued
+// counters omitted.
+func (r *Registry) Summary() string {
+	if r == nil {
+		return ""
+	}
+	var lines []string
+	r.mu.RLock()
+	for n, c := range r.counters {
+		if v := c.Value(); v > 0 {
+			lines = append(lines, fmt.Sprintf("%s %d", n, v))
+		}
+	}
+	for n, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", n, g.Value()))
+	}
+	for n, h := range r.hists {
+		if c := h.Count(); c > 0 {
+			lines = append(lines, fmt.Sprintf("%s count=%d sum=%s mean=%s",
+				n, c, formatFloat(h.Sum()), formatFloat(h.Sum()/float64(c))))
+		}
+	}
+	r.mu.RUnlock()
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilMetricsAreNoops(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Inc()
+	g.Dec()
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	if r.Render() != "" || r.Summary() != "" {
+		t.Fatal("nil registry render")
+	}
+	var tr *Trace
+	tr.Record("s", KindGrant, "a", "")
+	if len(tr.Snapshot()) != 0 {
+		t.Fatal("nil trace snapshot")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.001, 0.01, 0.1})
+	// One sample per region: ≤0.001, (0.001,0.01], (0.01,0.1], >0.1.
+	for _, v := range []float64{0.0005, 0.001, 0.005, 0.05, 0.2, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	// Bound values land in the bucket they equal (le semantics).
+	wantCum := []uint64{2, 3, 4, 6} // ≤0.001, ≤0.01, ≤0.1, +Inf
+	for i, want := range wantCum {
+		if got := h.BucketCount(i); got != want {
+			t.Errorf("BucketCount(%d) = %d, want %d", i, got, want)
+		}
+	}
+	wantSum := 0.0005 + 0.001 + 0.005 + 0.05 + 0.2 + 3
+	if diff := h.Sum() - wantSum; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestPrometheusRenderGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`replobj_msgs_total{node="a"}`).Add(3)
+	r.Counter(`replobj_msgs_total{node="b"}`).Add(4)
+	r.Gauge("replobj_inflight").Set(2)
+	h := r.Histogram(`replobj_latency_seconds{node="a"}`, []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	want := strings.Join([]string{
+		`# TYPE replobj_inflight gauge`,
+		`replobj_inflight 2`,
+		`# TYPE replobj_latency_seconds histogram`,
+		`replobj_latency_seconds_bucket{node="a",le="0.01"} 1`,
+		`replobj_latency_seconds_bucket{node="a",le="0.1"} 2`,
+		`replobj_latency_seconds_bucket{node="a",le="+Inf"} 3`,
+		`replobj_latency_seconds_sum{node="a"} 0.555`,
+		`replobj_latency_seconds_count{node="a"} 3`,
+		`# TYPE replobj_msgs_total counter`,
+		`replobj_msgs_total{node="a"} 3`,
+		`replobj_msgs_total{node="b"} 4`,
+	}, "\n") + "\n"
+	if got := r.Render(); got != want {
+		t.Errorf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zero") // zero counters are omitted
+	r.Counter("hits").Add(10)
+	r.Gauge("depth").Set(-1)
+	h := r.Histogram("lat", []float64{1})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	s := r.Summary()
+	for _, want := range []string{"hits 10", "depth -1", "lat count=2 sum=2 mean=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "zero") {
+		t.Errorf("summary should omit zero counters:\n%s", s)
+	}
+}
+
+// TestRegistryConcurrent exercises registration and updates from many
+// goroutines; run under -race it validates the lock-free hot path.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers = 8
+	const iters = 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []float64{1, 10}).Observe(float64(i % 20))
+				if i%500 == 0 {
+					_ = r.Render()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("g").Value(); got != workers*iters {
+		t.Fatalf("gauge = %d, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("h", nil).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("replobj_up").Inc()
+	tr := NewTrace(16)
+	tr.Record("mutex/state", KindGrant, "c0/1", "")
+	srv := httptest.NewServer(Handler(reg, map[string]*Trace{"counter/0": tr}))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+	if body := get("/metrics"); !strings.Contains(body, "replobj_up 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	body := get("/trace")
+	if !strings.Contains(body, "trace counter/0") || !strings.Contains(body, "grant c0/1") {
+		t.Errorf("/trace missing event:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline empty")
+	}
+}

@@ -1,0 +1,357 @@
+// Deterministic schedule trace: an append-only log of scheduler decisions
+// partitioned into *streams*, each with a rolling FNV-1a digest.
+//
+// The determinism contract of the middleware is per stream, not global:
+// events guarded by one mutex's ownership (grants, unlocks, waits, wakes)
+// occur in the same order on every replica, but the real-time interleaving
+// *between* mutexes — or between a mutex and the delivery stream — is not
+// deterministic (e.g. two ADETS-MAT secondaries unlocking different mutexes
+// race in wall-clock time while their per-mutex grant sequences stay
+// identical). Each trace therefore keeps one digest per stream:
+//
+//	mutex/<m>  ownership-serialized events of mutex m
+//	order      totally-ordered deliveries (the group's sequence numbers)
+//	rounds     ADETS-PDS round starts
+//	sched      strategy-global decisions (SEQ/SL execution order, view
+//	           changes)
+//
+// Two replicas of one group MUST have pairwise-equal stream prefixes: for
+// every stream, the first min(countA, countB) events — and hence the rolling
+// digests at those positions — must match. FirstDivergence checks exactly
+// that, which turns the trace into a correctness oracle for all six ADETS
+// algorithms: any nondeterministic scheduling decision shows up as a digest
+// mismatch at an exact stream position.
+//
+// Digests hash only replica-deterministic inputs: event kind, the *logical*
+// thread or message id, and the detail string. Never physical thread ids,
+// never timestamps.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a schedule event.
+type Kind uint8
+
+// Schedule event kinds.
+const (
+	// KindGrant: a mutex was granted to a logical thread.
+	KindGrant Kind = iota + 1
+	// KindUnlock: a mutex was released by its owner.
+	KindUnlock
+	// KindWait: the owner released the mutex to wait on a condition.
+	KindWait
+	// KindWake: a condition waiter was woken (notify or deterministic
+	// timeout; the detail distinguishes them).
+	KindWake
+	// KindExec: an execution-order decision (sequential strategies) or a
+	// totally-ordered delivery (the "order" stream).
+	KindExec
+	// KindRound: a scheduling round started (ADETS-PDS).
+	KindRound
+	// KindView: a membership view change reached the scheduler.
+	KindView
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGrant:
+		return "grant"
+	case KindUnlock:
+		return "unlock"
+	case KindWait:
+		return "wait"
+	case KindWake:
+		return "wake"
+	case KindExec:
+		return "exec"
+	case KindRound:
+		return "round"
+	case KindView:
+		return "view"
+	}
+	return "?"
+}
+
+// Event is one recorded scheduler decision.
+type Event struct {
+	// Pos is the event's 0-based position within its stream.
+	Pos uint64
+	// Kind classifies the decision.
+	Kind Kind
+	// Subject is the logical thread (or message id) the decision concerns.
+	Subject string
+	// Detail carries extra deterministic context (sequence number,
+	// "timeout" marker, round number).
+	Detail string
+	// Digest is the stream's rolling digest *after* folding this event in.
+	Digest uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
+// stream is one digest-carrying event sequence; retained events form a ring.
+type stream struct {
+	count  uint64
+	digest uint64
+	ring   []Event // capacity = retain; index = Pos % retain
+}
+
+// Trace is a per-replica schedule trace. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops / zero values), so
+// instrumented code needs no enabled-check.
+type Trace struct {
+	mu      sync.Mutex
+	retain  int
+	streams map[string]*stream
+}
+
+// DefaultRetain is the default number of events retained per stream.
+const DefaultRetain = 4096
+
+// NewTrace returns a trace retaining the last `retain` events per stream
+// (DefaultRetain if retain <= 0). The rolling digests always cover the full
+// history regardless of retention.
+func NewTrace(retain int) *Trace {
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	return &Trace{retain: retain, streams: make(map[string]*stream)}
+}
+
+// Record appends an event to a stream and folds it into the stream digest.
+// Safe on a nil receiver.
+func (t *Trace) Record(streamName string, kind Kind, subject, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	s := t.streams[streamName]
+	if s == nil {
+		s = &stream{digest: fnvOffset64, ring: make([]Event, 0, t.retain)}
+		t.streams[streamName] = s
+	}
+	h := fnvByte(s.digest, byte(kind))
+	h = fnvString(h, subject)
+	h = fnvByte(h, 0xfe)
+	h = fnvString(h, detail)
+	h = fnvByte(h, 0xff)
+	s.digest = h
+	ev := Event{Pos: s.count, Kind: kind, Subject: subject, Detail: detail, Digest: h}
+	if len(s.ring) < t.retain {
+		s.ring = append(s.ring, ev)
+	} else {
+		s.ring[s.count%uint64(t.retain)] = ev
+	}
+	s.count++
+	t.mu.Unlock()
+}
+
+// StreamSnapshot is an immutable copy of one stream's state.
+type StreamSnapshot struct {
+	Stream string
+	Count  uint64
+	Digest uint64  // rolling digest over the full history
+	Events []Event // retained tail, oldest first
+}
+
+// event returns the retained event at pos, or nil.
+func (s StreamSnapshot) event(pos uint64) *Event {
+	if len(s.Events) == 0 {
+		return nil
+	}
+	first := s.Events[0].Pos
+	if pos < first || pos >= first+uint64(len(s.Events)) {
+		return nil
+	}
+	return &s.Events[pos-first]
+}
+
+// Snapshot returns a consistent copy of every stream. Safe on nil (empty).
+func (t *Trace) Snapshot() map[string]StreamSnapshot {
+	out := make(map[string]StreamSnapshot)
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	for name, s := range t.streams {
+		evs := make([]Event, 0, len(s.ring))
+		if s.count > uint64(len(s.ring)) {
+			// Ring wrapped: oldest retained is at count % retain.
+			start := s.count % uint64(t.retain)
+			evs = append(evs, s.ring[start:]...)
+			evs = append(evs, s.ring[:start]...)
+		} else {
+			evs = append(evs, s.ring...)
+		}
+		out[name] = StreamSnapshot{Stream: name, Count: s.count, Digest: s.digest, Events: evs}
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// Digest returns a stream's event count and rolling digest (0, 0 on nil or
+// unknown stream).
+func (t *Trace) Digest(streamName string) (count, digest uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := t.streams[streamName]; s != nil {
+		return s.count, s.digest
+	}
+	return 0, 0
+}
+
+// Divergence reports the first position at which two traces' schedule
+// decisions differ.
+type Divergence struct {
+	// Stream is the diverging stream name (e.g. "mutex/state").
+	Stream string
+	// Pos is the 0-based stream position of the first differing event.
+	Pos uint64
+	// A and B are the differing events (nil when evicted from retention).
+	A, B *Event
+}
+
+func (d *Divergence) String() string {
+	if d == nil {
+		return "<no divergence>"
+	}
+	fmtEv := func(e *Event) string {
+		if e == nil {
+			return "<evicted>"
+		}
+		return fmt.Sprintf("%s %s %s (digest %016x)", e.Kind, e.Subject, e.Detail, e.Digest)
+	}
+	return fmt.Sprintf("stream %q position %d: %s != %s", d.Stream, d.Pos, fmtEv(d.A), fmtEv(d.B))
+}
+
+// FirstDivergence compares the common prefix of two trace snapshots stream
+// by stream and returns the earliest divergence, or nil if every stream's
+// first min(countA, countB) events agree. A stream present on only one side
+// (or longer on one side) is NOT a divergence — replicas may lag behind one
+// another; they may not *disagree*.
+func FirstDivergence(a, b map[string]StreamSnapshot) *Divergence {
+	names := make([]string, 0, len(a))
+	for n := range a {
+		if _, ok := b[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var first *Divergence
+	for _, n := range names {
+		sa, sb := a[n], b[n]
+		common := sa.Count
+		if sb.Count < common {
+			common = sb.Count
+		}
+		if common == 0 {
+			continue
+		}
+		// Fast path: equal digests at the last common position mean the
+		// whole prefix matches (rolling hash).
+		da, db := digestAt(sa, common-1), digestAt(sb, common-1)
+		if da != 0 && da == db {
+			continue
+		}
+		d := scanDivergence(n, sa, sb, common)
+		if d != nil && (first == nil || d.Pos < first.Pos) {
+			first = d
+		}
+	}
+	return first
+}
+
+// digestAt returns the rolling digest after position pos, or 0 if unknown.
+func digestAt(s StreamSnapshot, pos uint64) uint64 {
+	if pos == s.Count-1 {
+		return s.Digest
+	}
+	if e := s.event(pos); e != nil {
+		return e.Digest
+	}
+	return 0
+}
+
+func scanDivergence(name string, sa, sb StreamSnapshot, common uint64) *Divergence {
+	for pos := uint64(0); pos < common; pos++ {
+		ea, eb := sa.event(pos), sb.event(pos)
+		if ea == nil || eb == nil {
+			continue // evicted on one side; cannot compare this position
+		}
+		if ea.Kind != eb.Kind || ea.Subject != eb.Subject || ea.Detail != eb.Detail {
+			return &Divergence{Stream: name, Pos: pos, A: ea, B: eb}
+		}
+		if ea.Digest != eb.Digest {
+			// Contents agree but rolling digests differ: the schedules
+			// diverged at an earlier, already-evicted position.
+			return &Divergence{Stream: name, Pos: pos}
+		}
+	}
+	// Digests differ but every comparable retained pair agrees: the
+	// divergence precedes retention. Report the earliest retained position.
+	var pos uint64
+	if len(sa.Events) > 0 && sa.Events[0].Pos > pos {
+		pos = sa.Events[0].Pos
+	}
+	if len(sb.Events) > 0 && sb.Events[0].Pos > pos {
+		pos = sb.Events[0].Pos
+	}
+	return &Divergence{Stream: name, Pos: pos}
+}
+
+// Dump writes a human-readable tail of the trace: per-stream counts and
+// digests, plus the last n retained events of each stream (all retained
+// events when n <= 0). streamFilter restricts the output to one stream when
+// non-empty. Safe on a nil receiver.
+func (t *Trace) Dump(w io.Writer, streamFilter string, n int) {
+	snap := t.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		if streamFilter != "" && name != streamFilter {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := snap[name]
+		fmt.Fprintf(w, "stream %s count=%d digest=%016x\n", name, s.Count, s.Digest)
+		evs := s.Events
+		if n > 0 && len(evs) > n {
+			evs = evs[len(evs)-n:]
+		}
+		for _, e := range evs {
+			line := fmt.Sprintf("  [%d] %s %s", e.Pos, e.Kind, e.Subject)
+			if e.Detail != "" {
+				line += " " + e.Detail
+			}
+			fmt.Fprintln(w, strings.TrimRight(line, " "))
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func record(t *Trace, n int, perturb int) {
+	for i := 0; i < n; i++ {
+		subj := "c" + strconv.Itoa(i%3)
+		if i == perturb {
+			subj = "intruder"
+		}
+		t.Record("mutex/state", KindGrant, subj, "")
+		t.Record("mutex/state", KindUnlock, subj, "")
+	}
+}
+
+func TestTraceDigestsMatch(t *testing.T) {
+	a, b := NewTrace(0), NewTrace(0)
+	record(a, 50, -1)
+	record(b, 50, -1)
+	ca, da := a.Digest("mutex/state")
+	cb, db := b.Digest("mutex/state")
+	if ca != 100 || cb != 100 {
+		t.Fatalf("counts = %d, %d, want 100", ca, cb)
+	}
+	if da != db || da == 0 {
+		t.Fatalf("digests differ: %016x vs %016x", da, db)
+	}
+	if d := FirstDivergence(a.Snapshot(), b.Snapshot()); d != nil {
+		t.Fatalf("unexpected divergence: %v", d)
+	}
+}
+
+func TestTraceDivergencePosition(t *testing.T) {
+	a, b := NewTrace(0), NewTrace(0)
+	record(a, 50, -1)
+	record(b, 50, 7) // b's 8th grant goes to a different thread
+	d := FirstDivergence(a.Snapshot(), b.Snapshot())
+	if d == nil {
+		t.Fatal("divergence not detected")
+	}
+	// Grant i is at stream position 2i.
+	if d.Stream != "mutex/state" || d.Pos != 14 {
+		t.Fatalf("divergence = %v, want stream mutex/state pos 14", d)
+	}
+	if d.A == nil || d.B == nil || d.A.Kind != KindGrant || d.B.Subject != "intruder" {
+		t.Fatalf("divergence events wrong: %v", d)
+	}
+	if !strings.Contains(d.String(), "position 14") {
+		t.Fatalf("String() = %q", d.String())
+	}
+}
+
+func TestTracePrefixToleratesLag(t *testing.T) {
+	a, b := NewTrace(0), NewTrace(0)
+	record(a, 50, -1)
+	record(b, 30, -1) // b lags (e.g. an LSA follower) but agrees on its prefix
+	if d := FirstDivergence(a.Snapshot(), b.Snapshot()); d != nil {
+		t.Fatalf("lagging prefix flagged as divergence: %v", d)
+	}
+	// A stream only one side has is not a divergence either.
+	a.Record("rounds", KindRound, "", "1")
+	if d := FirstDivergence(a.Snapshot(), b.Snapshot()); d != nil {
+		t.Fatalf("one-sided stream flagged: %v", d)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	tr := NewTrace(8)
+	for i := 0; i < 20; i++ {
+		tr.Record("s", KindExec, strconv.Itoa(i), "")
+	}
+	snap := tr.Snapshot()["s"]
+	if snap.Count != 20 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if len(snap.Events) != 8 {
+		t.Fatalf("retained = %d, want 8", len(snap.Events))
+	}
+	if snap.Events[0].Pos != 12 || snap.Events[7].Pos != 19 {
+		t.Fatalf("retained window = [%d, %d], want [12, 19]",
+			snap.Events[0].Pos, snap.Events[7].Pos)
+	}
+	// The digest still covers the full history: an identical trace without
+	// eviction has the same digest.
+	full := NewTrace(64)
+	for i := 0; i < 20; i++ {
+		full.Record("s", KindExec, strconv.Itoa(i), "")
+	}
+	if _, d1 := tr.Digest("s"); true {
+		if _, d2 := full.Digest("s"); d1 != d2 {
+			t.Fatalf("digest depends on retention: %016x vs %016x", d1, d2)
+		}
+	}
+}
+
+func TestTraceEvictedDivergenceReported(t *testing.T) {
+	// Diverge early, then evict the diverging events: the comparator can no
+	// longer name the exact event but must still report a divergence.
+	a, b := NewTrace(4), NewTrace(4)
+	for i := 0; i < 30; i++ {
+		a.Record("s", KindExec, strconv.Itoa(i), "")
+		subj := strconv.Itoa(i)
+		if i == 2 {
+			subj = "x"
+		}
+		b.Record("s", KindExec, subj, "")
+	}
+	d := FirstDivergence(a.Snapshot(), b.Snapshot())
+	if d == nil {
+		t.Fatal("evicted divergence not detected")
+	}
+	if d.A != nil || d.B != nil {
+		t.Fatalf("expected evicted (nil) events, got %v", d)
+	}
+}
+
+func TestTraceKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindGrant: "grant", KindUnlock: "unlock", KindWait: "wait",
+		KindWake: "wake", KindExec: "exec", KindRound: "round", KindView: "view",
+		Kind(0): "?",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record("s"+strconv.Itoa(w%2), KindGrant, "t", "")
+			}
+		}()
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	if snap["s0"].Count+snap["s1"].Count != 8000 {
+		t.Fatalf("lost events: %d + %d", snap["s0"].Count, snap["s1"].Count)
+	}
+}
+
+func TestTraceDump(t *testing.T) {
+	tr := NewTrace(16)
+	tr.Record("mutex/state", KindGrant, "c0/1", "")
+	tr.Record("order", KindExec, "c0/1", "seq=1")
+	var b strings.Builder
+	tr.Dump(&b, "", 0)
+	out := b.String()
+	for _, want := range []string{"stream mutex/state count=1", "grant c0/1", "exec c0/1 seq=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	tr.Dump(&b, "order", 0)
+	if strings.Contains(b.String(), "mutex/state") {
+		t.Errorf("filter ignored:\n%s", b.String())
+	}
+}

@@ -8,10 +8,12 @@ package replica
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"github.com/replobj/replobj/internal/adets"
 	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/obs"
 	"github.com/replobj/replobj/internal/transport"
 	"github.com/replobj/replobj/internal/vtime"
 	"github.com/replobj/replobj/internal/wire"
@@ -115,6 +117,13 @@ type Config struct {
 	// GCS carries the group communication knobs (failure detection etc.);
 	// Group/Self/Members/Send are filled in by the replica.
 	GCS gcs.Config
+	// Metrics, if non-nil, receives counters/gauges/histograms from the
+	// scheduler, the group member, and the replica itself.
+	Metrics *obs.Registry
+	// Trace, if non-nil, records the deterministic schedule trace
+	// (scheduler decisions plus the totally-ordered dispatch stream) whose
+	// rolling digests must agree across replicas.
+	Trace *obs.Trace
 }
 
 // Replica is one member of a replicated object group.
@@ -129,6 +138,12 @@ type Replica struct {
 	reent   *adets.Reentrancy
 	state   any
 	journal func(Request)
+
+	// Observability (all nil-safe; nil when disabled).
+	schedObs  *adets.SchedObs
+	trace     *obs.Trace
+	inflight  *obs.Gauge
+	cacheHits *obs.Counter
 
 	handlers map[string]Handler
 
@@ -179,13 +194,24 @@ func New(cfg Config) *Replica {
 	}
 	r.journal = cfg.Journal
 	r.ep = cfg.Network.Endpoint(cfg.Self)
+	r.trace = cfg.Trace
+	r.schedObs = adets.NewSchedObs(cfg.Metrics, cfg.Trace, cfg.Scheduler.Name(), string(cfg.Self))
+	if cfg.Metrics != nil {
+		label := `{node="` + string(cfg.Self) + `"}`
+		r.inflight = cfg.Metrics.Gauge("replobj_replica_invocations_in_flight" + label)
+		r.cacheHits = cfg.Metrics.Counter("replobj_replica_reply_cache_hits_total" + label)
+	}
 	g := cfg.GCS
 	g.Group = cfg.Group
 	g.Self = cfg.Self
 	g.Members = cfg.Directory.Members(cfg.Group)
 	g.Send = r.ep.Send
+	if g.Stats == nil {
+		g.Stats = gcs.NewStats(cfg.Metrics, string(cfg.Self))
+	}
 	r.member = gcs.NewMember(cfg.RT, g)
 	r.reent = adets.NewReentrancy(cfg.RT, cfg.Scheduler)
+	r.reent.SetObs(r.schedObs)
 	return r
 }
 
@@ -213,6 +239,7 @@ func (r *Replica) Start() {
 		BroadcastOrdered: func(id string, payload any) {
 			r.member.Broadcast(id, payload)
 		},
+		Obs: r.schedObs,
 	})
 	r.member.Start()
 	r.rt.Go("replica-recv/"+string(r.self), r.recvLoop)
@@ -254,6 +281,9 @@ func (r *Replica) dispatchLoop() {
 		if !ok {
 			return
 		}
+		// One event per totally-ordered delivery: position and id must agree
+		// across replicas, so the "order" stream digests are comparable.
+		r.trace.Record("order", obs.KindExec, d.ID, strconv.FormatUint(d.Seq, 10))
 		if d.NewView != nil {
 			r.sched.ViewChanged(*d.NewView)
 			if d.Payload == nil {
@@ -285,6 +315,7 @@ func (r *Replica) dispatchRequest(req Request) {
 	if r.seen[req.ID] {
 		cached, done := r.cache[req.ID]
 		r.rt.Unlock()
+		r.cacheHits.Inc()
 		if done {
 			r.sendReply(req, cached)
 		}
@@ -324,6 +355,8 @@ func (r *Replica) submitRequest(req Request, callback bool) {
 func (req Request) Logical() wire.LogicalID { return req.ID.Logical }
 
 func (r *Replica) execute(req Request, t *adets.Thread) {
+	r.inflight.Inc()
+	defer r.inflight.Dec()
 	inv := &Invocation{r: r, t: t, req: req}
 	var reply Reply
 	h, ok := r.handlers[req.Method]

@@ -58,6 +58,7 @@ type Inproc struct {
 	nodes   map[wire.NodeID]*inprocEndpoint
 	drop    DropFunc
 	crashed map[wire.NodeID]bool
+	stats   *Stats
 }
 
 var _ Network = (*Inproc)(nil)
@@ -90,6 +91,14 @@ func (n *Inproc) Endpoint(id wire.NodeID) Endpoint {
 	return ep
 }
 
+// SetStats installs st as the network's metric sink (nil disables). Shared
+// by all endpoints of this network.
+func (n *Inproc) SetStats(st *Stats) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = st
+}
+
 // SetDropRule installs f as the message-drop predicate (nil clears it).
 // Used by failure-injection tests to create partitions and lossy links.
 func (n *Inproc) SetDropRule(f DropFunc) {
@@ -117,8 +126,12 @@ func (n *Inproc) Restore(id wire.NodeID) {
 
 func (n *Inproc) send(from, to wire.NodeID, payload any) {
 	n.mu.Lock()
+	st := n.stats
 	if n.crashed[from] || n.crashed[to] || (n.drop != nil && n.drop(from, to)) {
 		n.mu.Unlock()
+		if st != nil {
+			st.Dropped.Inc()
+		}
 		return
 	}
 	d := n.latency(from, to)
@@ -126,6 +139,9 @@ func (n *Inproc) send(from, to wire.NodeID, payload any) {
 		d += time.Duration(n.rng.Int63n(int64(n.jitter)))
 	}
 	n.mu.Unlock()
+	if st != nil {
+		st.MsgsSent.Inc()
+	}
 
 	msg := wire.Message{From: from, To: to, Payload: payload}
 	n.rt.After(d, "deliver/"+string(to), func() {
@@ -134,7 +150,12 @@ func (n *Inproc) send(from, to wire.NodeID, payload any) {
 		dead := n.crashed[to]
 		n.mu.Unlock()
 		if ok && !dead {
+			if st != nil {
+				st.MsgsRecv.Inc()
+			}
 			dst.inbox.Put(msg)
+		} else if st != nil {
+			st.Dropped.Inc()
 		}
 	})
 }

@@ -1,0 +1,36 @@
+package transport
+
+import "github.com/replobj/replobj/internal/obs"
+
+// Stats collects network-level metrics for one network (shared across its
+// endpoints). A nil *Stats makes every recording a no-op — both field
+// access and counter methods are guarded — so instrumented paths cost
+// nothing when observability is off.
+type Stats struct {
+	MsgsSent  *obs.Counter
+	MsgsRecv  *obs.Counter
+	Dropped   *obs.Counter
+	Dials     *obs.Counter
+	ConnDrops *obs.Counter
+	BytesSent *obs.Counter
+	BytesRecv *obs.Counter
+}
+
+// NewStats builds the transport metric set in reg with the given label
+// value (typically the network kind: "inproc" or "tcp"). A nil registry
+// yields nil.
+func NewStats(reg *obs.Registry, label string) *Stats {
+	if reg == nil {
+		return nil
+	}
+	l := `{net="` + label + `"}`
+	return &Stats{
+		MsgsSent:  reg.Counter("replobj_transport_msgs_sent_total" + l),
+		MsgsRecv:  reg.Counter("replobj_transport_msgs_recv_total" + l),
+		Dropped:   reg.Counter("replobj_transport_msgs_dropped_total" + l),
+		Dials:     reg.Counter("replobj_transport_dials_total" + l),
+		ConnDrops: reg.Counter("replobj_transport_conn_drops_total" + l),
+		BytesSent: reg.Counter("replobj_transport_bytes_sent_total" + l),
+		BytesRecv: reg.Counter("replobj_transport_bytes_recv_total" + l),
+	}
+}

@@ -19,6 +19,7 @@ type TCPNetwork struct {
 	rt    vtime.Runtime
 	mu    sync.Mutex
 	addrs map[wire.NodeID]string
+	stats *Stats
 }
 
 var _ Network = (*TCPNetwork)(nil)
@@ -30,6 +31,51 @@ func NewTCP(rt vtime.Runtime, addrs map[wire.NodeID]string) *TCPNetwork {
 		cp[k] = v
 	}
 	return &TCPNetwork{rt: rt, addrs: cp}
+}
+
+// SetStats installs st as the network's metric sink (nil disables). Shared
+// by all endpoints of this network; set it before creating endpoints so
+// connections count their bytes from the start.
+func (n *TCPNetwork) SetStats(st *Stats) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = st
+}
+
+func (n *TCPNetwork) getStats() *Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// countingConn wraps a net.Conn to count bytes moved in each direction.
+type countingConn struct {
+	net.Conn
+	st *Stats
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.st.BytesRecv.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.st.BytesSent.Add(uint64(n))
+	}
+	return n, err
+}
+
+// wrapConn adds byte counting when stats are enabled.
+func (n *TCPNetwork) wrapConn(c net.Conn) net.Conn {
+	if st := n.getStats(); st != nil {
+		return &countingConn{Conn: c, st: st}
+	}
+	return c
 }
 
 // Register adds or replaces a node's address. Registration may happen
@@ -124,14 +170,20 @@ func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
 // are buffered briefly (see pending).
 func (e *TCPEndpoint) Send(to wire.NodeID, payload any) {
 	msg := wire.Message{From: e.id, To: to, Payload: payload}
+	st := e.net.getStats()
 	conn, err := e.connTo(to)
 	if err != nil {
 		const maxPending = 128
+		buffered := false
 		e.mu.Lock()
 		if !e.closed && len(e.pending[to]) < maxPending {
 			e.pending[to] = append(e.pending[to], msg)
+			buffered = true
 		}
 		e.mu.Unlock()
+		if !buffered && st != nil {
+			st.Dropped.Inc()
+		}
 		return
 	}
 	conn.mu.Lock()
@@ -139,6 +191,13 @@ func (e *TCPEndpoint) Send(to wire.NodeID, payload any) {
 	conn.mu.Unlock()
 	if err != nil {
 		e.dropConn(to, conn)
+		if st != nil {
+			st.Dropped.Inc()
+		}
+		return
+	}
+	if st != nil {
+		st.MsgsSent.Inc()
 	}
 }
 
@@ -183,10 +242,14 @@ func (e *TCPEndpoint) connTo(to wire.NodeID) (*tcpConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("transport: no address for node %q", to)
 	}
-	raw, err := net.Dial("tcp", addr)
+	dialed, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %q at %s: %w", to, addr, err)
 	}
+	if st := e.net.getStats(); st != nil {
+		st.Dials.Inc()
+	}
+	raw := e.net.wrapConn(dialed)
 	c := &tcpConn{c: raw, enc: wire.NewEncoder(raw)}
 
 	e.mu.Lock()
@@ -216,6 +279,9 @@ func (e *TCPEndpoint) dropConn(to wire.NodeID, c *tcpConn) {
 	}
 	e.mu.Unlock()
 	_ = c.c.Close()
+	if st := e.net.getStats(); st != nil {
+		st.ConnDrops.Inc()
+	}
 }
 
 func (e *TCPEndpoint) acceptLoop() {
@@ -224,11 +290,13 @@ func (e *TCPEndpoint) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		e.net.rt.Go("tcp-read/"+string(e.id), func() { e.readLoop(conn) })
+		wrapped := e.net.wrapConn(conn)
+		e.net.rt.Go("tcp-read/"+string(e.id), func() { e.readLoop(wrapped) })
 	}
 }
 
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	st := e.net.getStats()
 	dec := wire.NewDecoder(conn)
 	wrapped := &tcpConn{c: conn, enc: wire.NewEncoder(conn)}
 	learned := false
@@ -239,6 +307,9 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 				_ = conn.Close()
 			}
 			return
+		}
+		if st != nil {
+			st.MsgsRecv.Inc()
 		}
 		if !learned && m.From != "" {
 			// Remember the sender's connection so replies can travel back

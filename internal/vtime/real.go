@@ -24,6 +24,9 @@ func Real() *RealRuntime {
 // Now implements Runtime.
 func (rt *RealRuntime) Now() time.Duration { return time.Since(rt.start) }
 
+// NowLocked implements Runtime.
+func (rt *RealRuntime) NowLocked() time.Duration { return time.Since(rt.start) }
+
 // Go implements Runtime.
 func (rt *RealRuntime) Go(_ string, fn func()) { go fn() }
 

@@ -67,6 +67,9 @@ func (rt *VirtualRuntime) Now() time.Duration {
 	return rt.now
 }
 
+// NowLocked implements Runtime.
+func (rt *VirtualRuntime) NowLocked() time.Duration { return rt.now }
+
 // Go implements Runtime.
 func (rt *VirtualRuntime) Go(name string, fn func()) {
 	rt.mu.Lock()

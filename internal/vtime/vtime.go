@@ -36,6 +36,10 @@ type Runtime interface {
 	// Now returns the current time as an offset from the runtime's start.
 	Now() time.Duration
 
+	// NowLocked is Now for callers that already hold the runtime lock
+	// (schedulers timestamp scheduling decisions while updating state).
+	NowLocked() time.Duration
+
 	// Go spawns a tracked goroutine. The name is used in deadlock and
 	// diagnostic dumps. Must be called without the runtime lock held.
 	Go(name string, fn func())

@@ -49,6 +49,7 @@ import (
 	"github.com/replobj/replobj/internal/adets/sl"
 	"github.com/replobj/replobj/internal/client"
 	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/obs"
 	"github.com/replobj/replobj/internal/replica"
 	"github.com/replobj/replobj/internal/transport"
 	"github.com/replobj/replobj/internal/vtime"
@@ -77,7 +78,33 @@ type (
 	Request = replica.Request
 	// Capabilities is a scheduler's Table 1 row plus feature flags.
 	Capabilities = adets.Capabilities
+	// MetricsRegistry collects counters, gauges and latency histograms and
+	// renders them in Prometheus text format (see internal/obs).
+	MetricsRegistry = obs.Registry
+	// ScheduleTrace is the deterministic schedule-event log with rolling
+	// digests; equal digests at equal positions certify that two replicas
+	// took the same scheduling decisions.
+	ScheduleTrace = obs.Trace
+	// TraceDivergence describes the first position where two replicas'
+	// schedule traces disagree.
+	TraceDivergence = obs.Divergence
 )
+
+// NewMetricsRegistry returns an empty metrics registry, to be passed to
+// NewCluster via WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// FirstTraceDivergence compares two replicas' schedule traces and returns
+// the earliest position (over the common prefix of every shared stream)
+// where they disagree, or nil if the traces are consistent. This is the
+// correctness oracle for the deterministic schedulers: with identical
+// inputs, any non-nil result means replica state may have diverged.
+func FirstTraceDivergence(a, b *ScheduleTrace) *TraceDivergence {
+	if a == nil || b == nil {
+		return nil
+	}
+	return obs.FirstDivergence(a.Snapshot(), b.Snapshot())
+}
 
 // Reply policies re-exported from the client stub.
 const (
@@ -114,6 +141,7 @@ type clusterConfig struct {
 	jitter  time.Duration
 	seed    int64
 	network transport.Network
+	metrics *obs.Registry
 }
 
 // WithLatency sets the one-way message latency of the simulated LAN
@@ -134,6 +162,13 @@ func WithNetwork(n transport.Network) ClusterOption {
 	return func(c *clusterConfig) { c.network = n }
 }
 
+// WithMetrics attaches a metrics registry to the cluster: the transport,
+// every group member, every scheduler and every replica record into it.
+// Without it (the default) instrumentation is disabled and free.
+func WithMetrics(reg *MetricsRegistry) ClusterOption {
+	return func(c *clusterConfig) { c.metrics = reg }
+}
+
 // Cluster hosts replica groups and clients over one network.
 type Cluster struct {
 	rt      vtime.Runtime
@@ -142,6 +177,7 @@ type Cluster struct {
 	dir     *replica.Directory
 	groups  map[GroupID]*Group
 	clients []*client.Client
+	metrics *obs.Registry
 }
 
 // NewCluster builds a cluster on rt.
@@ -151,18 +187,32 @@ func NewCluster(rt vtime.Runtime, opts ...ClusterOption) *Cluster {
 		o(&cfg)
 	}
 	c := &Cluster{
-		rt:     rt,
-		dir:    replica.NewDirectory(),
-		groups: make(map[GroupID]*Group),
+		rt:      rt,
+		dir:     replica.NewDirectory(),
+		groups:  make(map[GroupID]*Group),
+		metrics: cfg.metrics,
 	}
 	if cfg.network != nil {
 		c.net = cfg.network
+		if cfg.metrics != nil {
+			// Custom networks opt in by exposing SetStats (TCPNetwork does).
+			if s, ok := cfg.network.(interface{ SetStats(*transport.Stats) }); ok {
+				label := "custom"
+				if _, tcp := cfg.network.(*transport.TCPNetwork); tcp {
+					label = "tcp"
+				}
+				s.SetStats(transport.NewStats(cfg.metrics, label))
+			}
+		}
 	} else {
 		iopts := []transport.InprocOption{transport.WithLatency(cfg.latency)}
 		if cfg.jitter > 0 {
 			iopts = append(iopts, transport.WithJitter(cfg.jitter, cfg.seed))
 		}
 		c.inproc = transport.NewInproc(rt, iopts...)
+		if cfg.metrics != nil {
+			c.inproc.SetStats(transport.NewStats(cfg.metrics, "inproc"))
+		}
 		c.net = c.inproc
 	}
 	return c
@@ -223,6 +273,7 @@ type groupConfig struct {
 	matYieldSet      bool
 	failureDetection bool
 	gcs              gcs.Config
+	traceRetain      int
 }
 
 // WithScheduler selects the scheduling strategy (default ADETS-SAT).
@@ -279,6 +330,19 @@ func WithFailureDetection(enabled bool) GroupOption {
 	return func(g *groupConfig) { g.failureDetection = enabled }
 }
 
+// WithSchedTrace enables the deterministic schedule trace on every replica
+// of the group, retaining the last retain events per stream (0 selects the
+// default). Retrieve traces with Group.Trace and compare them with
+// FirstTraceDivergence.
+func WithSchedTrace(retain int) GroupOption {
+	return func(g *groupConfig) {
+		if retain <= 0 {
+			retain = obs.DefaultRetain
+		}
+		g.traceRetain = retain
+	}
+}
+
 // WithGCSConfig overrides group communication tuning (heartbeat period,
 // suspicion threshold, retention).
 func WithGCSConfig(cfg gcs.Config) GroupOption {
@@ -296,6 +360,7 @@ type Group struct {
 	handlers map[string]Handler
 	replicas map[int]*replica.Replica
 	members  []NodeID
+	traces   map[int]*obs.Trace
 }
 
 // NewGroup creates a group of n replicas with the configured scheduler.
@@ -329,6 +394,7 @@ func (c *Cluster) NewGroup(name string, n int, opts ...GroupOption) (*Group, err
 		handlers: make(map[string]Handler),
 		replicas: make(map[int]*replica.Replica),
 		members:  members,
+		traces:   make(map[int]*obs.Trace),
 	}
 	c.groups[id] = g
 	return g, nil
@@ -408,6 +474,12 @@ func (g *Group) StartRank(rank int) {
 		Scheduler: sched,
 		State:     g.cfg.state,
 		GCS:       gcfg,
+		Metrics:   g.cluster.metrics,
+	}
+	if g.cfg.traceRetain > 0 {
+		tr := obs.NewTrace(g.cfg.traceRetain)
+		g.traces[rank] = tr
+		rcfg.Trace = tr
 	}
 	if rank == 0 {
 		rcfg.Journal = g.cfg.journal
@@ -434,6 +506,10 @@ func (g *Group) Members() []NodeID {
 
 // Replica returns the rank's locally running replica, or nil.
 func (g *Group) Replica(rank int) *replica.Replica { return g.replicas[rank] }
+
+// Trace returns the rank's schedule trace (nil unless the group was built
+// with WithSchedTrace and the rank was started).
+func (g *Group) Trace(rank int) *ScheduleTrace { return g.traces[rank] }
 
 // ClientOption configures a client stub.
 type ClientOption func(*client.Config)

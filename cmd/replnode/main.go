@@ -30,6 +30,7 @@ import (
 	"time"
 
 	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/faultnet"
 	"github.com/replobj/replobj/internal/obs"
 	"github.com/replobj/replobj/internal/transport"
 	"github.com/replobj/replobj/internal/vtime"
@@ -40,13 +41,15 @@ type counter struct{ value uint64 }
 
 func main() {
 	var (
-		group    = flag.String("group", "counter", "replica group name")
-		rank     = flag.Int("rank", 0, "this replica's rank (index into -addrs)")
-		addrs    = flag.String("addrs", "", "comma-separated host:port of all replicas, rank order")
-		sched    = flag.String("scheduler", "ADETS-MAT", "scheduling strategy (see replbench Table 1)")
-		fd       = flag.Bool("fd", true, "enable failure detection / view changes")
-		httpAddr = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. :7070)")
-		retain   = flag.Int("trace", obs.DefaultRetain, "schedule-trace events retained per stream (0 disables tracing)")
+		group        = flag.String("group", "counter", "replica group name")
+		rank         = flag.Int("rank", 0, "this replica's rank (index into -addrs)")
+		addrs        = flag.String("addrs", "", "comma-separated host:port of all replicas, rank order")
+		sched        = flag.String("scheduler", "ADETS-MAT", "scheduling strategy (see replbench Table 1)")
+		fd           = flag.Bool("fd", true, "enable failure detection / view changes")
+		httpAddr     = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. :7070)")
+		retain       = flag.Int("trace", obs.DefaultRetain, "schedule-trace events retained per stream (0 disables tracing)")
+		chaosProfile = flag.String("chaos-profile", "none", "fault-injection profile: none, mild or harsh")
+		chaosSeed    = flag.Int64("chaos-seed", 0, "fault-schedule seed (0 picks one; the resolved seed is printed at startup)")
 	)
 	flag.Parse()
 
@@ -61,7 +64,24 @@ func main() {
 	for i, a := range list {
 		registry[wire.ReplicaID(wire.GroupID(*group), i)] = strings.TrimSpace(a)
 	}
-	net := transport.NewTCP(rt, registry)
+	var net transport.Network = transport.NewTCP(rt, registry)
+
+	// Every run gets a seed so any failure is replayable; the fault layer is
+	// only interposed when a profile actually injects something.
+	prof, err := faultnet.ByName(*chaosProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replnode: %v\n", err)
+		os.Exit(2)
+	}
+	seed := *chaosSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	log.Printf("replnode: chaos profile %q seed %d (replay with -chaos-seed %d)",
+		*chaosProfile, seed, seed)
+	if !strings.EqualFold(*chaosProfile, "none") {
+		net = faultnet.New(rt, net, prof, seed)
+	}
 
 	metrics := replobj.NewMetricsRegistry()
 	copts := []replobj.ClusterOption{replobj.WithNetwork(net), replobj.WithMetrics(metrics)}

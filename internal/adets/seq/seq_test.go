@@ -1,0 +1,216 @@
+package seq
+
+import (
+	"testing"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// White-box tests of the SEQ baseline: strictly sequential execution in
+// delivery order, implicit mutual exclusion (Lock/Unlock are free and
+// reentrant), no condition-variable support, and the nested-invocation
+// blocking hazard of the S model (paper Section 2).
+
+func newBare() (*Scheduler, *vtime.VirtualRuntime) {
+	rt := vtime.Virtual()
+	s := New()
+	s.Start(adets.Env{
+		RT:               rt,
+		Self:             "g/0",
+		Peers:            []wire.NodeID{"g/0"},
+		SendPeer:         func(wire.NodeID, any) {},
+		BroadcastOrdered: func(string, any) {},
+	})
+	return s, rt
+}
+
+func TestSequentialGrantOrder(t *testing.T) {
+	s, rt := newBare()
+	defer rt.Stop()
+	var order []string
+	vtime.Run(rt, "main", func() {
+		running, max := 0, 0
+		done := vtime.NewMailbox[struct{}](rt, "done")
+		for i := 0; i < 5; i++ {
+			logical := wire.LogicalID(rune('a' + i))
+			s.Submit(adets.Request{
+				Logical: logical,
+				Exec: func(th *adets.Thread) {
+					// Lock is implicit: it must grant immediately in
+					// submission order because only one request runs.
+					if err := s.Lock(th, "m"); err != nil {
+						t.Errorf("Lock: %v", err)
+					}
+					rt.Lock()
+					running++
+					if running > max {
+						max = running
+					}
+					order = append(order, string(logical))
+					rt.Unlock()
+					rt.Sleep(10) // overlap window (virtual time)
+					rt.Lock()
+					running--
+					rt.Unlock()
+					if err := s.Unlock(th, "m"); err != nil {
+						t.Errorf("Unlock: %v", err)
+					}
+					done.Put(struct{}{})
+				},
+			})
+		}
+		for i := 0; i < 5; i++ {
+			done.Get()
+		}
+		if max != 1 {
+			t.Errorf("max concurrently running = %d, want 1 (sequential model)", max)
+		}
+		s.Stop()
+	})
+	want := []string{"a", "b", "c", "d", "e"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order[%d] = %q, want %q (delivery order)", i, order[i], want[i])
+		}
+	}
+}
+
+func TestLockIsImplicitAndReentrant(t *testing.T) {
+	s, rt := newBare()
+	defer rt.Stop()
+	vtime.Run(rt, "main", func() {
+		done := vtime.NewMailbox[struct{}](rt, "done")
+		s.Submit(adets.Request{
+			Logical: "a",
+			Exec: func(th *adets.Thread) {
+				// Re-acquiring the same mutex must not self-deadlock: SEQ's
+				// coordination is implicit, so nested Lock calls are free.
+				for i := 0; i < 3; i++ {
+					if err := s.Lock(th, "m"); err != nil {
+						t.Errorf("Lock #%d: %v", i, err)
+					}
+				}
+				for i := 0; i < 3; i++ {
+					if err := s.Unlock(th, "m"); err != nil {
+						t.Errorf("Unlock #%d: %v", i, err)
+					}
+				}
+				done.Put(struct{}{})
+			},
+		})
+		done.Get()
+		s.Stop()
+	})
+}
+
+// TestWaitUnsupportedDeterministically: SEQ has no condition variables — a
+// timed or untimed Wait must return ErrUnsupported immediately, without
+// arming any timer, no matter the timeout value. Object code relies on this
+// to fall back to polling (paper Section 5.5).
+func TestWaitUnsupportedDeterministically(t *testing.T) {
+	s, rt := newBare()
+	defer rt.Stop()
+	vtime.Run(rt, "main", func() {
+		done := vtime.NewMailbox[struct{}](rt, "done")
+		s.Submit(adets.Request{
+			Logical: "a",
+			Exec: func(th *adets.Thread) {
+				before := rt.Now()
+				for _, d := range []time.Duration{0, time.Millisecond, time.Hour} {
+					if fired, err := s.Wait(th, "m", "c", d); err != adets.ErrUnsupported || fired {
+						t.Errorf("Wait(%v) = (%v, %v), want (false, ErrUnsupported)", d, fired, err)
+					}
+				}
+				if err := s.Notify(th, "m", "c"); err != adets.ErrUnsupported {
+					t.Errorf("Notify = %v, want ErrUnsupported", err)
+				}
+				if err := s.NotifyAll(th, "m", "c"); err != adets.ErrUnsupported {
+					t.Errorf("NotifyAll = %v, want ErrUnsupported", err)
+				}
+				if rt.Now() != before {
+					t.Errorf("unsupported Wait advanced virtual time by %v", rt.Now()-before)
+				}
+				done.Put(struct{}{})
+			},
+		})
+		done.Get()
+		s.Stop()
+	})
+}
+
+// TestNestedInvocationBlocksQueue: with a single thread, a request blocked
+// in a nested invocation stalls every queued request until the reply
+// arrives — the S-model hazard that motivates the multithreaded strategies.
+func TestNestedInvocationBlocksQueue(t *testing.T) {
+	s, rt := newBare()
+	defer rt.Stop()
+	var order []string
+	vtime.Run(rt, "main", func() {
+		done := vtime.NewMailbox[struct{}](rt, "done")
+		var nested *adets.Thread
+		s.Submit(adets.Request{
+			Logical: "origin",
+			Exec: func(th *adets.Thread) {
+				rt.Lock()
+				order = append(order, "nested-start")
+				nested = th
+				rt.Unlock()
+				s.BeginNested(th) // blocks the only thread
+				rt.Lock()
+				order = append(order, "nested-end")
+				rt.Unlock()
+				done.Put(struct{}{})
+			},
+		})
+		s.Submit(adets.Request{
+			Logical: "queued",
+			Exec: func(*adets.Thread) {
+				rt.Lock()
+				order = append(order, "queued")
+				rt.Unlock()
+				done.Put(struct{}{})
+			},
+		})
+		rt.Sleep(1000)
+		rt.Lock()
+		got := append([]string(nil), order...)
+		rt.Unlock()
+		if len(got) != 1 || got[0] != "nested-start" {
+			t.Fatalf("while nested: order = %v, want [nested-start] only", got)
+		}
+		s.EndNested(nested) // the "reply" arrives
+		done.Get()
+		done.Get()
+		s.Stop()
+	})
+	want := []string{"nested-start", "nested-end", "queued"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order[%d] = %q, want %q", i, order[i], want[i])
+		}
+	}
+}
+
+func TestSubmitAfterStopIsNoop(t *testing.T) {
+	s, rt := newBare()
+	defer rt.Stop()
+	vtime.Run(rt, "main", func() {
+		done := vtime.NewMailbox[struct{}](rt, "done")
+		s.Submit(adets.Request{Logical: "a", Exec: func(*adets.Thread) { done.Put(struct{}{}) }})
+		done.Get()
+		s.Stop()
+		s.Submit(adets.Request{Logical: "late", Exec: func(*adets.Thread) {
+			t.Error("request executed after Stop")
+		}})
+		rt.Sleep(1000)
+	})
+}

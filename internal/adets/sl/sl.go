@@ -78,6 +78,10 @@ func (s *Scheduler) Submit(req adets.Request) {
 	s.queue = append(s.queue, req)
 	if s.worker == nil {
 		s.worker = s.reg.NewThread("sl-worker", "")
+		// Busy from birth: the worker drains the queue before it first
+		// parks, so a Submit racing with the spawn must not Unpark it — the
+		// stale permit would make a later BeginNested return early.
+		s.busy = true
 		w := s.worker
 		s.reg.Spawn(w, func() { s.loop(w) })
 		return

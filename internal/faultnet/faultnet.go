@@ -1,0 +1,412 @@
+// Package faultnet is a deterministic, seed-driven fault-injection layer
+// over any transport.Network — the chaos harness the trace-digest oracle
+// (internal/obs) is exercised against.
+//
+// Every fault decision is a pure function of (seed, src, dst, msgSeq),
+// where msgSeq is the per-link message counter: the n-th message sent from
+// src to dst always suffers the same fate under the same seed and profile.
+// A failing chaos run therefore replays exactly from its seed — the seed is
+// printed in every failure message, and the Oracle can be re-run offline
+// against a recorded decision log to prove the schedule identical.
+//
+// Injected faults (Profile selects rates and magnitudes):
+//
+//	drop        message silently discarded
+//	duplicate   delivered twice, the copy after a deterministic delay
+//	delay       delivered after extra deterministic latency
+//	reorder     held long enough for later messages on the link to overtake
+//	corrupt     discarded at the receiver boundary, modelling a checksum
+//	            failure; recovery is the receiver's NACK path (gcs)
+//	partition   the link drops everything for a deterministic number of
+//	            messages, then heals
+//
+// Crash-stop and crash-restart of whole nodes are test-script driven
+// (Crash/Restore), severing all links of the node at the wrapper level —
+// the node's goroutines starve exactly as a crashed process's peers would
+// observe. Manual per-link cuts (Partition/Heal) build asymmetric network
+// scenarios on top.
+package faultnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/replobj/replobj/internal/transport"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Action classifies the fate of one message.
+type Action uint8
+
+// Fault actions. PartitionStart both opens a partition episode on the link
+// and drops the deciding message (the first casualty); PartitionDrop marks
+// the follow-on losses until the episode's message budget is spent.
+const (
+	Pass Action = iota
+	Drop
+	Duplicate
+	Delay
+	Reorder
+	Corrupt
+	PartitionStart
+	PartitionDrop
+)
+
+func (a Action) String() string {
+	switch a {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "dup"
+	case Delay:
+		return "delay"
+	case Reorder:
+		return "reorder"
+	case Corrupt:
+		return "corrupt"
+	case PartitionStart:
+		return "partition-start"
+	case PartitionDrop:
+		return "partition-drop"
+	}
+	return "?"
+}
+
+// Decision is one recorded fault decision.
+type Decision struct {
+	From, To wire.NodeID
+	// Seq is the per-link message counter the decision was derived from.
+	Seq uint64
+	// Action is the injected fault (Pass for clean delivery).
+	Action Action
+	// Param carries the action's magnitude: delay in nanoseconds for
+	// Delay/Reorder/Duplicate, episode length in messages for
+	// PartitionStart, 0 otherwise.
+	Param uint64
+}
+
+func (d Decision) String() string {
+	return fmt.Sprintf("%s->%s #%d %s(%d)", d.From, d.To, d.Seq, d.Action, d.Param)
+}
+
+// --- deterministic decision oracle ---
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// finalize is the splitmix64 finalizer: turns the structured FNV hash into
+// uniformly distributed bits.
+func finalize(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// roll derives the raw entropy for message seq on a link.
+func roll(seed int64, from, to wire.NodeID, seq uint64) uint64 {
+	h := fnvU64(uint64(fnvOffset64), uint64(seed))
+	h = fnvString(h, string(from))
+	h ^= 0xfe
+	h *= fnvPrime64
+	h = fnvString(h, string(to))
+	h = fnvU64(h, seq)
+	return finalize(h)
+}
+
+type linkKey struct{ from, to wire.NodeID }
+
+type linkState struct {
+	next           uint64 // per-link message counter
+	partitionUntil uint64 // messages below this count are partition-dropped
+}
+
+// Oracle derives the deterministic fault schedule. It is the replayable
+// core of the network wrapper: feeding the same sequence of (from, to)
+// sends under the same seed and profile yields bit-identical decisions and
+// digest, which the chaos replay test asserts.
+type Oracle struct {
+	seed  int64
+	prof  Profile
+	links map[linkKey]*linkState
+
+	count  uint64
+	digest uint64
+}
+
+// NewOracle returns a fresh oracle for (seed, profile).
+func NewOracle(seed int64, prof Profile) *Oracle {
+	prof.applyDefaults()
+	return &Oracle{seed: seed, prof: prof, links: make(map[linkKey]*linkState), digest: fnvOffset64}
+}
+
+// Decide advances the link's message counter and returns the fault decision
+// for this message, folding it into the schedule digest.
+func (o *Oracle) Decide(from, to wire.NodeID) Decision {
+	k := linkKey{from, to}
+	ls := o.links[k]
+	if ls == nil {
+		ls = &linkState{}
+		o.links[k] = ls
+	}
+	seq := ls.next
+	ls.next++
+
+	d := Decision{From: from, To: to, Seq: seq}
+	if seq < ls.partitionUntil {
+		d.Action = PartitionDrop
+	} else {
+		h := roll(o.seed, from, to, seq)
+		band := h % 1000
+		entropy := finalize(h ^ 0x9e3779b97f4a7c15)
+		p := &o.prof
+		switch {
+		case band < p.acc(0):
+			d.Action = Drop
+		case band < p.acc(1):
+			d.Action = Duplicate
+			d.Param = uint64(p.delayFor(entropy))
+		case band < p.acc(2):
+			d.Action = Delay
+			d.Param = uint64(p.delayFor(entropy))
+		case band < p.acc(3):
+			d.Action = Reorder
+			d.Param = uint64(p.ReorderDelay)
+		case band < p.acc(4):
+			d.Action = Corrupt
+		case band < p.acc(5):
+			d.Action = PartitionStart
+			span := uint64(p.PartitionMinMsgs)
+			if p.PartitionMaxMsgs > p.PartitionMinMsgs {
+				span += entropy % uint64(p.PartitionMaxMsgs-p.PartitionMinMsgs+1)
+			}
+			d.Param = span
+			ls.partitionUntil = seq + span
+		default:
+			d.Action = Pass
+		}
+	}
+
+	h := fnvString(o.digest, string(from))
+	h = fnvString(h, string(to))
+	h = fnvU64(h, seq)
+	h ^= uint64(d.Action)
+	h *= fnvPrime64
+	h = fnvU64(h, d.Param)
+	o.digest = h
+	o.count++
+	return d
+}
+
+// Digest returns the number of decisions taken and the rolling digest over
+// all of them — equal digests at equal counts certify identical fault
+// schedules.
+func (o *Oracle) Digest() (count, digest uint64) { return o.count, o.digest }
+
+// --- the network wrapper ---
+
+// maxRecorded bounds the retained decision log (the digest always covers
+// the full history).
+const maxRecorded = 1 << 16
+
+// Network is a transport.Network that injects the oracle's fault schedule
+// into every Send. It is safe for concurrent use.
+type Network struct {
+	rt      vtime.Runtime
+	wrapped *transport.WrappedNetwork
+
+	mu        sync.Mutex
+	oracle    *Oracle
+	crashed   map[wire.NodeID]bool
+	cut       map[linkKey]bool
+	quiesced  bool
+	counts    Counts
+	decisions []Decision
+	truncated bool
+}
+
+var _ transport.Network = (*Network)(nil)
+
+// Counts aggregates injected faults per kind plus wrapper-level drops.
+type Counts struct {
+	Messages   uint64 // sends that reached the oracle
+	Dropped    uint64
+	Duplicated uint64
+	Delayed    uint64
+	Reordered  uint64
+	Corrupted  uint64
+	PartDrops  uint64 // messages lost inside partition episodes
+	Partitions uint64 // episodes started
+	Severed    uint64 // dropped by Crash / Partition switches (not the oracle)
+}
+
+// New wraps inner with a fault-injecting layer driven by (seed, profile).
+func New(rt vtime.Runtime, inner transport.Network, prof Profile, seed int64) *Network {
+	n := &Network{
+		rt:      rt,
+		oracle:  NewOracle(seed, prof),
+		crashed: make(map[wire.NodeID]bool),
+		cut:     make(map[linkKey]bool),
+	}
+	n.wrapped = transport.NewWrappedNetwork(inner, n.intercept)
+	return n
+}
+
+// Endpoint implements transport.Network.
+func (n *Network) Endpoint(id wire.NodeID) transport.Endpoint {
+	return n.wrapped.Endpoint(id)
+}
+
+// Seed returns the schedule seed (for failure messages).
+func (n *Network) Seed() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.oracle.seed
+}
+
+// Crash severs every link of id: all future messages to or from it are
+// dropped until Restore. The node's goroutines are not stopped — peers
+// observe exactly what a crashed process would produce: silence.
+func (n *Network) Crash(id wire.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Restore undoes Crash: the node rejoins the network (crash-restart; its
+// process state is whatever survived the isolation).
+func (n *Network) Restore(id wire.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// Partition cuts the a↔b link in both directions until Heal.
+func (n *Network) Partition(a, b wire.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[linkKey{a, b}] = true
+	n.cut[linkKey{b, a}] = true
+}
+
+// Heal undoes Partition for the a↔b link.
+func (n *Network) Heal(a, b wire.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, linkKey{a, b})
+	delete(n.cut, linkKey{b, a})
+}
+
+// Quiesce stops the oracle-driven fault injection (Pass for everything).
+// Crash and Partition switches stay in force. Chaos tests call this before
+// their final convergence-and-assert phase so surviving replicas can settle
+// on a clean network.
+func (n *Network) Quiesce() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.quiesced = true
+}
+
+// Counts returns a snapshot of the fault counters.
+func (n *Network) Counts() Counts {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counts
+}
+
+// Digest returns the oracle's decision count and rolling schedule digest.
+func (n *Network) Digest() (count, digest uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.oracle.Digest()
+}
+
+// Decisions returns the retained decision log (oldest first) and whether
+// earlier decisions were evicted.
+func (n *Network) Decisions() (log []Decision, truncated bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Decision(nil), n.decisions...), n.truncated
+}
+
+// intercept is the transport.WrappedNetwork hook: it decides each message's
+// fate. Returning true means the message was consumed here (dropped, or
+// forwarded by the fault actions below); false lets the wrapper forward it
+// untouched.
+func (n *Network) intercept(from, to wire.NodeID, payload any, forward func()) bool {
+	n.mu.Lock()
+	if n.crashed[from] || n.crashed[to] || n.cut[linkKey{from, to}] {
+		n.counts.Severed++
+		n.mu.Unlock()
+		return true
+	}
+	if n.quiesced {
+		n.mu.Unlock()
+		return false
+	}
+	d := n.oracle.Decide(from, to)
+	n.counts.Messages++
+	if len(n.decisions) < maxRecorded {
+		n.decisions = append(n.decisions, d)
+	} else {
+		n.truncated = true
+	}
+	switch d.Action {
+	case Drop:
+		n.counts.Dropped++
+	case Duplicate:
+		n.counts.Duplicated++
+	case Delay:
+		n.counts.Delayed++
+	case Reorder:
+		n.counts.Reordered++
+	case Corrupt:
+		n.counts.Corrupted++
+	case PartitionStart:
+		n.counts.Partitions++
+		n.counts.PartDrops++
+	case PartitionDrop:
+		n.counts.PartDrops++
+	}
+	n.mu.Unlock()
+
+	switch d.Action {
+	case Pass:
+		return false
+	case Drop, Corrupt, PartitionStart, PartitionDrop:
+		return true
+	case Duplicate:
+		forward()
+		n.rt.After(time.Duration(d.Param), "faultnet-dup/"+string(to), forward)
+		return true
+	case Delay, Reorder:
+		n.rt.After(time.Duration(d.Param), "faultnet-delay/"+string(to), forward)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,422 @@
+package faultnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/replobj/replobj/internal/transport"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+type ping struct{ N int }
+
+// pump forwards everything an endpoint receives into a mailbox so tests can
+// poll with timeouts without losing messages to abandoned readers.
+func pump(rt vtime.Runtime, e transport.Endpoint) *vtime.Mailbox[wire.Message] {
+	mb := vtime.NewMailbox[wire.Message](rt, "pump/"+string(e.ID()))
+	rt.Go("pump/"+string(e.ID()), func() {
+		for {
+			m, ok := e.Recv()
+			if !ok {
+				mb.Close()
+				return
+			}
+			mb.Put(m)
+		}
+	})
+	return mb
+}
+
+// oneBand returns a profile where every message draws the given action.
+func oneBand(a Action) Profile {
+	p := Profile{Name: "test"}
+	switch a {
+	case Drop:
+		p.DropPerMill = 1000
+	case Duplicate:
+		p.DupPerMill = 1000
+	case Delay:
+		p.DelayPerMill = 1000
+	case Reorder:
+		p.ReorderPerMill = 1000
+	case Corrupt:
+		p.CorruptPerMill = 1000
+	case PartitionStart:
+		p.PartitionPerMill = 1000
+	}
+	return p
+}
+
+// TestOracleDeterministicAndSeedSensitive: the same seed must reproduce the
+// identical decision sequence and digest; a different seed must not.
+func TestOracleDeterministicAndSeedSensitive(t *testing.T) {
+	links := []linkKey{{"a", "b"}, {"b", "a"}, {"a", "c"}, {"c", "b"}}
+	drive := func(seed int64) ([]Decision, uint64) {
+		o := NewOracle(seed, Harsh())
+		var ds []Decision
+		for i := 0; i < 400; i++ {
+			k := links[i%len(links)]
+			ds = append(ds, o.Decide(k.from, k.to))
+		}
+		_, dig := o.Digest()
+		return ds, dig
+	}
+	d1, dig1 := drive(7)
+	d2, dig2 := drive(7)
+	if dig1 != dig2 {
+		t.Fatalf("same seed produced digests %x vs %x", dig1, dig2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("decision %d differs under same seed: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+	_, dig3 := drive(8)
+	if dig3 == dig1 {
+		t.Fatalf("seeds 7 and 8 produced the same schedule digest %x", dig1)
+	}
+	// A non-degenerate profile must actually inject something in 400 draws.
+	var faults int
+	for _, d := range d1 {
+		if d.Action != Pass {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("harsh profile injected no faults in 400 messages")
+	}
+}
+
+// TestOracleReplayFromDecisionLog drives real traffic through a faulty
+// network, then replays the recorded (from, to) sequence through a fresh
+// oracle and asserts the fault schedule is reproduced bit-for-bit — the
+// property that makes a printed seed sufficient to replay a failure.
+func TestOracleReplayFromDecisionLog(t *testing.T) {
+	const seed = 12345
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	fn := New(rt, transport.NewInproc(rt), Harsh(), seed)
+	a := fn.Endpoint("a")
+	fn.Endpoint("b")
+	fn.Endpoint("c")
+	vtime.Run(rt, "main", func() {
+		for i := 0; i < 200; i++ {
+			a.Send("b", ping{N: i})
+			a.Send("c", ping{N: i})
+		}
+		rt.Sleep(50 * time.Millisecond)
+	})
+	log, truncated := fn.Decisions()
+	if truncated || len(log) == 0 {
+		t.Fatalf("decision log unusable: %d entries, truncated=%v", len(log), truncated)
+	}
+	replay := NewOracle(seed, Harsh())
+	for i, want := range log {
+		got := replay.Decide(want.From, want.To)
+		if got != want {
+			t.Fatalf("replay decision %d = %v, recorded %v (seed %d)", i, got, want, seed)
+		}
+	}
+	rc, rdig := replay.Digest()
+	lc, ldig := fn.Digest()
+	if rc != lc || rdig != ldig {
+		t.Fatalf("replay digest (%d, %x) != live digest (%d, %x) for seed %d", rc, rdig, lc, ldig, seed)
+	}
+}
+
+// TestDropAllProfile: a 100% drop band delivers nothing.
+func TestDropAllProfile(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	fn := New(rt, transport.NewInproc(rt), oneBand(Drop), 1)
+	a := fn.Endpoint("a")
+	b := fn.Endpoint("b")
+	vtime.Run(rt, "main", func() {
+		pb := pump(rt, b)
+		defer func() { a.Close(); b.Close() }()
+		for i := 0; i < 10; i++ {
+			a.Send("b", ping{N: i})
+		}
+		if m, ok, _ := pb.GetTimeout(20 * time.Millisecond); ok {
+			t.Errorf("drop-all delivered %+v", m)
+		}
+	})
+	if c := fn.Counts(); c.Dropped != 10 {
+		t.Errorf("Dropped = %d, want 10 (%+v)", c.Dropped, c)
+	}
+}
+
+// TestCorruptBehavesAsReceiverDiscard: corrupt messages never reach the
+// application (the receiver's checksum discard), counted separately from
+// plain drops.
+func TestCorruptBehavesAsReceiverDiscard(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	fn := New(rt, transport.NewInproc(rt), oneBand(Corrupt), 1)
+	a := fn.Endpoint("a")
+	b := fn.Endpoint("b")
+	vtime.Run(rt, "main", func() {
+		pb := pump(rt, b)
+		defer func() { a.Close(); b.Close() }()
+		for i := 0; i < 5; i++ {
+			a.Send("b", ping{N: i})
+		}
+		if m, ok, _ := pb.GetTimeout(20 * time.Millisecond); ok {
+			t.Errorf("corrupted message delivered: %+v", m)
+		}
+	})
+	if c := fn.Counts(); c.Corrupted != 5 || c.Dropped != 0 {
+		t.Errorf("counts = %+v, want Corrupted=5 Dropped=0", c)
+	}
+}
+
+// TestDuplicateDeliversTwice: each message arrives once at base latency and
+// once more after the deterministic duplicate delay.
+func TestDuplicateDeliversTwice(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	prof := oneBand(Duplicate)
+	prof.DelayMin, prof.DelayMax = 2*time.Millisecond, 2*time.Millisecond
+	fn := New(rt, transport.NewInproc(rt, transport.WithLatency(time.Millisecond)), prof, 1)
+	a := fn.Endpoint("a")
+	b := fn.Endpoint("b")
+	vtime.Run(rt, "main", func() {
+		pb := pump(rt, b)
+		defer func() { a.Close(); b.Close() }()
+		a.Send("b", ping{N: 7})
+		m1, ok1, _ := pb.GetTimeout(20 * time.Millisecond)
+		m2, ok2, _ := pb.GetTimeout(20 * time.Millisecond)
+		if !ok1 || !ok2 {
+			t.Fatalf("want 2 deliveries, got ok=%v/%v", ok1, ok2)
+		}
+		if m1.Payload.(ping).N != 7 || m2.Payload.(ping).N != 7 {
+			t.Errorf("payloads %+v / %+v", m1.Payload, m2.Payload)
+		}
+		// Copy trails the original by exactly the duplicate delay.
+		if now := rt.Now(); now != 3*time.Millisecond {
+			t.Errorf("second copy at %v, want 3ms (1ms latency + 2ms dup delay)", now)
+		}
+		if m, ok, _ := pb.GetTimeout(20 * time.Millisecond); ok {
+			t.Errorf("third delivery %+v", m)
+		}
+	})
+}
+
+// TestDelayAddsDeterministicLatency: delayed messages arrive at base latency
+// plus the profile's deterministic extra delay.
+func TestDelayAddsDeterministicLatency(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	prof := oneBand(Delay)
+	prof.DelayMin, prof.DelayMax = 3*time.Millisecond, 3*time.Millisecond
+	fn := New(rt, transport.NewInproc(rt, transport.WithLatency(time.Millisecond)), prof, 1)
+	a := fn.Endpoint("a")
+	b := fn.Endpoint("b")
+	vtime.Run(rt, "main", func() {
+		a.Send("b", ping{N: 1})
+		if _, ok := b.Recv(); !ok {
+			t.Fatal("closed")
+		}
+		if now := rt.Now(); now != 4*time.Millisecond {
+			t.Errorf("delivered at %v, want 4ms (3ms injected + 1ms latency)", now)
+		}
+	})
+}
+
+// TestReorderCausesOvertaking: a mixed profile must let unperturbed later
+// messages overtake reordered earlier ones, while still delivering all of
+// them exactly once.
+func TestReorderCausesOvertaking(t *testing.T) {
+	const n = 30
+	for seed := int64(1); seed <= 10; seed++ {
+		rt := vtime.Virtual()
+		prof := Profile{Name: "test", ReorderPerMill: 300, ReorderDelay: 5 * time.Millisecond}
+		fn := New(rt, transport.NewInproc(rt), prof, seed)
+		a := fn.Endpoint("a")
+		b := fn.Endpoint("b")
+		var got []int
+		vtime.Run(rt, "main", func() {
+			for i := 0; i < n; i++ {
+				a.Send("b", ping{N: i})
+			}
+			for i := 0; i < n; i++ {
+				m, ok := b.Recv()
+				if !ok {
+					t.Fatal("closed early")
+				}
+				got = append(got, m.Payload.(ping).N)
+			}
+		})
+		c := fn.Counts()
+		rt.Stop()
+		if c.Reordered == 0 || c.Reordered == n {
+			continue // degenerate draw for this seed; try the next
+		}
+		inOrder := true
+		seen := make(map[int]bool)
+		for i, v := range got {
+			if i > 0 && v < got[i-1] {
+				inOrder = false
+			}
+			if seen[v] {
+				t.Fatalf("seed %d: message %d delivered twice", seed, v)
+			}
+			seen[v] = true
+		}
+		if len(got) != n {
+			t.Fatalf("seed %d: delivered %d of %d", seed, len(got), n)
+		}
+		if inOrder {
+			t.Fatalf("seed %d: %d reordered messages yet delivery stayed in order: %v", seed, c.Reordered, got)
+		}
+		return // one demonstrating seed is enough
+	}
+	t.Fatal("no seed in 1..10 produced a partial reorder — bands broken?")
+}
+
+// TestPartitionEpisodesDropRuns: a partition-only profile opens an episode
+// on the first message and swallows the whole stream (each episode's end
+// immediately draws the next PartitionStart).
+func TestPartitionEpisodesDropRuns(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	fn := New(rt, transport.NewInproc(rt), oneBand(PartitionStart), 1)
+	a := fn.Endpoint("a")
+	b := fn.Endpoint("b")
+	vtime.Run(rt, "main", func() {
+		pb := pump(rt, b)
+		defer func() { a.Close(); b.Close() }()
+		for i := 0; i < 40; i++ {
+			a.Send("b", ping{N: i})
+		}
+		if m, ok, _ := pb.GetTimeout(20 * time.Millisecond); ok {
+			t.Errorf("partitioned link delivered %+v", m)
+		}
+	})
+	c := fn.Counts()
+	if c.Partitions == 0 {
+		t.Error("no partition episodes recorded")
+	}
+	if c.PartDrops != 40 {
+		t.Errorf("PartDrops = %d, want 40 (%+v)", c.PartDrops, c)
+	}
+}
+
+// TestCrashSeversAndRestoreHeals: Crash drops traffic in both directions
+// without consuming oracle decisions; Restore reconnects.
+func TestCrashSeversAndRestoreHeals(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	fn := New(rt, transport.NewInproc(rt), None(), 1)
+	a := fn.Endpoint("a")
+	b := fn.Endpoint("b")
+	vtime.Run(rt, "main", func() {
+		pa, pb := pump(rt, a), pump(rt, b)
+		defer func() { a.Close(); b.Close() }()
+		fn.Crash("b")
+		a.Send("b", ping{N: 1})
+		b.Send("a", ping{N: 2})
+		if m, ok, _ := pb.GetTimeout(10 * time.Millisecond); ok {
+			t.Errorf("crashed b received %+v", m)
+		}
+		if m, ok, _ := pa.GetTimeout(time.Millisecond); ok {
+			t.Errorf("a heard from crashed b: %+v", m)
+		}
+		fn.Restore("b")
+		a.Send("b", ping{N: 3})
+		m, ok, timedOut := pb.GetTimeout(10 * time.Millisecond)
+		if !ok || timedOut || m.Payload.(ping).N != 3 {
+			t.Errorf("after restore: got (%+v, %v, %v)", m, ok, timedOut)
+		}
+	})
+	c := fn.Counts()
+	if c.Severed != 2 {
+		t.Errorf("Severed = %d, want 2 (%+v)", c.Severed, c)
+	}
+	if c.Messages != 1 {
+		t.Errorf("oracle consumed %d decisions, want 1 (severed sends must not advance the schedule)", c.Messages)
+	}
+}
+
+// TestManualPartitionAndHeal: Partition cuts one link both ways while other
+// links stay up; Heal restores it.
+func TestManualPartitionAndHeal(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	fn := New(rt, transport.NewInproc(rt), None(), 1)
+	a := fn.Endpoint("a")
+	b := fn.Endpoint("b")
+	c := fn.Endpoint("c")
+	vtime.Run(rt, "main", func() {
+		pb, pc := pump(rt, b), pump(rt, c)
+		defer func() { a.Close(); b.Close(); c.Close() }()
+		fn.Partition("a", "b")
+		a.Send("b", ping{N: 1})
+		a.Send("c", ping{N: 2})
+		if m, ok, _ := pc.GetTimeout(10 * time.Millisecond); !ok || m.Payload.(ping).N != 2 {
+			t.Errorf("unpartitioned link a->c: got (%+v, %v)", m, ok)
+		}
+		if m, ok, _ := pb.GetTimeout(time.Millisecond); ok {
+			t.Errorf("partitioned link a->b delivered %+v", m)
+		}
+		fn.Heal("a", "b")
+		a.Send("b", ping{N: 3})
+		if m, ok, _ := pb.GetTimeout(10 * time.Millisecond); !ok || m.Payload.(ping).N != 3 {
+			t.Errorf("healed link: got (%+v, %v)", m, ok)
+		}
+		_ = b
+	})
+}
+
+// TestQuiesceStopsInjection: after Quiesce even a drop-all profile passes
+// everything, but explicit crash switches stay in force.
+func TestQuiesceStopsInjection(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	fn := New(rt, transport.NewInproc(rt), oneBand(Drop), 1)
+	a := fn.Endpoint("a")
+	b := fn.Endpoint("b")
+	c := fn.Endpoint("c")
+	vtime.Run(rt, "main", func() {
+		pb, pc := pump(rt, b), pump(rt, c)
+		defer func() { a.Close(); b.Close(); c.Close() }()
+		fn.Crash("c")
+		fn.Quiesce()
+		a.Send("b", ping{N: 1})
+		a.Send("c", ping{N: 2})
+		if m, ok, _ := pb.GetTimeout(10 * time.Millisecond); !ok || m.Payload.(ping).N != 1 {
+			t.Errorf("quiesced network: got (%+v, %v)", m, ok)
+		}
+		if m, ok, _ := pc.GetTimeout(time.Millisecond); ok {
+			t.Errorf("crashed c received %+v despite Quiesce", m)
+		}
+	})
+}
+
+// TestProfileByName resolves every published profile and rejects unknowns.
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"none", "mild", "harsh", "MILD"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if p.Name == "" {
+			t.Errorf("ByName(%q) returned unnamed profile", name)
+		}
+	}
+	if _, err := ByName("catastrophic"); err == nil {
+		t.Error("ByName accepted an unknown profile")
+	}
+}
+
+// TestProfileBandsWithinBudget guards the per-mill invariant: published
+// profiles must not over-allocate the single draw.
+func TestProfileBandsWithinBudget(t *testing.T) {
+	for name, f := range profiles {
+		p := f()
+		if sum := p.acc(5); sum > 1000 {
+			t.Errorf("profile %s allocates %d per-mill, budget is 1000", name, sum)
+		}
+	}
+}

@@ -111,11 +111,15 @@ type Nack struct {
 	Want  uint64
 }
 
-// Heartbeat is the failure-detector beacon.
+// Heartbeat is the failure-detector beacon. MaxSeq piggybacks the sender's
+// ordered-sequence frontier so a receiver that silently lost the tail of a
+// burst (no later traffic would ever open a gap) learns it is behind and
+// NACKs the sequencer.
 type Heartbeat struct {
-	Group wire.GroupID
-	From  wire.NodeID
-	Epoch uint64
+	Group  wire.GroupID
+	From   wire.NodeID
+	Epoch  uint64
+	MaxSeq uint64
 }
 
 // Propose announces a candidate next view after a suspicion.
@@ -189,6 +193,18 @@ type Config struct {
 	// SyncGrace bounds how long a new sequencer waits for SyncResps from
 	// members that stay silent (default 2×SuspectAfter).
 	SyncGrace time.Duration
+	// ResubmitAfter is how long a cached submit may stay unordered before
+	// the FD tick re-sends it to the sequencer (default 2×HeartbeatEvery).
+	// Repairs submits lost between a replica and the sequencer. Only active
+	// with FailureDetection.
+	ResubmitAfter time.Duration
+	// Quorum, when set, restricts the protocol to majority partitions: view
+	// proposals must retain a strict majority of the current view, and the
+	// sequencer suspends ordering while it cannot hear a majority. This
+	// trades the ability to shrink below a majority (cascading-crash
+	// tolerance) for split-brain safety under network partitions — an
+	// isolated minority can neither form its own view nor order messages.
+	Quorum bool
 
 	// LogRetain is how many ordered messages are kept for retransmission
 	// and view synchronization (default 4096).
@@ -207,6 +223,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.SyncGrace <= 0 {
 		c.SyncGrace = 2 * c.SuspectAfter
+	}
+	if c.ResubmitAfter <= 0 {
+		c.ResubmitAfter = 2 * c.HeartbeatEvery
 	}
 	if c.LogRetain <= 0 {
 		c.LogRetain = 4096

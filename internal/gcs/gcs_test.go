@@ -28,6 +28,12 @@ type harness struct {
 }
 
 func newHarness(n int, fd bool) *harness {
+	return newHarnessCfg(n, fd, nil)
+}
+
+// newHarnessCfg is newHarness with a per-member Config hook (applied before
+// defaulting, so explicit values stick).
+func newHarnessCfg(n int, fd bool, mutate func(*Config)) *harness {
 	rt := vtime.Virtual()
 	net := transport.NewInproc(rt)
 	h := &harness{rt: rt, net: net, group: "g"}
@@ -36,13 +42,17 @@ func newHarness(n int, fd bool) *harness {
 	}
 	for i := 0; i < n; i++ {
 		ep := net.Endpoint(h.ids[i])
-		m := NewMember(rt, Config{
+		cfg := Config{
 			Group:            h.group,
 			Self:             h.ids[i],
 			Members:          h.ids,
 			Send:             ep.Send,
 			FailureDetection: fd,
-		})
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		m := NewMember(rt, cfg)
 		h.members = append(h.members, m)
 		h.eps = append(h.eps, ep)
 		rt.Go("recv/"+string(h.ids[i]), func() {

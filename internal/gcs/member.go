@@ -32,9 +32,18 @@ type Member struct {
 	// Retained ordered messages for NACK retransmission and view sync.
 	log map[uint64]Ordered
 
-	// Submits seen but possibly not yet ordered; resubmitted on view change.
+	// Submits seen but possibly not yet ordered; resubmitted on view change
+	// and re-sent by the FD tick once stale (cacheAt records when each was
+	// last sent toward the sequencer).
 	submitCache map[string]Submit
 	cacheOrder  []string
+	cacheAt     map[string]time.Duration
+
+	// maxSeenEpoch is the highest view epoch observed in any protocol
+	// message. A sequencer whose installed epoch is below it has been
+	// superseded (e.g. it was partitioned away and deposed) and must not
+	// order messages until it catches up to the newer view.
+	maxSeenEpoch uint64
 
 	// Broadcast timestamps for self-originated ids, used to measure
 	// broadcast→deliver latency. Only populated when cfg.Stats is set.
@@ -64,6 +73,7 @@ func NewMember(rt vtime.Runtime, cfg Config) *Member {
 		pendingOrder: make(map[uint64]Ordered),
 		log:          make(map[uint64]Ordered),
 		submitCache:  make(map[string]Submit),
+		cacheAt:      make(map[string]time.Duration),
 		lastSeen:     make(map[wire.NodeID]time.Duration),
 	}
 }
@@ -163,14 +173,24 @@ func (m *Member) Handle(from wire.NodeID, payload any) bool {
 	case Submit:
 		m.handleSubmitLocked(p, &act)
 	case Ordered:
+		m.noteEpochLocked(p.Epoch)
 		m.handleOrderedLocked(p, &act)
 	case Nack:
 		m.handleNackLocked(p, &act)
 	case Heartbeat:
 		// touch already recorded liveness
+		m.noteEpochLocked(p.Epoch)
+		// Frontier check: a peer knows an ordered seq we never delivered and
+		// no later traffic will open the gap for us — ask the sequencer.
+		if m.installing == nil && p.Epoch == m.view.Epoch &&
+			p.MaxSeq >= m.nextDeliver && m.view.Sequencer() != m.cfg.Self {
+			act.send(m.view.Sequencer(), Nack{Group: m.cfg.Group, From: m.cfg.Self, Want: m.nextDeliver})
+		}
 	case Propose:
+		m.noteEpochLocked(p.View.Epoch)
 		m.adoptProposalLocked(p.View, &act)
 	case SyncReq:
+		m.noteEpochLocked(p.View.Epoch)
 		m.handleSyncReqLocked(p, &act)
 	case SyncResp:
 		m.handleSyncRespLocked(p, &act)
@@ -227,7 +247,45 @@ func (a *actions) do(send func(to wire.NodeID, payload any)) {
 // --- core paths ---
 
 func (m *Member) isSequencerLocked() bool {
-	return m.installing == nil && m.view.Sequencer() == m.cfg.Self
+	if m.installing != nil || m.view.Sequencer() != m.cfg.Self {
+		return false
+	}
+	if m.maxSeenEpoch > m.view.Epoch {
+		// A higher view exists somewhere (this node was deposed while
+		// unreachable, or a proposal it never saw is being installed):
+		// ordering now would fork the sequence space. Submits are cached and
+		// re-ordered once the newer view reaches us.
+		return false
+	}
+	return m.quorumOKLocked(m.rt.NowLocked())
+}
+
+func (m *Member) noteEpochLocked(e uint64) {
+	if e > m.maxSeenEpoch {
+		m.maxSeenEpoch = e
+	}
+}
+
+// quorumOKLocked reports whether this member currently hears a strict
+// majority of its view (itself included). Members never heard from count as
+// alive — the clock starts at the first FD tick. Always true without
+// cfg.Quorum.
+func (m *Member) quorumOKLocked(now time.Duration) bool {
+	if !m.cfg.Quorum || !m.cfg.FailureDetection || len(m.view.Members) <= 1 {
+		return true
+	}
+	alive := 0
+	for _, peer := range m.view.Members {
+		if peer == m.cfg.Self {
+			alive++
+			continue
+		}
+		seen, ok := m.lastSeen[peer]
+		if !ok || now-seen <= m.cfg.SuspectAfter {
+			alive++
+		}
+	}
+	return 2*alive > len(m.view.Members)
 }
 
 func (m *Member) handleSubmitLocked(sub Submit, act *actions) {
@@ -265,8 +323,11 @@ func (m *Member) handleSubmitLocked(sub Submit, act *actions) {
 	// Not the sequencer (or a view change is in progress): if this submit
 	// originated here, forward it to the sequencer. Submits from clients
 	// reach the sequencer directly, so those are only cached for potential
-	// resubmission after a view change.
-	if sub.Origin == m.cfg.Self && m.installing == nil {
+	// resubmission after a view change. A sequencer that is merely
+	// suspended (quorum lost, or superseded epoch seen) must not forward to
+	// itself — the cached submit is ordered once it resumes or a new view
+	// arrives.
+	if sub.Origin == m.cfg.Self && m.installing == nil && m.view.Sequencer() != m.cfg.Self {
 		act.send(m.view.Sequencer(), sub)
 	}
 }
@@ -337,6 +398,7 @@ func (m *Member) deliverLocked(o Ordered, act *actions) {
 		m.idToSeq[o.ID] = o.Seq
 	}
 	delete(m.submitCache, o.ID)
+	delete(m.cacheAt, o.ID)
 	if o.View == nil && o.Payload == nil {
 		return // gap filler ordered by a recovering sequencer
 	}
@@ -344,7 +406,12 @@ func (m *Member) deliverLocked(o Ordered, act *actions) {
 	if o.View != nil {
 		v := o.View.clone()
 		d.NewView = &v
+		// Enqueue before installing: if this member is the new sequencer,
+		// installViewLocked re-orders its cached submits, which delivers
+		// them recursively — the view event must precede them in the stream.
+		m.deliveries.PutLocked(d)
 		m.installViewLocked(v, act)
+		return
 	}
 	m.deliveries.PutLocked(d)
 }
@@ -417,11 +484,13 @@ func (m *Member) cacheSubmitLocked(sub Submit) {
 		return
 	}
 	m.submitCache[sub.ID] = sub
+	m.cacheAt[sub.ID] = m.rt.NowLocked()
 	m.cacheOrder = append(m.cacheOrder, sub.ID)
 	if len(m.cacheOrder) > maxTrackedIDs {
 		old := m.cacheOrder[0]
 		m.cacheOrder = m.cacheOrder[1:]
 		delete(m.submitCache, old)
+		delete(m.cacheAt, old)
 	}
 }
 

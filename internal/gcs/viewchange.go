@@ -28,7 +28,7 @@ func (m *Member) fdTick() {
 		m.rt.Unlock()
 		return
 	}
-	hb := Heartbeat{Group: m.cfg.Group, From: m.cfg.Self, Epoch: m.view.Epoch}
+	hb := Heartbeat{Group: m.cfg.Group, From: m.cfg.Self, Epoch: m.view.Epoch, MaxSeq: m.nextSeq - 1}
 	for _, peer := range m.view.Members {
 		if peer != m.cfg.Self {
 			act.send(peer, hb)
@@ -55,9 +55,34 @@ func (m *Member) fdTick() {
 	if st := m.cfg.Stats; st != nil {
 		st.Suspicions.Add(uint64(len(suspects)))
 	}
-	if len(suspects) > 0 && m.installing == nil && m.view.Contains(m.cfg.Self) {
-		members := rankSubset(m.view.Members, suspects)
-		if len(members) > 0 {
+	// Desired membership: the current view minus suspects, plus initial
+	// members outside the view that have been heard again recently (a
+	// crash-restarted or healed node) — the latter re-added at their
+	// original rank, proposed only by the sequencer to avoid proposal
+	// storms.
+	isSeq := m.installing == nil && m.view.Sequencer() == m.cfg.Self
+	rejoin := false
+	excluded := make(map[wire.NodeID]bool)
+	for _, peer := range m.cfg.Members {
+		if peer == m.cfg.Self {
+			continue
+		}
+		if m.view.Contains(peer) {
+			if suspects[peer] {
+				excluded[peer] = true
+			}
+			continue
+		}
+		seen, ok := m.lastSeen[peer]
+		if isSeq && ok && now-seen <= m.cfg.SuspectAfter {
+			rejoin = true
+		} else {
+			excluded[peer] = true
+		}
+	}
+	if (len(suspects) > 0 || rejoin) && m.installing == nil && m.view.Contains(m.cfg.Self) {
+		members := rankSubset(m.cfg.Members, excluded)
+		if len(members) > 0 && (!m.cfg.Quorum || 2*len(members) > len(m.view.Members)) {
 			next := View{Epoch: m.view.Epoch + 1, Members: members}
 			prop := Propose{Group: m.cfg.Group, From: m.cfg.Self, View: next}
 			for _, peer := range members {
@@ -66,6 +91,28 @@ func (m *Member) fdTick() {
 				}
 			}
 			m.adoptProposalLocked(next, &act)
+		}
+	}
+	// Re-send cached submits that have sat unordered for too long: either
+	// the submit never reached the sequencer or its Ordered never came
+	// back. The sequencer deduplicates by id, so resends are harmless; a
+	// suspended sequencer orders its own backlog here once it resumes.
+	if m.installing == nil {
+		for _, id := range m.cacheOrder {
+			sub, ok := m.submitCache[id]
+			if !ok || m.orderedIDs[id] {
+				continue
+			}
+			at, ok := m.cacheAt[id]
+			if !ok || now-at < m.cfg.ResubmitAfter {
+				continue
+			}
+			m.cacheAt[id] = now // refresh: one resend per ResubmitAfter
+			if m.isSequencerLocked() {
+				m.orderLocked(sub.ID, sub.Origin, sub.Payload, nil, &act)
+			} else if m.view.Sequencer() != m.cfg.Self {
+				act.send(m.view.Sequencer(), sub)
+			}
 		}
 	}
 	m.rt.Unlock()
@@ -88,6 +135,21 @@ func (m *Member) adoptProposalLocked(v View, act *actions) {
 	m.installing = &vv
 	m.syncResps = make(map[wire.NodeID]SyncResp)
 	if vv.Sequencer() != m.cfg.Self {
+		// The proposed sequencer may die before committing the view event,
+		// which would otherwise leave this member in the installing state
+		// forever (fdTick proposes nothing while installing). Abandon the
+		// install once the proposer has had ample time (its own sync grace
+		// plus delivery slack) so suspicion and re-proposal can resume.
+		epoch := vv.Epoch
+		m.syncTimer = m.rt.AfterLocked(2*m.cfg.SyncGrace, "gcs-installgrace/"+string(m.cfg.Self), func() {
+			m.rt.Lock()
+			if !m.stopped && m.installing != nil && m.installing.Epoch == epoch &&
+				m.installing.Sequencer() != m.cfg.Self {
+				m.installing = nil
+				m.syncResps = nil
+			}
+			m.rt.Unlock()
+		})
 		return
 	}
 	// New sequencer: collect tails from every proposed member.

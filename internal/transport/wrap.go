@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// WrappedNetwork layers a send interceptor over an existing Network. It is
+// the generic hook point for fault injection, traffic capture, or
+// rate-limiting wrappers: endpoints bind through to the inner network, and
+// every Send first passes the interceptor. A nil interceptor forwards
+// everything. The faultnet package builds its deterministic chaos transport
+// on this seam.
+type WrappedNetwork struct {
+	inner     Network
+	intercept func(from, to wire.NodeID, payload any, forward func()) bool
+}
+
+var _ Network = (*WrappedNetwork)(nil)
+
+// NewWrappedNetwork wraps inner. The interceptor receives each outbound
+// message plus a forward closure that performs the real send; it returns
+// true if it consumed the message (i.e. the wrapper must NOT forward it
+// itself — the interceptor either dropped it or called forward, possibly
+// several times or from a timer).
+func NewWrappedNetwork(inner Network, intercept func(from, to wire.NodeID, payload any, forward func()) bool) *WrappedNetwork {
+	return &WrappedNetwork{inner: inner, intercept: intercept}
+}
+
+// Endpoint implements Network.
+func (w *WrappedNetwork) Endpoint(id wire.NodeID) Endpoint {
+	return &wrappedEndpoint{net: w, inner: w.inner.Endpoint(id)}
+}
+
+// Inner returns the wrapped network (e.g. to reach Inproc's Crash switch).
+func (w *WrappedNetwork) Inner() Network { return w.inner }
+
+type wrappedEndpoint struct {
+	net   *WrappedNetwork
+	inner Endpoint
+}
+
+var _ Endpoint = (*wrappedEndpoint)(nil)
+
+func (e *wrappedEndpoint) ID() wire.NodeID { return e.inner.ID() }
+
+func (e *wrappedEndpoint) Send(to wire.NodeID, payload any) {
+	if e.net.intercept != nil {
+		consumed := e.net.intercept(e.inner.ID(), to, payload, func() {
+			e.inner.Send(to, payload)
+		})
+		if consumed {
+			return
+		}
+	}
+	e.inner.Send(to, payload)
+}
+
+func (e *wrappedEndpoint) Recv() (wire.Message, bool) { return e.inner.Recv() }
+
+func (e *wrappedEndpoint) Close() { e.inner.Close() }

@@ -165,6 +165,9 @@ func runSoak(t *testing.T, kind replobj.SchedulerKind, seed int64, lossy bool) {
 }
 
 func TestSoakAllSchedulers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
 	for _, kind := range replobj.Kinds() {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
@@ -176,6 +179,9 @@ func TestSoakAllSchedulers(t *testing.T) {
 }
 
 func TestSoakLossyNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
 	for _, kind := range []replobj.SchedulerKind{replobj.ADSAT, replobj.MAT, replobj.LSA} {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
@@ -189,6 +195,9 @@ func TestSoakLossyNetwork(t *testing.T) {
 // complete and survivors must agree. (For LSA this doubles as the leader
 // fail-over; for SAT it exercises the pure gcs fail-over path.)
 func TestSequencerCrashMidWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
 	for _, kind := range []replobj.SchedulerKind{replobj.ADSAT, replobj.MAT, replobj.LSA} {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {

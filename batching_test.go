@@ -1,0 +1,108 @@
+package replobj_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/vtime"
+)
+
+// TestScheduleDigestsAgreeWithBatching re-runs the cross-replica digest
+// oracle with sequencer submit batching fully enabled (MaxBatch > 1 and a
+// positive MaxBatchDelay, so concurrent submits really are packed into
+// multi-submit rounds). Receivers unpack batches into the identical total
+// order, so every deterministic scheduler must produce the same trace on
+// every replica — batching is a wire optimization, not a semantic change.
+func TestScheduleDigestsAgreeWithBatching(t *testing.T) {
+	for _, kind := range replobj.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			rt := vtime.Virtual()
+			c := replobj.NewCluster(rt)
+			g, err := c.NewGroup("log", 3, append(groupOptsFor(kind, 3),
+				replobj.WithGCSConfig(gcs.Config{
+					MaxBatch:      8,
+					MaxBatchDelay: 500 * time.Microsecond,
+				}),
+				replobj.WithSchedTrace(0),
+				replobj.WithState(func() any { return &applog{} }))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Register("append", func(inv *replobj.Invocation) ([]byte, error) {
+				st := inv.State().(*applog)
+				inv.Compute(time.Duration(inv.Args()[1]) * time.Millisecond)
+				if err := inv.Lock("log"); err != nil {
+					return nil, err
+				}
+				defer func() { _ = inv.Unlock("log") }()
+				st.entries = append(st.entries, inv.Args()[0])
+				return nil, nil
+			})
+			g.Register("dump", func(inv *replobj.Invocation) ([]byte, error) {
+				st := inv.State().(*applog)
+				if err := inv.Lock("log"); err != nil {
+					return nil, err
+				}
+				defer func() { _ = inv.Unlock("log") }()
+				return append([]byte(nil), st.entries...), nil
+			})
+			g.Start()
+			run(rt, c, func() {
+				done := vtime.NewMailbox[error](rt, "done")
+				for ci := 0; ci < 3; ci++ {
+					ci := ci
+					rt.Go("client", func() {
+						cl := c.NewClient(fmt.Sprintf("c%d", ci))
+						var err error
+						for i := 0; i < 4 && err == nil; i++ {
+							_, err = cl.Invoke("log", "append",
+								[]byte{byte(ci*10 + i), byte((ci + i) % 3)})
+						}
+						done.Put(err)
+					})
+				}
+				for i := 0; i < 3; i++ {
+					if err, _ := done.Get(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				reader := c.NewClient("reader")
+				replies, err := reader.InvokeAll("log", "dump", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var refState []byte
+				for i, node := range g.Members() {
+					rep := replies[node]
+					if rep.Err != "" {
+						t.Fatalf("%v: %s", node, rep.Err)
+					}
+					if i == 0 {
+						refState = rep.Result
+					} else if string(rep.Result) != string(refState) {
+						t.Errorf("state divergence: %v has %x, rank 0 has %x",
+							node, rep.Result, refState)
+					}
+				}
+				rt.Sleep(10 * time.Millisecond) // drain trailing scheduler traffic
+
+				ref := g.Trace(0)
+				if ref == nil {
+					t.Fatal("rank 0 has no trace despite WithSchedTrace")
+				}
+				if s, ok := ref.Snapshot()["order"]; !ok || s.Count == 0 {
+					t.Fatalf("rank 0 recorded no ordered deliveries: %+v", ref.Snapshot())
+				}
+				for rank := 1; rank < 3; rank++ {
+					if d := replobj.FirstTraceDivergence(ref, g.Trace(rank)); d != nil {
+						t.Errorf("rank 0 vs rank %d: %v", rank, d)
+					}
+				}
+			})
+		})
+	}
+}

@@ -7,6 +7,7 @@
 //	replbench -exp table1           # the algorithm property matrix
 //	replbench -n 200 -warmup 20     # larger sample sizes
 //	replbench -csv                  # machine-readable output
+//	replbench -json results.json    # full result tables + config + git SHA
 //
 // Experiments run on the virtual-time kernel: a full paper-scale sweep
 // takes seconds of host time and is reproducible run to run.
@@ -29,6 +30,7 @@ func main() {
 		n       = flag.Int("n", 60, "measured invocations per client")
 		warmup  = flag.Int("warmup", 5, "warm-up invocations per client (excluded)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = flag.String("json", "", "also write all results as JSON to this path")
 		latency = flag.Duration("latency", 600*time.Microsecond, "one-way network latency")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		metrics = flag.Bool("metrics", false, "collect cluster metrics and print a summary at the end")
@@ -71,6 +73,7 @@ func main() {
 		}
 	}
 
+	var collected []bench.Result
 	switch *exp {
 	case "table1":
 		fmt.Println("Table 1 — multithreading algorithms and their properties")
@@ -87,6 +90,7 @@ func main() {
 		for _, r := range results {
 			show(r)
 		}
+		collected = results
 	default:
 		fn, ok := exps[*exp]
 		if !ok {
@@ -99,5 +103,13 @@ func main() {
 			os.Exit(1)
 		}
 		show(r)
+		collected = []bench.Result{r}
+	}
+	if *jsonOut != "" {
+		if err := bench.WriteJSON(*jsonOut, cfg, collected); err != nil {
+			fmt.Fprintf(os.Stderr, "replbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 }

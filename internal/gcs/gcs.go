@@ -93,6 +93,14 @@ type Submit struct {
 }
 
 // Ordered is a sequenced message broadcast by the sequencer.
+//
+// Two wire forms exist. The single form carries one message: Seq, ID,
+// Origin, Payload (and View for in-stream view-change announcements). The
+// batch form — produced by sequencer-side submit batching — leaves those
+// blank and carries Batch instead: len(Batch) consecutively sequenced
+// messages, Batch[i] holding sequence number Seq+i. Receivers unpack a
+// batch into single messages immediately, so the retransmission log, NACK
+// recovery and view synchronization only ever see the single form.
 type Ordered struct {
 	Group   wire.GroupID
 	Epoch   uint64
@@ -102,6 +110,9 @@ type Ordered struct {
 	Payload any
 	// View is non-nil for in-stream view-change announcements.
 	View *View
+	// Batch, when non-empty, turns this message into one ordering round:
+	// submit i is assigned sequence number Seq+i.
+	Batch []Submit
 }
 
 // Nack requests retransmission of ordered messages starting at Want.
@@ -210,6 +221,19 @@ type Config struct {
 	// and view synchronization (default 4096).
 	LogRetain int
 
+	// MaxBatch caps how many submits the sequencer packs into one Ordered
+	// broadcast (default 64; 1 disables batching). Batching amortizes the
+	// per-broadcast fan-out — one wire message per round instead of one per
+	// submit — without changing the total order any member observes.
+	MaxBatch int
+	// MaxBatchDelay is how long the sequencer may hold a partially filled
+	// batch open waiting for more submits. The default 0 closes every
+	// batch at the end of the event that opened it, so isolated submits
+	// are ordered with unchanged latency and batching only coalesces
+	// submits that arrive together (e.g. a resubmit burst). A positive
+	// delay trades that latency for bigger rounds under sustained load.
+	MaxBatchDelay time.Duration
+
 	// Stats receives protocol metrics. May be nil (all recordings no-op).
 	Stats *Stats
 }
@@ -229,5 +253,8 @@ func (c *Config) applyDefaults() {
 	}
 	if c.LogRetain <= 0 {
 		c.LogRetain = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
 	}
 }

@@ -25,6 +25,12 @@ type Member struct {
 	idToSeq    map[string]uint64 // ordered id → sequence number (for resends)
 	idOrder    []string          // FIFO for pruning orderedIDs
 
+	// Sequencer-side submit batching (Config.MaxBatch/MaxBatchDelay):
+	// submits accepted but not yet broadcast. Flushed at the end of the
+	// event that opened the batch, when it fills, or when batchTimer fires.
+	batch      []Submit
+	batchTimer *vtime.Timer
+
 	// Delivery state.
 	nextDeliver  uint64
 	pendingOrder map[uint64]Ordered
@@ -89,11 +95,12 @@ func (m *Member) Start() {
 func (m *Member) Stop() {
 	m.rt.Lock()
 	m.stopped = true
-	fd, sy := m.fdTimer, m.syncTimer
-	m.fdTimer, m.syncTimer = nil, nil
+	fd, sy, bt := m.fdTimer, m.syncTimer, m.batchTimer
+	m.fdTimer, m.syncTimer, m.batchTimer = nil, nil, nil
 	m.rt.Unlock()
 	m.rt.StopTimer(fd)
 	m.rt.StopTimer(sy)
+	m.rt.StopTimer(bt)
 	m.deliveries.Close()
 }
 
@@ -128,6 +135,7 @@ func (m *Member) Broadcast(id string, payload any) {
 			m.noteSubmitLocked(id, m.rt.NowLocked())
 		}
 		m.handleSubmitLocked(sub, &act)
+		m.maybeFlushBatchLocked(&act)
 	}
 	m.rt.Unlock()
 	act.do(m.cfg.Send)
@@ -195,6 +203,7 @@ func (m *Member) Handle(from wire.NodeID, payload any) bool {
 	case SyncResp:
 		m.handleSyncRespLocked(p, &act)
 	}
+	m.maybeFlushBatchLocked(&act)
 	m.rt.Unlock()
 	act.do(m.cfg.Send)
 	return true
@@ -232,6 +241,9 @@ type outMsg struct {
 // go straight to the mailbox via PutLocked, preserving total order.
 type actions struct {
 	sends []outMsg
+	// nacked dedups gap NACKs within one lock section (see
+	// handleOrderedLocked).
+	nacked bool
 }
 
 func (a *actions) send(to wire.NodeID, payload any) {
@@ -317,7 +329,7 @@ func (m *Member) handleSubmitLocked(sub Submit, act *actions) {
 	}
 	m.cacheSubmitLocked(sub)
 	if m.isSequencerLocked() {
-		m.orderLocked(sub.ID, sub.Origin, sub.Payload, nil, act)
+		m.sequenceSubmitLocked(sub, act)
 		return
 	}
 	// Not the sequencer (or a view change is in progress): if this submit
@@ -330,6 +342,111 @@ func (m *Member) handleSubmitLocked(sub Submit, act *actions) {
 	if sub.Origin == m.cfg.Self && m.installing == nil && m.view.Sequencer() != m.cfg.Self {
 		act.send(m.view.Sequencer(), sub)
 	}
+}
+
+// sequenceSubmitLocked accepts a submit for ordering on the sequencer.
+// With batching enabled it joins the open batch — broadcast at the end of
+// the current event, when the batch fills, or when the delay timer fires —
+// otherwise it is ordered immediately.
+func (m *Member) sequenceSubmitLocked(sub Submit, act *actions) {
+	if m.cfg.MaxBatch <= 1 {
+		m.orderLocked(sub.ID, sub.Origin, sub.Payload, nil, act)
+		return
+	}
+	for i := range m.batch {
+		if m.batch[i].ID == sub.ID {
+			return // already waiting in the open batch
+		}
+	}
+	m.batch = append(m.batch, sub)
+	if len(m.batch) >= m.cfg.MaxBatch {
+		m.flushBatchLocked(act)
+	}
+}
+
+// maybeFlushBatchLocked closes the open batch at the end of a lock section
+// (immediate mode) or arms the delay timer. Every public entry point that
+// can grow the batch calls it before releasing the runtime lock, so in
+// immediate mode (MaxBatchDelay 0) a batch never outlives the event that
+// opened it and a lone submit is broadcast exactly as without batching.
+func (m *Member) maybeFlushBatchLocked(act *actions) {
+	if len(m.batch) == 0 {
+		return
+	}
+	if m.cfg.MaxBatchDelay <= 0 {
+		m.flushBatchLocked(act)
+		return
+	}
+	if m.batchTimer == nil {
+		m.batchTimer = m.rt.AfterLocked(m.cfg.MaxBatchDelay, "gcs-batch/"+string(m.cfg.Self), m.batchTick)
+	}
+}
+
+func (m *Member) batchTick() {
+	var act actions
+	m.rt.Lock()
+	if !m.stopped {
+		m.batchTimer = nil
+		m.flushBatchLocked(&act)
+	}
+	m.rt.Unlock()
+	act.do(m.cfg.Send)
+}
+
+// flushBatchLocked broadcasts the open batch as one ordering round:
+// a single Ordered carrying len(batch) submits, Batch[i] taking sequence
+// number Seq+i. Submits ordered since they were batched (by a view change
+// or resubmit race) are filtered out; if the member lost the sequencer role
+// while the batch was open the whole batch is dropped — every submit
+// survives in submitCache and the view-change/resubmit paths re-send them.
+func (m *Member) flushBatchLocked(act *actions) {
+	if t := m.batchTimer; t != nil {
+		m.batchTimer = nil
+		m.rt.StopTimerLocked(t)
+	}
+	batch := m.batch
+	m.batch = nil
+	if len(batch) == 0 {
+		return
+	}
+	if !m.isSequencerLocked() {
+		return
+	}
+	subs := batch[:0]
+	for _, sub := range batch {
+		if !m.orderedIDs[sub.ID] {
+			subs = append(subs, sub)
+		}
+	}
+	if len(subs) == 0 {
+		return
+	}
+	if len(subs) == 1 {
+		m.orderLocked(subs[0].ID, subs[0].Origin, subs[0].Payload, nil, act)
+		return
+	}
+	o := Ordered{
+		Group:  m.cfg.Group,
+		Epoch:  m.view.Epoch,
+		Seq:    m.nextSeq,
+		Origin: m.cfg.Self,
+		Batch:  subs,
+	}
+	m.nextSeq += uint64(len(subs))
+	for i, sub := range subs {
+		m.markOrderedIDLocked(sub.ID)
+		m.idToSeq[sub.ID] = o.Seq + uint64(i)
+	}
+	if st := m.cfg.Stats; st != nil {
+		st.Batches.Inc()
+		st.BatchedSubmits.Add(uint64(len(subs)))
+	}
+	for _, peer := range m.view.Members {
+		if peer != m.cfg.Self {
+			act.send(peer, o)
+		}
+	}
+	m.handleOrderedLocked(o, act)
 }
 
 // orderLocked assigns the next sequence number and broadcasts. Only the
@@ -361,6 +478,22 @@ func (m *Member) orderLocked(id string, origin wire.NodeID, payload any, view *V
 }
 
 func (m *Member) handleOrderedLocked(o Ordered, act *actions) {
+	if len(o.Batch) > 0 {
+		// A batched round: unpack into single messages immediately so the
+		// retransmission log, NACK recovery and view sync never see the
+		// batch form.
+		for i, sub := range o.Batch {
+			m.handleOrderedLocked(Ordered{
+				Group:   o.Group,
+				Epoch:   o.Epoch,
+				Seq:     o.Seq + uint64(i),
+				ID:      sub.ID,
+				Origin:  sub.Origin,
+				Payload: sub.Payload,
+			}, act)
+		}
+		return
+	}
 	if o.Seq < m.nextDeliver {
 		return // duplicate
 	}
@@ -378,7 +511,11 @@ func (m *Member) handleOrderedLocked(o Ordered, act *actions) {
 		m.nextDeliver++
 		m.deliverLocked(next, act)
 	}
-	if len(m.pendingOrder) > 0 {
+	if len(m.pendingOrder) > 0 && !act.nacked {
+		// One NACK per lock section: unpacking a batch that lands above the
+		// delivery frontier would otherwise request the same gap once per
+		// element.
+		act.nacked = true
 		act.send(m.view.Sequencer(), Nack{Group: m.cfg.Group, From: m.cfg.Self, Want: m.nextDeliver})
 	}
 }

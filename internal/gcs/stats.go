@@ -12,6 +12,10 @@ type Stats struct {
 	ViewChanges *obs.Counter
 	Heartbeats  *obs.Counter
 	Suspicions  *obs.Counter
+	// Batches counts multi-submit ordering rounds broadcast by this member
+	// as sequencer; BatchedSubmits counts the submits they carried.
+	Batches        *obs.Counter
+	BatchedSubmits *obs.Counter
 	// DeliverLatency measures broadcast-to-self-delivery time in seconds
 	// for messages this member originated.
 	DeliverLatency *obs.Histogram
@@ -31,6 +35,8 @@ func NewStats(reg *obs.Registry, node string) *Stats {
 		ViewChanges:    reg.Counter("replobj_gcs_view_changes_total" + label),
 		Heartbeats:     reg.Counter("replobj_gcs_heartbeats_sent_total" + label),
 		Suspicions:     reg.Counter("replobj_gcs_suspicions_total" + label),
+		Batches:        reg.Counter("replobj_gcs_batches_total" + label),
+		BatchedSubmits: reg.Counter("replobj_gcs_batched_submits_total" + label),
 		DeliverLatency: reg.Histogram("replobj_gcs_deliver_latency_seconds"+label, obs.LatencyBuckets()),
 	}
 }

@@ -109,12 +109,15 @@ func (m *Member) fdTick() {
 			}
 			m.cacheAt[id] = now // refresh: one resend per ResubmitAfter
 			if m.isSequencerLocked() {
-				m.orderLocked(sub.ID, sub.Origin, sub.Payload, nil, &act)
+				// A resubmit burst (e.g. a resumed sequencer ordering its
+				// backlog) is the batching sweet spot: one round for the lot.
+				m.sequenceSubmitLocked(sub, &act)
 			} else if m.view.Sequencer() != m.cfg.Self {
 				act.send(m.view.Sequencer(), sub)
 			}
 		}
 	}
+	m.maybeFlushBatchLocked(&act)
 	m.rt.Unlock()
 	act.do(m.cfg.Send)
 	m.scheduleFDTick()

@@ -1,0 +1,109 @@
+package replica
+
+import (
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Binary wire-codec fast paths for the invocation envelopes. Every client
+// invocation crosses the wire as a Request (inside a gcs.Submit, then again
+// inside the sequencer's gcs.Ordered) and returns as a Reply, so these two
+// types dominate payload bytes. Tags live in the 20–29 range assigned to
+// this package (see internal/wire/binary.go).
+
+const (
+	tagRequest = 20
+	tagReply   = 21
+)
+
+func init() {
+	wire.RegisterBinaryPayload(tagRequest, Request{},
+		func(b *wire.Buffer, v any) error {
+			q := v.(Request)
+			encInvocationID(b, q.ID)
+			b.String(string(q.Group))
+			b.String(q.Method)
+			b.Bytes(q.Args)
+			b.Byte(byte(q.Kind))
+			b.String(string(q.ReplyTo))
+			b.String(string(q.Origin))
+			return nil
+		},
+		func(r *wire.Reader) (any, error) {
+			var q Request
+			var err error
+			if q.ID, err = decInvocationID(r); err != nil {
+				return nil, err
+			}
+			s, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			q.Group = wire.GroupID(s)
+			if q.Method, err = r.String(); err != nil {
+				return nil, err
+			}
+			if q.Args, err = r.Bytes(); err != nil {
+				return nil, err
+			}
+			kind, err := r.Byte()
+			if err != nil {
+				return nil, err
+			}
+			q.Kind = RequestKind(kind)
+			if s, err = r.String(); err != nil {
+				return nil, err
+			}
+			q.ReplyTo = wire.NodeID(s)
+			if s, err = r.String(); err != nil {
+				return nil, err
+			}
+			q.Origin = wire.GroupID(s)
+			return q, nil
+		})
+	wire.RegisterBinaryPayload(tagReply, Reply{},
+		func(b *wire.Buffer, v any) error {
+			p := v.(Reply)
+			encInvocationID(b, p.ID)
+			b.String(string(p.From))
+			b.Bytes(p.Result)
+			b.String(p.Err)
+			return nil
+		},
+		func(r *wire.Reader) (any, error) {
+			var p Reply
+			var err error
+			if p.ID, err = decInvocationID(r); err != nil {
+				return nil, err
+			}
+			s, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			p.From = wire.NodeID(s)
+			if p.Result, err = r.Bytes(); err != nil {
+				return nil, err
+			}
+			if p.Err, err = r.String(); err != nil {
+				return nil, err
+			}
+			return p, nil
+		})
+}
+
+func encInvocationID(b *wire.Buffer, id wire.InvocationID) {
+	b.String(string(id.Logical))
+	b.Uvarint(id.Seq)
+}
+
+func decInvocationID(r *wire.Reader) (wire.InvocationID, error) {
+	var id wire.InvocationID
+	s, err := r.String()
+	if err != nil {
+		return id, err
+	}
+	id.Logical = wire.LogicalID(s)
+	if id.Seq, err = r.Uvarint(); err != nil {
+		return id, err
+	}
+	return id, nil
+}

@@ -10,7 +10,24 @@ import (
 
 type ping struct{ N int }
 
-func init() { wire.RegisterPayload(ping{}) }
+// ping gets a binary codec so the transport benchmarks exercise the same
+// fast path production payloads take; unregistered types would fall back to
+// per-frame gob and measure the codec fallback instead of the transport.
+func init() {
+	wire.RegisterPayload(ping{})
+	wire.RegisterBinaryPayload(100, ping{},
+		func(b *wire.Buffer, v any) error {
+			b.Uvarint(uint64(int64(v.(ping).N)))
+			return nil
+		},
+		func(r *wire.Reader) (any, error) {
+			n, err := r.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			return ping{N: int(int64(n))}, nil
+		})
+}
 
 // pump forwards everything an endpoint receives into a mailbox so tests can
 // poll with timeouts without losing messages to abandoned readers. The pump

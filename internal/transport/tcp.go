@@ -11,12 +11,29 @@ import (
 	"github.com/replobj/replobj/internal/wire"
 )
 
+// Per-connection send-path defaults. Both are tunable through TCPOptions;
+// EXPERIMENTS.md documents the trade-offs.
+const (
+	// defaultSendQueueDepth bounds the per-connection send queue. Send is
+	// best-effort: when the writer goroutine falls behind and the queue
+	// fills, further messages are dropped (and counted) rather than
+	// blocking the protocol layers.
+	defaultSendQueueDepth = 512
+	// defaultCoalesceBytes caps how many encoded bytes the writer
+	// goroutine accumulates before forcing a Flush, bounding both memory
+	// and the latency a frame can sit buffered behind a burst.
+	defaultCoalesceBytes = 64 << 10
+)
+
 // TCPNetwork is a Network over real TCP connections. Node addresses come
 // from a static registry, mirroring a deployment descriptor. It must be
 // used with vtime.Real(): connection reads block outside the virtual
 // kernel's knowledge, so it cannot participate in simulated time.
 type TCPNetwork struct {
-	rt    vtime.Runtime
+	rt             vtime.Runtime
+	sendQueueDepth int
+	coalesceBytes  int
+
 	mu    sync.Mutex
 	addrs map[wire.NodeID]string
 	stats *Stats
@@ -24,13 +41,45 @@ type TCPNetwork struct {
 
 var _ Network = (*TCPNetwork)(nil)
 
+// TCPOption tunes a TCPNetwork at construction time.
+type TCPOption func(*TCPNetwork)
+
+// WithSendQueueDepth sets the length of each connection's bounded send
+// queue (default 512 messages). Send enqueues without blocking; when the
+// queue is full the message is dropped and counted in Stats.Dropped.
+func WithSendQueueDepth(n int) TCPOption {
+	return func(t *TCPNetwork) { t.sendQueueDepth = n }
+}
+
+// WithCoalesceBytes sets the byte budget a connection's writer goroutine
+// coalesces into a single flush (default 64 KiB). Lower values trade
+// throughput for latency under sustained load.
+func WithCoalesceBytes(n int) TCPOption {
+	return func(t *TCPNetwork) { t.coalesceBytes = n }
+}
+
 // NewTCP returns a TCP network using the given node→address registry.
-func NewTCP(rt vtime.Runtime, addrs map[wire.NodeID]string) *TCPNetwork {
+func NewTCP(rt vtime.Runtime, addrs map[wire.NodeID]string, opts ...TCPOption) *TCPNetwork {
 	cp := make(map[wire.NodeID]string, len(addrs))
 	for k, v := range addrs {
 		cp[k] = v
 	}
-	return &TCPNetwork{rt: rt, addrs: cp}
+	n := &TCPNetwork{
+		rt:             rt,
+		addrs:          cp,
+		sendQueueDepth: defaultSendQueueDepth,
+		coalesceBytes:  defaultCoalesceBytes,
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	if n.sendQueueDepth < 1 {
+		n.sendQueueDepth = 1
+	}
+	if n.coalesceBytes < 1 {
+		n.coalesceBytes = 1
+	}
+	return n
 }
 
 // SetStats installs st as the network's metric sink (nil disables). Shared
@@ -153,10 +202,110 @@ type TCPEndpoint struct {
 
 var _ Endpoint = (*TCPEndpoint)(nil)
 
+// tcpConn pairs a socket with its bounded send queue. All writes go
+// through the queue to a dedicated writer goroutine (see writeLoop), so
+// protocol layers never block on — or interleave frames over — the socket.
 type tcpConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *wire.Encoder
+	c net.Conn
+	q chan wire.Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// enqueue offers m to the writer goroutine without blocking. It reports
+// false when the connection is shut down or the queue is full.
+func (c *tcpConn) enqueue(m wire.Message) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	select {
+	case c.q <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+// shutdown closes the socket and the send queue, releasing the writer
+// goroutine. Idempotent.
+func (c *tcpConn) shutdown() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.q)
+	c.mu.Unlock()
+	_ = c.c.Close()
+}
+
+// newConn registers a writer goroutine for raw and returns its queue
+// handle.
+func (e *TCPEndpoint) newConn(to wire.NodeID, raw net.Conn) *tcpConn {
+	c := &tcpConn{c: raw, q: make(chan wire.Message, e.net.sendQueueDepth)}
+	e.net.rt.Go("tcp-write/"+string(e.id)+"->"+string(to), func() { e.writeLoop(to, c) })
+	return c
+}
+
+// writeLoop drains the connection's send queue, coalescing every frame
+// already queued into a single Flush — one syscall per burst rather than
+// one per message. A frame never waits on future traffic: the loop flushes
+// as soon as the queue goes idle or the coalesce byte budget fills.
+// Messages count as sent only once their flush succeeds. On any encode or
+// flush error the connection is retired and everything still queued is
+// counted dropped.
+func (e *TCPEndpoint) writeLoop(to wire.NodeID, c *tcpConn) {
+	st := e.net.getStats()
+	enc := wire.NewEncoder(c.c)
+	for m := range c.q {
+		batch := 0 // frames encoded into the buffer, awaiting flush
+		lost := 0  // frames that failed to encode
+		err := enc.EncodeBuffered(&m)
+		if err != nil {
+			lost = 1
+		} else {
+			batch++
+		coalesce:
+			for enc.Buffered() < e.net.coalesceBytes {
+				select {
+				case m2, ok := <-c.q:
+					if !ok {
+						break coalesce
+					}
+					if err = enc.EncodeBuffered(&m2); err != nil {
+						lost = 1
+						break coalesce
+					}
+					batch++
+				default:
+					break coalesce // queue idle: flush what we have
+				}
+			}
+		}
+		if err == nil {
+			err = enc.Flush()
+		}
+		if err != nil {
+			if st != nil {
+				st.Dropped.Add(uint64(batch + lost))
+			}
+			e.dropConn(to, c)
+			for range c.q { // drained: shutdown closed the queue
+				if st != nil {
+					st.Dropped.Inc()
+				}
+			}
+			return
+		}
+		if st != nil {
+			st.MsgsSent.Add(uint64(batch))
+		}
+	}
+	_ = enc.Flush() // clean shutdown: best-effort final flush
 }
 
 // ID implements Endpoint.
@@ -165,9 +314,11 @@ func (e *TCPEndpoint) ID() wire.NodeID { return e.id }
 // Addr returns the actual listening address.
 func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
 
-// Send implements Endpoint: best-effort, drops on persistent connection
-// errors. Messages to nodes that are neither registered nor connected yet
-// are buffered briefly (see pending).
+// Send implements Endpoint: best-effort and non-blocking. The message is
+// handed to the connection's writer goroutine; if that queue is full or
+// the connection is gone, the message is dropped and counted. Messages to
+// nodes that are neither registered nor connected yet are buffered briefly
+// (see pending).
 func (e *TCPEndpoint) Send(to wire.NodeID, payload any) {
 	msg := wire.Message{From: e.id, To: to, Payload: payload}
 	st := e.net.getStats()
@@ -186,18 +337,8 @@ func (e *TCPEndpoint) Send(to wire.NodeID, payload any) {
 		}
 		return
 	}
-	conn.mu.Lock()
-	err = conn.enc.Encode(&msg)
-	conn.mu.Unlock()
-	if err != nil {
-		e.dropConn(to, conn)
-		if st != nil {
-			st.Dropped.Inc()
-		}
-		return
-	}
-	if st != nil {
-		st.MsgsSent.Inc()
+	if !conn.enqueue(msg) && st != nil {
+		st.Dropped.Inc()
 	}
 }
 
@@ -219,7 +360,7 @@ func (e *TCPEndpoint) Close() {
 	e.mu.Unlock()
 	_ = e.ln.Close()
 	for _, c := range conns {
-		_ = c.c.Close()
+		c.shutdown()
 	}
 	e.inbox.Close()
 }
@@ -250,7 +391,6 @@ func (e *TCPEndpoint) connTo(to wire.NodeID) (*tcpConn, error) {
 		st.Dials.Inc()
 	}
 	raw := e.net.wrapConn(dialed)
-	c := &tcpConn{c: raw, enc: wire.NewEncoder(raw)}
 
 	e.mu.Lock()
 	if e.closed {
@@ -263,6 +403,7 @@ func (e *TCPEndpoint) connTo(to wire.NodeID) (*tcpConn, error) {
 		_ = raw.Close()
 		return existing, nil
 	}
+	c := e.newConn(to, raw)
 	e.conns[to] = c
 	e.mu.Unlock()
 
@@ -278,7 +419,7 @@ func (e *TCPEndpoint) dropConn(to wire.NodeID, c *tcpConn) {
 		delete(e.conns, to)
 	}
 	e.mu.Unlock()
-	_ = c.c.Close()
+	c.shutdown()
 	if st := e.net.getStats(); st != nil {
 		st.ConnDrops.Inc()
 	}
@@ -298,7 +439,6 @@ func (e *TCPEndpoint) acceptLoop() {
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	st := e.net.getStats()
 	dec := wire.NewDecoder(conn)
-	wrapped := &tcpConn{c: conn, enc: wire.NewEncoder(conn)}
 	learned := false
 	for {
 		var m wire.Message
@@ -315,21 +455,23 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 			// Remember the sender's connection so replies can travel back
 			// over it — this is how replicas answer clients that have no
 			// entry in the static address registry — and flush anything
-			// buffered for that sender.
+			// buffered for that sender through the normal send queue, so
+			// flushed messages get the same stats accounting as Send.
 			learned = true
 			e.mu.Lock()
-			if _, exists := e.conns[m.From]; !exists && !e.closed {
-				e.conns[m.From] = wrapped
+			target, exists := e.conns[m.From]
+			if !exists && !e.closed {
+				target = e.newConn(m.From, conn)
+				e.conns[m.From] = target
 			}
 			flush := e.pending[m.From]
 			delete(e.pending, m.From)
 			e.mu.Unlock()
 			for i := range flush {
-				wrapped.mu.Lock()
-				err := wrapped.enc.Encode(&flush[i])
-				wrapped.mu.Unlock()
-				if err != nil {
-					break
+				if target == nil || !target.enqueue(flush[i]) {
+					if st != nil {
+						st.Dropped.Inc()
+					}
 				}
 			}
 		}

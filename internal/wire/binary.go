@@ -1,0 +1,427 @@
+package wire
+
+// This file implements the self-describing binary fast path of the codec.
+//
+// Frame layout (see codec.go for the stream framing):
+//
+//	frame := uvarint(len(body)) body
+//	body  := uvarint(tag) rest
+//
+//	tag 0 (gob):  rest = one self-contained gob stream encoding the whole
+//	              Message — the fallback for payload types without a
+//	              registered binary codec.
+//	tag 1 (nil):  rest = string(From) string(To); the payload is nil.
+//	tag >= 8:     rest = string(From) string(To) payload, where the payload
+//	              encoding is owned by the codec registered for the tag.
+//
+// Primitive encodings: uvarint is encoding/binary's unsigned varint,
+// required to be minimal-length; string and byte-slice are uvarint(len)
+// followed by the raw bytes; bool is a single 0/1 byte. The decoder rejects
+// non-minimal varints, out-of-range bools and trailing bytes, so every
+// decodable binary frame re-encodes to the identical byte string — the
+// property the differential fuzzer pins down.
+//
+// Nested payloads (the Payload any fields of gcs.Submit and gcs.Ordered)
+// recurse with the same tagging through Buffer.Any / Reader.Any; an
+// unregistered nested payload becomes a length-prefixed gob blob without
+// forcing the enclosing message off the fast path.
+//
+// Tag ranges are assigned statically so both ends of a connection agree
+// without negotiation:
+//
+//	 0– 7  reserved (gob fallback, nil payload)
+//	10–19  internal/gcs
+//	20–29  internal/replica
+//	30–39  internal/adets (schedulers)
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+const (
+	tagGob uint64 = 0
+	tagNil uint64 = 1
+	// TagUserMin is the lowest tag value available to payload codecs.
+	TagUserMin uint64 = 8
+)
+
+type binaryCodec struct {
+	tag uint64
+	typ reflect.Type
+	enc func(*Buffer, any) error
+	dec func(*Reader) (any, error)
+}
+
+var (
+	binByType = map[reflect.Type]*binaryCodec{}
+	binByTag  = map[uint64]*binaryCodec{}
+)
+
+// RegisterBinaryPayload installs a binary fast-path codec for the payload
+// type of prototype under the given tag. Call it from an init function
+// (registration is not synchronized); duplicate tags or types panic. enc
+// receives a value of exactly prototype's type; dec must consume exactly
+// the bytes enc produced. Types without a binary codec still travel via the
+// gob fallback — RegisterPayload remains the minimum requirement.
+func RegisterBinaryPayload(tag uint64, prototype any, enc func(*Buffer, any) error, dec func(*Reader) (any, error)) {
+	if tag < TagUserMin {
+		panic(fmt.Sprintf("wire: binary payload tag %d is reserved", tag))
+	}
+	t := reflect.TypeOf(prototype)
+	if _, dup := binByTag[tag]; dup {
+		panic(fmt.Sprintf("wire: binary payload tag %d registered twice", tag))
+	}
+	if _, dup := binByType[t]; dup {
+		panic(fmt.Sprintf("wire: binary payload type %v registered twice", t))
+	}
+	c := &binaryCodec{tag: tag, typ: t, enc: enc, dec: dec}
+	binByTag[tag] = c
+	binByType[t] = c
+}
+
+// HasBinaryCodec reports whether v's type has a registered binary fast
+// path (nil counts: it has a dedicated tag).
+func HasBinaryCodec(v any) bool {
+	if v == nil {
+		return true
+	}
+	_, ok := binByType[reflect.TypeOf(v)]
+	return ok
+}
+
+// uvarintLen returns the number of bytes of the minimal uvarint encoding.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// --- encode side ---
+
+// Buffer accumulates the binary encoding of one frame body. Buffers are
+// pooled; obtain them through the codec entry points, not directly.
+type Buffer struct {
+	b []byte
+}
+
+var bufferPool = sync.Pool{New: func() any { return &Buffer{b: make([]byte, 0, 512)} }}
+
+func getBuffer() *Buffer {
+	b := bufferPool.Get().(*Buffer)
+	b.b = b.b[:0]
+	return b
+}
+
+func putBuffer(b *Buffer) {
+	if cap(b.b) > maxPooledBuf {
+		return // let oversized one-off frames be collected
+	}
+	bufferPool.Put(b)
+}
+
+// maxPooledBuf bounds the capacity of buffers returned to the pool so one
+// huge frame does not pin its allocation forever.
+const maxPooledBuf = 1 << 20
+
+// Write implements io.Writer (gob fallback encodes straight into the
+// frame buffer).
+func (b *Buffer) Write(p []byte) (int, error) {
+	b.b = append(b.b, p...)
+	return len(p), nil
+}
+
+// Uvarint appends v as a minimal unsigned varint.
+func (b *Buffer) Uvarint(v uint64) {
+	b.b = binary.AppendUvarint(b.b, v)
+}
+
+// String appends a length-prefixed string.
+func (b *Buffer) String(s string) {
+	b.b = binary.AppendUvarint(b.b, uint64(len(s)))
+	b.b = append(b.b, s...)
+}
+
+// Bytes appends a length-prefixed byte slice (nil and empty encode
+// identically, like gob).
+func (b *Buffer) Bytes(p []byte) {
+	b.b = binary.AppendUvarint(b.b, uint64(len(p)))
+	b.b = append(b.b, p...)
+}
+
+// Byte appends one raw byte.
+func (b *Buffer) Byte(c byte) {
+	b.b = append(b.b, c)
+}
+
+// Bool appends a bool as one 0/1 byte.
+func (b *Buffer) Bool(v bool) {
+	if v {
+		b.b = append(b.b, 1)
+	} else {
+		b.b = append(b.b, 0)
+	}
+}
+
+// Any appends a nested payload: its tag, then its encoding. Unregistered
+// payloads become a length-prefixed self-contained gob blob.
+func (b *Buffer) Any(v any) error {
+	if v == nil {
+		b.Uvarint(tagNil)
+		return nil
+	}
+	if c, ok := binByType[reflect.TypeOf(v)]; ok {
+		b.Uvarint(c.tag)
+		return c.enc(b, v)
+	}
+	b.Uvarint(tagGob)
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(&v); err != nil {
+		return fmt.Errorf("wire: gob-encode nested %T: %w", v, err)
+	}
+	b.Bytes(blob.Bytes())
+	return nil
+}
+
+// appendBody encodes m's frame body (everything after the length header).
+func appendBody(b *Buffer, m *Message) error {
+	if m.Payload == nil {
+		b.Uvarint(tagNil)
+		b.String(string(m.From))
+		b.String(string(m.To))
+		return nil
+	}
+	c, ok := binByType[reflect.TypeOf(m.Payload)]
+	if !ok {
+		b.Uvarint(tagGob)
+		if err := gob.NewEncoder(b).Encode(m); err != nil {
+			return fmt.Errorf("wire: gob-encode message with %T payload: %w", m.Payload, err)
+		}
+		return nil
+	}
+	b.Uvarint(c.tag)
+	b.String(string(m.From))
+	b.String(string(m.To))
+	return c.enc(b, m.Payload)
+}
+
+// AppendMessage appends one complete encoded frame for m to dst and
+// returns the extended slice. It is the allocation-free core the stream
+// Encoder, the benchmarks and the batching layer share.
+func AppendMessage(dst []byte, m *Message) ([]byte, error) {
+	body := getBuffer()
+	defer putBuffer(body)
+	if err := appendBody(body, m); err != nil {
+		return dst, err
+	}
+	if len(body.b) > maxFrame {
+		return dst, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body.b))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(body.b)))
+	return append(dst, body.b...), nil
+}
+
+// AppendMessageGob is AppendMessage with the binary fast path disabled:
+// the frame always takes the gob fallback. It exists for the codec
+// benchmarks and the differential fuzzer, which compare the two paths.
+func AppendMessageGob(dst []byte, m *Message) ([]byte, error) {
+	body := getBuffer()
+	defer putBuffer(body)
+	body.Uvarint(tagGob)
+	if err := gob.NewEncoder(body).Encode(m); err != nil {
+		return dst, fmt.Errorf("wire: gob-encode message: %w", err)
+	}
+	if len(body.b) > maxFrame {
+		return dst, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body.b))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(body.b)))
+	return append(dst, body.b...), nil
+}
+
+// --- decode side ---
+
+// Reader decodes the binary encoding of one frame body. All reads are
+// bounds-checked; any violation poisons the decode with an error.
+type Reader struct {
+	b      []byte
+	off    int
+	sawGob bool // a gob fallback was taken somewhere in this frame
+}
+
+// Remaining returns the number of unread bytes left in the frame.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// Uvarint reads a minimal unsigned varint.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated or overlong varint at offset %d", r.off)
+	}
+	if n != uvarintLen(v) {
+		return 0, fmt.Errorf("wire: non-minimal varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() (string, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.Remaining()) {
+		return "", fmt.Errorf("wire: string of %d bytes exceeds remaining %d", n, r.Remaining())
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// Bytes reads a length-prefixed byte slice. The result is a copy, never an
+// alias of the (pooled) frame buffer; zero length decodes as nil.
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("wire: byte slice of %d bytes exceeds remaining %d", n, r.Remaining())
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	p := make([]byte, n)
+	copy(p, r.b[r.off:])
+	r.off += int(n)
+	return p, nil
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() (byte, error) {
+	if r.Remaining() < 1 {
+		return 0, fmt.Errorf("wire: unexpected end of frame at offset %d", r.off)
+	}
+	c := r.b[r.off]
+	r.off++
+	return c, nil
+}
+
+// Bool reads a 0/1 byte.
+func (r *Reader) Bool() (bool, error) {
+	c, err := r.Byte()
+	if err != nil {
+		return false, err
+	}
+	switch c {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("wire: invalid bool byte %#x", c)
+}
+
+// Any reads a nested payload written by Buffer.Any.
+func (r *Reader) Any() (any, error) {
+	tag, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagNil:
+		return nil, nil
+	case tagGob:
+		r.sawGob = true
+		blob, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		var v any
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&v); err != nil {
+			return nil, fmt.Errorf("wire: gob-decode nested payload: %w", err)
+		}
+		return v, nil
+	}
+	c, ok := binByTag[tag]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown nested payload tag %d", tag)
+	}
+	return c.dec(r)
+}
+
+// parseBody decodes one frame body. It reports (via binaryClean) whether
+// the whole frame took the binary fast path — no gob fallback at any
+// nesting level — which is when byte-identical re-encoding is guaranteed.
+func parseBody(data []byte, m *Message) (binaryClean bool, err error) {
+	r := &Reader{b: data}
+	tag, err := r.Uvarint()
+	if err != nil {
+		return false, err
+	}
+	if tag == tagGob {
+		if err := gob.NewDecoder(bytes.NewReader(data[r.off:])).Decode(m); err != nil {
+			return false, fmt.Errorf("wire: decode message: %w", err)
+		}
+		return false, nil
+	}
+	from, err := r.String()
+	if err != nil {
+		return false, err
+	}
+	to, err := r.String()
+	if err != nil {
+		return false, err
+	}
+	var payload any
+	if tag != tagNil {
+		c, ok := binByTag[tag]
+		if !ok {
+			return false, fmt.Errorf("wire: unknown payload tag %d", tag)
+		}
+		payload, err = c.dec(r)
+		if err != nil {
+			return false, err
+		}
+	}
+	if r.Remaining() != 0 {
+		return false, fmt.Errorf("wire: %d trailing bytes after payload", r.Remaining())
+	}
+	m.From = NodeID(from)
+	m.To = NodeID(to)
+	m.Payload = payload
+	return !r.sawGob, nil
+}
+
+// ConsumeMessage decodes the first frame of data, returning the decoded
+// message, the number of bytes the frame occupied, and whether the frame
+// decoded entirely through the binary fast path (in which case re-encoding
+// the message reproduces data[:n] bit for bit).
+func ConsumeMessage(data []byte) (m Message, n int, binaryClean bool, err error) {
+	size, hn := binary.Uvarint(data)
+	if hn <= 0 {
+		return m, 0, false, fmt.Errorf("wire: truncated or overlong frame header")
+	}
+	if hn != uvarintLen(size) {
+		return m, 0, false, fmt.Errorf("wire: non-minimal frame header")
+	}
+	if size > maxFrame {
+		return m, 0, false, fmt.Errorf("wire: frame of %d bytes exceeds limit", size)
+	}
+	if size > uint64(len(data)-hn) {
+		return m, 0, false, fmt.Errorf("wire: frame body of %d bytes exceeds remaining %d", size, len(data)-hn)
+	}
+	body := data[hn : hn+int(size)]
+	clean, err := parseBody(body, &m)
+	if err != nil {
+		return m, 0, false, err
+	}
+	return m, hn + int(size), clean, nil
+}

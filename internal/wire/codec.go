@@ -3,109 +3,127 @@ package wire
 import (
 	"bufio"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // maxFrame bounds a single encoded message; anything larger is treated as a
 // protocol error rather than an allocation request.
 const maxFrame = 16 << 20 // 16 MiB
 
-// Encoder writes length-prefixed gob frames to an underlying writer.
-// It is not safe for concurrent use; callers serialize writes per
-// connection.
+// Encoder writes length-prefixed frames to an underlying writer: a minimal
+// uvarint body length, then the self-describing body (see binary.go). It is
+// not safe for concurrent use; callers serialize writes per connection.
 type Encoder struct {
-	w   *bufio.Writer
-	enc *gob.Encoder
-	buf frameBuffer
+	w *bufio.Writer
 }
 
-// NewEncoder returns an Encoder writing to w.
+// NewEncoder returns an Encoder writing to w. The buffer is sized above
+// the transport's coalesce budget so bufio never auto-flushes mid-batch;
+// the writer loop decides when frames hit the socket.
 func NewEncoder(w io.Writer) *Encoder {
-	e := &Encoder{w: bufio.NewWriter(w)}
-	e.enc = gob.NewEncoder(&e.buf)
-	return e
+	return &Encoder{w: bufio.NewWriterSize(w, 128<<10)}
 }
 
-// Encode writes one message frame and flushes it.
+// Encode writes one message frame and flushes it — the one-shot form for
+// callers without their own coalescing loop.
 func (e *Encoder) Encode(m *Message) error {
-	e.buf.b = e.buf.b[:0]
-	if err := e.enc.Encode(m); err != nil {
-		return fmt.Errorf("wire: encode message: %w", err)
+	if err := e.EncodeBuffered(m); err != nil {
+		return err
 	}
-	if len(e.buf.b) > maxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(e.buf.b))
+	return e.Flush()
+}
+
+// EncodeBuffered writes one message frame into the encoder's buffer
+// without flushing. The transport's writer goroutine uses it to coalesce a
+// burst of frames into a single Flush (one syscall).
+func (e *Encoder) EncodeBuffered(m *Message) error {
+	body := getBuffer()
+	defer putBuffer(body)
+	if err := appendBody(body, m); err != nil {
+		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(e.buf.b)))
-	if _, err := e.w.Write(hdr[:]); err != nil {
+	if len(body.b) > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body.b))
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	hn := binary.PutUvarint(hdr[:], uint64(len(body.b)))
+	if _, err := e.w.Write(hdr[:hn]); err != nil {
 		return fmt.Errorf("wire: write frame header: %w", err)
 	}
-	if _, err := e.w.Write(e.buf.b); err != nil {
+	if _, err := e.w.Write(body.b); err != nil {
 		return fmt.Errorf("wire: write frame body: %w", err)
-	}
-	if err := e.w.Flush(); err != nil {
-		return fmt.Errorf("wire: flush frame: %w", err)
 	}
 	return nil
 }
 
-type frameBuffer struct{ b []byte }
-
-func (f *frameBuffer) Write(p []byte) (int, error) {
-	f.b = append(f.b, p...)
-	return len(p), nil
+// Flush writes all buffered frames to the underlying writer.
+func (e *Encoder) Flush() error {
+	if err := e.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush frames: %w", err)
+	}
+	return nil
 }
 
-// Decoder reads length-prefixed gob frames.
+// Buffered returns the number of encoded bytes awaiting a Flush.
+func (e *Encoder) Buffered() int { return e.w.Buffered() }
+
+// framePool holds frame-sized scratch slices for the decoder.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// Decoder reads length-prefixed frames.
 type Decoder struct {
-	r   *bufio.Reader
-	dec *gob.Decoder
-	cur frameReader
+	r *bufio.Reader
 }
 
 // NewDecoder returns a Decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder {
-	d := &Decoder{r: bufio.NewReader(r)}
-	d.dec = gob.NewDecoder(&d.cur)
-	return d
+	return &Decoder{r: bufio.NewReaderSize(r, 32<<10)}
 }
 
-// Decode reads the next message frame into m.
+// Decode reads the next message frame into m. The frame buffer is pooled;
+// decoded messages never alias it (all strings and byte slices are
+// copies).
 func (d *Decoder) Decode(m *Message) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return io.EOF
+	n, err := d.readHeader()
+	if err != nil {
+		return err
+	}
+	bufp := framePool.Get().(*[]byte)
+	defer func() {
+		if cap(*bufp) <= maxPooledBuf {
+			framePool.Put(bufp)
 		}
-		return fmt.Errorf("wire: read frame header: %w", err)
+	}()
+	if cap(*bufp) < int(n) {
+		*bufp = make([]byte, n)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
-	}
-	d.cur.buf = make([]byte, n)
-	if _, err := io.ReadFull(d.r, d.cur.buf); err != nil {
+	buf := (*bufp)[:n]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
 		return fmt.Errorf("wire: read frame body: %w", err)
 	}
-	d.cur.off = 0
-	if err := d.dec.Decode(m); err != nil {
-		return fmt.Errorf("wire: decode message: %w", err)
+	if _, err := parseBody(buf, m); err != nil {
+		return err
 	}
 	return nil
 }
 
-type frameReader struct {
-	buf []byte
-	off int
-}
-
-func (f *frameReader) Read(p []byte) (int, error) {
-	if f.off >= len(f.buf) {
-		return 0, io.EOF
+// readHeader reads and validates the uvarint frame-length header. A clean
+// EOF before the first header byte is io.EOF; EOF mid-header is an error.
+func (d *Decoder) readHeader() (uint64, error) {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("wire: read frame header: %w", err)
 	}
-	n := copy(p, f.buf[f.off:])
-	f.off += n
+	if n > maxFrame {
+		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
 	return n, nil
 }

@@ -2,7 +2,6 @@ package wire_test
 
 import (
 	"bytes"
-	"io"
 	"reflect"
 	"testing"
 
@@ -71,46 +70,137 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 	}
 }
 
-// FuzzDecode feeds arbitrary bytes to the frame decoder: it must return an
-// error or io.EOF, never panic, and a frame that does decode must re-encode
-// and decode to the same envelope.
+// TestDifferentialBinaryVsGob cross-checks the two codec paths on every
+// exemplar: the hand-marshalled binary frame and its gob twin must decode
+// to deeply equal messages, and the binary frame must survive a
+// decode→re-encode cycle bit for bit (the canonical-encoding guarantee).
+func TestDifferentialBinaryVsGob(t *testing.T) {
+	for _, in := range exemplarMessages() {
+		bin, err := wire.AppendMessage(nil, &in)
+		if err != nil {
+			t.Fatalf("%T: binary encode: %v", in.Payload, err)
+		}
+		gobbed, err := wire.AppendMessageGob(nil, &in)
+		if err != nil {
+			t.Fatalf("%T: gob encode: %v", in.Payload, err)
+		}
+		fromBin, n, clean, err := wire.ConsumeMessage(bin)
+		if err != nil {
+			t.Fatalf("%T: binary decode: %v", in.Payload, err)
+		}
+		if n != len(bin) {
+			t.Errorf("%T: binary frame consumed %d of %d bytes", in.Payload, n, len(bin))
+		}
+		fromGob, _, _, err := wire.ConsumeMessage(gobbed)
+		if err != nil {
+			t.Fatalf("%T: gob decode: %v", in.Payload, err)
+		}
+		if !reflect.DeepEqual(fromBin, fromGob) {
+			t.Errorf("%T: codec paths disagree:\n binary: %+v\n gob:    %+v",
+				in.Payload, fromBin, fromGob)
+		}
+		if !reflect.DeepEqual(fromBin, in) {
+			t.Errorf("%T: binary round trip mismatch:\n in:  %+v\n out: %+v",
+				in.Payload, in, fromBin)
+		}
+		if clean {
+			re, err := wire.AppendMessage(nil, &fromBin)
+			if err != nil {
+				t.Fatalf("%T: re-encode: %v", in.Payload, err)
+			}
+			if !bytes.Equal(re, bin) {
+				t.Errorf("%T: binary-clean frame is not byte-stable:\n first:  %x\n second: %x",
+					in.Payload, bin, re)
+			}
+		}
+	}
+}
+
+// FuzzDecode is a differential fuzzer over the frame decoder. Arbitrary
+// bytes must never panic; any frame that does decode must (a) re-encode
+// and decode to the same envelope, (b) if it decoded entirely through the
+// binary fast path, re-encode to the identical bytes (canonical encoding),
+// and (c) decode to the same message through the gob fallback twin.
 func FuzzDecode(f *testing.F) {
 	for _, m := range exemplarMessages() {
-		var buf bytes.Buffer
-		if err := wire.NewEncoder(&buf).Encode(&m); err != nil {
+		bin, err := wire.AppendMessage(nil, &m)
+		if err != nil {
 			f.Fatalf("seed encode: %v", err)
 		}
-		f.Add(buf.Bytes())
+		f.Add(bin)
+		gobbed, err := wire.AppendMessageGob(nil, &m)
+		if err != nil {
+			f.Fatalf("seed gob encode: %v", err)
+		}
+		f.Add(gobbed)
+		f.Add(append(append([]byte(nil), bin...), gobbed...)) // two frames back to back
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
-	f.Add([]byte{0, 0, 0, 2, 0x42})
+	f.Add([]byte{2, 1, 0}) // frame of size 2: tag nil, empty From — short
+	f.Add([]byte{1, 1})    // frame of size 1: tag nil alone
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The stream decoder must agree with the one-shot parser.
 		dec := wire.NewDecoder(bytes.NewReader(data))
+		rest := data
 		for frames := 0; frames < 64; frames++ {
-			var m wire.Message
-			if err := dec.Decode(&m); err != nil {
-				if err == io.EOF && frames == 0 && len(data) >= 4 {
-					// EOF on a non-empty prefix is fine too (short header).
-					_ = err
+			m, n, clean, err := wire.ConsumeMessage(rest)
+			var streamed wire.Message
+			streamErr := dec.Decode(&streamed)
+			if err != nil {
+				// The stream decoder may fail differently (it reads lazily)
+				// but must fail too, except at a clean end of stream.
+				if streamErr == nil && len(rest) > 0 {
+					t.Fatalf("ConsumeMessage rejected (%v) what Decode accepted: %+v", err, streamed)
 				}
 				return
 			}
-			// A successfully decoded envelope must survive a re-encode.
-			var buf bytes.Buffer
-			if err := wire.NewEncoder(&buf).Encode(&m); err != nil {
-				// Unregistered or unencodable payloads can't come out of
-				// gob decode, so a re-encode failure is a codec bug.
+			if streamErr != nil {
+				t.Fatalf("Decode rejected (%v) what ConsumeMessage accepted: %+v", streamErr, m)
+			}
+			if !reflect.DeepEqual(m, streamed) {
+				t.Fatalf("stream and one-shot decoders disagree:\n stream:   %+v\n one-shot: %+v", streamed, m)
+			}
+			frame := rest[:n]
+			rest = rest[n:]
+
+			// (a) Re-encode must round-trip to the same envelope.
+			re, err := wire.AppendMessage(nil, &m)
+			if err != nil {
 				t.Fatalf("re-encode of decoded message failed: %v (%+v)", err, m)
 			}
-			var again wire.Message
-			if err := wire.NewDecoder(&buf).Decode(&again); err != nil {
+			again, _, _, err := wire.ConsumeMessage(re)
+			if err != nil {
 				t.Fatalf("decode of re-encoded message failed: %v (%+v)", err, m)
 			}
 			if !reflect.DeepEqual(m, again) {
 				t.Fatalf("re-encode round trip mismatch:\n got:  %+v\n want: %+v", again, m)
+			}
+			// (b) Binary-clean frames re-encode bit for bit: the canonical
+			// rules (minimal varints, 0/1 bools, no trailing bytes) leave
+			// exactly one encoding per message.
+			if clean && !bytes.Equal(re, frame) {
+				t.Fatalf("binary-clean frame is not byte-stable:\n in:  %x\n out: %x", frame, re)
+			}
+			// (c) The gob twin must decode to the same message. Nil payloads
+			// are skipped: gob cannot encode a nil interface.
+			if m.Payload != nil {
+				gb, err := wire.AppendMessageGob(nil, &m)
+				if err != nil {
+					t.Fatalf("gob twin encode failed: %v (%+v)", err, m)
+				}
+				fromGob, _, _, err := wire.ConsumeMessage(gb)
+				if err != nil {
+					t.Fatalf("gob twin decode failed: %v (%+v)", err, m)
+				}
+				if !reflect.DeepEqual(m, fromGob) {
+					t.Fatalf("codec paths disagree:\n binary: %+v\n gob:    %+v", m, fromGob)
+				}
+			}
+			if len(rest) == 0 {
+				return
 			}
 		}
 	})

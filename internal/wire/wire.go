@@ -1,6 +1,8 @@
 // Package wire defines the shared vocabulary of the middleware: node,
 // group and invocation identifiers, the transport message envelope, and the
-// gob-based codec used by the TCP transport.
+// framed codec used by the TCP transport — a hand-rolled binary fast path
+// for the hot protocol payloads (see binary.go) with a gob fallback for
+// everything else.
 //
 // It corresponds to the IIOP/GIOP layer of the paper's CORBA-based FTflex
 // infrastructure: a small, stable set of types every other layer speaks.
@@ -58,8 +60,10 @@ type Message struct {
 	Payload any
 }
 
-// RegisterPayload registers a payload type with the codec. Each protocol
-// layer registers its message structs from an init function.
+// RegisterPayload registers a payload type with the codec's gob fallback.
+// Each protocol layer registers its message structs from an init function;
+// hot types additionally install a binary fast path with
+// RegisterBinaryPayload.
 func RegisterPayload(v any) {
 	gob.Register(v)
 }

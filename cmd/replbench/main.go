@@ -26,14 +26,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list), 'table1', or 'all'")
-		n       = flag.Int("n", 60, "measured invocations per client")
-		warmup  = flag.Int("warmup", 5, "warm-up invocations per client (excluded)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut = flag.String("json", "", "also write all results as JSON to this path")
-		latency = flag.Duration("latency", 600*time.Microsecond, "one-way network latency")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		metrics = flag.Bool("metrics", false, "collect cluster metrics and print a summary at the end")
+		exp      = flag.String("exp", "all", "experiment id (see -list), 'table1', or 'all'")
+		n        = flag.Int("n", 60, "measured invocations per client")
+		warmup   = flag.Int("warmup", 5, "warm-up invocations per client (excluded)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = flag.String("json", "", "also write all results as JSON to this path")
+		latency  = flag.Duration("latency", 600*time.Microsecond, "one-way network latency")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		metrics  = flag.Bool("metrics", false, "collect cluster metrics and print a summary at the end")
+		conflict = flag.Float64("conflict-ratio", -1, "restrict the cc-conflict experiment to one global-request ratio in [0,1] (default: full sweep)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 	cfg.PerClient = *n
 	cfg.Warmup = *warmup
 	cfg.Latency = *latency
+	cfg.ConflictRatio = *conflict
 	if *metrics {
 		cfg.Metrics = replobj.NewMetricsRegistry()
 	}

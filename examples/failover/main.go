@@ -14,7 +14,9 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	replobj "github.com/replobj/replobj"
@@ -23,6 +25,14 @@ import (
 type register struct{ history []byte }
 
 func main() {
+	if _, err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the fail-over scenario and returns the history agreed by the
+// surviving majority.
+func run(w io.Writer) ([]byte, error) {
 	rt := replobj.NewVirtualRuntime()
 	cluster := replobj.NewCluster(rt)
 
@@ -32,7 +42,7 @@ func main() {
 		replobj.WithState(func() any { return &register{} }),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	group.Register("append", func(inv *replobj.Invocation) ([]byte, error) {
 		if err := inv.Lock("reg"); err != nil {
@@ -55,6 +65,8 @@ func main() {
 	})
 	group.Start()
 
+	var history []byte
+	var runErr error
 	replobj.Run(rt, func() {
 		defer cluster.Close()
 		cl := cluster.NewClient("writer",
@@ -62,32 +74,36 @@ func main() {
 
 		for i := byte(1); i <= 3; i++ {
 			if _, err := cl.Invoke("reg", "append", []byte{i}); err != nil {
-				log.Fatal(err)
+				runErr = err
+				return
 			}
-			fmt.Printf("[%6v] appended %d\n", rt.Now().Round(time.Millisecond), i)
+			fmt.Fprintf(w, "[%6v] appended %d\n", rt.Now().Round(time.Millisecond), i)
 		}
 
 		leader := group.Members()[0]
-		fmt.Printf("[%6v] crashing the LSA leader %s\n", rt.Now().Round(time.Millisecond), leader)
+		fmt.Fprintf(w, "[%6v] crashing the LSA leader %s\n", rt.Now().Round(time.Millisecond), leader)
 		if err := cluster.Crash(leader); err != nil {
-			log.Fatal(err)
+			runErr = err
+			return
 		}
 
 		for i := byte(4); i <= 6; i++ {
 			t0 := rt.Now()
 			if _, err := cl.Invoke("reg", "append", []byte{i}); err != nil {
-				log.Fatal(err)
+				runErr = err
+				return
 			}
-			fmt.Printf("[%6v] appended %d (took %v — includes fail-over for the first one)\n",
+			fmt.Fprintf(w, "[%6v] appended %d (took %v — includes fail-over for the first one)\n",
 				rt.Now().Round(time.Millisecond), i, (rt.Now() - t0).Round(time.Millisecond))
 		}
 
 		// Read back: the majority reply policy means at least two replicas
 		// returned this identical answer (the crashed leader stays silent).
-		history, err := cl.Invoke("reg", "history", nil)
-		if err != nil {
-			log.Fatal(err)
+		history, runErr = cl.Invoke("reg", "history", nil)
+		if runErr != nil {
+			return
 		}
-		fmt.Printf("\nhistory agreed by the surviving majority: %v\n", history)
+		fmt.Fprintf(w, "\nhistory agreed by the surviving majority: %v\n", history)
 	})
+	return history, runErr
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFailoverRuns executes the example end to end: three appends, a leader
+// crash, three more appends across the view change, and a majority-agreed
+// read-back of the full history.
+func TestFailoverRuns(t *testing.T) {
+	var out strings.Builder
+	history, err := run(&out)
+	if err != nil {
+		t.Fatalf("failover: %v\noutput:\n%s", err, out.String())
+	}
+	if !bytes.Equal(history, []byte{1, 2, 3, 4, 5, 6}) {
+		t.Errorf("history = %v, want [1 2 3 4 5 6]", history)
+	}
+	if !strings.Contains(out.String(), "crashing the LSA leader") {
+		t.Errorf("expected the leader crash in the transcript:\n%s", out.String())
+	}
+}

@@ -11,7 +11,9 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	replobj "github.com/replobj/replobj"
@@ -20,6 +22,12 @@ import (
 type counter struct{ value uint64 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	rt := replobj.NewVirtualRuntime() // swap for NewRealRuntime() + TCP for a real deployment
 	cluster := replobj.NewCluster(rt)
 
@@ -28,7 +36,7 @@ func main() {
 		replobj.WithState(func() any { return &counter{} }),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	group.Register("add", func(inv *replobj.Invocation) ([]byte, error) {
@@ -49,6 +57,7 @@ func main() {
 	})
 	group.Start()
 
+	var runErr error
 	replobj.Run(rt, func() {
 		defer cluster.Close()
 		client := cluster.NewClient("quickstart")
@@ -57,23 +66,29 @@ func main() {
 		for i := 1; i <= 5; i++ {
 			out, err := client.Invoke("counter", "add", []byte{byte(i)})
 			if err != nil {
-				log.Fatal(err)
+				runErr = err
+				return
 			}
-			fmt.Printf("add(%d) -> counter = %d\n", i, binary.BigEndian.Uint64(out))
+			fmt.Fprintf(w, "add(%d) -> counter = %d\n", i, binary.BigEndian.Uint64(out))
 		}
-		fmt.Printf("\n5 invocations took %v of virtual time "+
+		fmt.Fprintf(w, "\n5 invocations took %v of virtual time "+
 			"(each: ~20ms compute + lock + network)\n", rt.Now()-start)
 
 		// Every replica must agree — read back from all three.
 		replies, err := client.InvokeAll("counter", "add", []byte{0})
 		if err != nil {
-			log.Fatal(err)
+			runErr = err
+			return
 		}
 		for node, rep := range replies {
-			fmt.Printf("replica %-10s counter = %d\n", node, binary.BigEndian.Uint64(rep.Result))
+			fmt.Fprintf(w, "replica %-10s counter = %d\n", node, binary.BigEndian.Uint64(rep.Result))
 		}
 	})
+	if runErr != nil {
+		return runErr
+	}
 
-	fmt.Println("\nAvailable scheduling strategies (paper Table 1):")
-	fmt.Print(replobj.Table1())
+	fmt.Fprintln(w, "\nAvailable scheduling strategies (paper Table 1):")
+	fmt.Fprint(w, replobj.Table1())
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns executes the example end to end (virtual time, so it
+// finishes in milliseconds) and checks the replicated counter converges to
+// the same value on every replica.
+func TestQuickstartRuns(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatalf("quickstart: %v", err)
+	}
+	got := out.String()
+	// 1+2+3+4+5 = 15, then three per-replica readbacks of the same value.
+	if !strings.Contains(got, "add(5) -> counter = 15") {
+		t.Errorf("missing final increment in output:\n%s", got)
+	}
+	if n := strings.Count(got, "counter = 15"); n != 4 {
+		t.Errorf("want 4 occurrences of the agreed value (client + 3 replicas), got %d:\n%s", n, got)
+	}
+	if !strings.Contains(got, "ADETS-CC") {
+		t.Errorf("Table 1 should list the ADETS-CC extension:\n%s", got)
+	}
+}

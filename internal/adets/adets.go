@@ -77,6 +77,13 @@ type Request struct {
 	// physical thread on this replica — i.e. a nested invocation chain has
 	// called back into its originating object (paper Section 3.1).
 	Callback bool
+	// Classes are the request's declared conflict classes (Early Scheduling
+	// in Parallel SMR): requests with disjoint class sets may execute
+	// concurrently under conflict-aware schedulers (ADETS-CC). Classes must
+	// be a pure function of the request content so every replica computes
+	// the same set. Nil or empty means "global" — the request conflicts
+	// with everything. Schedulers without conflict awareness ignore it.
+	Classes []string
 	// Exec runs the method body to completion on the thread the scheduler
 	// assigns. It must be called exactly once.
 	Exec func(t *Thread)

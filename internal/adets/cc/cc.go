@@ -1,0 +1,429 @@
+// Package cc implements ADETS-CC, conflict-class parallel dispatch — the
+// first strategy in this codebase that parallelizes the *dispatch* layer
+// rather than only the lock layer. It follows the Early Scheduling line of
+// work on parallel state-machine replication (Alchieri et al., "Early
+// Scheduling in Parallel State Machine Replication"; Marandi & Pedone,
+// "Optimistic Parallel State-Machine Replication"): the application
+// declares, per request, which conflict classes the request touches; the
+// sequencer's total order is then partitioned deterministically onto a
+// fixed pool of worker lanes (one lane per class, hash-mapped), and
+// requests whose class sets are disjoint execute truly in parallel.
+//
+// Determinism argument: lane assignment is a pure function of the request
+// content and the lane count (see AssignLanes), and every enqueue happens
+// at the totally-ordered submit point, so all replicas build byte-identical
+// lane queues. Within a lane, requests execute in queue (= total) order;
+// a request occupying several lanes — including the "global" request that
+// declared no classes and therefore occupies every lane — only starts once
+// it heads *all* its lanes, which makes it a deterministic barrier. Because
+// conflicting requests always share a lane, any state they both touch is
+// accessed in total order on every replica; the real-time interleaving of
+// non-conflicting requests across lanes is invisible to replicated state by
+// construction, which is exactly why it may remain unobserved by the trace
+// digests (only the deterministic lane *assignment* is traced, never the
+// cross-lane start order).
+//
+// View changes insert a fence — a ticket spanning every lane — at their
+// totally-ordered delivery point: all requests ordered before the view
+// drain from their lanes before any request ordered after it starts, giving
+// deterministic lane draining on membership changes.
+package cc
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// DefaultLanes is the worker-lane pool size when none is configured.
+const DefaultLanes = 8
+
+// Option configures the scheduler.
+type Option func(*Scheduler)
+
+// WithLanes sets the worker-lane pool size. All replicas of a group must
+// use the same value — the lane count is an input of the deterministic
+// class→lane mapping.
+func WithLanes(n int) Option {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.laneCount = n
+		}
+	}
+}
+
+// ticket is one lane-queue entry: a request occupying its assigned lanes,
+// or a fence (t == nil is never used; fence tickets carry fence == true and
+// span every lane).
+type ticket struct {
+	t     *adets.Thread
+	lanes []int // sorted, duplicate-free; empty for callbacks (lane bypass)
+	fence bool
+
+	started      bool // allowed to run (or fence completed)
+	parked       bool // goroutine parked awaiting first activation
+	blockT0      time.Duration
+	nested       bool // parked in BeginNested
+	pendingReply bool // nested reply arrived before the thread parked
+}
+
+type lockState struct {
+	owner   wire.LogicalID
+	waiters adets.FIFO
+}
+
+// Scheduler implements adets.Scheduler with conflict-class parallel
+// dispatch (MA over declared classes).
+type Scheduler struct {
+	env       adets.Env
+	reg       *adets.Registry
+	laneCount int
+
+	// All fields below are guarded by the runtime lock.
+	queues  [][]*ticket // one FIFO of tickets per lane
+	locks   map[adets.MutexID]*lockState
+	threads map[*adets.Thread]bool
+	seq     uint64 // ordered (non-callback) submissions, for the lane trace
+	stopped bool
+}
+
+var _ adets.Scheduler = (*Scheduler)(nil)
+
+// New returns an ADETS-CC scheduler.
+func New(opts ...Option) *Scheduler {
+	s := &Scheduler{
+		laneCount: DefaultLanes,
+		locks:     make(map[adets.MutexID]*lockState),
+		threads:   make(map[*adets.Thread]bool),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name implements adets.Scheduler.
+func (s *Scheduler) Name() string { return "ADETS-CC" }
+
+// LaneCount returns the configured worker-lane pool size.
+func (s *Scheduler) LaneCount() int { return s.laneCount }
+
+// Capabilities implements adets.Scheduler. Like basic SAT, ADETS-CC offers
+// plain (framework-reentrant) locks but no condition variables: a
+// deterministic notify/wait race across parallel lanes would reintroduce
+// the cross-lane ordering the strategy exists to avoid.
+func (s *Scheduler) Capabilities() adets.Capabilities {
+	return adets.Capabilities{
+		Coordination:      "Locks",
+		DeadlockFree:      "NI+CB",
+		Deployment:        "manual",
+		Multithreading:    "MA (classes)",
+		ReentrantLocks:    true,
+		NestedInvocations: true,
+		Callbacks:         true,
+	}
+}
+
+// Start implements adets.Scheduler.
+func (s *Scheduler) Start(env adets.Env) {
+	s.env = env
+	s.reg = adets.NewRegistry(env.RT)
+	s.queues = make([][]*ticket, s.laneCount)
+	env.Obs.Lanes(s.laneCount)
+}
+
+// Stop implements adets.Scheduler: blocked threads are woken and their
+// pending operations fail with ErrStopped.
+func (s *Scheduler) Stop() {
+	rt := s.env.RT
+	rt.Lock()
+	s.stopped = true
+	for t := range s.threads {
+		t.Unpark(rt)
+	}
+	rt.Unlock()
+}
+
+func (s *Scheduler) isStopped() bool {
+	s.env.RT.Lock()
+	defer s.env.RT.Unlock()
+	return s.stopped
+}
+
+func st(t *adets.Thread) *ticket { return t.Sched.(*ticket) }
+
+// Submit implements adets.Scheduler. It runs at the totally-ordered
+// delivery point: the lane assignment computed here is a pure function of
+// the ordered request stream and is recorded into the per-lane trace
+// streams. Callbacks bypass the lanes entirely — the originating thread of
+// the logical chain is parked at the head of its lanes, so queueing the
+// callback behind it would deadlock; running it immediately is safe because
+// it belongs to the same logical thread (paper Section 3.1).
+func (s *Scheduler) Submit(req adets.Request) {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	if s.stopped {
+		return
+	}
+	s.env.Obs.Submitted()
+	t := s.reg.NewThread("cc/"+string(req.Logical), req.Logical)
+	tk := &ticket{t: t}
+	t.Sched = tk
+	s.threads[t] = true
+	if req.Callback {
+		tk.started = true // lane bypass: run immediately
+	} else {
+		s.seq++
+		pos := strconv.FormatUint(s.seq, 10)
+		tk.lanes = AssignLanes(req.Classes, s.laneCount)
+		for _, l := range tk.lanes {
+			s.queues[l] = append(s.queues[l], tk)
+			s.env.Obs.LaneAssign(l, string(req.Logical), pos)
+		}
+	}
+	s.reg.Spawn(t, func() {
+		rt.Lock()
+		for !tk.started && !s.stopped {
+			tk.parked = true
+			t.Park(rt)
+			tk.parked = false
+		}
+		rt.Unlock()
+		if !s.isStopped() {
+			req.Exec(t)
+		}
+		s.threadDone(t)
+	})
+	if !tk.started {
+		s.pumpLocked()
+	}
+}
+
+func (s *Scheduler) threadDone(t *adets.Thread) {
+	rt := s.env.RT
+	rt.Lock()
+	delete(s.threads, t)
+	s.removeLocked(st(t))
+	s.pumpLocked()
+	rt.Unlock()
+}
+
+// removeLocked deletes a ticket from every lane it occupies.
+func (s *Scheduler) removeLocked(tk *ticket) {
+	for _, l := range tk.lanes {
+		q := s.queues[l]
+		for i, x := range q {
+			if x == tk {
+				s.queues[l] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// eligibleLocked reports whether tk heads every lane it occupies — the
+// start condition that turns multi-lane tickets into barriers. Because all
+// tickets enqueue atomically in total order, a ticket only ever waits for
+// earlier-ordered tickets: the cross-lane wait-for relation follows the
+// total order and cannot cycle.
+func (s *Scheduler) eligibleLocked(tk *ticket) bool {
+	for _, l := range tk.lanes {
+		if len(s.queues[l]) == 0 || s.queues[l][0] != tk {
+			return false
+		}
+	}
+	return true
+}
+
+// pumpLocked starts every eligible lane head and completes eligible
+// fences, repeating until no further progress — a fence completing can
+// unblock heads in all lanes at once.
+func (s *Scheduler) pumpLocked() {
+	if s.stopped {
+		return
+	}
+	for progressed := true; progressed; {
+		progressed = false
+		for l := 0; l < s.laneCount; l++ {
+			q := s.queues[l]
+			if len(q) == 0 {
+				continue
+			}
+			h := q[0]
+			if h.started || !s.eligibleLocked(h) {
+				continue
+			}
+			progressed = true
+			if h.fence {
+				s.removeLocked(h)
+				continue
+			}
+			h.started = true
+			for _, hl := range h.lanes {
+				s.env.Obs.LaneStart(hl)
+			}
+			if h.parked {
+				h.t.Unpark(s.env.RT)
+			}
+		}
+	}
+}
+
+func (s *Scheduler) lock(m adets.MutexID) *lockState {
+	ls, ok := s.locks[m]
+	if !ok {
+		ls = &lockState{}
+		s.locks[m] = ls
+	}
+	return ls
+}
+
+// Lock implements adets.Scheduler. Under correct class declarations every
+// pair of requests locking the same mutex shares a conflict class and is
+// therefore serialized by the lanes — the uncontended path is the common
+// one, and the grant order per mutex is the lane (= total) order. The
+// blocking path exists for defense in depth against mis-declared classes;
+// it grants FIFO, which the chaos digests then validate.
+func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	if s.stopped {
+		return adets.ErrStopped
+	}
+	ls := s.lock(m)
+	if ls.owner == "" {
+		ls.owner = t.Logical
+		s.env.Obs.Grant(m, string(t.Logical))
+		return nil
+	}
+	var t0 time.Duration
+	if s.env.Obs != nil {
+		s.env.Obs.Blocked()
+		t0 = rt.NowLocked()
+	}
+	ls.waiters.Push(t)
+	t.Park(rt)
+	if s.stopped {
+		s.env.Obs.Unblocked()
+		return adets.ErrStopped
+	}
+	if s.env.Obs != nil {
+		s.env.Obs.GrantedAfterBlock(rt.NowLocked() - t0)
+	}
+	// Woken ⇒ granted ownership by releaseLocked.
+	return nil
+}
+
+// Unlock implements adets.Scheduler.
+func (s *Scheduler) Unlock(t *adets.Thread, m adets.MutexID) error {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	if s.stopped {
+		return adets.ErrStopped
+	}
+	ls := s.lock(m)
+	if ls.owner != t.Logical {
+		return adets.ErrNotHeld
+	}
+	s.env.Obs.Unlock(m, string(t.Logical))
+	w := ls.waiters.Pop()
+	if w == nil {
+		ls.owner = ""
+		return nil
+	}
+	ls.owner = w.Logical
+	s.env.Obs.Grant(m, string(w.Logical))
+	w.Unpark(rt)
+	return nil
+}
+
+// Wait implements adets.Scheduler: unsupported. A deterministic
+// notification order across concurrently executing lanes would require a
+// cross-lane synchronization point, defeating the strategy; object code
+// falls back to polling, as under SEQ and basic SAT.
+func (s *Scheduler) Wait(*adets.Thread, adets.MutexID, adets.CondID, time.Duration) (bool, error) {
+	return false, adets.ErrUnsupported
+}
+
+// Notify implements adets.Scheduler (unsupported).
+func (s *Scheduler) Notify(*adets.Thread, adets.MutexID, adets.CondID) error {
+	return adets.ErrUnsupported
+}
+
+// NotifyAll implements adets.Scheduler (unsupported).
+func (s *Scheduler) NotifyAll(*adets.Thread, adets.MutexID, adets.CondID) error {
+	return adets.ErrUnsupported
+}
+
+// Yield implements adets.Scheduler (no-op: lanes already run in parallel;
+// within a lane, yielding to a later-ordered request would break the
+// per-class total order).
+func (s *Scheduler) Yield(*adets.Thread) {}
+
+// BeginNested implements adets.Scheduler: the thread parks until the
+// totally-ordered reply resumes it. It keeps occupying its lanes while
+// nested, so later same-class requests stay queued behind it — per-class
+// program order is preserved; callbacks of the same logical thread bypass
+// the lanes (see Submit) and therefore still make progress.
+func (s *Scheduler) BeginNested(t *adets.Thread) {
+	rt := s.env.RT
+	rt.Lock()
+	tk := st(t)
+	if tk.pendingReply {
+		tk.pendingReply = false
+		rt.Unlock()
+		return
+	}
+	tk.nested = true
+	t.Park(rt)
+	tk.nested = false
+	rt.Unlock()
+}
+
+// EndNested implements adets.Scheduler.
+func (s *Scheduler) EndNested(t *adets.Thread) {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	tk := st(t)
+	if !tk.nested {
+		tk.pendingReply = true // reply beat the park (real-time race)
+		return
+	}
+	t.Unpark(rt)
+}
+
+// ViewChanged implements adets.Scheduler: a fence spanning every lane is
+// inserted at the view's totally-ordered delivery position, draining all
+// requests ordered before the membership change from their lanes before
+// any request ordered after it may start.
+func (s *Scheduler) ViewChanged(v gcs.View) {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	if s.stopped {
+		return
+	}
+	s.env.Obs.ViewChange(v.Epoch)
+	s.env.Obs.FenceInserted()
+	f := &ticket{fence: true, lanes: make([]int, s.laneCount)}
+	for i := range f.lanes {
+		f.lanes[i] = i
+	}
+	for _, l := range f.lanes {
+		s.queues[l] = append(s.queues[l], f)
+	}
+	s.pumpLocked()
+}
+
+// HandleOrdered implements adets.Scheduler.
+func (s *Scheduler) HandleOrdered(string, any) bool { return false }
+
+// HandleDirect implements adets.Scheduler.
+func (s *Scheduler) HandleDirect(wire.NodeID, any) bool { return false }

@@ -1,0 +1,270 @@
+package cc_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/adets/cc"
+	"github.com/replobj/replobj/internal/adets/schedtest"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+const timeout = 30 * time.Second
+
+func newCluster(n int, opts ...cc.Option) *schedtest.Cluster {
+	return schedtest.New(n, func(int) adets.Scheduler { return cc.New(opts...) })
+}
+
+// TestCrossClassParallel: requests of disjoint classes overlap in (virtual)
+// time — the whole point of conflict-class dispatch.
+func TestCrossClassParallel(t *testing.T) {
+	if cc.LaneOf("a", cc.DefaultLanes) == cc.LaneOf("b", cc.DefaultLanes) {
+		t.Fatal("test classes collide on one lane; pick different names")
+	}
+	c := newCluster(1)
+	c.Run(func() {
+		start := c.RT.Now()
+		for _, class := range []string{"a", "b"} {
+			c.SubmitClasses(wire.LogicalID("L-"+class), false, []string{class}, func(ic *schedtest.Ictx) {
+				ic.Compute(10 * time.Millisecond)
+			})
+		}
+		if _, err := c.Await(2, timeout); err != nil {
+			t.Fatal(err)
+		}
+		if el := c.RT.Now() - start; el >= 20*time.Millisecond {
+			t.Fatalf("cross-class requests serialized: elapsed %v", el)
+		}
+	})
+}
+
+// TestSameClassSerializesInOrder: same-class requests run one at a time in
+// total (submission) order, on every replica.
+func TestSameClassSerializesInOrder(t *testing.T) {
+	c := newCluster(3)
+	var want []string
+	c.Run(func() {
+		for k := 0; k < 4; k++ {
+			name := fmt.Sprintf("L%d", k)
+			want = append(want, "start "+name, "end "+name)
+			c.SubmitClasses(wire.LogicalID(name), false, []string{"x"}, func(ic *schedtest.Ictx) {
+				ic.Trace("start %s", name)
+				ic.Compute(2 * time.Millisecond)
+				ic.Trace("end %s", name)
+			})
+		}
+		if _, err := c.Await(4, timeout); err != nil {
+			t.Fatal(err)
+		}
+		for i, tr := range c.Traces() {
+			if !reflect.DeepEqual(tr, want) {
+				t.Errorf("replica %d: trace %v, want %v", i, tr, want)
+			}
+		}
+	})
+}
+
+// TestGlobalBarrier: a request without declared classes occupies every lane
+// — it waits for everything ordered before it and blocks everything ordered
+// after it.
+func TestGlobalBarrier(t *testing.T) {
+	c := newCluster(1)
+	c.Run(func() {
+		submit := func(name string, classes []string) {
+			c.SubmitClasses(wire.LogicalID(name), false, classes, func(ic *schedtest.Ictx) {
+				ic.Trace("start %s", name)
+				ic.Compute(5 * time.Millisecond)
+				ic.Trace("end %s", name)
+			})
+		}
+		submit("A", []string{"a"})
+		submit("G", nil) // global
+		submit("B", []string{"b"})
+		if _, err := c.Await(3, timeout); err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"start A", "end A", "start G", "end G", "start B", "end B"}
+		if tr := c.Traces()[0]; !reflect.DeepEqual(tr, want) {
+			t.Fatalf("trace %v, want %v", tr, want)
+		}
+	})
+}
+
+// TestCallbackBypassesLanes: a callback of a logical thread whose
+// originator is parked at the head of the callback's own class lane must
+// not queue behind it — it runs immediately (lane bypass), or the nested
+// chain deadlocks.
+func TestCallbackBypassesLanes(t *testing.T) {
+	c := newCluster(3)
+	c.Run(func() {
+		logical := wire.LogicalID("orig")
+		c.SubmitClasses(logical, false, []string{"a"}, func(ic *schedtest.Ictx) {
+			ic.Trace("pre")
+			ic.Nested(20 * time.Millisecond)
+			ic.Trace("post")
+		})
+		c.RT.Sleep(5 * time.Millisecond)
+		c.SubmitClasses(logical, true, []string{"a"}, func(ic *schedtest.Ictx) {
+			ic.Trace("cb")
+		})
+		if _, err := c.Await(2, timeout); err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"pre", "cb", "post"}
+		for i, tr := range c.Traces() {
+			if !reflect.DeepEqual(tr, want) {
+				t.Errorf("replica %d: trace %v, want %v", i, tr, want)
+			}
+		}
+	})
+}
+
+// TestNestedDoesNotBlockOtherClasses: while a request is blocked in a
+// nested invocation, requests of disjoint classes complete (the generic
+// TestNestedInvocationsDontBlockOthers excludes CC because undeclared
+// classes mean "global"; with classes declared the property holds).
+func TestNestedDoesNotBlockOtherClasses(t *testing.T) {
+	c := newCluster(1)
+	c.Run(func() {
+		c.SubmitClasses(wire.LogicalID("nester"), false, []string{"a"}, func(ic *schedtest.Ictx) {
+			ic.Nested(50 * time.Millisecond)
+		})
+		c.SubmitClasses(wire.LogicalID("quick"), false, []string{"b"}, func(ic *schedtest.Ictx) {
+			ic.Compute(time.Millisecond)
+		})
+		order, err := c.Await(2, timeout)
+		if err != nil {
+			t.Errorf("await: %v", err)
+			return
+		}
+		if !reflect.DeepEqual(order[0], []string{"quick", "nester"}) {
+			t.Errorf("completion order = %v, want quick before nester", order[0])
+		}
+	})
+}
+
+// TestViewChangeFence: a view change drains every lane before any request
+// ordered after it may start, even on an otherwise free lane.
+func TestViewChangeFence(t *testing.T) {
+	c := newCluster(1)
+	c.Run(func() {
+		c.SubmitClasses(wire.LogicalID("R1"), false, []string{"a"}, func(ic *schedtest.Ictx) {
+			ic.Trace("start R1")
+			ic.Compute(10 * time.Millisecond)
+			ic.Trace("end R1")
+		})
+		c.ViewChange(gcs.View{Epoch: 1})
+		c.SubmitClasses(wire.LogicalID("R2"), false, []string{"b"}, func(ic *schedtest.Ictx) {
+			ic.Trace("start R2")
+			ic.Trace("end R2")
+		})
+		if _, err := c.Await(2, timeout); err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"start R1", "end R1", "start R2", "end R2"}
+		if tr := c.Traces()[0]; !reflect.DeepEqual(tr, want) {
+			t.Fatalf("trace %v, want %v (view fence did not drain lane a)", tr, want)
+		}
+	})
+}
+
+// TestMixedWorkloadDeterministicAcrossReplicas: with several classes in
+// flight the global interleaving is real-time dependent, but the per-class
+// execution order must be identical on every replica (and equal to the
+// submission order of that class).
+func TestMixedWorkloadDeterministicAcrossReplicas(t *testing.T) {
+	c := newCluster(3)
+	classes := []string{"x", "y", "z"}
+	want := make(map[string][]string)
+	c.Run(func() {
+		for k := 0; k < 9; k++ {
+			class := classes[k%len(classes)]
+			name := fmt.Sprintf("%s:L%d", class, k)
+			want[class] = append(want[class], name)
+			c.SubmitClasses(wire.LogicalID(name), false, []string{class}, func(ic *schedtest.Ictx) {
+				ic.Compute(time.Duration(1+k%3) * time.Millisecond)
+				ic.Trace("%s", name)
+			})
+		}
+		if _, err := c.Await(9, timeout); err != nil {
+			t.Fatal(err)
+		}
+		for i, tr := range c.Traces() {
+			got := make(map[string][]string)
+			for _, e := range tr {
+				class := strings.SplitN(e, ":", 2)[0]
+				got[class] = append(got[class], e)
+			}
+			for _, class := range classes {
+				if !reflect.DeepEqual(got[class], want[class]) {
+					t.Errorf("replica %d class %s: order %v, want %v", i, class, got[class], want[class])
+				}
+			}
+		}
+	})
+}
+
+// TestLockWithinClassAndUnsupportedOps: locks work (reentrantly) inside a
+// class; condition variables are ErrUnsupported like SEQ and basic SAT.
+func TestLockWithinClassAndUnsupportedOps(t *testing.T) {
+	c := newCluster(1)
+	c.Run(func() {
+		c.SubmitClasses(wire.LogicalID("L"), false, []string{"a"}, func(ic *schedtest.Ictx) {
+			if err := ic.Lock("m"); err != nil {
+				ic.Trace("lock err %v", err)
+				return
+			}
+			if err := ic.Lock("m"); err != nil { // reentrant
+				ic.Trace("relock err %v", err)
+				return
+			}
+			ic.Trace("depth %d", ic.Depth("m"))
+			if _, err := ic.Wait("m", "", 0); !errors.Is(err, adets.ErrUnsupported) {
+				ic.Trace("wait err %v", err)
+			}
+			if err := ic.Notify("m", ""); !errors.Is(err, adets.ErrUnsupported) {
+				ic.Trace("notify err %v", err)
+			}
+			_ = ic.Unlock("m")
+			_ = ic.Unlock("m")
+			ic.Trace("done depth %d", ic.Depth("m"))
+		})
+		if _, err := c.Await(1, timeout); err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"depth 2", "done depth 0"}
+		if tr := c.Traces()[0]; !reflect.DeepEqual(tr, want) {
+			t.Fatalf("trace %v, want %v", tr, want)
+		}
+	})
+}
+
+// TestCapabilities pins the Table 1 row of the extension.
+func TestCapabilities(t *testing.T) {
+	s := cc.New()
+	if s.Name() != "ADETS-CC" {
+		t.Errorf("Name() = %q", s.Name())
+	}
+	caps := s.Capabilities()
+	if caps.Multithreading != "MA (classes)" || caps.Coordination != "Locks" || caps.DeadlockFree != "NI+CB" {
+		t.Errorf("unexpected Table 1 row: %+v", caps)
+	}
+	if caps.ConditionVars || caps.TimedWait {
+		t.Errorf("CC must not advertise condition variables: %+v", caps)
+	}
+	if !caps.ReentrantLocks || !caps.NestedInvocations || !caps.Callbacks {
+		t.Errorf("CC must support reentrant locks, NI and CB: %+v", caps)
+	}
+	if s.LaneCount() != cc.DefaultLanes {
+		t.Errorf("LaneCount() = %d, want %d", s.LaneCount(), cc.DefaultLanes)
+	}
+	if got := cc.New(cc.WithLanes(4)).LaneCount(); got != 4 {
+		t.Errorf("WithLanes(4): LaneCount() = %d", got)
+	}
+}

@@ -1,0 +1,50 @@
+package cc
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// LaneOf maps a conflict class to its worker lane. The mapping is a pure
+// function of the class name and the lane count (FNV-1a over the class
+// bytes, reduced modulo lanes): no replica rank, arrival time, or prior
+// scheduling state enters, so every replica agrees on it by construction.
+func LaneOf(class string, lanes int) int {
+	if lanes <= 0 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(class))
+	return int(h.Sum32() % uint32(lanes))
+}
+
+// AssignLanes maps a request's declared conflict classes to the sorted,
+// duplicate-free set of lanes the request must occupy. An empty class set
+// is the "global" declaration: the request conflicts with everything and
+// occupies every lane, turning it into an all-lane barrier.
+//
+// Like LaneOf, the result depends only on the inputs — it is the pure
+// function of the ordered prefix that the determinism argument of
+// conflict-class dispatch rests on.
+func AssignLanes(classes []string, lanes int) []int {
+	if lanes <= 0 {
+		lanes = 1
+	}
+	if len(classes) == 0 {
+		all := make([]int, lanes)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	set := make(map[int]struct{}, len(classes))
+	for _, c := range classes {
+		set[LaneOf(c, lanes)] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,159 @@
+package cc
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestLaneOfRangeAndStability(t *testing.T) {
+	for _, lanes := range []int{1, 2, 8, 13, 64} {
+		for _, class := range []string{"", "a", "b", "shard0", "shard7", "ledger3", "€"} {
+			l := LaneOf(class, lanes)
+			if l < 0 || l >= lanes {
+				t.Fatalf("LaneOf(%q, %d) = %d out of range", class, lanes, l)
+			}
+			if again := LaneOf(class, lanes); again != l {
+				t.Fatalf("LaneOf(%q, %d) unstable: %d then %d", class, lanes, l, again)
+			}
+		}
+	}
+	if LaneOf("x", 0) != 0 || LaneOf("x", -3) != 0 {
+		t.Fatal("non-positive lane count must map to lane 0")
+	}
+}
+
+func TestAssignLanesGlobal(t *testing.T) {
+	for _, lanes := range []int{1, 4, 8} {
+		want := make([]int, lanes)
+		for i := range want {
+			want[i] = i
+		}
+		if got := AssignLanes(nil, lanes); !reflect.DeepEqual(got, want) {
+			t.Errorf("AssignLanes(nil, %d) = %v, want all lanes %v", lanes, got, want)
+		}
+		if got := AssignLanes([]string{}, lanes); !reflect.DeepEqual(got, want) {
+			t.Errorf("AssignLanes([], %d) = %v, want all lanes %v", lanes, got, want)
+		}
+	}
+}
+
+func TestAssignLanesSortedUniqueAndOrderFree(t *testing.T) {
+	classes := []string{"a", "b", "c", "a", "b"}
+	lanes := 8
+	got := AssignLanes(classes, lanes)
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("not sorted: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatalf("duplicate lane: %v", got)
+		}
+	}
+	rev := []string{"b", "a", "b", "c", "a"}
+	if other := AssignLanes(rev, lanes); !reflect.DeepEqual(got, other) {
+		t.Fatalf("assignment depends on class declaration order: %v vs %v", got, other)
+	}
+}
+
+// TestPureFunctionOfOrderedPrefix simulates three replicas consuming the
+// same totally ordered stream of class declarations with different
+// (irrelevant) local conditions — processing in one pass, in chunks, and
+// interleaved with unrelated work — and asserts they compute identical
+// lane-assignment sequences. The assignment must depend on nothing but the
+// ordered prefix itself.
+func TestPureFunctionOfOrderedPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	classPool := []string{"u", "v", "w", "x", "y", "z", "shardA", "shardB"}
+	var stream [][]string
+	for i := 0; i < 200; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			stream = append(stream, nil) // global
+		default:
+			k := 1 + rng.Intn(3)
+			var cs []string
+			for j := 0; j < k; j++ {
+				cs = append(cs, classPool[rng.Intn(len(classPool))])
+			}
+			stream = append(stream, cs)
+		}
+	}
+	const lanes = 8
+	assign := func() [][]int {
+		out := make([][]int, len(stream))
+		for i, cs := range stream {
+			out[i] = AssignLanes(cs, lanes)
+		}
+		return out
+	}
+	ref := assign()
+	// "Replica 2": chunked processing.
+	var chunked [][]int
+	for lo := 0; lo < len(stream); lo += 7 {
+		hi := lo + 7
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		for _, cs := range stream[lo:hi] {
+			chunked = append(chunked, AssignLanes(cs, lanes))
+		}
+	}
+	// "Replica 3": reversed evaluation (results placed by index).
+	reversed := make([][]int, len(stream))
+	for i := len(stream) - 1; i >= 0; i-- {
+		reversed[i] = AssignLanes(stream[i], lanes)
+	}
+	if !reflect.DeepEqual(ref, chunked) || !reflect.DeepEqual(ref, reversed) {
+		t.Fatal("lane assignment is not a pure function of the ordered prefix")
+	}
+}
+
+// FuzzAssignLanes fuzzes (class set, lane count) and checks the assignment
+// invariants: in range, sorted, duplicate-free, deterministic, independent
+// of declaration order, and global (= all lanes) for the empty set.
+func FuzzAssignLanes(f *testing.F) {
+	f.Add("a,b,c", uint8(8))
+	f.Add("", uint8(4))
+	f.Add("shard0,shard0,shard1", uint8(1))
+	f.Add("x", uint8(255))
+	f.Fuzz(func(t *testing.T, csv string, lanesByte uint8) {
+		lanes := 1 + int(lanesByte)%64
+		var classes []string
+		if csv != "" {
+			classes = strings.Split(csv, ",")
+		}
+		got := AssignLanes(classes, lanes)
+		if len(got) == 0 {
+			t.Fatal("empty assignment")
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("not sorted: %v", got)
+		}
+		for i, l := range got {
+			if l < 0 || l >= lanes {
+				t.Fatalf("lane %d out of [0,%d)", l, lanes)
+			}
+			if i > 0 && got[i-1] == l {
+				t.Fatalf("duplicate lane %d", l)
+			}
+		}
+		if again := AssignLanes(classes, lanes); !reflect.DeepEqual(got, again) {
+			t.Fatalf("nondeterministic: %v vs %v", got, again)
+		}
+		if len(classes) > 1 {
+			rev := make([]string, len(classes))
+			for i, c := range classes {
+				rev[len(classes)-1-i] = c
+			}
+			if other := AssignLanes(rev, lanes); !reflect.DeepEqual(got, other) {
+				t.Fatalf("order-dependent: %v vs %v", got, other)
+			}
+		}
+		if len(classes) == 0 && len(got) != lanes {
+			t.Fatalf("global must span all %d lanes, got %v", lanes, got)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package adets
 
 import (
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/replobj/replobj/internal/obs"
@@ -20,7 +21,9 @@ import (
 // order (e.g. against an ADETS-MAT secondary's unlock), while the resulting
 // grant sequence is still deterministic.
 type SchedObs struct {
-	tr *obs.Trace
+	tr     *obs.Trace
+	reg    *obs.Registry
+	labels string
 
 	grants   *obs.Counter
 	blocks   *obs.Counter
@@ -34,6 +37,11 @@ type SchedObs struct {
 
 	grantLat   *obs.Histogram
 	reentDepth *obs.Histogram
+
+	// Per-lane instruments (conflict-aware schedulers; see Lanes).
+	laneAssigns []*obs.Counter
+	laneDepth   []*obs.Gauge
+	fences      *obs.Counter
 }
 
 // NewSchedObs builds the observability hooks for one scheduler. reg and tr
@@ -46,6 +54,8 @@ func NewSchedObs(reg *obs.Registry, tr *obs.Trace, strategy, node string) *Sched
 	l := `{node="` + node + `",strategy="` + strategy + `"}`
 	return &SchedObs{
 		tr:         tr,
+		reg:        reg,
+		labels:     l,
 		grants:     reg.Counter("replobj_sched_grants_total" + l),
 		blocks:     reg.Counter("replobj_sched_blocks_total" + l),
 		wakes:      reg.Counter("replobj_sched_wakes_total" + l),
@@ -169,5 +179,54 @@ func (s *SchedObs) ViewChange(epoch uint64) {
 func (s *SchedObs) ReentrantDepth(d int) {
 	if s != nil {
 		s.reentDepth.Observe(float64(d))
+	}
+}
+
+// Lanes preallocates per-lane instruments for a conflict-aware scheduler
+// (ADETS-CC). Called once from Scheduler.Start with the lane count.
+func (s *SchedObs) Lanes(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.laneAssigns = make([]*obs.Counter, n)
+	s.laneDepth = make([]*obs.Gauge, n)
+	base := strings.TrimSuffix(s.labels, "}")
+	for i := 0; i < n; i++ {
+		l := base + `,lane="` + strconv.Itoa(i) + `"}`
+		s.laneAssigns[i] = s.reg.Counter("replobj_sched_lane_assigns_total" + l)
+		s.laneDepth[i] = s.reg.Gauge("replobj_sched_lane_queue_depth" + l)
+	}
+	s.fences = s.reg.Counter("replobj_sched_lane_fences_total" + s.labels)
+}
+
+// LaneAssign records a request being appended to a worker lane. The lane
+// assignment happens at the totally-ordered submit point and is a pure
+// function of the ordered stream, so it is traced (stream "lane/<i>");
+// execution start order across lanes is real-time dependent and is
+// deliberately metrics-only (see LaneStart).
+func (s *SchedObs) LaneAssign(lane int, logical, pos string) {
+	if s == nil {
+		return
+	}
+	s.tr.Record("lane/"+strconv.Itoa(lane), obs.KindExec, logical, pos)
+	if lane < len(s.laneAssigns) {
+		s.laneAssigns[lane].Inc()
+		s.laneDepth[lane].Inc()
+	}
+}
+
+// LaneStart records a lane-queued request beginning execution
+// (metrics only — the start order across lanes is not deterministic).
+func (s *SchedObs) LaneStart(lane int) {
+	if s != nil && lane < len(s.laneDepth) {
+		s.laneDepth[lane].Dec()
+	}
+}
+
+// FenceInserted counts a deterministic all-lane barrier (view change or
+// explicit drain). Fences do not appear in the lane-depth gauges.
+func (s *SchedObs) FenceInserted() {
+	if s != nil {
+		s.fences.Inc()
 	}
 }

@@ -1,0 +1,313 @@
+package schedtest
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Invariant is one conformance property every ADETS scheduler must
+// satisfy. Requires gates capability-dependent invariants (a scheduler
+// that does not advertise timed waits is not required to expire them
+// deterministically); nil means the invariant is unconditional.
+type Invariant struct {
+	Name     string
+	Desc     string
+	Requires func(adets.Capabilities) bool
+	Run      func(t *testing.T, factory func(i int) adets.Scheduler)
+}
+
+// Conformance returns the table-driven conformance suite. Every scheduler
+// kind — present and future — is expected to pass all applicable
+// invariants; RunConformance wires the table into `go test` for a given
+// factory.
+//
+// The invariants are the cross-replica determinism contract of the paper
+// distilled to five properties: identical grant order across replicas,
+// reentrancy depth preserved, FIFO grant within a mutex, deterministic
+// timeout expiry, and nested-invocation (plus callback) completion.
+func Conformance() []Invariant {
+	return []Invariant{
+		{
+			Name: "grant-order-across-replicas",
+			Desc: "every replica grants each mutex's critical sections in the same order",
+			Run:  invGrantOrder,
+		},
+		{
+			Name: "reentrancy-depth",
+			Desc: "re-entrant acquisition preserves and restores the hold depth",
+			Run:  invReentrancyDepth,
+		},
+		{
+			Name: "fifo-grant-within-mutex",
+			Desc: "a contended mutex is granted in deterministic FIFO request order",
+			Run:  invFIFOGrant,
+		},
+		{
+			Name:     "deterministic-timeout-expiry",
+			Desc:     "timed waits expire (or are beaten by a notification) identically on every replica",
+			Requires: func(c adets.Capabilities) bool { return c.TimedWait },
+			Run:      invTimeoutExpiry,
+		},
+		{
+			Name: "nested-completion",
+			Desc: "a request performing a nested invocation resumes and completes",
+			Run:  invNestedCompletion,
+		},
+		{
+			Name:     "callback-completion",
+			Desc:     "a callback into the object completes while its originator is blocked nested",
+			Requires: func(c adets.Capabilities) bool { return c.Callbacks },
+			Run:      invCallbackCompletion,
+		},
+	}
+}
+
+// RunConformance runs every applicable invariant of the suite as a subtest
+// against the scheduler built by factory.
+func RunConformance(t *testing.T, factory func(i int) adets.Scheduler) {
+	capabilities := factory(0).Capabilities()
+	for _, inv := range Conformance() {
+		inv := inv
+		t.Run(inv.Name, func(t *testing.T) {
+			if inv.Requires != nil && !inv.Requires(capabilities) {
+				t.Skipf("not applicable: %s", inv.Desc)
+			}
+			inv.Run(t, factory)
+		})
+	}
+}
+
+const conformanceTimeout = 30 * time.Second
+
+// invGrantOrder: n requests contend on one mutex; the critical-section
+// entry order (whatever it is) must be identical on all replicas.
+func invGrantOrder(t *testing.T, factory func(i int) adets.Scheduler) {
+	c := New(3, factory)
+	c.Run(func() {
+		const n = 6
+		for i := 0; i < n; i++ {
+			logical := wire.LogicalID(fmt.Sprintf("g%d", i))
+			c.Submit(logical, false, func(ic *Ictx) {
+				if err := ic.Lock("m"); err != nil {
+					t.Errorf("Lock: %v", err)
+					return
+				}
+				ic.Trace("enter %s", logical)
+				ic.Compute(time.Millisecond)
+				_ = ic.Unlock(m0)
+			})
+		}
+		if _, err := c.Await(n, conformanceTimeout); err != nil {
+			t.Errorf("await: %v", err)
+			return
+		}
+		traces := c.Traces()
+		for i := 1; i < len(traces); i++ {
+			if !reflect.DeepEqual(traces[0], traces[i]) {
+				t.Errorf("replica %d grant order %v differs from replica 0 %v", i, traces[i], traces[0])
+			}
+		}
+		if len(traces[0]) != n {
+			t.Errorf("replica 0 recorded %d grants, want %d", len(traces[0]), n)
+		}
+	})
+}
+
+const m0 = adets.MutexID("m")
+
+// invReentrancyDepth: the framework's reentrancy layer must count nested
+// acquisitions per logical thread identically under every scheduler.
+func invReentrancyDepth(t *testing.T, factory func(i int) adets.Scheduler) {
+	c := New(3, factory)
+	c.Run(func() {
+		c.Submit("re", false, func(ic *Ictx) {
+			for i := 0; i < 3; i++ {
+				if err := ic.Lock(m0); err != nil {
+					t.Errorf("Lock %d: %v", i, err)
+					return
+				}
+				ic.Trace("depth %d", ic.Depth(m0))
+			}
+			for i := 0; i < 3; i++ {
+				if err := ic.Unlock(m0); err != nil {
+					t.Errorf("Unlock %d: %v", i, err)
+					return
+				}
+				ic.Trace("depth %d", ic.Depth(m0))
+			}
+		})
+		if _, err := c.Await(1, conformanceTimeout); err != nil {
+			t.Errorf("await: %v", err)
+			return
+		}
+		want := []string{"depth 1", "depth 2", "depth 3", "depth 2", "depth 1", "depth 0"}
+		for i, tr := range c.Traces() {
+			if !reflect.DeepEqual(tr, want) {
+				t.Errorf("replica %d: depth sequence %v, want %v", i, tr, want)
+			}
+		}
+	})
+}
+
+// invFIFOGrant: A holds the mutex while B then C (staggered, in that
+// real-time order, matching their submission order) block on it; the grant
+// order must be exactly A, B, C on every replica.
+func invFIFOGrant(t *testing.T, factory func(i int) adets.Scheduler) {
+	c := New(3, factory)
+	c.Run(func() {
+		sub := func(name string, pre, hold time.Duration) {
+			c.Submit(wire.LogicalID(name), false, func(ic *Ictx) {
+				ic.Compute(pre)
+				if err := ic.Lock(m0); err != nil {
+					t.Errorf("%s: Lock: %v", name, err)
+					return
+				}
+				ic.Trace("enter %s", name)
+				ic.Compute(hold)
+				_ = ic.Unlock(m0)
+			})
+		}
+		sub("A", 0, 10*time.Millisecond)
+		sub("B", 1*time.Millisecond, time.Millisecond)
+		sub("C", 2*time.Millisecond, time.Millisecond)
+		if _, err := c.Await(3, conformanceTimeout); err != nil {
+			t.Errorf("await: %v", err)
+			return
+		}
+		want := []string{"enter A", "enter B", "enter C"}
+		for i, tr := range c.Traces() {
+			if !reflect.DeepEqual(tr, want) {
+				t.Errorf("replica %d: grant order %v, want FIFO %v", i, tr, want)
+			}
+		}
+	})
+}
+
+// invTimeoutExpiry: an un-notified timed wait expires as a timeout; a
+// notified one resumes without the timeout flag — identically everywhere.
+func invTimeoutExpiry(t *testing.T, factory func(i int) adets.Scheduler) {
+	c := New(3, factory)
+	c.Run(func() {
+		// Phase 1: nobody notifies; the deterministic timeout must fire.
+		c.Submit("waiter", false, func(ic *Ictx) {
+			if err := ic.Lock(m0); err != nil {
+				t.Errorf("Lock: %v", err)
+				return
+			}
+			timedOut, err := ic.Wait(m0, "", 5*time.Millisecond)
+			if err != nil {
+				t.Errorf("Wait: %v", err)
+			}
+			ic.Trace("woke timedOut=%v", timedOut)
+			_ = ic.Unlock(m0)
+		})
+		if _, err := c.Await(1, conformanceTimeout); err != nil {
+			t.Errorf("await: %v", err)
+			return
+		}
+		// Phase 2: a notification beats a generous timeout.
+		c.Submit("waiter2", false, func(ic *Ictx) {
+			if err := ic.Lock(m0); err != nil {
+				t.Errorf("Lock: %v", err)
+				return
+			}
+			timedOut, err := ic.Wait(m0, "", 500*time.Millisecond)
+			if err != nil {
+				t.Errorf("Wait: %v", err)
+			}
+			ic.Trace("woke timedOut=%v", timedOut)
+			_ = ic.Unlock(m0)
+		})
+		c.Submit("notifier", false, func(ic *Ictx) {
+			ic.Compute(5 * time.Millisecond)
+			if err := ic.Lock(m0); err != nil {
+				t.Errorf("Lock: %v", err)
+				return
+			}
+			ic.Trace("notify")
+			_ = ic.Notify(m0, "")
+			_ = ic.Unlock(m0)
+		})
+		// Await counts completions beyond the one phase 1 consumed.
+		if _, err := c.Await(2, conformanceTimeout); err != nil {
+			t.Errorf("phase 2: %v", err)
+			return
+		}
+		want := []string{"woke timedOut=true", "notify", "woke timedOut=false"}
+		for i, tr := range c.Traces() {
+			if !reflect.DeepEqual(tr, want) {
+				t.Errorf("replica %d: %v, want %v", i, tr, want)
+			}
+		}
+	})
+}
+
+// invNestedCompletion: every scheduler must resume a thread blocked in a
+// nested invocation when the totally-ordered reply arrives, and later
+// requests must still complete.
+func invNestedCompletion(t *testing.T, factory func(i int) adets.Scheduler) {
+	c := New(3, factory)
+	c.Run(func() {
+		c.Submit("nester", false, func(ic *Ictx) {
+			ic.Trace("pre")
+			ic.Nested(5 * time.Millisecond)
+			ic.Trace("post")
+		})
+		c.Submit("after", false, func(ic *Ictx) {
+			ic.Compute(time.Millisecond)
+			ic.Trace("after")
+		})
+		if _, err := c.Await(2, conformanceTimeout); err != nil {
+			t.Errorf("await: %v", err)
+			return
+		}
+		for i, tr := range c.Traces() {
+			if len(tr) != 3 || tr[0] != "pre" {
+				t.Errorf("replica %d: trace %v, want pre/post/after in some order starting with pre", i, tr)
+				continue
+			}
+			seen := map[string]bool{}
+			for _, e := range tr {
+				seen[e] = true
+			}
+			if !seen["post"] || !seen["after"] {
+				t.Errorf("replica %d: trace %v missing completions", i, tr)
+			}
+		}
+	})
+}
+
+// invCallbackCompletion: while the originator is blocked in a nested
+// invocation, a callback of the same logical thread must run to completion
+// before the originator resumes — the re-entrant external interaction of
+// the paper's Section 3.1.
+func invCallbackCompletion(t *testing.T, factory func(i int) adets.Scheduler) {
+	c := New(3, factory)
+	c.Run(func() {
+		logical := wire.LogicalID("chain")
+		c.Submit(logical, false, func(ic *Ictx) {
+			ic.Trace("pre")
+			ic.Nested(20 * time.Millisecond)
+			ic.Trace("post")
+		})
+		c.RT.Sleep(5 * time.Millisecond)
+		c.Submit(logical, true, func(ic *Ictx) {
+			ic.Trace("cb")
+		})
+		if _, err := c.Await(2, conformanceTimeout); err != nil {
+			t.Errorf("await: %v", err)
+			return
+		}
+		want := []string{"pre", "cb", "post"}
+		for i, tr := range c.Traces() {
+			if !reflect.DeepEqual(tr, want) {
+				t.Errorf("replica %d: trace %v, want %v", i, tr, want)
+			}
+		}
+	})
+}

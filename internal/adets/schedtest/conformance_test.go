@@ -1,0 +1,23 @@
+package schedtest
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestConformanceAllSchedulers runs the cross-scheduler conformance suite
+// (see conformance.go) against every registered scheduler kind. A new
+// scheduler only has to be added to the factories map to be covered.
+func TestConformanceAllSchedulers(t *testing.T) {
+	names := make([]string, 0, len(factories))
+	for name := range factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			RunConformance(t, factories[name])
+		})
+	}
+}

@@ -137,6 +137,13 @@ func (c *Cluster) dispatch(i int) {
 // on every replica. Callback marks it as a callback request. All replicas
 // receive the submission at the same stream position (one lock hold).
 func (c *Cluster) Submit(logical wire.LogicalID, callback bool, script Script) {
+	c.SubmitClasses(logical, callback, nil, script)
+}
+
+// SubmitClasses is Submit with declared conflict classes: conflict-aware
+// schedulers (ADETS-CC) partition such requests onto worker lanes, every
+// other scheduler ignores the declaration. Nil classes mean "global".
+func (c *Cluster) SubmitClasses(logical wire.LogicalID, callback bool, classes []string, script Script) {
 	c.RT.Lock()
 	defer c.RT.Unlock()
 	c.reqSeq++
@@ -147,6 +154,7 @@ func (c *Cluster) Submit(logical wire.LogicalID, callback bool, script Script) {
 			ID:       wire.InvocationID{Logical: logical, Seq: seq},
 			Logical:  logical,
 			Callback: callback,
+			Classes:  classes,
 			Exec: func(t *adets.Thread) {
 				c.RT.Lock()
 				c.threads[i][logical] = t
@@ -263,6 +271,11 @@ func (ic *Ictx) NotifyAll(m adets.MutexID, cond adets.CondID) error {
 
 // Yield offers a scheduling point.
 func (ic *Ictx) Yield() { ic.c.Scheds[ic.replica].Yield(ic.t) }
+
+// Depth returns the calling logical thread's reentrant hold depth on m.
+func (ic *Ictx) Depth(m adets.MutexID) int {
+	return ic.c.Reents[ic.replica].Depth(ic.t, m)
+}
 
 // DeclareNoMoreLocks invokes the lock-prediction hook if the scheduler
 // supports it.

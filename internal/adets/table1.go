@@ -31,6 +31,16 @@ var PaperTable1 = []Table1Row{
 	{Name: "PDS", Coordination: "Locks", DeadlockFree: "NO", Deployment: "manual", Multithreading: "MA (restr.)"},
 }
 
+// ExtensionRows lists schedulers this reproduction implements beyond the
+// paper's survey; they are rendered after the paper's rows. ADETS-CC is the
+// conflict-class parallel-dispatch strategy (Early Scheduling in Parallel
+// SMR, Alchieri et al.): requests with disjoint declared conflict classes
+// execute concurrently on hash-mapped worker lanes, everything else
+// synchronizes with deterministic barriers.
+var ExtensionRows = []Table1Row{
+	{Name: "ADETS-CC", Coordination: "Locks", DeadlockFree: "NI+CB", Deployment: "manual", Multithreading: "MA (classes)"},
+}
+
 // Row converts a scheduler's capability metadata into a Table 1 row.
 func Row(name string, c Capabilities) Table1Row {
 	return Table1Row{

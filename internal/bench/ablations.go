@@ -296,6 +296,7 @@ func All(cfg Config) ([]Result, error) {
 		{"ab-pdsnested", AB5PDSNested},
 		{"ab-pdsassign", AB6PDSAssignment},
 		{"ab-matpredict", AB7MATPredict},
+		{"cc-conflict", ConflictSweep},
 	}
 	out := make([]Result, 0, len(exps))
 	for _, e := range exps {
@@ -326,5 +327,6 @@ func Experiments() map[string]func(Config) (Result, error) {
 		"ab-pdsnested":  AB5PDSNested,
 		"ab-pdsassign":  AB6PDSAssignment,
 		"ab-matpredict": AB7MATPredict,
+		"cc-conflict":   ConflictSweep,
 	}
 }

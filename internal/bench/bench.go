@@ -39,16 +39,20 @@ type Config struct {
 	// Metrics, if non-nil, collects cluster metrics across every scenario
 	// of the run (cmd/replbench prints a summary at the end).
 	Metrics *replobj.MetricsRegistry
+	// ConflictRatio, when >= 0, restricts the cc-conflict experiment to a
+	// single global-request ratio instead of the default sweep grid.
+	ConflictRatio float64
 }
 
 // Defaults returns the standard experiment configuration.
 func Defaults() Config {
 	return Config{
-		PerClient: 60,
-		Warmup:    5,
-		Replicas:  3,
-		Latency:   600 * time.Microsecond,
-		Policy:    client.Majority,
+		PerClient:     60,
+		Warmup:        5,
+		Replicas:      3,
+		Latency:       600 * time.Microsecond,
+		Policy:        client.Majority,
+		ConflictRatio: -1,
 	}
 }
 

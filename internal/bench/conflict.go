@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/vtime"
+)
+
+// The conflict-class experiment: a sharded object whose requests declare
+// which shard they touch. At conflict ratio 0 every request stays inside
+// its own shard, so ADETS-CC dispatches the shards onto parallel lanes; as
+// the ratio rises, more requests are global (undeclared) barriers and CC
+// degenerates towards the serialized baseline. SEQ and ADETS-MAT run the
+// identical workload for comparison — the in-lock computation makes the
+// workload pattern (c) of Fig. 3, which MAT serializes, so the win here is
+// attributable to conflict classes, not to multithreading alone.
+
+// NumShards is the shard count of the conflict-class object.
+const NumShards = 8
+
+// ConflictClients is the client count of the conflict sweep (one client
+// per shard).
+const ConflictClients = NumShards
+
+// ConflictCompute is the in-lock computation per request.
+const ConflictCompute = 2 * time.Millisecond
+
+// ConflictLanes sizes the CC lane pool. Generously above NumShards so the
+// FNV class→lane mapping rarely collides (a collision only serializes two
+// shards, it never breaks determinism).
+const ConflictLanes = 64
+
+// DefaultConflictRatios is the sweep grid.
+var DefaultConflictRatios = []float64{0, 0.25, 0.5, 0.75, 1}
+
+// conflictShards is the object state; it declares per-request classes from
+// the arguments alone, so every replica computes the same set.
+type conflictShards struct{}
+
+// ConflictClasses implements replobj.ConflictClasser: args[0] is the shard
+// index, args[1] != 0 marks the request global.
+func (conflictShards) ConflictClasses(method string, args []byte) []string {
+	if method != "op" || len(args) < 2 || args[1] != 0 {
+		return nil // global: conflicts with everything
+	}
+	return []string{fmt.Sprintf("shard%d", args[0])}
+}
+
+// registerConflictObject installs "op": lock the request's shard mutex,
+// compute, unlock. The body is identical for shard-local and global
+// requests — only the declared class set differs — so any latency gap
+// between the ratios is pure scheduling.
+func registerConflictObject(g *replobj.Group, compute time.Duration) {
+	g.Register("op", func(inv *replobj.Invocation) ([]byte, error) {
+		m := replobj.MutexID(fmt.Sprintf("shard%d", inv.Args()[0]))
+		if err := inv.Lock(m); err != nil {
+			return nil, err
+		}
+		inv.Compute(compute)
+		if err := inv.Unlock(m); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+}
+
+// conflictArgs builds one invocation: each client owns one shard, and the
+// request is global with probability ratio (deterministic in client, seq).
+func conflictArgs(client, seq int, ratio float64) []byte {
+	shard := byte(client % NumShards)
+	global := byte(0)
+	if mix(uint64(client), uint64(seq), 11)%1_000_000 < uint64(ratio*1_000_000) {
+		global = 1
+	}
+	return []byte{shard, global}
+}
+
+// conflictSetup creates the sharded group under the given strategy.
+func conflictSetup(cfg Config, kind replobj.SchedulerKind) func(*replobj.Cluster) error {
+	return func(c *replobj.Cluster) error {
+		opts := append(groupOpts(kind, ConflictClients),
+			replobj.WithState(func() any { return conflictShards{} }))
+		if kind == replobj.CC {
+			opts = append(opts, replobj.WithCCLanes(ConflictLanes))
+		}
+		g, err := c.NewGroup("shards", cfg.Replicas, opts...)
+		if err != nil {
+			return err
+		}
+		registerConflictObject(g, ConflictCompute)
+		g.Start()
+		return nil
+	}
+}
+
+// ConflictKinds are the strategies compared by the conflict sweep.
+var ConflictKinds = []struct {
+	Label string
+	Kind  replobj.SchedulerKind
+}{
+	{"SEQ", replobj.SEQ},
+	{"MAT", replobj.MAT},
+	{"CC", replobj.CC},
+}
+
+// ConflictSweep measures mean invocation latency over the conflict-ratio
+// grid (or the single cfg.ConflictRatio when set) for SEQ, ADETS-MAT and
+// ADETS-CC, with ConflictClients clients each hammering its own shard.
+func ConflictSweep(cfg Config) (Result, error) {
+	ratios := DefaultConflictRatios
+	if cfg.ConflictRatio >= 0 {
+		ratios = []float64{cfg.ConflictRatio}
+	}
+	res := Result{
+		ID:     "cc-conflict",
+		Title:  "Conflict-class dispatch — sharded object, 8 clients, global-request ratio sweep",
+		XLabel: "conflict ratio",
+		YLabel: "ms/invocation",
+	}
+	for _, k := range ConflictKinds {
+		s := Series{Label: k.Label}
+		for _, ratio := range ratios {
+			ratio := ratio
+			y, err := runScenario(cfg, ConflictClients,
+				conflictSetup(cfg, k.Kind),
+				func(rt vtime.Runtime, cl *replobj.Client, idx int) ([]time.Duration, error) {
+					return timedLoop(rt, cfg, func(seq int) error {
+						_, err := cl.Invoke("shards", "op", conflictArgs(idx, seq, ratio))
+						return err
+					})
+				})
+			if err != nil {
+				return res, fmt.Errorf("cc-conflict %s ratio=%g: %w", k.Label, ratio, err)
+			}
+			s.Points = append(s.Points, Point{X: ratio, Y: y})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

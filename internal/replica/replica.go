@@ -97,6 +97,16 @@ func init() {
 // (locks, condition variables, nested invocations, simulated computation).
 type Handler func(inv *Invocation) ([]byte, error)
 
+// ConflictClasser is implemented by object states that declare conflict
+// classes dynamically, per request. The result must be a pure function of
+// (method, args) — identical on every replica — and names the classes the
+// request may touch; nil or empty means "global" (conflicts with
+// everything). Conflict-aware schedulers (ADETS-CC) execute requests with
+// disjoint class sets in parallel.
+type ConflictClasser interface {
+	ConflictClasses(method string, args []byte) []string
+}
+
 // Config assembles a replica.
 type Config struct {
 	RT        vtime.Runtime
@@ -114,6 +124,13 @@ type Config struct {
 	// replication uses to log what the primary executed since the last
 	// checkpoint (paper Section 1).
 	Journal func(Request)
+	// Classes, if non-nil, maps a request to its declared conflict classes
+	// for conflict-aware scheduling (ADETS-CC). It must be a pure function
+	// of (method, args) — it is evaluated at the totally-ordered dispatch
+	// point and every replica must compute the same set. Nil or an empty
+	// result marks the request "global" (conflicts with everything). When
+	// nil, a State instance implementing ConflictClasser is used instead.
+	Classes func(method string, args []byte) []string
 	// GCS carries the group communication knobs (failure detection etc.);
 	// Group/Self/Members/Send are filled in by the replica.
 	GCS gcs.Config
@@ -138,6 +155,7 @@ type Replica struct {
 	reent   *adets.Reentrancy
 	state   any
 	journal func(Request)
+	classes func(method string, args []byte) []string
 
 	// Observability (all nil-safe; nil when disabled).
 	schedObs  *adets.SchedObs
@@ -193,6 +211,12 @@ func New(cfg Config) *Replica {
 		r.state = cfg.State()
 	}
 	r.journal = cfg.Journal
+	r.classes = cfg.Classes
+	if r.classes == nil {
+		if cc, ok := r.state.(ConflictClasser); ok {
+			r.classes = cc.ConflictClasses
+		}
+	}
 	r.ep = cfg.Network.Endpoint(cfg.Self)
 	r.trace = cfg.Trace
 	r.schedObs = adets.NewSchedObs(cfg.Metrics, cfg.Trace, cfg.Scheduler.Name(), string(cfg.Self))
@@ -343,10 +367,15 @@ func (r *Replica) dispatchRequest(req Request) {
 }
 
 func (r *Replica) submitRequest(req Request, callback bool) {
+	var classes []string
+	if r.classes != nil {
+		classes = r.classes(req.Method, req.Args)
+	}
 	r.sched.Submit(adets.Request{
 		ID:       req.ID,
 		Logical:  req.Logical(),
 		Callback: callback,
+		Classes:  classes,
 		Exec:     func(t *adets.Thread) { r.execute(req, t) },
 	})
 }

@@ -16,6 +16,8 @@
 //	ADETS-MAT  true multithreading with a primary-token discipline
 //	ADETS-LSA  leader/follower loose synchronization (Basile's LSA + Java model)
 //	ADETS-PDS  round-based preemptive deterministic scheduling (PDS-1/PDS-2)
+//	ADETS-CC   conflict-class parallel dispatch (this reproduction's
+//	           extension after Early Scheduling in Parallel SMR)
 //
 // A Cluster hosts replica groups and clients over a shared network —
 // in-process with simulated latency under vtime.Virtual() (the evaluation
@@ -41,6 +43,7 @@ import (
 	"time"
 
 	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/adets/cc"
 	"github.com/replobj/replobj/internal/adets/lsa"
 	"github.com/replobj/replobj/internal/adets/mat"
 	"github.com/replobj/replobj/internal/adets/pds"
@@ -78,6 +81,10 @@ type (
 	Request = replica.Request
 	// Capabilities is a scheduler's Table 1 row plus feature flags.
 	Capabilities = adets.Capabilities
+	// ConflictClasser is implemented by object states that declare
+	// conflict classes per request for conflict-aware scheduling
+	// (ADETS-CC). The result must be a pure function of (method, args).
+	ConflictClasser = replica.ConflictClasser
 	// MetricsRegistry collects counters, gauges and latency histograms and
 	// renders them in Prometheus text format (see internal/obs).
 	MetricsRegistry = obs.Registry
@@ -116,7 +123,8 @@ const (
 // SchedulerKind names one of the paper's scheduling strategies.
 type SchedulerKind string
 
-// The available strategies (Table 1 of the paper).
+// The available strategies (Table 1 of the paper, plus this
+// reproduction's conflict-class extension).
 const (
 	SEQ   SchedulerKind = "SEQ"
 	SL    SchedulerKind = "SL"
@@ -126,11 +134,18 @@ const (
 	LSA   SchedulerKind = "ADETS-LSA"
 	PDS   SchedulerKind = "ADETS-PDS"
 	PDS2  SchedulerKind = "ADETS-PDS-2"
+	// CC is conflict-class parallel dispatch: requests with disjoint
+	// declared conflict classes (WithConflictClasses or a ConflictClasser
+	// state) execute in parallel on deterministic worker lanes; undeclared
+	// requests are global barriers, so existing applications run unchanged
+	// (serialized). See internal/adets/cc.
+	CC SchedulerKind = "ADETS-CC"
 )
 
-// Kinds lists every scheduler kind in the paper's Table 1 order.
+// Kinds lists every scheduler kind in the paper's Table 1 order, followed
+// by this reproduction's extensions.
 func Kinds() []SchedulerKind {
-	return []SchedulerKind{SEQ, SL, SAT, ADSAT, MAT, LSA, PDS, PDS2}
+	return []SchedulerKind{SEQ, SL, SAT, ADSAT, MAT, LSA, PDS, PDS2, CC}
 }
 
 // ClusterOption configures a Cluster.
@@ -274,6 +289,8 @@ type groupConfig struct {
 	failureDetection bool
 	gcs              gcs.Config
 	traceRetain      int
+	ccLanes          int
+	conflictClasses  map[string][]string
 }
 
 // WithScheduler selects the scheduling strategy (default ADETS-SAT).
@@ -317,6 +334,27 @@ func WithPDSConfig(cfg pds.Config) GroupOption {
 // the number of clients).
 func WithPDSPool(n int) GroupOption {
 	return func(g *groupConfig) { g.pds.PoolSize = n; g.pdsSet = true }
+}
+
+// WithConflictClasses statically declares conflict classes per method for
+// conflict-aware scheduling (ADETS-CC): requests of methods with disjoint
+// class sets execute in parallel; methods absent from the map (or mapped to
+// an empty set) are global and conflict with everything. For per-request
+// (argument-dependent) classes, implement ConflictClasser on the state
+// instead; an explicit WithConflictClasses takes precedence.
+func WithConflictClasses(classes map[string][]string) GroupOption {
+	cp := make(map[string][]string, len(classes))
+	for m, cs := range classes {
+		cp[m] = append([]string(nil), cs...)
+	}
+	return func(g *groupConfig) { g.conflictClasses = cp }
+}
+
+// WithCCLanes sets ADETS-CC's worker-lane pool size (default 8). The lane
+// count is an input of the deterministic class→lane mapping, so every
+// replica of a group must use the same value.
+func WithCCLanes(n int) GroupOption {
+	return func(g *groupConfig) { g.ccLanes = n }
 }
 
 // WithMATYield enables or disables honouring Yield under ADETS-MAT.
@@ -433,6 +471,12 @@ func (cfg *groupConfig) scheduler(rank int) (adets.Scheduler, error) {
 		p := cfg.pds
 		p.Variant = pds.PDS2
 		return pds.New(p), nil
+	case CC:
+		var opts []cc.Option
+		if cfg.ccLanes > 0 {
+			opts = append(opts, cc.WithLanes(cfg.ccLanes))
+		}
+		return cc.New(opts...), nil
 	}
 	return nil, fmt.Errorf("replobj: unknown scheduler kind %q", cfg.kind)
 }
@@ -483,6 +527,12 @@ func (g *Group) StartRank(rank int) {
 	}
 	if rank == 0 {
 		rcfg.Journal = g.cfg.journal
+	}
+	if g.cfg.conflictClasses != nil {
+		classes := g.cfg.conflictClasses
+		rcfg.Classes = func(method string, _ []byte) []string {
+			return classes[method]
+		}
 	}
 	r := replica.New(rcfg)
 	for m, h := range g.handlers {
@@ -559,6 +609,7 @@ func Table1() string {
 		adets.Row("ADETS-MAT", mat.New().Capabilities()),
 		adets.Row("LSA", lsa.New().Capabilities()),
 		adets.Row("PDS", pds.New(pds.Config{}).Capabilities()),
+		adets.Row("ADETS-CC", cc.New().Capabilities()),
 	}
 	return adets.FormatTable1(rows)
 }

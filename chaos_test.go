@@ -41,7 +41,13 @@ func chaosCluster(rt *vtime.VirtualRuntime, prof faultnet.Profile, seed int64) (
 // replica-consistent when delivery timing is uniform — under chaos-skewed
 // delivery the binding (and so the __queue grant trace) legitimately
 // differs, while round-robin derives it from the totally ordered submit
-// sequence alone.
+// sequence alone. The paper's Section 4.2 "artificial requests" option
+// (replobj.WithPDSArtificialRequests) removes that caveat for synchronized
+// assignment too — queue-mutex grants are rationed to workers in fixed
+// rotation at totally ordered points — and
+// TestPDSArtificialRequestsFullStreamDeterminism holds the full trace
+// streams (the __queue grant stream included) equal under the same chaos
+// schedule.
 func chaosGroupOpts(kind replobj.SchedulerKind, clients int) []replobj.GroupOption {
 	opts := append(groupOptsFor(kind, clients),
 		replobj.WithSchedTrace(0),

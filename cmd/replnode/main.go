@@ -39,6 +39,21 @@ import (
 
 type counter struct{ value uint64 }
 
+// Snapshot/Restore make the demo counter checkpointable (-checkpoint-every):
+// the gob fallback cannot serialize the unexported field.
+func (c *counter) Snapshot() ([]byte, error) {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, c.value)
+	return out, nil
+}
+
+func (c *counter) Restore(b []byte) error {
+	c.value = binary.BigEndian.Uint64(b)
+	return nil
+}
+
+var _ replobj.Snapshotter = (*counter)(nil)
+
 func main() {
 	var (
 		group        = flag.String("group", "counter", "replica group name")
@@ -50,6 +65,7 @@ func main() {
 		retain       = flag.Int("trace", obs.DefaultRetain, "schedule-trace events retained per stream (0 disables tracing)")
 		chaosProfile = flag.String("chaos-profile", "none", "fault-injection profile: none, mild or harsh")
 		chaosSeed    = flag.Int64("chaos-seed", 0, "fault-schedule seed (0 picks one; the resolved seed is printed at startup)")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "take a checkpoint (and truncate the ordered log) every N deliveries (0 disables)")
 	)
 	flag.Parse()
 
@@ -93,6 +109,9 @@ func main() {
 	}
 	if *retain > 0 {
 		gopts = append(gopts, replobj.WithSchedTrace(*retain))
+	}
+	if *ckptEvery > 0 {
+		gopts = append(gopts, replobj.WithCheckpointEvery(*ckptEvery))
 	}
 	g, err := cluster.NewGroup(*group, len(list), gopts...)
 	if err != nil {

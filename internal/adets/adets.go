@@ -84,6 +84,14 @@ type Request struct {
 	// the same set. Nil or empty means "global" — the request conflicts
 	// with everything. Schedulers without conflict awareness ignore it.
 	Classes []string
+	// Seq is the total-order position of the delivery that produced this
+	// request, 0 when the submission is not directly stream-ordered (e.g. a
+	// deferred callback flush). Schedulers that annotate traces with a
+	// position must use it rather than a local counter: it is a pure
+	// function of the ordered stream and so stays continuous across
+	// checkpoint state transfer, where local counters reflect a replica's
+	// own (possibly interrupted) submission history.
+	Seq uint64
 	// Exec runs the method body to completion on the thread the scheduler
 	// assigns. It must be called exactly once.
 	Exec func(t *Thread)
@@ -165,6 +173,26 @@ type Scheduler interface {
 	// ViewChanged reports a membership change, delivered at its exact
 	// position in the total order (ADETS-LSA fail-over, Section 4.1).
 	ViewChanged(v gcs.View)
+
+	// Quiesce asks the scheduler for a stable point — the checkpoint
+	// boundary of deterministic state capture. The caller guarantees that no
+	// further ordered deliveries reach the scheduler until report is called
+	// (the dispatcher is paused), so the scheduler's remaining activity is a
+	// pure function of the ordered prefix. The scheduler must invoke report
+	// exactly once (possibly synchronously, from inside Quiesce) with the
+	// runtime lock held, as soon as it reaches a state where no thread can
+	// make progress without a future delivery:
+	//
+	//   - drained=true: no live request threads remain — the object state is
+	//     a consistent cut of the ordered prefix and may be snapshotted.
+	//   - drained=false: live threads remain, but every one of them is
+	//     blocked on a future delivery (a nested reply, a condition
+	//     notification, an undelivered grant table). The checkpoint is
+	//     skipped — deterministically, because the blocked-until-stable
+	//     outcome is itself a function of the ordered prefix.
+	//
+	// At most one Quiesce may be outstanding at a time.
+	Quiesce(report func(drained bool))
 
 	// HandleOrdered processes a scheduler message that travelled through
 	// the total order (deterministic timeouts). It must return true if

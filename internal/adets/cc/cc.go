@@ -66,6 +66,7 @@ type ticket struct {
 	started      bool // allowed to run (or fence completed)
 	parked       bool // goroutine parked awaiting first activation
 	blockT0      time.Duration
+	lockBlocked  bool // parked in Lock awaiting a grant
 	nested       bool // parked in BeginNested
 	pendingReply bool // nested reply arrived before the thread parked
 }
@@ -86,8 +87,8 @@ type Scheduler struct {
 	queues  [][]*ticket // one FIFO of tickets per lane
 	locks   map[adets.MutexID]*lockState
 	threads map[*adets.Thread]bool
-	seq     uint64 // ordered (non-callback) submissions, for the lane trace
 	stopped bool
+	quiesce func(drained bool)
 }
 
 var _ adets.Scheduler = (*Scheduler)(nil)
@@ -177,8 +178,11 @@ func (s *Scheduler) Submit(req adets.Request) {
 	if req.Callback {
 		tk.started = true // lane bypass: run immediately
 	} else {
-		s.seq++
-		pos := strconv.FormatUint(s.seq, 10)
+		// The trace position is the total-order seq of the delivery, not a
+		// local submission count — a replica restored from a checkpoint never
+		// saw the truncated prefix, but its lane trace must still line up
+		// with replicas that executed it.
+		pos := strconv.FormatUint(req.Seq, 10)
 		tk.lanes = AssignLanes(req.Classes, s.laneCount)
 		for _, l := range tk.lanes {
 			s.queues[l] = append(s.queues[l], tk)
@@ -189,6 +193,7 @@ func (s *Scheduler) Submit(req adets.Request) {
 		rt.Lock()
 		for !tk.started && !s.stopped {
 			tk.parked = true
+			s.checkQuiesceLocked()
 			t.Park(rt)
 			tk.parked = false
 		}
@@ -209,6 +214,7 @@ func (s *Scheduler) threadDone(t *adets.Thread) {
 	delete(s.threads, t)
 	s.removeLocked(st(t))
 	s.pumpLocked()
+	s.checkQuiesceLocked()
 	rt.Unlock()
 }
 
@@ -307,7 +313,11 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 		t0 = rt.NowLocked()
 	}
 	ls.waiters.Push(t)
+	tk := st(t)
+	tk.lockBlocked = true
+	s.checkQuiesceLocked()
 	t.Park(rt)
+	tk.lockBlocked = false
 	if s.stopped {
 		s.env.Obs.Unblocked()
 		return adets.ErrStopped
@@ -339,6 +349,7 @@ func (s *Scheduler) Unlock(t *adets.Thread, m adets.MutexID) error {
 	}
 	ls.owner = w.Logical
 	s.env.Obs.Grant(m, string(w.Logical))
+	st(w).lockBlocked = false // cleared by the granter: the permit is pending
 	w.Unpark(rt)
 	return nil
 }
@@ -381,6 +392,7 @@ func (s *Scheduler) BeginNested(t *adets.Thread) {
 		return
 	}
 	tk.nested = true
+	s.checkQuiesceLocked()
 	t.Park(rt)
 	tk.nested = false
 	rt.Unlock()
@@ -420,6 +432,37 @@ func (s *Scheduler) ViewChanged(v gcs.View) {
 		s.queues[l] = append(s.queues[l], f)
 	}
 	s.pumpLocked()
+}
+
+// Quiesce implements adets.Scheduler. CC is stable when every ticket is
+// parked for good until a future delivery: awaiting its lane activation
+// (which, with dispatch paused, only a completing earlier ticket can
+// trigger — covered by the threadDone re-check), blocked on a lock, or
+// parked in a nested invocation. Fences carry no thread and are removed
+// eagerly by pumpLocked, so an empty thread set implies empty lanes — the
+// all-lane drain the barrier semantics require.
+func (s *Scheduler) Quiesce(report func(drained bool)) {
+	rt := s.env.RT
+	rt.Lock()
+	s.quiesce = report
+	s.checkQuiesceLocked()
+	rt.Unlock()
+}
+
+func (s *Scheduler) checkQuiesceLocked() {
+	if s.quiesce == nil {
+		return
+	}
+	for t := range s.threads {
+		tk := st(t)
+		stable := (!tk.started && tk.parked) || tk.nested || tk.lockBlocked
+		if !stable {
+			return
+		}
+	}
+	report := s.quiesce
+	s.quiesce = nil
+	report(len(s.threads) == 0)
 }
 
 // HandleOrdered implements adets.Scheduler.

@@ -49,10 +49,13 @@ type TableUpdate struct {
 func init() { wire.RegisterPayload(TableUpdate{}) }
 
 type lsaThread struct {
-	waiting  bool
-	waitSeq  uint64
-	timedOut bool
-	granted  bool // set by the grant path before unparking a lock waiter
+	waiting     bool
+	waitSeq     uint64
+	timedOut    bool
+	granted     bool // set by the grant path before unparking a lock waiter
+	lockWait    bool // parked in Lock awaiting a grant
+	nested      bool // parked in BeginNested awaiting the ordered reply
+	replyPermit bool // EndNested arrived before BeginNested: next park is a no-op
 }
 
 type lockState struct {
@@ -89,10 +92,12 @@ type Scheduler struct {
 	threads map[*adets.Thread]bool
 
 	pendingLog []TableEntry // leader: grants not yet broadcast
+	inflight   int          // table batches broadcast but not yet delivered back
 	batchSeq   uint64
 	waitSeqs   map[wire.LogicalID]uint64
 	flushTimer *vtime.Timer
 	stopped    bool
+	quiesce    func(drained bool)
 }
 
 var _ adets.Scheduler = (*Scheduler)(nil)
@@ -191,6 +196,7 @@ func (s *Scheduler) isStopped() bool {
 func (s *Scheduler) threadDone(t *adets.Thread) {
 	s.env.RT.Lock()
 	delete(s.threads, t)
+	s.checkQuiesceLocked()
 	s.env.RT.Unlock()
 }
 
@@ -233,7 +239,10 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 	// Park unconditionally: if the grant already happened, the unpark left
 	// a permit and Park returns immediately — no lost wakeup, no stale
 	// permit.
+	st(t).lockWait = true
+	s.checkQuiesceLocked()
 	t.Park(rt)
+	st(t).lockWait = false
 	granted := st(t).granted
 	st(t).granted = false
 	if !granted && s.stopped {
@@ -357,6 +366,7 @@ func (s *Scheduler) Wait(t *adets.Thread, m adets.MutexID, c adets.CondID, d tim
 	s.env.Obs.WaitStart(m, c, string(t.Logical))
 	ls.owner = ""
 	s.tryGrantLocked(m)
+	s.checkQuiesceLocked()
 	t.Park(rt) // woken when re-granted m after notify/timeout
 	lst.waiting = false
 	delete(s.waiters, t.Logical)
@@ -463,7 +473,19 @@ func (s *Scheduler) Yield(*adets.Thread) {}
 func (s *Scheduler) BeginNested(t *adets.Thread) {
 	rt := s.env.RT
 	rt.Lock()
+	lst := st(t)
+	if lst.replyPermit {
+		// The reply was delivered before we parked: consume the permit
+		// without ever looking blocked to a concurrent Quiesce.
+		lst.replyPermit = false
+		t.Park(rt)
+		rt.Unlock()
+		return
+	}
+	lst.nested = true
+	s.checkQuiesceLocked()
 	t.Park(rt)
+	lst.nested = false
 	rt.Unlock()
 }
 
@@ -471,6 +493,9 @@ func (s *Scheduler) BeginNested(t *adets.Thread) {
 func (s *Scheduler) EndNested(t *adets.Thread) {
 	rt := s.env.RT
 	rt.Lock()
+	if !st(t).nested {
+		st(t).replyPermit = true
+	}
 	t.Unpark(rt)
 	rt.Unlock()
 }
@@ -508,8 +533,15 @@ func (s *Scheduler) HandleOrdered(_ string, payload any) bool {
 	rt := s.env.RT
 	rt.Lock()
 	defer rt.Unlock()
-	if s.stopped || up.From == s.env.Self {
-		return true // our own broadcast: grants already applied locally
+	if s.stopped {
+		return true
+	}
+	if up.From == s.env.Self {
+		// Our own broadcast returning through the order: grants were already
+		// applied locally at log time; the batch is now published to all.
+		s.inflight--
+		s.checkQuiesceLocked()
+		return true
 	}
 	touched := make(map[adets.MutexID]bool)
 	for _, e := range up.Entries {
@@ -530,6 +562,41 @@ func sortedMutexes(set map[adets.MutexID]bool) []adets.MutexID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Quiesce implements adets.Scheduler. LSA is stable when every live thread
+// is parked awaiting a grant, a notification, or a nested reply. Drained
+// additionally requires that the leader's grant log is fully published AND
+// delivered back through the order: an unpublished (or undelivered) grant
+// means the leader executed ahead of the stream — the grantee may have
+// finished here while it is still blocked on every follower, so leader and
+// followers would disagree about the cut. A grant pending publication can
+// never deliver while dispatch is paused, so in that case the stable report
+// is drained=false (checkpoint skipped) on the leader — and on followers
+// too, whose corresponding threads are still parked awaiting the table.
+func (s *Scheduler) Quiesce(report func(drained bool)) {
+	rt := s.env.RT
+	rt.Lock()
+	s.quiesce = report
+	s.checkQuiesceLocked()
+	rt.Unlock()
+}
+
+func (s *Scheduler) checkQuiesceLocked() {
+	if s.quiesce == nil {
+		return
+	}
+	for t := range s.threads {
+		lst := st(t)
+		stable := lst.nested || ((lst.waiting || lst.lockWait) && !lst.granted)
+		if !stable {
+			return
+		}
+	}
+	pubClean := len(s.pendingLog) == 0 && s.inflight == 0
+	report := s.quiesce
+	s.quiesce = nil
+	report(len(s.threads) == 0 && pubClean)
 }
 
 // HandleDirect implements adets.Scheduler.
@@ -556,6 +623,7 @@ func (s *Scheduler) flush() {
 		batch = s.pendingLog
 		s.pendingLog = nil
 		s.batchSeq++
+		s.inflight++
 		id = fmt.Sprintf("lsa-table/%s/%d", s.env.Self, s.batchSeq)
 	}
 	rt.Unlock()

@@ -79,6 +79,7 @@ type Scheduler struct {
 	threads    map[*adets.Thread]bool
 	tos        *adets.Timeouts
 	stopped    bool
+	quiesce    func(drained bool)
 }
 
 var (
@@ -179,6 +180,7 @@ func (s *Scheduler) threadDone(t *adets.Thread) {
 	st(t).state = stDone
 	delete(s.threads, t)
 	s.leaveSuccessionLocked(t)
+	s.checkQuiesceLocked()
 	rt.Unlock()
 }
 
@@ -274,6 +276,7 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 			ls.waiters.Push(t)
 			mst.state = stBlockedLock
 			s.leaveSuccessionLocked(t)
+			s.checkQuiesceLocked()
 			t.Park(rt)
 			if s.stopped {
 				s.env.Obs.Unblocked()
@@ -350,6 +353,7 @@ func (s *Scheduler) Wait(t *adets.Thread, m adets.MutexID, c adets.CondID, d tim
 	s.env.Obs.WaitStart(m, c, string(t.Logical))
 	s.releaseLocked(m, ls)
 	s.leaveSuccessionLocked(t)
+	s.checkQuiesceLocked()
 	t.Park(rt)
 	mst.waiting = false
 	delete(s.waiters, t.Logical)
@@ -446,6 +450,7 @@ func (s *Scheduler) BeginNested(t *adets.Thread) {
 	}
 	mst.state = stNested
 	s.leaveSuccessionLocked(t)
+	s.checkQuiesceLocked()
 	t.Park(rt)
 	rt.Unlock()
 }
@@ -469,6 +474,35 @@ func (s *Scheduler) EndNested(t *adets.Thread) {
 // ViewChanged implements adets.Scheduler (MAT needs no membership info —
 // one of its advantages over LSA, Section 5.6).
 func (s *Scheduler) ViewChanged(gcs.View) {}
+
+// Quiesce implements adets.Scheduler. MAT is stable when every live thread
+// is blocked on a lock, a condition variable, or a nested reply: stRunning
+// threads are still executing, and an stAwaitToken thread always resumes
+// once the token reaches it (token movement needs no future delivery), so
+// either rules out stability.
+func (s *Scheduler) Quiesce(report func(drained bool)) {
+	rt := s.env.RT
+	rt.Lock()
+	s.quiesce = report
+	s.checkQuiesceLocked()
+	rt.Unlock()
+}
+
+func (s *Scheduler) checkQuiesceLocked() {
+	if s.quiesce == nil {
+		return
+	}
+	for t := range s.threads {
+		switch st(t).state {
+		case stBlockedLock, stWaiting, stNested:
+		default:
+			return
+		}
+	}
+	report := s.quiesce
+	s.quiesce = nil
+	report(len(s.threads) == 0)
+}
 
 // HandleOrdered implements adets.Scheduler: deterministic wait timeouts as
 // ordered requests executed by a scheduler-managed thread.

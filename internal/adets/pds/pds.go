@@ -97,10 +97,12 @@ type pdsThread struct {
 	reqMutex adets.MutexID // pending mutex request while suspended
 	eligible bool          // request may be granted in the current round
 	resume   adets.MutexID // mutex to reacquire when resuming ("" = none)
-	waiting  bool
-	waitSeq  uint64
-	timedOut bool
-	ownQueue []adets.Request // round-robin assignment
+	waiting     bool
+	waitSeq     uint64
+	timedOut    bool
+	nestedA     bool // strategy A: parked awaiting the ordered nested reply
+	replyPermit bool // EndNested raced ahead of BeginNested: next park is a no-op
+	ownQueue    []adets.Request // round-robin assignment
 
 	// PDS-2 per-round bookkeeping.
 	got1      bool // received a phase-1 grant this round
@@ -143,6 +145,18 @@ type Config struct {
 	// condition-variable resumes pay it as extra delay — the round-model
 	// cost the paper reports for PDS with condition variables.
 	AssignGrace time.Duration
+	// ArtificialRequests enables the paper's "artificial requests" option
+	// (Section 4.2): a worker that finds the request queue empty completes
+	// an artificial no-op request — it releases the queue mutex and goes
+	// idle instead of holding the mutex while waiting in real time for the
+	// next arrival, and queue-mutex grants are rationed to the workers in
+	// fixed rotation, one per queued request (an empty-queue turn is the
+	// no-op request completing instantly, keeping the rotation aligned).
+	// The request-to-worker binding — and with it the queue-grant trace —
+	// becomes a pure function of the totally ordered submit sequence,
+	// closing the empty-queue race of the default mode (see
+	// nextSynchronized) at the cost of serializing pops on the rotation.
+	ArtificialRequests bool
 }
 
 func (c *Config) applyDefaults() {
@@ -168,7 +182,8 @@ type Scheduler struct {
 
 	pool  []*adets.Thread
 	queue []adets.Request
-	rr    int // round-robin cursor
+	rr    int    // round-robin cursor
+	qRot  uint64 // artificial-requests queue-grant rotation cursor
 	round uint64
 	// awaiting is the worker holding QueueMutex on an empty queue: it
 	// counts as running ("the idling thread will not acquire a lock", the
@@ -181,6 +196,7 @@ type Scheduler struct {
 	conds     map[condKey]*adets.FIFO
 	waiters   map[wire.LogicalID]*adets.Thread
 	stopped   bool
+	quiesce   func(drained bool)
 }
 
 var _ adets.Scheduler = (*Scheduler)(nil)
@@ -357,12 +373,17 @@ func (s *Scheduler) workerLoop(t *adets.Thread) {
 // Section 4.2): it releases the queue mutex, leaves the active set at the
 // next round boundary, and is resumed deterministically by a later Submit.
 //
-// Known limitation, shared with the published algorithm: the empty-queue
-// check races with request arrival, so strict replica determinism of the
-// request-to-thread assignment holds under the paper's own operating
-// assumption — threads kept busy (pool sized to the load, or the paper's
-// "artificial requests"); the resize rule shrinks surplus threads so the
-// steady state satisfies it.
+// Known limitation of the default mode, shared with the published
+// algorithm: the empty-queue check races with request arrival, so strict
+// replica determinism of the request-to-thread assignment holds under the
+// paper's own operating assumption — threads kept busy (pool sized to the
+// load); the resize rule shrinks surplus threads so the steady state
+// satisfies it. Config.ArtificialRequests enables the paper's remedy: the
+// empty queue yields an artificial no-op request, the worker releases the
+// queue mutex and idles, and queue-mutex grants follow the fixed worker
+// rotation (see artTurnLocked) — every wake-up happens at a totally-ordered
+// point and the k-th pop always lands on worker k mod N, so the assignment
+// race disappears entirely.
 func (s *Scheduler) nextSynchronized(t *adets.Thread) (adets.Request, bool) {
 	if err := s.Lock(t, QueueMutex); err != nil {
 		return adets.Request{}, false
@@ -383,6 +404,28 @@ func (s *Scheduler) nextSynchronized(t *adets.Thread) (adets.Request, bool) {
 			}
 			return req, true
 		}
+		if s.cfg.ArtificialRequests {
+			// Artificial request (paper Section 4.2): the empty queue is
+			// treated as a no-op request that completes instantly — release
+			// the queue mutex and go idle. A later Submit wakes the
+			// lowest-ID idle worker at its totally-ordered position; the
+			// round machinery re-grants the queue mutex in thread-ID order.
+			pt := st(t)
+			pt.state = stIdle
+			pt.committed = true
+			s.env.Obs.Unlock(QueueMutex, string(s.ownerID(t)))
+			s.releaseLocked(QueueMutex)
+			s.roundCheckLocked()
+			s.checkQuiesceLocked()
+			t.Park(rt)
+			if s.stopped || pt.state == stRetired {
+				rt.Unlock()
+				return adets.Request{}, false
+			}
+			// Woken via the round's queue-mutex grant: we hold it again.
+			rt.Unlock()
+			continue
+		}
 		// Empty queue: keep the queue mutex and park as running. Rounds
 		// stall while we wait — unless one is needed, in which case
 		// roundCheckLocked converts us to idle (releasing the mutex) per
@@ -390,6 +433,7 @@ func (s *Scheduler) nextSynchronized(t *adets.Thread) (adets.Request, bool) {
 		// us holding the queue mutex again.
 		s.awaiting = t
 		s.roundCheckLocked()
+		s.checkQuiesceLocked()
 		t.Park(rt)
 		if s.awaiting == t {
 			s.awaiting = nil
@@ -420,6 +464,7 @@ func (s *Scheduler) nextOwn(t *adets.Thread) (adets.Request, bool) {
 		pt.state = stIdle
 		pt.committed = true
 		s.roundCheckLocked()
+		s.checkQuiesceLocked()
 		t.Park(rt)
 	}
 }
@@ -606,7 +651,15 @@ func (s *Scheduler) tryGrantThreadLocked(t *adets.Thread) {
 	if ls.owner != "" {
 		return
 	}
+	if pt.reqMutex == QueueMutex && s.cfg.ArtificialRequests && !s.artTurnLocked(t) {
+		// Rotation mode: the grant waits for the designated worker (or for
+		// a request to pop). Another candidate, or a later round, retries.
+		return
+	}
 	ls.owner = s.ownerID(t)
+	if pt.reqMutex == QueueMutex && s.cfg.ArtificialRequests {
+		s.qRot++
+	}
 	s.env.Obs.Grant(pt.reqMutex, string(ls.owner))
 	pt.state = stRunning
 	pt.eligible = false
@@ -715,10 +768,45 @@ func (s *Scheduler) releaseLocked(m adets.MutexID) {
 		pt := st(t)
 		if pt.inActive && pt.state == stSuspended && pt.eligible && pt.reqMutex == m {
 			s.tryGrantThreadLocked(t)
-			return
+			if ls.owner != "" {
+				return
+			}
+			// Refused (artificial-requests rotation): keep looking for the
+			// designated worker among the remaining candidates.
 		}
 	}
 	s.evalSecondGrantsLocked()
+}
+
+// artTurnLocked reports whether the next queue-mutex grant belongs to t
+// under the artificial-requests rotation: grants are rationed to the live
+// workers in fixed pool order, one per queued request, so the k-th grant —
+// and with it the k-th pop — lands on worker k mod N regardless of how
+// request arrivals interleave with local execution.
+func (s *Scheduler) artTurnLocked(t *adets.Thread) bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	live := uint64(0)
+	for _, o := range s.pool {
+		if st(o).state != stRetired {
+			live++
+		}
+	}
+	if live == 0 {
+		return false
+	}
+	k := s.qRot % live
+	for _, o := range s.pool {
+		if st(o).state == stRetired {
+			continue
+		}
+		if k == 0 {
+			return o == t
+		}
+		k--
+	}
+	return false
 }
 
 // --- scheduler interface: synchronization hooks ---
@@ -750,6 +838,7 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 		if pt.secondPending {
 			s.roundCheckLocked()
 		}
+		s.checkQuiesceLocked()
 		t.Park(rt)
 		if s.stopped || pt.state == stRetired {
 			s.env.Obs.Unblocked()
@@ -770,6 +859,7 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 		t0 = rt.NowLocked()
 	}
 	s.roundCheckLocked()
+	s.checkQuiesceLocked()
 	t.Park(rt)
 	if s.stopped || pt.state == stRetired {
 		s.env.Obs.Unblocked()
@@ -827,6 +917,7 @@ func (s *Scheduler) Wait(t *adets.Thread, m adets.MutexID, c adets.CondID, d tim
 	s.env.Obs.WaitStart(m, c, string(t.Logical))
 	s.releaseLocked(m)
 	s.roundCheckLocked()
+	s.checkQuiesceLocked()
 	t.Park(rt)
 	pt.waiting = false
 	delete(s.waiters, t.Logical)
@@ -899,20 +990,36 @@ func (s *Scheduler) Yield(*adets.Thread) {}
 func (s *Scheduler) BeginNested(t *adets.Thread) {
 	rt := s.env.RT
 	rt.Lock()
+	pt := st(t)
+	if pt.replyPermit {
+		// The reply was delivered before we parked: consume the permit
+		// without ever looking blocked to a concurrent Quiesce (and, under
+		// strategy B, without paying the round-boundary resume).
+		pt.replyPermit = false
+		t.Park(rt)
+		rt.Unlock()
+		return
+	}
 	if s.cfg.Nested == NestedSuspend {
-		pt := st(t)
 		pt.state = stNestedSusp
 		pt.committed = true
 		s.roundCheckLocked()
+		s.checkQuiesceLocked()
+		t.Park(rt)
+		if pt.state == stNestedSusp {
+			// The reply raced ahead of the park (real-time mode): EndNested
+			// left a permit instead of the round-boundary resume. Run on.
+			pt.state = stRunning
+		}
+		rt.Unlock()
+		return
 	}
 	// Strategy A: state stays stRunning — the round cannot start while the
 	// reply is outstanding, exactly the behaviour evaluated in the paper.
+	pt.nestedA = true
+	s.checkQuiesceLocked()
 	t.Park(rt)
-	if pt := st(t); pt.state == stNestedSusp {
-		// The reply raced ahead of the park (real-time mode): EndNested
-		// left a permit instead of the round-boundary resume. Run on.
-		pt.state = stRunning
-	}
+	pt.nestedA = false
 	rt.Unlock()
 }
 
@@ -921,15 +1028,16 @@ func (s *Scheduler) EndNested(t *adets.Thread) {
 	rt := s.env.RT
 	rt.Lock()
 	defer rt.Unlock()
-	if s.cfg.Nested == NestedSuspend {
-		pt := st(t)
-		if pt.state == stNestedSusp {
-			// Resume at the next round boundary, no mutex to reacquire.
-			pt.state = stResuming
-			pt.resume = ""
-			s.roundCheckLocked()
-			return
-		}
+	pt := st(t)
+	if s.cfg.Nested == NestedSuspend && pt.state == stNestedSusp {
+		// Resume at the next round boundary, no mutex to reacquire.
+		pt.state = stResuming
+		pt.resume = ""
+		s.roundCheckLocked()
+		return
+	}
+	if !pt.nestedA {
+		pt.replyPermit = true
 	}
 	t.Unpark(rt)
 }
@@ -937,6 +1045,50 @@ func (s *Scheduler) EndNested(t *adets.Thread) {
 // ViewChanged implements adets.Scheduler: PDS needs no communication and no
 // membership information — its signature advantage (Section 3.2).
 func (s *Scheduler) ViewChanged(gcs.View) {}
+
+// Quiesce implements adets.Scheduler. PDS rounds run autonomously — no
+// communication is involved — so stability means the round machinery has
+// reached a fixpoint: every worker is parked on the empty request queue
+// (idle, awaiting, or suspended on the queue mutex with nothing to pop),
+// waiting on a condition variable, or blocked in a nested invocation. A
+// worker that is executing, resuming, or suspended on an object mutex will
+// cause further local progress (another round) and rules stability out.
+func (s *Scheduler) Quiesce(report func(drained bool)) {
+	rt := s.env.RT
+	rt.Lock()
+	s.quiesce = report
+	s.checkQuiesceLocked()
+	rt.Unlock()
+}
+
+func (s *Scheduler) checkQuiesceLocked() {
+	if s.quiesce == nil {
+		return
+	}
+	live := false // some request is mid-execution (waiting or nested)
+	for _, t := range s.pool {
+		pt := st(t)
+		switch {
+		case pt.state == stRetired:
+			continue
+		case pt.state == stWaiting, pt.state == stNestedSusp:
+			live = true
+		case pt.state == stRunning && pt.nestedA:
+			live = true
+		case pt.state == stIdle && len(pt.ownQueue) == 0:
+		case t == s.awaiting && len(s.queue) == 0:
+		case pt.state == stSuspended && pt.reqMutex == QueueMutex &&
+			!pt.secondPending && len(s.queue) == 0:
+			// Parked between requests: only a future Submit can trigger a
+			// round that re-grants the queue mutex.
+		default:
+			return // executing, resuming, or another round is still due
+		}
+	}
+	report := s.quiesce
+	s.quiesce = nil
+	report(!live && len(s.queue) == 0)
+}
 
 // HandleOrdered implements adets.Scheduler: the timeout request enters the
 // normal request queue and is executed by a pool thread that locks the

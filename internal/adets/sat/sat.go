@@ -75,6 +75,7 @@ type Scheduler struct {
 	waiters map[wire.LogicalID]*adets.Thread // logical → thread blocked in Wait
 	threads map[*adets.Thread]bool
 	tos     *adets.Timeouts
+	quiesce func(drained bool)
 	stopped bool
 }
 
@@ -212,11 +213,33 @@ func (s *Scheduler) scheduleLocked() {
 	}
 	w := s.ready.Pop()
 	if w == nil {
+		s.checkQuiesceLocked()
 		return
 	}
 	s.active = w
 	st(w).state = stRunning
 	w.Unpark(s.env.RT)
+}
+
+// Quiesce implements adets.Scheduler. The SA model is stable exactly when
+// no thread is active and none is ready: every live thread is then blocked
+// on a lock, a condition, or a nested reply — all resolvable only by future
+// ordered deliveries.
+func (s *Scheduler) Quiesce(report func(drained bool)) {
+	rt := s.env.RT
+	rt.Lock()
+	s.quiesce = report
+	s.checkQuiesceLocked()
+	rt.Unlock()
+}
+
+func (s *Scheduler) checkQuiesceLocked() {
+	if s.quiesce == nil || s.active != nil || s.ready.Len() > 0 {
+		return
+	}
+	report := s.quiesce
+	s.quiesce = nil
+	report(len(s.threads) == 0)
 }
 
 func (s *Scheduler) lock(m adets.MutexID) *lockState {

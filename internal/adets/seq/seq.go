@@ -16,12 +16,14 @@ import (
 
 // Scheduler is the sequential baseline.
 type Scheduler struct {
-	env     adets.Env
-	reg     *adets.Registry
-	queue   []adets.Request
-	busy    bool
-	stopped bool
-	worker  *adets.Thread
+	env      adets.Env
+	reg      *adets.Registry
+	queue    []adets.Request
+	busy     bool
+	inNested bool
+	stopped  bool
+	worker   *adets.Thread
+	quiesce  func(drained bool)
 }
 
 var _ adets.Scheduler = (*Scheduler)(nil)
@@ -94,6 +96,7 @@ func (s *Scheduler) loop(w *adets.Thread) {
 		}
 		if len(s.queue) == 0 {
 			s.busy = false
+			s.checkQuiesceLocked()
 			w.Park(rt)
 			continue
 		}
@@ -140,7 +143,10 @@ func (s *Scheduler) Yield(*adets.Thread) {}
 // deadlock hazard of the S model the paper describes in Section 2.
 func (s *Scheduler) BeginNested(t *adets.Thread) {
 	s.env.RT.Lock()
+	s.inNested = true
+	s.checkQuiesceLocked()
 	t.Park(s.env.RT)
+	s.inNested = false
 	s.env.RT.Unlock()
 }
 
@@ -153,6 +159,29 @@ func (s *Scheduler) EndNested(t *adets.Thread) {
 
 // ViewChanged implements adets.Scheduler (membership is irrelevant to SEQ).
 func (s *Scheduler) ViewChanged(gcs.View) {}
+
+// Quiesce implements adets.Scheduler. SEQ is stable when its worker is
+// parked: idle on an empty queue (drained) or inside a nested invocation
+// awaiting the totally-ordered reply (skip).
+func (s *Scheduler) Quiesce(report func(drained bool)) {
+	s.env.RT.Lock()
+	s.quiesce = report
+	s.checkQuiesceLocked()
+	s.env.RT.Unlock()
+}
+
+func (s *Scheduler) checkQuiesceLocked() {
+	if s.quiesce == nil {
+		return
+	}
+	idle := !s.busy && len(s.queue) == 0
+	if !idle && !s.inNested {
+		return // worker running or about to: wait for its next park
+	}
+	report := s.quiesce
+	s.quiesce = nil
+	report(idle)
+}
 
 // HandleOrdered implements adets.Scheduler.
 func (s *Scheduler) HandleOrdered(string, any) bool { return false }

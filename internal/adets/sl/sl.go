@@ -16,12 +16,16 @@ import (
 
 // Scheduler is the Eternal-style SL scheduler.
 type Scheduler struct {
-	env     adets.Env
-	reg     *adets.Registry
-	queue   []adets.Request
-	busy    bool
-	stopped bool
-	worker  *adets.Thread
+	env          adets.Env
+	reg          *adets.Registry
+	queue        []adets.Request
+	busy         bool
+	workerNested bool
+	cbLive       int // live callback threads
+	cbBlocked    int // callback threads parked in a nested invocation
+	stopped      bool
+	worker       *adets.Thread
+	quiesce      func(drained bool)
 }
 
 var _ adets.Scheduler = (*Scheduler)(nil)
@@ -72,7 +76,14 @@ func (s *Scheduler) Submit(req adets.Request) {
 	s.env.Obs.Submitted()
 	if req.Callback {
 		t := s.reg.NewThread("sl-callback", req.Logical)
-		s.reg.Spawn(t, func() { req.Exec(t) })
+		s.cbLive++
+		s.reg.Spawn(t, func() {
+			req.Exec(t)
+			s.env.RT.Lock()
+			s.cbLive--
+			s.checkQuiesceLocked()
+			s.env.RT.Unlock()
+		})
 		return
 	}
 	s.queue = append(s.queue, req)
@@ -101,6 +112,7 @@ func (s *Scheduler) loop(w *adets.Thread) {
 		}
 		if len(s.queue) == 0 {
 			s.busy = false
+			s.checkQuiesceLocked()
 			w.Park(rt)
 			continue
 		}
@@ -146,7 +158,19 @@ func (s *Scheduler) Yield(*adets.Thread) {}
 // extra physical threads of the same logical thread.
 func (s *Scheduler) BeginNested(t *adets.Thread) {
 	s.env.RT.Lock()
+	isWorker := t == s.worker
+	if isWorker {
+		s.workerNested = true
+	} else {
+		s.cbBlocked++
+	}
+	s.checkQuiesceLocked()
 	t.Park(s.env.RT)
+	if isWorker {
+		s.workerNested = false
+	} else {
+		s.cbBlocked--
+	}
 	s.env.RT.Unlock()
 }
 
@@ -159,6 +183,30 @@ func (s *Scheduler) EndNested(t *adets.Thread) {
 
 // ViewChanged implements adets.Scheduler.
 func (s *Scheduler) ViewChanged(gcs.View) {}
+
+// Quiesce implements adets.Scheduler. SL is stable when the worker is
+// parked (idle or nested) and every callback thread is either finished or
+// itself parked in a nested invocation.
+func (s *Scheduler) Quiesce(report func(drained bool)) {
+	s.env.RT.Lock()
+	s.quiesce = report
+	s.checkQuiesceLocked()
+	s.env.RT.Unlock()
+}
+
+func (s *Scheduler) checkQuiesceLocked() {
+	if s.quiesce == nil {
+		return
+	}
+	idle := !s.busy && len(s.queue) == 0
+	workerStable := idle || s.workerNested
+	if !workerStable || s.cbBlocked != s.cbLive {
+		return // something is running or about to
+	}
+	report := s.quiesce
+	s.quiesce = nil
+	report(idle && !s.workerNested && s.cbLive == 0)
+}
 
 // HandleOrdered implements adets.Scheduler.
 func (s *Scheduler) HandleOrdered(string, any) bool { return false }

@@ -193,6 +193,7 @@ func (c *countingSched) Wait(*Thread, MutexID, CondID, time.Duration) (bool, err
 func (c *countingSched) Notify(*Thread, MutexID, CondID) error    { return nil }
 func (c *countingSched) NotifyAll(*Thread, MutexID, CondID) error { return nil }
 func (c *countingSched) ViewChanged(gcs.View)                     {}
+func (c *countingSched) Quiesce(report func(bool))                { report(true) }
 func (c *countingSched) Yield(*Thread)                            {}
 func (c *countingSched) BeginNested(*Thread)                      {}
 func (c *countingSched) EndNested(*Thread)                        {}

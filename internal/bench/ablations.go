@@ -297,6 +297,7 @@ func All(cfg Config) ([]Result, error) {
 		{"ab-pdsassign", AB6PDSAssignment},
 		{"ab-matpredict", AB7MATPredict},
 		{"cc-conflict", ConflictSweep},
+		{"memory", MemoryBounds},
 	}
 	out := make([]Result, 0, len(exps))
 	for _, e := range exps {
@@ -328,5 +329,6 @@ func Experiments() map[string]func(Config) (Result, error) {
 		"ab-pdsassign":  AB6PDSAssignment,
 		"ab-matpredict": AB7MATPredict,
 		"cc-conflict":   ConflictSweep,
+		"memory":        MemoryBounds,
 	}
 }

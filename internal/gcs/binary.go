@@ -20,6 +20,7 @@ const (
 	tagPropose   = 14
 	tagSyncReq   = 15
 	tagSyncResp  = 16
+	tagSnapshot  = 17
 )
 
 func init() {
@@ -58,6 +59,7 @@ func init() {
 			b.String(string(h.From))
 			b.Uvarint(h.Epoch)
 			b.Uvarint(h.MaxSeq)
+			b.Uvarint(h.Acked)
 			return nil
 		},
 		func(r *wire.Reader) (any, error) {
@@ -73,6 +75,9 @@ func init() {
 				return nil, err
 			}
 			if h.MaxSeq, err = r.Uvarint(); err != nil {
+				return nil, err
+			}
+			if h.Acked, err = r.Uvarint(); err != nil {
 				return nil, err
 			}
 			return h, nil
@@ -124,6 +129,28 @@ func init() {
 	wire.RegisterBinaryPayload(tagSyncResp, SyncResp{},
 		func(b *wire.Buffer, v any) error { return encSyncResp(b, v.(SyncResp)) },
 		func(r *wire.Reader) (any, error) { return decSyncResp(r) })
+	wire.RegisterBinaryPayload(tagSnapshot, Snapshot{},
+		func(b *wire.Buffer, v any) error {
+			s := v.(Snapshot)
+			b.String(string(s.Group))
+			b.Uvarint(s.Seq)
+			b.Bytes(s.Data)
+			return nil
+		},
+		func(r *wire.Reader) (any, error) {
+			var s Snapshot
+			var err error
+			if s.Group, err = groupID(r); err != nil {
+				return nil, err
+			}
+			if s.Seq, err = r.Uvarint(); err != nil {
+				return nil, err
+			}
+			if s.Data, err = r.Bytes(); err != nil {
+				return nil, err
+			}
+			return s, nil
+		})
 }
 
 func groupID(r *wire.Reader) (wire.GroupID, error) {
@@ -295,6 +322,8 @@ func encSyncResp(b *wire.Buffer, s SyncResp) error {
 			return err
 		}
 	}
+	b.Uvarint(s.SnapSeq)
+	b.Bytes(s.Snap)
 	return nil
 }
 
@@ -340,6 +369,12 @@ func decSyncResp(r *wire.Reader) (SyncResp, error) {
 			}
 			s.Pending = append(s.Pending, sub)
 		}
+	}
+	if s.SnapSeq, err = r.Uvarint(); err != nil {
+		return s, err
+	}
+	if s.Snap, err = r.Bytes(); err != nil {
+		return s, err
 	}
 	return s, nil
 }

@@ -80,6 +80,12 @@ type Delivery struct {
 	Payload any
 	// NewView is non-nil when this delivery announces a membership change.
 	NewView *View
+	// Snapshot is non-nil when the requested tail has been truncated and the
+	// stream resumes from a checkpoint instead: Seq is the checkpoint
+	// position and Snapshot the opaque state image recorded there (see
+	// Member.SetCheckpoint). The layer above must restore from it; ordinary
+	// deliveries continue at Seq+1.
+	Snapshot []byte
 }
 
 // --- protocol payloads ---
@@ -125,12 +131,25 @@ type Nack struct {
 // Heartbeat is the failure-detector beacon. MaxSeq piggybacks the sender's
 // ordered-sequence frontier so a receiver that silently lost the tail of a
 // burst (no later traffic would ever open a gap) learns it is behind and
-// NACKs the sequencer.
+// NACKs the sequencer. Acked piggybacks the sender's delivery frontier
+// (highest contiguously delivered seq); the minimum over the view is the
+// stability watermark below which retained log entries may be truncated.
 type Heartbeat struct {
 	Group  wire.GroupID
 	From   wire.NodeID
 	Epoch  uint64
 	MaxSeq uint64
+	Acked  uint64
+}
+
+// Snapshot transfers a checkpoint state image to a member whose requested
+// tail has been truncated: it stands in for every ordered message up to and
+// including Seq. Data is opaque to gcs (produced by the layer above through
+// Member.SetCheckpoint).
+type Snapshot struct {
+	Group wire.GroupID
+	Seq   uint64
+	Data  []byte
 }
 
 // Propose announces a candidate next view after a suspicion.
@@ -150,6 +169,9 @@ type SyncReq struct {
 }
 
 // SyncResp carries a member's ordered-message tail to the new sequencer.
+// SnapSeq/Snap carry the member's latest checkpoint (zero/nil when none):
+// the new sequencer uses the best one to bring deep-lagged members past
+// truncated stretches of the log instead of filling them with no-ops.
 type SyncResp struct {
 	Group     wire.GroupID
 	From      wire.NodeID
@@ -157,6 +179,8 @@ type SyncResp struct {
 	Delivered uint64    // highest contiguously delivered seq
 	Tail      []Ordered // retained ordered messages (any order)
 	Pending   []Submit  // submits cached but possibly never ordered
+	SnapSeq   uint64    // checkpoint position (0 = no checkpoint)
+	Snap      []byte    // checkpoint state image
 }
 
 func init() {
@@ -167,6 +191,7 @@ func init() {
 	wire.RegisterPayload(Propose{})
 	wire.RegisterPayload(SyncReq{})
 	wire.RegisterPayload(SyncResp{})
+	wire.RegisterPayload(Snapshot{})
 }
 
 // rankSubset returns the members of initial, in rank order, minus the

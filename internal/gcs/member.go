@@ -38,6 +38,15 @@ type Member struct {
 	// Retained ordered messages for NACK retransmission and view sync.
 	log map[uint64]Ordered
 
+	// Checkpoint / truncation state. peerAcked records each peer's delivery
+	// frontier (piggybacked on heartbeats); the minimum over the current
+	// view is the stability watermark. Entries at or below logFloor have
+	// been truncated from the log and can only be recovered via snapshot.
+	peerAcked map[wire.NodeID]uint64
+	logFloor  uint64
+	snapSeq   uint64 // latest checkpoint position (0 = none)
+	snapData  []byte // latest checkpoint state image
+
 	// Submits seen but possibly not yet ordered; resubmitted on view change
 	// and re-sent by the FD tick once stale (cacheAt records when each was
 	// last sent toward the sequencer).
@@ -81,6 +90,7 @@ func NewMember(rt vtime.Runtime, cfg Config) *Member {
 		submitCache:  make(map[string]Submit),
 		cacheAt:      make(map[string]time.Duration),
 		lastSeen:     make(map[wire.NodeID]time.Duration),
+		peerAcked:    make(map[wire.NodeID]uint64),
 	}
 }
 
@@ -161,6 +171,29 @@ func (m *Member) noteSubmitLocked(id string, now time.Duration) {
 	}
 }
 
+// SetCheckpoint records a checkpoint taken by the layer above: data stands
+// in for every ordered message up to and including seq. The member keeps
+// only the latest checkpoint, answers NACKs for truncated positions with
+// it, and truncates the retransmission log up to the checkpoint (bounded
+// additionally by the stability watermark when failure detection is on).
+func (m *Member) SetCheckpoint(seq uint64, data []byte) {
+	m.rt.Lock()
+	if !m.stopped && seq > m.snapSeq && len(data) > 0 {
+		m.snapSeq = seq
+		m.snapData = data
+		m.truncateLocked()
+	}
+	m.rt.Unlock()
+}
+
+// LogLen returns the number of retained ordered messages (exposed for the
+// bench reporter and tests; the same value feeds the Stats.LogLength gauge).
+func (m *Member) LogLen() int {
+	m.rt.Lock()
+	defer m.rt.Unlock()
+	return len(m.log)
+}
+
 // Handle processes an incoming payload, returning true if it was a group
 // communication message for this member's group (consumed), false
 // otherwise.
@@ -188,12 +221,18 @@ func (m *Member) Handle(from wire.NodeID, payload any) bool {
 	case Heartbeat:
 		// touch already recorded liveness
 		m.noteEpochLocked(p.Epoch)
+		if p.Acked > m.peerAcked[p.From] {
+			m.peerAcked[p.From] = p.Acked
+			m.truncateLocked() // the stability watermark may have advanced
+		}
 		// Frontier check: a peer knows an ordered seq we never delivered and
 		// no later traffic will open the gap for us — ask the sequencer.
 		if m.installing == nil && p.Epoch == m.view.Epoch &&
 			p.MaxSeq >= m.nextDeliver && m.view.Sequencer() != m.cfg.Self {
 			act.send(m.view.Sequencer(), Nack{Group: m.cfg.Group, From: m.cfg.Self, Want: m.nextDeliver})
 		}
+	case Snapshot:
+		m.handleSnapshotLocked(p, &act)
 	case Propose:
 		m.noteEpochLocked(p.View.Epoch)
 		m.adoptProposalLocked(p.View, &act)
@@ -224,6 +263,8 @@ func payloadGroup(payload any) (wire.GroupID, bool) {
 	case SyncReq:
 		return p.Group, true
 	case SyncResp:
+		return p.Group, true
+	case Snapshot:
 		return p.Group, true
 	}
 	return "", false
@@ -565,7 +606,13 @@ func (m *Member) installViewLocked(v View, act *actions) {
 		m.installing = nil
 	}
 	m.syncResps = nil
-	m.syncTimer = nil // a late fire re-checks state and is a no-op
+	if t := m.syncTimer; t != nil {
+		m.syncTimer = nil
+		m.rt.StopTimerLocked(t)
+	}
+	// The view may have shrunk: the stability watermark no longer waits on
+	// departed members, so retained entries may become truncatable.
+	m.truncateLocked()
 	// Resubmit cached submits so nothing that only the crashed sequencer
 	// saw is lost. The new sequencer deduplicates by id.
 	if m.view.Sequencer() == m.cfg.Self {
@@ -587,14 +634,64 @@ func (m *Member) handleNackLocked(n Nack, act *actions) {
 	if st := m.cfg.Stats; st != nil {
 		st.Nacks.Inc()
 	}
-	// Resend whatever is retained from Want upward (bounded batch).
+	start := n.Want
+	if n.Want <= m.logFloor && m.snapData != nil {
+		// The requested tail has been truncated: bring the peer forward
+		// with the latest checkpoint, then resend what is retained above it.
+		act.send(n.From, Snapshot{Group: m.cfg.Group, Seq: m.snapSeq, Data: m.snapData})
+		if st := m.cfg.Stats; st != nil {
+			st.SnapshotsSent.Inc()
+		}
+		start = m.snapSeq + 1
+	}
+	// Resend whatever is retained from start upward (bounded batch).
 	const batch = 256
 	sent := 0
-	for seq := n.Want; seq < m.nextSeq && sent < batch; seq++ {
+	for seq := start; seq < m.nextSeq && sent < batch; seq++ {
 		if o, ok := m.log[seq]; ok {
 			act.send(n.From, o)
 			sent++
 		}
+	}
+}
+
+// handleSnapshotLocked installs a checkpoint received in place of a
+// truncated tail: it stands in for every ordered message up to and
+// including p.Seq, so pending messages at or below it are dropped and
+// delivery resumes at p.Seq+1. A snapshot behind the delivery frontier is
+// stale and ignored — everything it covers was already delivered here.
+func (m *Member) handleSnapshotLocked(p Snapshot, act *actions) {
+	if p.Seq < m.nextDeliver || len(p.Data) == 0 {
+		return
+	}
+	if st := m.cfg.Stats; st != nil {
+		st.SnapshotsInstalled.Inc()
+	}
+	for seq := range m.pendingOrder {
+		if seq <= p.Seq {
+			delete(m.pendingOrder, seq)
+		}
+	}
+	if m.nextSeq <= p.Seq {
+		m.nextSeq = p.Seq + 1
+	}
+	m.deliveries.PutLocked(Delivery{Seq: p.Seq, Snapshot: p.Data})
+	m.nextDeliver = p.Seq + 1
+	// Adopt the checkpoint as our own so we can serve it onward and
+	// truncate the (now irrelevant) retained prefix.
+	if p.Seq > m.snapSeq {
+		m.snapSeq = p.Seq
+		m.snapData = p.Data
+		m.truncateLocked()
+	}
+	for {
+		next, ok := m.pendingOrder[m.nextDeliver]
+		if !ok {
+			break
+		}
+		delete(m.pendingOrder, m.nextDeliver)
+		m.nextDeliver++
+		m.deliverLocked(next, act)
 	}
 }
 
@@ -633,6 +730,11 @@ func (m *Member) cacheSubmitLocked(sub Submit) {
 
 func (m *Member) retainLocked(o Ordered) {
 	m.log[o.Seq] = o
+	defer func() {
+		if st := m.cfg.Stats; st != nil {
+			st.LogLength.Set(int64(len(m.log)))
+		}
+	}()
 	if len(m.log) <= 2*m.cfg.LogRetain {
 		return
 	}
@@ -647,6 +749,56 @@ func (m *Member) retainLocked(o Ordered) {
 			delete(m.log, seq)
 		}
 	}
+}
+
+// truncateLocked drops retained log entries at or below the stability
+// floor. With failure detection the floor is min(checkpoint, watermark),
+// where the watermark is the lowest delivery frontier across the current
+// view (self included; peers report theirs via heartbeat Acked, a peer
+// never heard from holds it at 0) — so no entry a live view member might
+// still NACK is dropped. Without failure detection there are no acks and
+// the checkpoint alone bounds the log: NACKs below the floor are answered
+// with the snapshot instead of the dropped entries.
+func (m *Member) truncateLocked() {
+	if m.snapSeq == 0 {
+		return
+	}
+	floor := m.snapSeq
+	if m.cfg.FailureDetection {
+		if w := m.watermarkLocked(); w < floor {
+			floor = w
+		}
+	}
+	if floor <= m.logFloor {
+		return
+	}
+	removed := uint64(0)
+	for seq := range m.log {
+		if seq <= floor {
+			delete(m.log, seq)
+			removed++
+		}
+	}
+	m.logFloor = floor
+	if st := m.cfg.Stats; st != nil {
+		st.Truncated.Add(removed)
+		st.LogLength.Set(int64(len(m.log)))
+	}
+}
+
+// watermarkLocked returns the lowest delivery frontier across the current
+// view: every member has delivered (and acked) everything at or below it.
+func (m *Member) watermarkLocked() uint64 {
+	w := m.nextDeliver - 1
+	for _, peer := range m.view.Members {
+		if peer == m.cfg.Self {
+			continue
+		}
+		if a := m.peerAcked[peer]; a < w {
+			w = a
+		}
+	}
+	return w
 }
 
 func (m *Member) touchLocked(from wire.NodeID, now time.Duration) {

@@ -19,6 +19,14 @@ type Stats struct {
 	// DeliverLatency measures broadcast-to-self-delivery time in seconds
 	// for messages this member originated.
 	DeliverLatency *obs.Histogram
+	// LogLength tracks the number of retained ordered messages; Truncated
+	// counts log entries dropped below the stability watermark.
+	LogLength *obs.Gauge
+	Truncated *obs.Counter
+	// SnapshotsSent/SnapshotsInstalled count checkpoint state transfers to
+	// (resp. from) peers whose requested tail was truncated.
+	SnapshotsSent      *obs.Counter
+	SnapshotsInstalled *obs.Counter
 }
 
 // NewStats builds the member's metric set in reg, labelling every series
@@ -29,14 +37,18 @@ func NewStats(reg *obs.Registry, node string) *Stats {
 	}
 	label := `{node="` + node + `"}`
 	return &Stats{
-		Broadcasts:     reg.Counter("replobj_gcs_broadcasts_total" + label),
-		Delivered:      reg.Counter("replobj_gcs_delivered_total" + label),
-		Nacks:          reg.Counter("replobj_gcs_nacks_total" + label),
-		ViewChanges:    reg.Counter("replobj_gcs_view_changes_total" + label),
-		Heartbeats:     reg.Counter("replobj_gcs_heartbeats_sent_total" + label),
-		Suspicions:     reg.Counter("replobj_gcs_suspicions_total" + label),
-		Batches:        reg.Counter("replobj_gcs_batches_total" + label),
-		BatchedSubmits: reg.Counter("replobj_gcs_batched_submits_total" + label),
-		DeliverLatency: reg.Histogram("replobj_gcs_deliver_latency_seconds"+label, obs.LatencyBuckets()),
+		Broadcasts:         reg.Counter("replobj_gcs_broadcasts_total" + label),
+		Delivered:          reg.Counter("replobj_gcs_delivered_total" + label),
+		Nacks:              reg.Counter("replobj_gcs_nacks_total" + label),
+		ViewChanges:        reg.Counter("replobj_gcs_view_changes_total" + label),
+		Heartbeats:         reg.Counter("replobj_gcs_heartbeats_sent_total" + label),
+		Suspicions:         reg.Counter("replobj_gcs_suspicions_total" + label),
+		Batches:            reg.Counter("replobj_gcs_batches_total" + label),
+		BatchedSubmits:     reg.Counter("replobj_gcs_batched_submits_total" + label),
+		DeliverLatency:     reg.Histogram("replobj_gcs_deliver_latency_seconds"+label, obs.LatencyBuckets()),
+		LogLength:          reg.Gauge("replobj_gcs_log_length" + label),
+		Truncated:          reg.Counter("replobj_gcs_log_truncated_total" + label),
+		SnapshotsSent:      reg.Counter("replobj_gcs_snapshots_sent_total" + label),
+		SnapshotsInstalled: reg.Counter("replobj_gcs_snapshots_installed_total" + label),
 	}
 }

@@ -28,7 +28,13 @@ func (m *Member) fdTick() {
 		m.rt.Unlock()
 		return
 	}
-	hb := Heartbeat{Group: m.cfg.Group, From: m.cfg.Self, Epoch: m.view.Epoch, MaxSeq: m.nextSeq - 1}
+	hb := Heartbeat{
+		Group:  m.cfg.Group,
+		From:   m.cfg.Self,
+		Epoch:  m.view.Epoch,
+		MaxSeq: m.nextSeq - 1,
+		Acked:  m.nextDeliver - 1,
+	}
 	for _, peer := range m.view.Members {
 		if peer != m.cfg.Self {
 			act.send(peer, hb)
@@ -137,6 +143,13 @@ func (m *Member) adoptProposalLocked(v View, act *actions) {
 	vv := v.clone()
 	m.installing = &vv
 	m.syncResps = make(map[wire.NodeID]SyncResp)
+	if t := m.syncTimer; t != nil {
+		// Back-to-back proposals: a grace timer armed for the abandoned
+		// epoch must not fire against this install (it would clear the new
+		// installing state or finish a sync round that no longer exists).
+		m.syncTimer = nil
+		m.rt.StopTimerLocked(t)
+	}
 	if vv.Sequencer() != m.cfg.Self {
 		// The proposed sequencer may die before committing the view event,
 		// which would otherwise leave this member in the installing state
@@ -150,6 +163,7 @@ func (m *Member) adoptProposalLocked(v View, act *actions) {
 				m.installing.Sequencer() != m.cfg.Self {
 				m.installing = nil
 				m.syncResps = nil
+				m.syncTimer = nil
 			}
 			m.rt.Unlock()
 		})
@@ -247,11 +261,41 @@ func (m *Member) finishSyncLocked(act *actions) {
 	for _, o := range merged {
 		m.markOrderedIDLocked(o.ID)
 	}
-	// Rebroadcast the tail above the lowest delivery frontier so every
-	// member can fill its gaps; sequence numbers nobody retains are filled
-	// with no-ops so the delivery frontier can pass them (their submits are
-	// re-ordered below or retransmitted by clients).
-	for seq := minDelivered + 1; seq <= maxSeq; seq++ {
+	// Best checkpoint across the responses. When a member's frontier sits
+	// below it, the stretch in between may have been truncated everywhere —
+	// bring such members forward via state transfer instead of no-op
+	// fillers, which would silently skip real requests.
+	var bestSnapSeq uint64
+	var bestSnap []byte
+	for _, resp := range m.syncResps {
+		if resp.SnapSeq > bestSnapSeq && len(resp.Snap) > 0 {
+			bestSnapSeq = resp.SnapSeq
+			bestSnap = resp.Snap
+		}
+	}
+	start := minDelivered + 1
+	if bestSnapSeq > minDelivered {
+		snap := Snapshot{Group: m.cfg.Group, Seq: bestSnapSeq, Data: bestSnap}
+		for _, resp := range m.syncResps {
+			if resp.From != m.cfg.Self && resp.Delivered < bestSnapSeq {
+				act.send(resp.From, snap)
+				if st := m.cfg.Stats; st != nil {
+					st.SnapshotsSent.Inc()
+				}
+			}
+		}
+		m.handleSnapshotLocked(snap, act) // no-op unless self is behind too
+		if bestSnapSeq > m.snapSeq {
+			m.snapSeq = bestSnapSeq
+			m.snapData = bestSnap
+		}
+		start = bestSnapSeq + 1
+	}
+	// Rebroadcast the tail above the lowest delivery frontier (or the
+	// checkpoint) so every member can fill its gaps; sequence numbers nobody
+	// retains are filled with no-ops so the delivery frontier can pass them
+	// (their submits are re-ordered below or retransmitted by clients).
+	for seq := start; seq <= maxSeq; seq++ {
 		o, ok := merged[seq]
 		if !ok {
 			o = Ordered{Group: m.cfg.Group, Epoch: v.Epoch, Seq: seq, Origin: m.cfg.Self}
@@ -308,6 +352,8 @@ func (m *Member) tailLocked(epoch uint64) SyncResp {
 		Delivered: m.nextDeliver - 1,
 		Tail:      tail,
 		Pending:   pend,
+		SnapSeq:   m.snapSeq,
+		Snap:      m.snapData,
 	}
 }
 

@@ -56,6 +56,12 @@ const (
 	KindRound
 	// KindView: a membership view change reached the scheduler.
 	KindView
+	// KindCheckpoint: a deterministic checkpoint boundary on the ordered
+	// stream (taken or skipped; the detail distinguishes them). Recorded on
+	// every replica at the same sequence number, so a replica that skips a
+	// checkpoint another replica takes diverges in the digest — the trace
+	// doubles as the oracle for checkpoint determinism.
+	KindCheckpoint
 )
 
 func (k Kind) String() string {
@@ -74,6 +80,8 @@ func (k Kind) String() string {
 		return "round"
 	case KindView:
 		return "view"
+	case KindCheckpoint:
+		return "checkpoint"
 	}
 	return "?"
 }
@@ -116,7 +124,8 @@ func fnvByte(h uint64, b byte) uint64 {
 type stream struct {
 	count  uint64
 	digest uint64
-	ring   []Event // capacity = retain; index = Pos % retain
+	ring   []Event // capacity = retain; oldest retained event at head
+	head   int     // ring index of the oldest event once the ring is full
 }
 
 // Trace is a per-replica schedule trace. All methods are safe for
@@ -163,7 +172,8 @@ func (t *Trace) Record(streamName string, kind Kind, subject, detail string) {
 	if len(s.ring) < t.retain {
 		s.ring = append(s.ring, ev)
 	} else {
-		s.ring[s.count%uint64(t.retain)] = ev
+		s.ring[s.head] = ev
+		s.head = (s.head + 1) % t.retain
 	}
 	s.count++
 	t.mu.Unlock()
@@ -198,11 +208,10 @@ func (t *Trace) Snapshot() map[string]StreamSnapshot {
 	t.mu.Lock()
 	for name, s := range t.streams {
 		evs := make([]Event, 0, len(s.ring))
-		if s.count > uint64(len(s.ring)) {
-			// Ring wrapped: oldest retained is at count % retain.
-			start := s.count % uint64(t.retain)
-			evs = append(evs, s.ring[start:]...)
-			evs = append(evs, s.ring[:start]...)
+		if len(s.ring) == t.retain && s.head > 0 {
+			// Ring wrapped: oldest retained is at head.
+			evs = append(evs, s.ring[s.head:]...)
+			evs = append(evs, s.ring[:s.head]...)
 		} else {
 			evs = append(evs, s.ring...)
 		}
@@ -323,6 +332,51 @@ func scanDivergence(name string, sa, sb StreamSnapshot, common uint64) *Divergen
 		pos = sb.Events[0].Pos
 	}
 	return &Divergence{Stream: name, Pos: pos}
+}
+
+// StreamState is the transferable digest state of one stream: the event
+// count and the rolling digest, without the retained ring. It is what a
+// snapshot carries so that a replica restored from state transfer continues
+// every stream at the donor's exact position.
+type StreamState struct {
+	Count  uint64
+	Digest uint64
+}
+
+// ExportStreams returns every stream's count and rolling digest — the
+// digest state a checkpoint embeds. Safe on nil (empty map).
+func (t *Trace) ExportStreams() map[string]StreamState {
+	out := make(map[string]StreamState)
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	for name, s := range t.streams {
+		out[name] = StreamState{Count: s.count, Digest: s.digest}
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// RestoreStreams resets the trace to a snapshot's exported digest state:
+// every stream named in states is set to the given count and digest with an
+// empty retained ring, and streams not named are dropped. A replica
+// installing a snapshot calls this so its digests continue from the donor's
+// positions instead of from its own stale history. Safe on nil.
+func (t *Trace) RestoreStreams(states map[string]StreamState) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.streams = make(map[string]*stream, len(states))
+	for name, st := range states {
+		t.streams[name] = &stream{
+			count:  st.Count,
+			digest: st.Digest,
+			ring:   make([]Event, 0, t.retain),
+		}
+	}
+	t.mu.Unlock()
 }
 
 // Dump writes a human-readable tail of the trace: per-stream counts and

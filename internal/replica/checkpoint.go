@@ -1,0 +1,232 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strconv"
+
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/obs"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Deterministic checkpointing and snapshot-based state transfer.
+//
+// With Config.CheckpointEvery set, every replica pauses at the same
+// positions of the totally-ordered stream, quiesces its scheduler, and
+// serializes (object state, reply cache, trace digests) into a snapshot
+// envelope handed to the group member. The member truncates its
+// retransmission log up to the checkpoint (bounded by the group-wide
+// stability watermark) and answers NACKs for truncated positions with the
+// snapshot instead — so a replica that rejoins after the log has moved past
+// its position is restored by state transfer rather than replay.
+
+// Snapshotter is implemented by object states that support checkpointing
+// with an explicit serialization. States that do not implement it are
+// checkpointed with encoding/gob, which requires a pointer state with
+// exported fields; when neither works the checkpoint is skipped (the same
+// way on every replica) and the log falls back to the retention cap.
+type Snapshotter interface {
+	// Snapshot serializes the state. It is called only at a quiesced
+	// checkpoint boundary, with no request threads live.
+	Snapshot() ([]byte, error)
+	// Restore replaces the state with a previously snapshotted image.
+	Restore(data []byte) error
+}
+
+// seenEntry is one at-most-once bookkeeping entry carried by a checkpoint:
+// the invocation id, the stream position it was first seen at, and the
+// cached reply once execution finished.
+type seenEntry struct {
+	ID     wire.InvocationID
+	SeenAt uint64
+	Done   bool
+	Reply  Reply
+}
+
+// snapshotEnvelope is the serialized form of a checkpoint: everything a
+// rejoiner needs to resume as if it had delivered the whole prefix itself.
+type snapshotEnvelope struct {
+	Seq     uint64
+	State   []byte
+	UsedGob bool
+	Entries []seenEntry
+	Streams map[string]obs.StreamState
+}
+
+// checkpoint runs at a checkpoint boundary (stream position seq, the
+// delivery just dispatched). It quiesces the scheduler — waiting until all
+// request threads have drained or are provably blocked on future
+// deliveries — and in the drained case evicts stable reply-cache entries,
+// records the boundary in the trace, and hands the serialized snapshot to
+// the group member. When threads are still live the boundary is skipped;
+// the quiescence verdict is a deterministic function of the stream, so
+// every replica records the same event (checkpoint or skip marker) and any
+// disagreement surfaces as a digest divergence.
+func (r *Replica) checkpoint(seq uint64) {
+	start := r.rt.Now()
+	p := vtime.NewParker("ckpt/" + string(r.self))
+	drained := false
+	r.sched.Quiesce(func(d bool) {
+		drained = d
+		r.rt.Unpark(p)
+	})
+	r.rt.Lock()
+	r.rt.Park(p)
+	r.rt.Unlock()
+	if !drained {
+		r.ckptSkipped.Inc()
+		r.trace.Record("order", obs.KindCheckpoint, "ckpt", strconv.FormatUint(seq, 10)+"/skip")
+		return
+	}
+	r.rt.Lock()
+	r.evictStableLocked(seq)
+	entries := r.seenEntriesLocked()
+	r.rt.Unlock()
+	// Record before exporting: the envelope's digest state must include the
+	// checkpoint event itself, so a replica restored from this snapshot
+	// continues with digests identical to the donors'.
+	r.trace.Record("order", obs.KindCheckpoint, "ckpt", strconv.FormatUint(seq, 10))
+	state, usedGob, err := r.snapshotState()
+	if err != nil {
+		// Same state type on every replica, so the failure (e.g. gob meeting
+		// unexported fields) is deterministic: nobody records a checkpoint
+		// and the log stays bounded only by the retention cap.
+		return
+	}
+	env := snapshotEnvelope{
+		Seq:     seq,
+		State:   state,
+		UsedGob: usedGob,
+		Entries: entries,
+		Streams: r.trace.ExportStreams(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return
+	}
+	data := buf.Bytes()
+	r.member.SetCheckpoint(seq, data)
+	r.checkpoints.Inc()
+	r.snapSize.Set(int64(len(data)))
+	r.ckptDuration.ObserveDuration(r.rt.Now() - start)
+}
+
+// snapshotState serializes the object state: Snapshotter when implemented,
+// gob otherwise (nil state yields a nil image).
+func (r *Replica) snapshotState() (data []byte, usedGob bool, err error) {
+	switch s := r.state.(type) {
+	case nil:
+		return nil, false, nil
+	case Snapshotter:
+		data, err = s.Snapshot()
+		return data, false, err
+	default:
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(r.state); err != nil {
+			return nil, true, err
+		}
+		return buf.Bytes(), true, nil
+	}
+}
+
+func (r *Replica) restoreState(env *snapshotEnvelope) {
+	if len(env.State) == 0 || r.state == nil {
+		return
+	}
+	if s, ok := r.state.(Snapshotter); ok && !env.UsedGob {
+		_ = s.Restore(env.State)
+		return
+	}
+	_ = gob.NewDecoder(bytes.NewReader(env.State)).Decode(r.state)
+}
+
+// evictStableLocked drops reply-cache entries that have aged out of the
+// duplicate-detection window: everything first seen at or below seq minus
+// two checkpoint intervals. The boundary is a pure function of the ordered
+// stream — unlike the gcs stability watermark, which depends on
+// failure-detector timing — so every replica evicts the same entries at the
+// same position and duplicate classification never diverges. Entries still
+// executing (no cached reply yet) are always retained.
+func (r *Replica) evictStableLocked(seq uint64) {
+	window := 2 * r.ckptEvery
+	if seq <= window {
+		return
+	}
+	floor := seq - window
+	kept := r.seenOrder[:0]
+	for _, id := range r.seenOrder {
+		at, ok := r.seen[id]
+		if !ok {
+			continue
+		}
+		if at <= floor {
+			if _, done := r.cache[id]; done {
+				delete(r.seen, id)
+				delete(r.cache, id)
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	r.seenOrder = kept
+}
+
+// seenEntriesLocked copies the at-most-once bookkeeping for the envelope,
+// in first-seen order (already deterministic: it follows the stream).
+func (r *Replica) seenEntriesLocked() []seenEntry {
+	entries := make([]seenEntry, 0, len(r.seenOrder))
+	for _, id := range r.seenOrder {
+		at, ok := r.seen[id]
+		if !ok {
+			continue
+		}
+		e := seenEntry{ID: id, SeenAt: at}
+		if rep, done := r.cache[id]; done {
+			e.Done = true
+			e.Reply = rep
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// installSnapshot restores this replica from a checkpoint delivered in
+// place of a truncated tail. The group member has already repositioned the
+// delivery frontier at d.Seq+1; here the object state, the reply cache and
+// the trace digests are reset to the donor's exact position. Checkpoints
+// are only taken fully drained, so the donor had no live threads — local
+// nested-invocation bookkeeping (necessarily stale) is cleared outright.
+func (r *Replica) installSnapshot(d gcs.Delivery) {
+	var env snapshotEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(d.Snapshot)).Decode(&env); err != nil {
+		return
+	}
+	r.restoreState(&env)
+	r.rt.Lock()
+	r.seen = make(map[wire.InvocationID]uint64, len(env.Entries))
+	r.seenOrder = r.seenOrder[:0]
+	r.cache = make(map[wire.InvocationID]Reply, len(env.Entries))
+	for _, e := range env.Entries {
+		r.seen[e.ID] = e.SeenAt
+		r.seenOrder = append(r.seenOrder, e.ID)
+		if e.Done {
+			r.cache[e.ID] = e.Reply
+		}
+	}
+	r.logicalLive = make(map[wire.LogicalID]int)
+	r.nested = make(map[wire.InvocationID]*nestedCall)
+	r.earlyReplies = make(map[wire.InvocationID]Reply)
+	r.nestedWaiting = make(map[wire.LogicalID]int)
+	r.pendingCallbacks = make(map[wire.LogicalID][]Request)
+	r.rt.Unlock()
+	r.trace.RestoreStreams(env.Streams)
+}
+
+// CacheSize returns the number of cached replies (tests, bench reporter).
+func (r *Replica) CacheSize() int {
+	r.rt.Lock()
+	defer r.rt.Unlock()
+	return len(r.cache)
+}

@@ -138,7 +138,7 @@ func (inv *Invocation) Invoke(group wire.GroupID, method string, args []byte) ([
 	r.rt.Unlock()
 
 	for _, cb := range flush {
-		r.submitRequest(cb, true)
+		r.submitRequest(cb, true, 0)
 	}
 	if nc.reply == nil {
 		sub := gcs.Submit{

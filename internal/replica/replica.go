@@ -131,6 +131,15 @@ type Config struct {
 	// result marks the request "global" (conflicts with everything). When
 	// nil, a State instance implementing ConflictClasser is used instead.
 	Classes func(method string, args []byte) []string
+	// CheckpointEvery, when positive, takes a deterministic checkpoint at
+	// every n-th position of the totally-ordered stream: the scheduler is
+	// quiesced, the object state is serialized (via Snapshotter, or gob for
+	// plain pointer states with exported fields), and the group member
+	// learns the checkpoint so it can truncate its retransmission log and
+	// serve snapshot-based state transfer to rejoiners whose tail has been
+	// truncated. The trigger is a pure function of the stream, so every
+	// replica checkpoints (or deterministically skips) the same boundaries.
+	CheckpointEvery int
 	// GCS carries the group communication knobs (failure detection etc.);
 	// Group/Self/Members/Send are filled in by the replica.
 	GCS gcs.Config
@@ -157,16 +166,23 @@ type Replica struct {
 	journal func(Request)
 	classes func(method string, args []byte) []string
 
+	// ckptEvery is Config.CheckpointEvery (0 = checkpointing off).
+	ckptEvery uint64
+
 	// Observability (all nil-safe; nil when disabled).
-	schedObs  *adets.SchedObs
-	trace     *obs.Trace
-	inflight  *obs.Gauge
-	cacheHits *obs.Counter
+	schedObs     *adets.SchedObs
+	trace        *obs.Trace
+	inflight     *obs.Gauge
+	cacheHits    *obs.Counter
+	checkpoints  *obs.Counter
+	ckptSkipped  *obs.Counter
+	snapSize     *obs.Gauge
+	ckptDuration *obs.Histogram
 
 	handlers map[string]Handler
 
 	// All fields below are guarded by the runtime lock.
-	seen        map[wire.InvocationID]bool // delivered at least once
+	seen        map[wire.InvocationID]uint64 // delivered at least once, at this stream position
 	seenOrder   []wire.InvocationID
 	cache       map[wire.InvocationID]Reply // completed (reply cache)
 	logicalLive map[wire.LogicalID]int
@@ -199,7 +215,7 @@ func New(cfg Config) *Replica {
 		dir:              cfg.Directory,
 		sched:            cfg.Scheduler,
 		handlers:         make(map[string]Handler),
-		seen:             make(map[wire.InvocationID]bool),
+		seen:             make(map[wire.InvocationID]uint64),
 		cache:            make(map[wire.InvocationID]Reply),
 		logicalLive:      make(map[wire.LogicalID]int),
 		nested:           make(map[wire.InvocationID]*nestedCall),
@@ -220,10 +236,17 @@ func New(cfg Config) *Replica {
 	r.ep = cfg.Network.Endpoint(cfg.Self)
 	r.trace = cfg.Trace
 	r.schedObs = adets.NewSchedObs(cfg.Metrics, cfg.Trace, cfg.Scheduler.Name(), string(cfg.Self))
+	if cfg.CheckpointEvery > 0 {
+		r.ckptEvery = uint64(cfg.CheckpointEvery)
+	}
 	if cfg.Metrics != nil {
 		label := `{node="` + string(cfg.Self) + `"}`
 		r.inflight = cfg.Metrics.Gauge("replobj_replica_invocations_in_flight" + label)
 		r.cacheHits = cfg.Metrics.Counter("replobj_replica_reply_cache_hits_total" + label)
+		r.checkpoints = cfg.Metrics.Counter("replobj_replica_checkpoints_total" + label)
+		r.ckptSkipped = cfg.Metrics.Counter("replobj_replica_checkpoints_skipped_total" + label)
+		r.snapSize = cfg.Metrics.Gauge("replobj_replica_snapshot_bytes" + label)
+		r.ckptDuration = cfg.Metrics.Histogram("replobj_replica_checkpoint_seconds"+label, obs.LatencyBuckets())
 	}
 	g := cfg.GCS
 	g.Group = cfg.Group
@@ -305,6 +328,14 @@ func (r *Replica) dispatchLoop() {
 		if !ok {
 			return
 		}
+		if d.Snapshot != nil {
+			// State transfer in place of a truncated tail: restore and
+			// continue at d.Seq+1. Not recorded as a regular trace event —
+			// the restored digest state already covers everything up to
+			// d.Seq, including the donor's checkpoint event.
+			r.installSnapshot(d)
+			continue
+		}
 		// One event per totally-ordered delivery: position and id must agree
 		// across replicas, so the "order" stream digests are comparable.
 		r.trace.Record("order", obs.KindExec, d.ID, strconv.FormatUint(d.Seq, 10))
@@ -316,7 +347,7 @@ func (r *Replica) dispatchLoop() {
 		}
 		switch p := d.Payload.(type) {
 		case Request:
-			r.dispatchRequest(p)
+			r.dispatchRequest(p, d.Seq)
 		case Reply:
 			r.dispatchNestedReply(p)
 		default:
@@ -324,19 +355,22 @@ func (r *Replica) dispatchLoop() {
 				r.sched.HandleOrdered(d.ID, p)
 			}
 		}
+		if r.ckptEvery > 0 && d.Seq%r.ckptEvery == 0 {
+			r.checkpoint(d.Seq)
+		}
 	}
 }
 
 // dispatchRequest applies at-most-once semantics and hands fresh requests
 // to the scheduler. Everything here happens at a totally ordered point, so
 // the classification (duplicate? callback?) is identical on every replica.
-func (r *Replica) dispatchRequest(req Request) {
+func (r *Replica) dispatchRequest(req Request, seq uint64) {
 	r.rt.Lock()
 	if r.stopped {
 		r.rt.Unlock()
 		return
 	}
-	if r.seen[req.ID] {
+	if _, dup := r.seen[req.ID]; dup {
 		cached, done := r.cache[req.ID]
 		r.rt.Unlock()
 		r.cacheHits.Inc()
@@ -346,7 +380,7 @@ func (r *Replica) dispatchRequest(req Request) {
 		// Still executing: the original execution will reply.
 		return
 	}
-	r.markSeenLocked(req.ID)
+	r.markSeenLocked(req.ID, seq)
 	if r.journal != nil && req.Kind == KindClient {
 		r.journal(req)
 	}
@@ -363,10 +397,10 @@ func (r *Replica) dispatchRequest(req Request) {
 		return
 	}
 	r.rt.Unlock()
-	r.submitRequest(req, callback)
+	r.submitRequest(req, callback, seq)
 }
 
-func (r *Replica) submitRequest(req Request, callback bool) {
+func (r *Replica) submitRequest(req Request, callback bool, seq uint64) {
 	var classes []string
 	if r.classes != nil {
 		classes = r.classes(req.Method, req.Args)
@@ -376,6 +410,7 @@ func (r *Replica) submitRequest(req Request, callback bool) {
 		Logical:  req.Logical(),
 		Callback: callback,
 		Classes:  classes,
+		Seq:      seq,
 		Exec:     func(t *adets.Thread) { r.execute(req, t) },
 	})
 }
@@ -452,8 +487,8 @@ func (r *Replica) dispatchNestedReply(reply Reply) {
 
 const maxSeen = 1 << 14
 
-func (r *Replica) markSeenLocked(id wire.InvocationID) {
-	r.seen[id] = true
+func (r *Replica) markSeenLocked(id wire.InvocationID, seq uint64) {
+	r.seen[id] = seq
 	r.seenOrder = append(r.seenOrder, id)
 	if len(r.seenOrder) > maxSeen {
 		old := r.seenOrder[0]

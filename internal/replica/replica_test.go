@@ -152,12 +152,12 @@ func TestAtMostOnceDuplicateSubmits(t *testing.T) {
 		// First delivery executes; a duplicate delivery (the group
 		// communication layer already filters most, this is the adapter's
 		// own at-most-once line of defense) answers from the reply cache.
-		h.r.dispatchRequest(req)
+		h.r.dispatchRequest(req, 1)
 		rep := h.recvReply(t)
 		if string(rep.Result) != "x" {
 			t.Errorf("reply = %q", rep.Result)
 		}
-		h.r.dispatchRequest(req)
+		h.r.dispatchRequest(req, 2)
 		rep2 := h.recvReply(t)
 		if string(rep2.Result) != "x" {
 			t.Errorf("cached reply = %q", rep2.Result)
@@ -211,7 +211,7 @@ func TestSeenCacheBounded(t *testing.T) {
 		// Force far more ids than the cap through markSeen directly.
 		h.rt.Lock()
 		for i := 0; i < maxSeen+100; i++ {
-			h.r.markSeenLocked(wire.InvocationID{Logical: wire.LogicalID(fmt.Sprintf("l%d", i))})
+			h.r.markSeenLocked(wire.InvocationID{Logical: wire.LogicalID(fmt.Sprintf("l%d", i))}, uint64(i+1))
 		}
 		if len(h.r.seen) > maxSeen {
 			t.Errorf("seen cache grew to %d (cap %d)", len(h.r.seen), maxSeen)

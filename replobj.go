@@ -85,6 +85,10 @@ type (
 	// conflict classes per request for conflict-aware scheduling
 	// (ADETS-CC). The result must be a pure function of (method, args).
 	ConflictClasser = replica.ConflictClasser
+	// Snapshotter is implemented by object states that support
+	// deterministic checkpointing with an explicit serialization (see
+	// WithCheckpointEvery); states without it fall back to encoding/gob.
+	Snapshotter = replica.Snapshotter
 	// MetricsRegistry collects counters, gauges and latency histograms and
 	// renders them in Prometheus text format (see internal/obs).
 	MetricsRegistry = obs.Registry
@@ -291,6 +295,7 @@ type groupConfig struct {
 	traceRetain      int
 	ccLanes          int
 	conflictClasses  map[string][]string
+	checkpointEvery  int
 }
 
 // WithScheduler selects the scheduling strategy (default ADETS-SAT).
@@ -336,6 +341,16 @@ func WithPDSPool(n int) GroupOption {
 	return func(g *groupConfig) { g.pds.PoolSize = n; g.pdsSet = true }
 }
 
+// WithPDSArtificialRequests enables the paper's "artificial requests"
+// remedy (Section 4.2) for ADETS-PDS: a worker that finds the request
+// queue empty completes the round as if it had executed an empty request
+// instead of waiting greedily, so every assignment decision happens at a
+// totally-ordered point and the documented empty-queue nondeterminism of
+// the greedy variant disappears.
+func WithPDSArtificialRequests(enabled bool) GroupOption {
+	return func(g *groupConfig) { g.pds.ArtificialRequests = enabled; g.pdsSet = true }
+}
+
 // WithConflictClasses statically declares conflict classes per method for
 // conflict-aware scheduling (ADETS-CC): requests of methods with disjoint
 // class sets execute in parallel; methods absent from the map (or mapped to
@@ -366,6 +381,19 @@ func WithMATYield(enabled bool) GroupOption {
 // the LSA fail-over experiments; off by default to keep simulations lean).
 func WithFailureDetection(enabled bool) GroupOption {
 	return func(g *groupConfig) { g.failureDetection = enabled }
+}
+
+// WithCheckpointEvery makes every replica take a deterministic checkpoint
+// at every n-th position of the totally-ordered stream: the scheduler is
+// quiesced, the object state is serialized (Snapshotter when implemented,
+// gob otherwise), and the group layer truncates its retransmission log up
+// to the checkpoint (bounded by the group-wide stability watermark). A
+// replica that rejoins after the log has moved past its position is
+// restored by snapshot state transfer instead of replay. n <= 0 disables
+// checkpointing (the default); all replicas of a group must use the same
+// value.
+func WithCheckpointEvery(n int) GroupOption {
+	return func(g *groupConfig) { g.checkpointEvery = n }
 }
 
 // WithSchedTrace enables the deterministic schedule trace on every replica
@@ -510,15 +538,16 @@ func (g *Group) StartRank(rank int) {
 	gcfg := g.cfg.gcs
 	gcfg.FailureDetection = g.cfg.failureDetection
 	rcfg := replica.Config{
-		RT:        g.cluster.rt,
-		Group:     g.id,
-		Self:      g.members[rank],
-		Directory: g.cluster.dir,
-		Network:   g.cluster.net,
-		Scheduler: sched,
-		State:     g.cfg.state,
-		GCS:       gcfg,
-		Metrics:   g.cluster.metrics,
+		RT:              g.cluster.rt,
+		Group:           g.id,
+		Self:            g.members[rank],
+		Directory:       g.cluster.dir,
+		Network:         g.cluster.net,
+		Scheduler:       sched,
+		State:           g.cfg.state,
+		CheckpointEvery: g.cfg.checkpointEvery,
+		GCS:             gcfg,
+		Metrics:         g.cluster.metrics,
 	}
 	if g.cfg.traceRetain > 0 {
 		tr := obs.NewTrace(g.cfg.traceRetain)

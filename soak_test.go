@@ -20,6 +20,29 @@ type soakState struct {
 	ledgers [4][]byte
 }
 
+// Snapshot/Restore make the soak state checkpointable (the gob fallback
+// cannot see the unexported field), so the truncation soak below actually
+// takes checkpoints instead of deterministically skipping them.
+func (s *soakState) Snapshot() ([]byte, error) {
+	var out []byte
+	for i := 0; i < 4; i++ {
+		out = append(out, byte(len(s.ledgers[i])))
+		out = append(out, s.ledgers[i]...)
+	}
+	return out, nil
+}
+
+func (s *soakState) Restore(b []byte) error {
+	for i := 0; i < 4; i++ {
+		n := int(b[0])
+		s.ledgers[i] = append([]byte(nil), b[1:1+n]...)
+		b = b[1+n:]
+	}
+	return nil
+}
+
+var _ replobj.Snapshotter = (*soakState)(nil)
+
 func registerSoak(g *replobj.Group) {
 	g.Register("op", func(inv *replobj.Invocation) ([]byte, error) {
 		args := inv.Args() // [ledger, value, preMs, inMs]
@@ -186,6 +209,113 @@ func TestSoakLossyNetwork(t *testing.T) {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
 			runSoak(t, kind, 7, true)
+		})
+	}
+}
+
+// TestSoakCheckpointTruncation: a long duplicate-free workload with
+// checkpointing enabled must keep every replica's retained ordered log and
+// reply cache bounded while the replicas stay in agreement. Unlike the
+// other soak lanes this one runs under -short too, just with the duration
+// gated down — the short lane still crosses several checkpoint boundaries.
+func TestSoakCheckpointTruncation(t *testing.T) {
+	opsPerClient := 40
+	if testing.Short() {
+		opsPerClient = 12
+	}
+	const (
+		clients = 3
+		every   = 8
+	)
+	for _, kind := range replobj.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			rt := vtime.Virtual()
+			defer rt.Stop()
+			c := replobj.NewCluster(rt)
+			opts := []replobj.GroupOption{
+				replobj.WithScheduler(kind),
+				replobj.WithState(func() any { return &soakState{} }),
+				replobj.WithCheckpointEvery(every),
+			}
+			if kind == replobj.PDS || kind == replobj.PDS2 {
+				opts = append(opts, replobj.WithPDSPool(clients))
+			}
+			g, err := c.NewGroup("soak", 3, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			registerSoak(g)
+			g.Start()
+			vtime.Run(rt, "soak-main", func() {
+				defer c.Close()
+				done := vtime.NewMailbox[error](rt, "done")
+				for ci := 0; ci < clients; ci++ {
+					ci := ci
+					rt.Go("soak-client", func() {
+						cl := c.NewClient(fmt.Sprintf("ck%d", ci),
+							replobj.WithInvocationTimeout(time.Minute),
+							replobj.WithRetransmit(100*time.Millisecond))
+						var err error
+						for k := 0; k < opsPerClient; k++ {
+							if _, err = cl.Invoke("soak", "op",
+								[]byte{byte((ci + k) % 4), byte(k), 1, 1}); err != nil {
+								break
+							}
+						}
+						done.Put(err)
+					})
+				}
+				for i := 0; i < clients; i++ {
+					if err, _ := done.Get(); err != nil {
+						t.Errorf("client: %v", err)
+					}
+				}
+				rt.Sleep(200 * time.Millisecond)
+
+				// Bounded memory at the end of the run: the retained ordered
+				// log and the reply cache both stay within a small multiple of
+				// the checkpoint interval, no matter how long the run was.
+				for rank := 0; rank < 3; rank++ {
+					r := g.Replica(rank)
+					if n := r.Member().LogLen(); n > 2*every {
+						t.Errorf("rank %d retains %d ordered messages, want <= %d", rank, n, 2*every)
+					}
+					if n := r.CacheSize(); n > 3*every {
+						t.Errorf("rank %d reply cache holds %d entries, want <= %d", rank, n, 3*every)
+					}
+				}
+
+				reader := c.NewClient("reader",
+					replobj.WithInvocationTimeout(time.Minute),
+					replobj.WithRetransmit(100*time.Millisecond))
+				replies, err := reader.InvokeAll("soak", "dump", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ref []byte
+				for _, node := range g.Members() {
+					rep := replies[node]
+					if rep.Err != "" {
+						t.Fatalf("%v: %s", node, rep.Err)
+					}
+					if ref == nil {
+						ref = rep.Result
+						continue
+					}
+					if !reflect.DeepEqual(ref, rep.Result) {
+						t.Errorf("replica %v diverged:\n  ref: %v\n  got: %v", node, ref, rep.Result)
+					}
+				}
+				count := 0
+				for i, off := 0, 0; i < 4; i++ {
+					count += int(ref[off])
+					off += int(ref[off]) + 1
+				}
+				if count != clients*opsPerClient {
+					t.Errorf("%d ops recorded, want %d", count, clients*opsPerClient)
+				}
+			})
 		})
 	}
 }

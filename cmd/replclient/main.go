@@ -22,14 +22,16 @@ import (
 
 func main() {
 	var (
-		group  = flag.String("group", "counter", "replica group name")
-		addrs  = flag.String("addrs", "", "comma-separated host:port of all replicas, rank order")
-		listen = flag.String("listen", "127.0.0.1:0", "address this client listens on for replies")
-		name   = flag.String("name", "cli", "client name (must be unique per concurrent client)")
-		method = flag.String("method", "get", "method to invoke")
-		arg    = flag.Uint("arg", 1, "single-byte argument for add")
-		n      = flag.Int("n", 1, "number of invocations")
-		policy = flag.String("policy", "majority", "reply policy: first|majority|all")
+		group    = flag.String("group", "counter", "replica group name")
+		addrs    = flag.String("addrs", "", "comma-separated host:port of all replicas, rank order")
+		listen   = flag.String("listen", "127.0.0.1:0", "address this client listens on for replies")
+		name     = flag.String("name", "cli", "client name (must be unique per concurrent client)")
+		method   = flag.String("method", "get", "method to invoke")
+		arg      = flag.Uint("arg", 1, "single-byte argument for add")
+		n        = flag.Int("n", 1, "number of invocations")
+		policy   = flag.String("policy", "majority", "reply policy: first|majority|all")
+		trace    = flag.Bool("trace", true, "attach trace contexts to requests (replicas then record spans, see replnode /spans)")
+		spanDump = flag.String("span-dump", "", "write this client's spans as Chrome trace-event JSON to this file on exit")
 	)
 	flag.Parse()
 
@@ -48,7 +50,15 @@ func main() {
 		registry[wire.ReplicaID(wire.GroupID(*group), i)] = strings.TrimSpace(a)
 	}
 	net := transport.NewTCP(rt, registry)
-	cluster := replobj.NewCluster(rt, replobj.WithNetwork(net))
+	copts := []replobj.ClusterOption{replobj.WithNetwork(net)}
+	// Tracing is client-originated: the stub allocates the trace context
+	// and every replica that sees the request annotates its stages.
+	var spans *replobj.SpanCollector
+	if *trace || *spanDump != "" {
+		spans = replobj.NewSpanCollector(0)
+		copts = append(copts, replobj.WithSpans(spans))
+	}
+	cluster := replobj.NewCluster(rt, copts...)
 	defer cluster.Close()
 
 	// Registering the group (without starting replicas locally) teaches the
@@ -85,5 +95,18 @@ func main() {
 		} else {
 			fmt.Printf("%s -> %x (%v)\n", *method, out, time.Since(t0).Round(time.Microsecond))
 		}
+	}
+	if *spanDump != "" {
+		f, err := os.Create(*spanDump)
+		if err != nil {
+			log.Fatalf("span dump: %v", err)
+		}
+		if err := spans.WriteChromeTrace(f); err != nil {
+			log.Fatalf("span dump: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("span dump: %v", err)
+		}
+		log.Printf("replclient: wrote %d spans to %s", spans.Len(), *spanDump)
 	}
 }

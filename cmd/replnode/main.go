@@ -66,6 +66,8 @@ func main() {
 		chaosProfile = flag.String("chaos-profile", "none", "fault-injection profile: none, mild or harsh")
 		chaosSeed    = flag.Int64("chaos-seed", 0, "fault-schedule seed (0 picks one; the resolved seed is printed at startup)")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "take a checkpoint (and truncate the ordered log) every N deliveries (0 disables)")
+		spanDump     = flag.String("span-dump", "", "write the span ring as Chrome trace-event JSON to this file on shutdown (implies request tracing)")
+		spanRing     = flag.Int("span-ring", 0, "span-ring capacity (0 selects the default 16384)")
 	)
 	flag.Parse()
 
@@ -101,6 +103,13 @@ func main() {
 
 	metrics := replobj.NewMetricsRegistry()
 	copts := []replobj.ClusterOption{replobj.WithNetwork(net), replobj.WithMetrics(metrics)}
+	// Request tracing is on whenever something can consume it: a -span-dump
+	// file or the /spans endpoint of -http.
+	var spans *replobj.SpanCollector
+	if *spanDump != "" || *httpAddr != "" {
+		spans = replobj.NewSpanCollector(*spanRing)
+		copts = append(copts, replobj.WithSpans(spans))
+	}
 	cluster := replobj.NewCluster(rt, copts...)
 	gopts := []replobj.GroupOption{
 		replobj.WithScheduler(replobj.SchedulerKind(*sched)),
@@ -152,7 +161,7 @@ func main() {
 		if tr := g.Trace(*rank); tr != nil {
 			traces[fmt.Sprintf("%s/%d", *group, *rank)] = tr
 		}
-		httpSrv = &http.Server{Addr: *httpAddr, Handler: obs.Handler(metrics, traces)}
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: obs.Handler(metrics, traces, spans)}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("replnode: http server: %v", err)
@@ -170,6 +179,9 @@ func main() {
 	// connection), flush the schedule trace, then the HTTP server.
 	g.Stop()
 	flushTrace(g.Trace(*rank))
+	if *spanDump != "" {
+		dumpSpans(spans, *spanDump)
+	}
 	if httpSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = httpSrv.Shutdown(ctx)
@@ -177,6 +189,24 @@ func main() {
 	}
 	rt.Stop()
 	time.Sleep(100 * time.Millisecond)
+}
+
+// dumpSpans writes the span ring as Chrome trace-event JSON — load the file
+// in Perfetto or chrome://tracing to see the stage decomposition.
+func dumpSpans(spans *replobj.SpanCollector, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("replnode: span dump: %v", err)
+		return
+	}
+	if err := spans.WriteChromeTrace(f); err != nil {
+		log.Printf("replnode: span dump: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("replnode: span dump: %v", err)
+		return
+	}
+	log.Printf("replnode: wrote %d spans (%d dropped) to %s", spans.Len(), spans.Dropped(), path)
 }
 
 // flushTrace prints the final per-stream digests so operators can compare

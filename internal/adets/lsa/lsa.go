@@ -252,7 +252,7 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 		return adets.ErrStopped
 	}
 	if blocked && s.env.Obs != nil {
-		s.env.Obs.GrantedAfterBlock(rt.NowLocked() - t0)
+		s.env.Obs.GrantedAfterBlock(m, string(t.Logical), rt.NowLocked()-t0)
 	}
 	return nil
 }

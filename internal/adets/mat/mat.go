@@ -283,7 +283,7 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 				return adets.ErrStopped
 			}
 			if s.env.Obs != nil {
-				s.env.Obs.GrantedAfterBlock(rt.NowLocked() - t0)
+				s.env.Obs.GrantedAfterBlock(m, string(t.Logical), rt.NowLocked()-t0)
 			}
 			return nil // grant path set ownership and re-queued us
 		}

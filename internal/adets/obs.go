@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/replobj/replobj/internal/obs"
+	"github.com/replobj/replobj/internal/obs/tracing"
 )
 
 // SchedObs bundles the metrics and the deterministic schedule trace of one
@@ -42,6 +43,13 @@ type SchedObs struct {
 	laneAssigns []*obs.Counter
 	laneDepth   []*obs.Gauge
 	fences      *obs.Counter
+
+	// Span instrumentation (see WithSpans). The collector resolves logical
+	// thread ids to trace contexts, so grant hooks can attach spans without
+	// threading a context through the scheduler.
+	spans   *tracing.Collector
+	spanNow func() time.Duration
+	node    string
 }
 
 // NewSchedObs builds the observability hooks for one scheduler. reg and tr
@@ -108,11 +116,45 @@ func (s *SchedObs) Blocked() {
 	}
 }
 
-// GrantedAfterBlock records how long a blocked thread waited for its grant.
-func (s *SchedObs) GrantedAfterBlock(wait time.Duration) {
-	if s != nil {
-		s.waitQueue.Dec()
-		s.grantLat.ObserveDuration(wait)
+// WithSpans attaches a span collector so grant waits become "sched.grant"
+// spans (and histogram exemplars) of the owning trace. now must be the
+// runtime's NowLocked — all grant hooks run under the runtime lock. col may
+// be nil (no-op); a nil receiver is promoted so spans work even when
+// metrics and schedule tracing are both disabled.
+func (s *SchedObs) WithSpans(col *tracing.Collector, now func() time.Duration, node string) *SchedObs {
+	if col == nil {
+		return s
+	}
+	if s == nil {
+		s = &SchedObs{}
+	}
+	s.spans, s.spanNow, s.node = col, now, node
+	return s
+}
+
+// GrantedAfterBlock records how long the logical thread blocked on mutex m
+// waited for its grant.
+func (s *SchedObs) GrantedAfterBlock(m MutexID, logical string, wait time.Duration) {
+	if s == nil {
+		return
+	}
+	s.waitQueue.Dec()
+	s.grantLat.ObserveDuration(wait)
+	if s.spans != nil {
+		if ctx := s.spans.Lookup(logical); ctx.Valid() {
+			start := s.spanNow() - wait
+			s.spans.Record(tracing.Span{
+				Trace:  ctx.TraceID,
+				ID:     tracing.NewSpanID(ctx.TraceID, "sched.grant", s.node, start),
+				Parent: ctx.Span,
+				Name:   "sched.grant",
+				Node:   s.node,
+				Detail: string(m),
+				Start:  start,
+				Dur:    wait,
+			})
+			s.grantLat.Exemplar(wait.Seconds(), ctx.TraceID)
+		}
 	}
 }
 

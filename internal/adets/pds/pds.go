@@ -92,16 +92,16 @@ const (
 )
 
 type pdsThread struct {
-	state    threadState
-	inActive bool          // member of the round's active set
-	reqMutex adets.MutexID // pending mutex request while suspended
-	eligible bool          // request may be granted in the current round
-	resume   adets.MutexID // mutex to reacquire when resuming ("" = none)
+	state       threadState
+	inActive    bool          // member of the round's active set
+	reqMutex    adets.MutexID // pending mutex request while suspended
+	eligible    bool          // request may be granted in the current round
+	resume      adets.MutexID // mutex to reacquire when resuming ("" = none)
 	waiting     bool
 	waitSeq     uint64
 	timedOut    bool
-	nestedA     bool // strategy A: parked awaiting the ordered nested reply
-	replyPermit bool // EndNested raced ahead of BeginNested: next park is a no-op
+	nestedA     bool            // strategy A: parked awaiting the ordered nested reply
+	replyPermit bool            // EndNested raced ahead of BeginNested: next park is a no-op
 	ownQueue    []adets.Request // round-robin assignment
 
 	// PDS-2 per-round bookkeeping.
@@ -845,7 +845,7 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 			return adets.ErrStopped
 		}
 		if s.env.Obs != nil {
-			s.env.Obs.GrantedAfterBlock(rt.NowLocked() - t0)
+			s.env.Obs.GrantedAfterBlock(m, string(t.Logical), rt.NowLocked()-t0)
 		}
 		return nil
 	}
@@ -866,7 +866,7 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 		return adets.ErrStopped
 	}
 	if s.env.Obs != nil {
-		s.env.Obs.GrantedAfterBlock(rt.NowLocked() - t0)
+		s.env.Obs.GrantedAfterBlock(m, string(t.Logical), rt.NowLocked()-t0)
 	}
 	return nil // granted by round machinery
 }

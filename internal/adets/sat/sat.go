@@ -289,7 +289,7 @@ func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
 		return adets.ErrStopped
 	}
 	if s.env.Obs != nil {
-		s.env.Obs.GrantedAfterBlock(rt.NowLocked() - t0)
+		s.env.Obs.GrantedAfterBlock(m, string(t.Logical), rt.NowLocked()-t0)
 	}
 	// Woken ⇒ granted ownership and activated.
 	return nil

@@ -298,6 +298,7 @@ func All(cfg Config) ([]Result, error) {
 		{"ab-matpredict", AB7MATPredict},
 		{"cc-conflict", ConflictSweep},
 		{"memory", MemoryBounds},
+		{"latency-breakdown", LatencyBreakdown},
 	}
 	out := make([]Result, 0, len(exps))
 	for _, e := range exps {
@@ -330,5 +331,7 @@ func Experiments() map[string]func(Config) (Result, error) {
 		"ab-matpredict": AB7MATPredict,
 		"cc-conflict":   ConflictSweep,
 		"memory":        MemoryBounds,
+
+		"latency-breakdown": LatencyBreakdown,
 	}
 }

@@ -75,6 +75,9 @@ type Result struct {
 	XLabel string
 	YLabel string
 	Series []Series
+	// Stages carries the per-stage latency decomposition of the
+	// latency-breakdown experiment (empty for every other result).
+	Stages []StageQuantile `json:",omitempty"`
 }
 
 // Format renders a result as an aligned text table (clients × strategies),
@@ -110,6 +113,14 @@ func (r Result) Format() string {
 			fmt.Fprintf(&b, "%12.2f", y)
 		}
 		b.WriteByte('\n')
+	}
+	if len(r.Stages) > 0 {
+		fmt.Fprintf(&b, "\n%-12s %-12s %8s %10s %10s %10s\n",
+			"scheduler", "stage", "count", "p50 ms", "p99 ms", "p99.9 ms")
+		for _, sq := range r.Stages {
+			fmt.Fprintf(&b, "%-12s %-12s %8d %10.3f %10.3f %10.3f\n",
+				sq.Scheduler, sq.Stage, sq.Count, sq.P50ms, sq.P99ms, sq.P999ms)
+		}
 	}
 	return b.String()
 }
@@ -177,12 +188,19 @@ type clientScript func(rt vtime.Runtime, cl *replobj.Client, clientIdx int) ([]t
 // register handlers, start), runs n concurrent clients with the given
 // script, and returns the mean invocation latency in milliseconds.
 func runScenario(cfg Config, n int, setup func(c *replobj.Cluster) error, script clientScript) (float64, error) {
+	return runScenarioOpts(cfg, n, nil, setup, script)
+}
+
+// runScenarioOpts is runScenario with extra cluster options — the
+// latency-breakdown experiment uses it to attach a span collector.
+func runScenarioOpts(cfg Config, n int, extra []replobj.ClusterOption, setup func(c *replobj.Cluster) error, script clientScript) (float64, error) {
 	rt := vtime.Virtual()
 	defer rt.Stop()
 	copts := []replobj.ClusterOption{replobj.WithLatency(cfg.Latency)}
 	if cfg.Metrics != nil {
 		copts = append(copts, replobj.WithMetrics(cfg.Metrics))
 	}
+	copts = append(copts, extra...)
 	c := replobj.NewCluster(rt, copts...)
 	var total time.Duration
 	var count int

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/obs/tracing"
 	"github.com/replobj/replobj/internal/replica"
 	"github.com/replobj/replobj/internal/transport"
 	"github.com/replobj/replobj/internal/vtime"
@@ -70,6 +71,11 @@ type Config struct {
 	Timeout time.Duration
 	// Retransmit is the retransmission interval (default 2s).
 	Retransmit time.Duration
+	// Spans, when non-nil, enables end-to-end request tracing: every
+	// invocation allocates a deterministic trace context that rides the
+	// wire, and the client records the root "rtt" span plus one "reply"
+	// span per replica answer.
+	Spans *tracing.Collector
 }
 
 // Client is a replication-aware stub. Safe for use by one goroutine at a
@@ -82,6 +88,7 @@ type Client struct {
 	policy  ReplyPolicy
 	timeout time.Duration
 	retry   time.Duration
+	spans   *tracing.Collector
 
 	// guarded by the runtime lock
 	calls   map[wire.InvocationID]*call
@@ -94,6 +101,8 @@ type call struct {
 	replies map[wire.NodeID]replica.Reply
 	need    int
 	done    bool
+	ctx     tracing.Context // zero when tracing is off
+	t0      time.Duration   // submit time (tracing only)
 }
 
 // New builds a client stub.
@@ -111,6 +120,7 @@ func New(cfg Config) *Client {
 		policy:  cfg.Policy,
 		timeout: cfg.Timeout,
 		retry:   cfg.Retransmit,
+		spans:   cfg.Spans,
 		calls:   make(map[wire.InvocationID]*call),
 	}
 	c.ep = cfg.Network.Endpoint(c.self)
@@ -139,9 +149,29 @@ func (c *Client) recvLoop() {
 		if !ok {
 			continue
 		}
+		now := c.rt.Now() // before taking the lock: Now() locks internally
 		c.rt.Lock()
 		cl := c.calls[reply.ID]
 		if cl != nil && !cl.done {
+			if _, dup := cl.replies[reply.From]; !dup && cl.ctx.Valid() && c.spans != nil {
+				// One span per replica answer, from submit to arrival; its
+				// parent is the replica's exec span when the reply carried
+				// one, else the root.
+				parent := cl.ctx.Span
+				if reply.Trace.Valid() {
+					parent = reply.Trace.Span
+				}
+				c.spans.Record(tracing.Span{
+					Trace:  cl.ctx.TraceID,
+					ID:     tracing.NewSpanID(cl.ctx.TraceID, "reply", string(reply.From), cl.t0),
+					Parent: parent,
+					Name:   "reply",
+					Node:   string(c.self),
+					Detail: string(reply.From),
+					Start:  cl.t0,
+					Dur:    now - cl.t0,
+				})
+			}
 			cl.replies[reply.From] = reply
 			if len(cl.replies) >= cl.need {
 				cl.done = true
@@ -219,6 +249,14 @@ func (c *Client) invoke(group wire.GroupID, method string, args []byte, need int
 		replies: make(map[wire.NodeID]replica.Reply),
 		need:    need,
 	}
+	if c.spans != nil {
+		// The trace id is a pure function of the logical thread id —
+		// deterministic from (member, submit seq), identical on every
+		// process that sees the request. The root span's id is the trace id.
+		tid := tracing.TraceID(string(logical))
+		cl.ctx = tracing.Context{TraceID: tid, Span: tid}
+		cl.t0 = c.rt.NowLocked()
+	}
 	c.calls[id] = cl
 	c.rt.Unlock()
 
@@ -229,6 +267,7 @@ func (c *Client) invoke(group wire.GroupID, method string, args []byte, need int
 		Args:    args,
 		Kind:    replica.KindClient,
 		ReplyTo: c.self,
+		Trace:   cl.ctx,
 	}
 	sub := gcs.Submit{Group: group, ID: id.String(), Origin: c.self, Payload: req}
 	send := func() {
@@ -270,6 +309,18 @@ func (c *Client) invoke(group wire.GroupID, method string, args []byte, need int
 		if timedOut {
 			send() // retransmit; replicas deduplicate
 		}
+	}
+	if c.spans != nil && cl.ctx.Valid() {
+		end := c.rt.Now()
+		c.spans.Record(tracing.Span{
+			Trace:  cl.ctx.TraceID,
+			ID:     cl.ctx.TraceID, // root span: id == trace id
+			Name:   "rtt",
+			Node:   string(c.self),
+			Detail: string(group) + "." + method,
+			Start:  cl.t0,
+			Dur:    end - cl.t0,
+		})
 	}
 	return cl, members, nil
 }

@@ -282,6 +282,13 @@ func (n *Network) Endpoint(id wire.NodeID) transport.Endpoint {
 	return n.wrapped.Endpoint(id)
 }
 
+// SetStats forwards the metric/span sink to the inner network, so clusters
+// built over a chaos transport still report transport metrics and record
+// xport spans (for the messages that survive injection).
+func (n *Network) SetStats(st *transport.Stats) {
+	n.wrapped.SetStats(st)
+}
+
 // Seed returns the schedule seed (for failure messages).
 func (n *Network) Seed() int64 {
 	n.mu.Lock()

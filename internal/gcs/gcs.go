@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/replobj/replobj/internal/obs/tracing"
 	"github.com/replobj/replobj/internal/wire"
 )
 
@@ -98,6 +99,15 @@ type Submit struct {
 	Payload any
 }
 
+// TraceCtx delegates to the nested payload, so the transport can annotate
+// a traced submit in flight without knowing the payload type.
+func (s Submit) TraceCtx() tracing.Context {
+	if t, ok := s.Payload.(tracing.Traced); ok {
+		return t.TraceCtx()
+	}
+	return tracing.Context{}
+}
+
 // Ordered is a sequenced message broadcast by the sequencer.
 //
 // Two wire forms exist. The single form carries one message: Seq, ID,
@@ -119,6 +129,21 @@ type Ordered struct {
 	// Batch, when non-empty, turns this message into one ordering round:
 	// submit i is assigned sequence number Seq+i.
 	Batch []Submit
+}
+
+// TraceCtx returns the trace context of the payload, or — for a batch —
+// of the first traced batch element, so transport spans can attach a
+// batched broadcast to at least one of the traces riding in it.
+func (o Ordered) TraceCtx() tracing.Context {
+	if t, ok := o.Payload.(tracing.Traced); ok {
+		return t.TraceCtx()
+	}
+	for _, s := range o.Batch {
+		if ctx := s.TraceCtx(); ctx.Valid() {
+			return ctx
+		}
+	}
+	return tracing.Context{}
 }
 
 // Nack requests retransmission of ordered messages starting at Want.
@@ -261,6 +286,10 @@ type Config struct {
 
 	// Stats receives protocol metrics. May be nil (all recordings no-op).
 	Stats *Stats
+
+	// Spans, when non-nil, records ordering-stage spans ("order",
+	// "seq.batch") for traced payloads.
+	Spans *tracing.Collector
 }
 
 func (c *Config) applyDefaults() {

@@ -3,6 +3,7 @@ package gcs
 import (
 	"time"
 
+	"github.com/replobj/replobj/internal/obs/tracing"
 	"github.com/replobj/replobj/internal/vtime"
 	"github.com/replobj/replobj/internal/wire"
 )
@@ -29,6 +30,7 @@ type Member struct {
 	// submits accepted but not yet broadcast. Flushed at the end of the
 	// event that opened the batch, when it fills, or when batchTimer fires.
 	batch      []Submit
+	batchAt    []time.Duration // batch[i]'s arrival time (span instrumentation)
 	batchTimer *vtime.Timer
 
 	// Delivery state.
@@ -400,6 +402,7 @@ func (m *Member) sequenceSubmitLocked(sub Submit, act *actions) {
 		}
 	}
 	m.batch = append(m.batch, sub)
+	m.batchAt = append(m.batchAt, m.rt.NowLocked())
 	if len(m.batch) >= m.cfg.MaxBatch {
 		m.flushBatchLocked(act)
 	}
@@ -446,12 +449,34 @@ func (m *Member) flushBatchLocked(act *actions) {
 		m.rt.StopTimerLocked(t)
 	}
 	batch := m.batch
-	m.batch = nil
+	batchAt := m.batchAt
+	m.batch, m.batchAt = nil, nil
 	if len(batch) == 0 {
 		return
 	}
 	if !m.isSequencerLocked() {
 		return
+	}
+	if m.cfg.Spans != nil {
+		// Batch residency: how long each traced submit sat in the open
+		// batch before this ordering round broadcast it.
+		now := m.rt.NowLocked()
+		for i, sub := range batch {
+			if m.orderedIDs[sub.ID] || i >= len(batchAt) {
+				continue
+			}
+			if ctx := sub.TraceCtx(); ctx.Valid() {
+				m.cfg.Spans.Record(tracing.Span{
+					Trace:  ctx.TraceID,
+					ID:     tracing.NewSpanID(ctx.TraceID, "seq.batch", string(m.cfg.Self), batchAt[i]),
+					Parent: ctx.Span,
+					Name:   "seq.batch",
+					Node:   string(m.cfg.Self),
+					Start:  batchAt[i],
+					Dur:    now - batchAt[i],
+				})
+			}
+		}
 	}
 	subs := batch[:0]
 	for _, sub := range batch {
@@ -568,6 +593,29 @@ func (m *Member) deliverLocked(o Ordered, act *actions) {
 			if t0, ok := m.submitAt[o.ID]; ok {
 				delete(m.submitAt, o.ID)
 				st.DeliverLatency.Observe((m.rt.NowLocked() - t0).Seconds())
+			}
+		}
+	}
+	if m.cfg.Spans != nil && o.Payload != nil {
+		// Ordering span: from this member first seeing the submit (cached
+		// on its way to the sequencer) to total-order delivery here.
+		if t, ok := o.Payload.(tracing.Traced); ok {
+			if ctx := t.TraceCtx(); ctx.Valid() {
+				now := m.rt.NowLocked()
+				start := now
+				if t0, ok := m.cacheAt[o.ID]; ok {
+					start = t0
+				}
+				m.cfg.Spans.Record(tracing.Span{
+					Trace:  ctx.TraceID,
+					ID:     tracing.NewSpanID(ctx.TraceID, "order", string(m.cfg.Self), start),
+					Parent: ctx.Span,
+					Name:   "order",
+					Node:   string(m.cfg.Self),
+					Seq:    o.Seq,
+					Start:  start,
+					Dur:    now - start,
+				})
 			}
 		}
 	}

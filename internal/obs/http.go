@@ -6,31 +6,48 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strconv"
+
+	"github.com/replobj/replobj/internal/obs/tracing"
 )
+
+// maxTraceTail caps how many schedule-trace events one /trace request may
+// ask for, so a stray query cannot make the handler render unbounded output.
+const maxTraceTail = 1000
 
 // Handler serves the observability endpoints of one process:
 //
 //	/metrics        Prometheus text exposition of the registry
 //	/trace          human-readable tail of every schedule trace
 //	                (?stream=mutex/state&n=50 to filter/limit)
+//	/spans          the request-span ring (?format=json|chrome; the chrome
+//	                form loads in Perfetto / chrome://tracing)
 //	/debug/pprof/*  the standard runtime profiles
 //
-// Registry and traces may be nil; the endpoints then render empty output.
-func Handler(reg *Registry, traces map[string]*Trace) http.Handler {
+// Registry, traces and spans may be nil; the endpoints then render empty
+// output.
+func Handler(reg *Registry, traces map[string]*Trace, spans *tracing.Collector) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = reg.WriteTo(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		stream := r.URL.Query().Get("stream")
 		n := 50
 		if s := r.URL.Query().Get("n"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil {
-				n = v
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, fmt.Sprintf("invalid n %q: want a positive integer", s),
+					http.StatusBadRequest)
+				return
 			}
+			if v > maxTraceTail {
+				v = maxTraceTail
+			}
+			n = v
 		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
 		names := make([]string, 0, len(traces))
 		for name := range traces {
 			names = append(names, name)
@@ -39,6 +56,20 @@ func Handler(reg *Registry, traces map[string]*Trace) http.Handler {
 		for _, name := range names {
 			fmt.Fprintf(w, "=== trace %s ===\n", name)
 			traces[name].Dump(w, stream, n)
+		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			_ = spans.WriteJSON(w)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			_ = spans.WriteChromeTrace(w)
+		default:
+			http.Error(w, `invalid format: want "json" or "chrome"`, http.StatusBadRequest)
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -92,7 +92,26 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1, non-cumulative
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+
+	// negative counts samples that arrived below zero and were clamped
+	// (shared registry-wide; see NegativeObservations).
+	negative *Counter
+
+	// exemplars holds the most recent traced sample per bucket,
+	// rendered OpenMetrics-style after the bucket line.
+	exemplars []atomic.Pointer[Exemplar]
 }
+
+// Exemplar links one histogram sample to the trace that produced it.
+type Exemplar struct {
+	Value   float64
+	TraceID uint64
+}
+
+// NegativeObservations is the registry-wide counter of histogram samples
+// that arrived negative and were clamped to zero. A non-zero value means an
+// instrumentation site computed a nonsensical (e.g. reversed) duration.
+const NegativeObservations = "replobj_obs_negative_observations"
 
 // LatencyBuckets are the default bounds for latency histograms, in seconds
 // (100 µs … 10 s, roughly exponential).
@@ -109,10 +128,17 @@ func DepthBuckets() []float64 {
 	return []float64{1, 2, 3, 4, 8, 16, 32, 64}
 }
 
-// Observe records one sample. Safe on a nil receiver (no-op).
+// Observe records one sample. Negative samples are clamped to zero and
+// counted in NegativeObservations — a negative latency is always an
+// instrumentation bug, and letting it through would corrupt the sum.
+// Safe on a nil receiver (no-op).
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
+	}
+	if v < 0 {
+		v = 0
+		h.negative.Inc()
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
@@ -147,6 +173,69 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sum.Load())
+}
+
+// Exemplar links the bucket v falls into to the trace that produced the
+// sample, replacing any previous exemplar of that bucket. Rendered
+// OpenMetrics-style after the bucket line. Safe on a nil receiver.
+func (h *Histogram) Exemplar(v float64, traceID uint64) {
+	if h == nil || traceID == 0 || len(h.exemplars) == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+}
+
+// BucketExemplar returns the exemplar of the i-th bucket (nil when none).
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the sample's bucket — the streaming estimator behind the p50/p99/
+// p999 lines in /metrics and the bench reports. Returns 0 with no samples;
+// samples in the +Inf bucket report the highest finite bound (the estimate
+// saturates there). Safe on a nil receiver.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			if i >= len(h.bounds) {
+				break // +Inf bucket: saturate at the last finite bound
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // BucketCount returns the cumulative count of samples ≤ the i-th bound
@@ -196,7 +285,14 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if c = r.counters[name]; c == nil {
+	return r.counterLocked(name)
+}
+
+// counterLocked is Counter with the write lock already held — used by
+// registrations that need a companion counter without re-entering the lock.
+func (r *Registry) counterLocked(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -240,8 +336,10 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	if h = r.hists[name]; h == nil {
 		h = &Histogram{
-			bounds: append([]float64(nil), bounds...),
-			counts: make([]atomic.Uint64, len(bounds)+1),
+			bounds:    append([]float64(nil), bounds...),
+			counts:    make([]atomic.Uint64, len(bounds)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+			negative:  r.counterLocked(NegativeObservations),
 		}
 		r.hists[name] = h
 	}
@@ -318,18 +416,45 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			var cum uint64
 			for i, bound := range h.bounds {
 				cum += h.counts[i].Load()
-				fmt.Fprintf(&b, "%s %d\n",
-					spliceLabel(e.name, "_bucket", `le="`+formatBound(bound)+`"`), cum)
+				fmt.Fprintf(&b, "%s %d%s\n",
+					spliceLabel(e.name, "_bucket", `le="`+formatBound(bound)+`"`),
+					cum, exemplarSuffix(h, i))
 			}
-			fmt.Fprintf(&b, "%s %d\n",
-				spliceLabel(e.name, "_bucket", `le="+Inf"`), h.Count())
+			fmt.Fprintf(&b, "%s %d%s\n",
+				spliceLabel(e.name, "_bucket", `le="+Inf"`),
+				h.Count(), exemplarSuffix(h, len(h.bounds)))
 			fmt.Fprintf(&b, "%s %s\n", withSuffix(e.name, "_sum"), formatFloat(h.Sum()))
 			fmt.Fprintf(&b, "%s %d\n", withSuffix(e.name, "_count"), h.Count())
+			if h.Count() > 0 {
+				qfam := fam + "_quantile"
+				if !typed[qfam] {
+					typed[qfam] = true
+					fmt.Fprintf(&b, "# TYPE %s gauge\n", qfam)
+				}
+				for _, q := range []struct {
+					label string
+					v     float64
+				}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+					fmt.Fprintf(&b, "%s %s\n",
+						spliceLabel(e.name, "_quantile", `quantile="`+q.label+`"`),
+						formatFloat(h.Quantile(q.v)))
+				}
+			}
 		}
 	}
 	r.mu.RUnlock()
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err
+}
+
+// exemplarSuffix renders the i-th bucket's exemplar, OpenMetrics-style
+// (`… # {trace_id="…"} value`), or "" when the bucket has none.
+func exemplarSuffix(h *Histogram, i int) string {
+	ex := h.BucketExemplar(i)
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%016x\"} %s", ex.TraceID, formatFloat(ex.Value))
 }
 
 // withSuffix appends a name suffix before any label set.

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/replobj/replobj/internal/obs/tracing"
 )
 
 func TestNilMetricsAreNoops(t *testing.T) {
@@ -75,18 +77,26 @@ func TestPrometheusRenderGolden(t *testing.T) {
 	h.Observe(0.05)
 	h.Observe(0.5)
 
+	h.Exemplar(0.05, 0xabc)
+
 	want := strings.Join([]string{
 		`# TYPE replobj_inflight gauge`,
 		`replobj_inflight 2`,
 		`# TYPE replobj_latency_seconds histogram`,
 		`replobj_latency_seconds_bucket{node="a",le="0.01"} 1`,
-		`replobj_latency_seconds_bucket{node="a",le="0.1"} 2`,
+		`replobj_latency_seconds_bucket{node="a",le="0.1"} 2 # {trace_id="0000000000000abc"} 0.05`,
 		`replobj_latency_seconds_bucket{node="a",le="+Inf"} 3`,
 		`replobj_latency_seconds_sum{node="a"} 0.555`,
 		`replobj_latency_seconds_count{node="a"} 3`,
+		`# TYPE replobj_latency_seconds_quantile gauge`,
+		`replobj_latency_seconds_quantile{node="a",quantile="0.5"} 0.05500000000000001`,
+		`replobj_latency_seconds_quantile{node="a",quantile="0.99"} 0.1`,
+		`replobj_latency_seconds_quantile{node="a",quantile="0.999"} 0.1`,
 		`# TYPE replobj_msgs_total counter`,
 		`replobj_msgs_total{node="a"} 3`,
 		`replobj_msgs_total{node="b"} 4`,
+		`# TYPE replobj_obs_negative_observations counter`,
+		`replobj_obs_negative_observations 0`,
 	}, "\n") + "\n"
 	if got := r.Render(); got != want {
 		t.Errorf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -150,15 +160,20 @@ func TestHTTPHandler(t *testing.T) {
 	reg.Counter("replobj_up").Inc()
 	tr := NewTrace(16)
 	tr.Record("mutex/state", KindGrant, "c0/1", "")
-	srv := httptest.NewServer(Handler(reg, map[string]*Trace{"counter/0": tr}))
+	spans := tracing.NewCollector(16)
+	spans.Record(tracing.Span{Trace: 7, ID: 9, Name: "exec", Node: "g/0", Start: 10, Dur: 5})
+	srv := httptest.NewServer(Handler(reg, map[string]*Trace{"counter/0": tr}, spans))
 	defer srv.Close()
 
-	get := func(path string) string {
+	get := func(path string, wantStatus int) string {
 		resp, err := srv.Client().Get(srv.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}
 		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
 		var b strings.Builder
 		buf := make([]byte, 4096)
 		for {
@@ -170,14 +185,83 @@ func TestHTTPHandler(t *testing.T) {
 		}
 		return b.String()
 	}
-	if body := get("/metrics"); !strings.Contains(body, "replobj_up 1") {
+	if body := get("/metrics", 200); !strings.Contains(body, "replobj_up 1") {
 		t.Errorf("/metrics missing counter:\n%s", body)
 	}
-	body := get("/trace")
+	body := get("/trace", 200)
 	if !strings.Contains(body, "trace counter/0") || !strings.Contains(body, "grant c0/1") {
 		t.Errorf("/trace missing event:\n%s", body)
 	}
-	if body := get("/debug/pprof/cmdline"); body == "" {
+	if body := get("/debug/pprof/cmdline", 200); body == "" {
 		t.Error("pprof cmdline empty")
+	}
+
+	// /trace rejects non-positive and non-numeric tails and caps huge ones.
+	get("/trace?n=0", 400)
+	get("/trace?n=-5", 400)
+	get("/trace?n=bogus", 400)
+	if body := get("/trace?n=999999", 200); !strings.Contains(body, "trace counter/0") {
+		t.Errorf("/trace with capped n lost output:\n%s", body)
+	}
+
+	// /spans serves both formats and rejects unknown ones.
+	if body := get("/spans", 200); !strings.Contains(body, `"exec"`) {
+		t.Errorf("/spans missing span:\n%s", body)
+	}
+	if body := get("/spans?format=chrome", 200); !strings.Contains(body, `"traceEvents"`) {
+		t.Errorf("/spans chrome format:\n%s", body)
+	}
+	get("/spans?format=xml", 400)
+}
+
+func TestNegativeObservationsClamped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10})
+	h.Observe(-0.5)
+	h.Observe(-2)
+	h.Observe(3)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3 (clamped samples still counted)", got)
+	}
+	if got := h.Sum(); got != 3 {
+		t.Fatalf("sum = %g, want 3 (negatives clamped to 0)", got)
+	}
+	// Both clamped samples land in the first bucket.
+	if got := h.BucketCount(0); got != 2 {
+		t.Fatalf("bucket[0] = %d, want 2", got)
+	}
+	if got := r.Counter(NegativeObservations).Value(); got != 2 {
+		t.Fatalf("%s = %d, want 2", NegativeObservations, got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Histogram("empty", []float64{1}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	// 100 samples uniform over the (0,1] bucket, 100 over (1,2].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %g, want 1 (boundary of the two buckets)", got)
+	}
+	if got := h.Quantile(0.25); got != 0.5 {
+		t.Errorf("p25 = %g, want 0.5 (midway through the first bucket)", got)
+	}
+	if got := h.Quantile(0.99); got != 1.98 {
+		t.Errorf("p99 = %g, want 1.98", got)
+	}
+	// Samples beyond the last bound saturate at the highest finite bound.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("p100 = %g, want saturation at 4", got)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile")
 	}
 }

@@ -1,6 +1,9 @@
 package replica
 
 import (
+	"errors"
+
+	"github.com/replobj/replobj/internal/obs/tracing"
 	"github.com/replobj/replobj/internal/wire"
 )
 
@@ -9,85 +12,162 @@ import (
 // inside the sequencer's gcs.Ordered) and returns as a Reply, so these two
 // types dominate payload bytes. Tags live in the 20–29 range assigned to
 // this package (see internal/wire/binary.go).
+//
+// Traced requests and replies (non-zero Trace context) take the variant
+// tags 22/23, which append the two context words after the base fields.
+// Untraced values keep tags 20/21 with the exact pre-tracing byte layout,
+// so mixed-version peers interoperate as long as tracing stays off.
 
 const (
-	tagRequest = 20
-	tagReply   = 21
+	tagRequest       = 20
+	tagReply         = 21
+	tagRequestTraced = 22
+	tagReplyTraced   = 23
 )
+
+// errUntracedVariant rejects traced-tag frames whose context is zero —
+// the canonical encoding of those values is the untraced tag.
+var errUntracedVariant = errors.New("replica: traced payload tag without trace id")
 
 func init() {
 	wire.RegisterBinaryPayload(tagRequest, Request{},
 		func(b *wire.Buffer, v any) error {
-			q := v.(Request)
-			encInvocationID(b, q.ID)
-			b.String(string(q.Group))
-			b.String(q.Method)
-			b.Bytes(q.Args)
-			b.Byte(byte(q.Kind))
-			b.String(string(q.ReplyTo))
-			b.String(string(q.Origin))
+			encRequestFields(b, v.(Request))
 			return nil
 		},
 		func(r *wire.Reader) (any, error) {
-			var q Request
-			var err error
-			if q.ID, err = decInvocationID(r); err != nil {
-				return nil, err
-			}
-			s, err := r.String()
+			return decRequestFields(r)
+		})
+	wire.RegisterBinaryPayloadVariant(tagRequestTraced, Request{},
+		func(v any) bool { return v.(Request).Trace.Valid() },
+		func(b *wire.Buffer, v any) error {
+			q := v.(Request)
+			encRequestFields(b, q)
+			b.Uvarint(q.Trace.TraceID)
+			b.Uvarint(q.Trace.Span)
+			return nil
+		},
+		func(r *wire.Reader) (any, error) {
+			q, err := decRequestFields(r)
 			if err != nil {
 				return nil, err
 			}
-			q.Group = wire.GroupID(s)
-			if q.Method, err = r.String(); err != nil {
+			if q.Trace.TraceID, err = r.Uvarint(); err != nil {
 				return nil, err
 			}
-			if q.Args, err = r.Bytes(); err != nil {
+			if q.Trace.Span, err = r.Uvarint(); err != nil {
 				return nil, err
 			}
-			kind, err := r.Byte()
-			if err != nil {
-				return nil, err
+			if !q.Trace.Valid() {
+				// Canonical form: a zero trace id belongs on the untraced
+				// tag. Rejecting it keeps re-encoding byte-stable.
+				return nil, errUntracedVariant
 			}
-			q.Kind = RequestKind(kind)
-			if s, err = r.String(); err != nil {
-				return nil, err
-			}
-			q.ReplyTo = wire.NodeID(s)
-			if s, err = r.String(); err != nil {
-				return nil, err
-			}
-			q.Origin = wire.GroupID(s)
 			return q, nil
 		})
 	wire.RegisterBinaryPayload(tagReply, Reply{},
 		func(b *wire.Buffer, v any) error {
-			p := v.(Reply)
-			encInvocationID(b, p.ID)
-			b.String(string(p.From))
-			b.Bytes(p.Result)
-			b.String(p.Err)
+			encReplyFields(b, v.(Reply))
 			return nil
 		},
 		func(r *wire.Reader) (any, error) {
-			var p Reply
-			var err error
-			if p.ID, err = decInvocationID(r); err != nil {
-				return nil, err
-			}
-			s, err := r.String()
+			return decReplyFields(r)
+		})
+	wire.RegisterBinaryPayloadVariant(tagReplyTraced, Reply{},
+		func(v any) bool { return v.(Reply).Trace.Valid() },
+		func(b *wire.Buffer, v any) error {
+			p := v.(Reply)
+			encReplyFields(b, p)
+			b.Uvarint(p.Trace.TraceID)
+			b.Uvarint(p.Trace.Span)
+			return nil
+		},
+		func(r *wire.Reader) (any, error) {
+			p, err := decReplyFields(r)
 			if err != nil {
 				return nil, err
 			}
-			p.From = wire.NodeID(s)
-			if p.Result, err = r.Bytes(); err != nil {
+			if p.Trace.TraceID, err = r.Uvarint(); err != nil {
 				return nil, err
 			}
-			if p.Err, err = r.String(); err != nil {
+			if p.Trace.Span, err = r.Uvarint(); err != nil {
 				return nil, err
+			}
+			if !p.Trace.Valid() {
+				return nil, errUntracedVariant
 			}
 			return p, nil
 		})
+}
+
+func encRequestFields(b *wire.Buffer, q Request) {
+	encInvocationID(b, q.ID)
+	b.String(string(q.Group))
+	b.String(q.Method)
+	b.Bytes(q.Args)
+	b.Byte(byte(q.Kind))
+	b.String(string(q.ReplyTo))
+	b.String(string(q.Origin))
+}
+
+func decRequestFields(r *wire.Reader) (Request, error) {
+	var q Request
+	var err error
+	if q.ID, err = decInvocationID(r); err != nil {
+		return q, err
+	}
+	s, err := r.String()
+	if err != nil {
+		return q, err
+	}
+	q.Group = wire.GroupID(s)
+	if q.Method, err = r.String(); err != nil {
+		return q, err
+	}
+	if q.Args, err = r.Bytes(); err != nil {
+		return q, err
+	}
+	kind, err := r.Byte()
+	if err != nil {
+		return q, err
+	}
+	q.Kind = RequestKind(kind)
+	if s, err = r.String(); err != nil {
+		return q, err
+	}
+	q.ReplyTo = wire.NodeID(s)
+	if s, err = r.String(); err != nil {
+		return q, err
+	}
+	q.Origin = wire.GroupID(s)
+	return q, nil
+}
+
+func encReplyFields(b *wire.Buffer, p Reply) {
+	encInvocationID(b, p.ID)
+	b.String(string(p.From))
+	b.Bytes(p.Result)
+	b.String(p.Err)
+}
+
+func decReplyFields(r *wire.Reader) (Reply, error) {
+	var p Reply
+	var err error
+	if p.ID, err = decInvocationID(r); err != nil {
+		return p, err
+	}
+	s, err := r.String()
+	if err != nil {
+		return p, err
+	}
+	p.From = wire.NodeID(s)
+	if p.Result, err = r.Bytes(); err != nil {
+		return p, err
+	}
+	if p.Err, err = r.String(); err != nil {
+		return p, err
+	}
+	return p, nil
 }
 
 func encInvocationID(b *wire.Buffer, id wire.InvocationID) {
@@ -107,3 +187,8 @@ func decInvocationID(r *wire.Reader) (wire.InvocationID, error) {
 	}
 	return id, nil
 }
+
+var (
+	_ tracing.Traced = Request{}
+	_ tracing.Traced = Reply{}
+)

@@ -116,6 +116,7 @@ func (inv *Invocation) Invoke(group wire.GroupID, method string, args []byte) ([
 		Args:   args,
 		Kind:   KindNested,
 		Origin: inv.r.group,
+		Trace:  inv.req.Trace,
 	}
 	r := inv.r
 	r.rt.Lock()

@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"github.com/replobj/replobj/internal/adets"
 	"github.com/replobj/replobj/internal/gcs"
 	"github.com/replobj/replobj/internal/obs"
+	"github.com/replobj/replobj/internal/obs/tracing"
 	"github.com/replobj/replobj/internal/transport"
 	"github.com/replobj/replobj/internal/vtime"
 	"github.com/replobj/replobj/internal/wire"
@@ -76,7 +78,15 @@ type Request struct {
 	Kind    RequestKind
 	ReplyTo wire.NodeID  // client endpoint (KindClient)
 	Origin  wire.GroupID // originating group (KindNested)
+	// Trace is the optional trace context allocated at client submit. The
+	// zero value (tracing off) keeps the pre-tracing wire encoding
+	// byte-identical; a non-zero context selects the traced payload tag
+	// (see binary.go).
+	Trace tracing.Context
 }
+
+// TraceCtx implements tracing.Traced.
+func (req Request) TraceCtx() tracing.Context { return req.Trace }
 
 // Reply is an invocation result. Client replies travel directly; nested
 // replies are submitted into the originating group's total order so every
@@ -86,7 +96,13 @@ type Reply struct {
 	From   wire.NodeID
 	Result []byte
 	Err    string
+	// Trace carries the request's trace id and the executing replica's
+	// exec span, so the client links its reply span under the execution.
+	Trace tracing.Context
 }
+
+// TraceCtx implements tracing.Traced.
+func (p Reply) TraceCtx() tracing.Context { return p.Trace }
 
 func init() {
 	wire.RegisterPayload(Request{})
@@ -146,6 +162,10 @@ type Config struct {
 	// Metrics, if non-nil, receives counters/gauges/histograms from the
 	// scheduler, the group member, and the replica itself.
 	Metrics *obs.Registry
+	// Spans, if non-nil, receives per-request spans (scheduler wait,
+	// execution) from this replica, its group member and its scheduler
+	// hooks. Requests without a trace context record nothing.
+	Spans *tracing.Collector
 	// Trace, if non-nil, records the deterministic schedule trace
 	// (scheduler decisions plus the totally-ordered dispatch stream) whose
 	// rolling digests must agree across replicas.
@@ -172,6 +192,7 @@ type Replica struct {
 	// Observability (all nil-safe; nil when disabled).
 	schedObs     *adets.SchedObs
 	trace        *obs.Trace
+	spans        *tracing.Collector
 	inflight     *obs.Gauge
 	cacheHits    *obs.Counter
 	checkpoints  *obs.Counter
@@ -235,7 +256,9 @@ func New(cfg Config) *Replica {
 	}
 	r.ep = cfg.Network.Endpoint(cfg.Self)
 	r.trace = cfg.Trace
-	r.schedObs = adets.NewSchedObs(cfg.Metrics, cfg.Trace, cfg.Scheduler.Name(), string(cfg.Self))
+	r.spans = cfg.Spans
+	r.schedObs = adets.NewSchedObs(cfg.Metrics, cfg.Trace, cfg.Scheduler.Name(), string(cfg.Self)).
+		WithSpans(cfg.Spans, cfg.RT.NowLocked, string(cfg.Self))
 	if cfg.CheckpointEvery > 0 {
 		r.ckptEvery = uint64(cfg.CheckpointEvery)
 	}
@@ -253,6 +276,7 @@ func New(cfg Config) *Replica {
 	g.Self = cfg.Self
 	g.Members = cfg.Directory.Members(cfg.Group)
 	g.Send = r.ep.Send
+	g.Spans = cfg.Spans
 	if g.Stats == nil {
 		g.Stats = gcs.NewStats(cfg.Metrics, string(cfg.Self))
 	}
@@ -405,13 +429,35 @@ func (r *Replica) submitRequest(req Request, callback bool, seq uint64) {
 	if r.classes != nil {
 		classes = r.classes(req.Method, req.Args)
 	}
+	exec := func(t *adets.Thread) { r.execute(req, t) }
+	if r.spans != nil && req.Trace.Valid() {
+		// The grant hooks only see the logical thread id; the binding lets
+		// them resolve it back to this request's trace (see SchedObs).
+		r.spans.Bind(string(req.Logical()), req.Trace)
+		tSubmit := r.rt.Now()
+		exec = func(t *adets.Thread) {
+			tStart := r.rt.Now()
+			r.spans.Record(tracing.Span{
+				Trace:  req.Trace.TraceID,
+				ID:     tracing.NewSpanID(req.Trace.TraceID, "sched.wait", string(r.self), tSubmit),
+				Parent: req.Trace.Span,
+				Name:   "sched.wait",
+				Node:   string(r.self),
+				Detail: req.Method,
+				Seq:    seq,
+				Start:  tSubmit,
+				Dur:    tStart - tSubmit,
+			})
+			r.execute(req, t)
+		}
+	}
 	r.sched.Submit(adets.Request{
 		ID:       req.ID,
 		Logical:  req.Logical(),
 		Callback: callback,
 		Classes:  classes,
 		Seq:      seq,
-		Exec:     func(t *adets.Thread) { r.execute(req, t) },
+		Exec:     exec,
 	})
 }
 
@@ -421,6 +467,11 @@ func (req Request) Logical() wire.LogicalID { return req.ID.Logical }
 func (r *Replica) execute(req Request, t *adets.Thread) {
 	r.inflight.Inc()
 	defer r.inflight.Dec()
+	traced := r.spans != nil && req.Trace.Valid()
+	var tStart time.Duration
+	if traced {
+		tStart = r.rt.Now()
+	}
 	inv := &Invocation{r: r, t: t, req: req}
 	var reply Reply
 	h, ok := r.handlers[req.Method]
@@ -433,11 +484,30 @@ func (r *Replica) execute(req Request, t *adets.Thread) {
 			reply.Err = err.Error()
 		}
 	}
+	if traced {
+		tEnd := r.rt.Now()
+		execID := tracing.NewSpanID(req.Trace.TraceID, "exec", string(r.self), tStart)
+		r.spans.Record(tracing.Span{
+			Trace:  req.Trace.TraceID,
+			ID:     execID,
+			Parent: req.Trace.Span,
+			Name:   "exec",
+			Node:   string(r.self),
+			Detail: req.Method,
+			Start:  tStart,
+			Dur:    tEnd - tStart,
+		})
+		// Replies (cached ones included) link back to this execution.
+		reply.Trace = tracing.Context{TraceID: req.Trace.TraceID, Span: execID}
+	}
 	r.rt.Lock()
 	r.cache[req.ID] = reply
 	r.logicalLive[req.Logical()]--
 	if r.logicalLive[req.Logical()] == 0 {
 		delete(r.logicalLive, req.Logical())
+		if traced {
+			r.spans.Unbind(string(req.Logical()))
+		}
 	}
 	r.rt.Unlock()
 	r.sendReply(req, reply)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/replobj/replobj/internal/obs/tracing"
 	"github.com/replobj/replobj/internal/vtime"
 	"github.com/replobj/replobj/internal/wire"
 )
@@ -141,6 +142,25 @@ func (n *Inproc) send(from, to wire.NodeID, payload any) {
 	n.mu.Unlock()
 	if st != nil {
 		st.MsgsSent.Inc()
+		if st.Spans != nil {
+			if t, ok := payload.(tracing.Traced); ok {
+				if ctx := t.TraceCtx(); ctx.Valid() {
+					// One-way flight time: latency is known up front here,
+					// so the span covers [now, now+d).
+					start := n.rt.Now()
+					st.Spans.Record(tracing.Span{
+						Trace:  ctx.TraceID,
+						ID:     tracing.NewSpanID(ctx.TraceID, "xport", string(from), start),
+						Parent: ctx.Span,
+						Name:   "xport",
+						Node:   string(from),
+						Detail: string(to),
+						Start:  start,
+						Dur:    d,
+					})
+				}
+			}
+		}
 	}
 
 	msg := wire.Message{From: from, To: to, Payload: payload}

@@ -1,6 +1,9 @@
 package transport
 
-import "github.com/replobj/replobj/internal/obs"
+import (
+	"github.com/replobj/replobj/internal/obs"
+	"github.com/replobj/replobj/internal/obs/tracing"
+)
 
 // Stats collects network-level metrics for one network (shared across its
 // endpoints). A nil *Stats makes every recording a no-op — both field
@@ -14,14 +17,18 @@ type Stats struct {
 	ConnDrops *obs.Counter
 	BytesSent *obs.Counter
 	BytesRecv *obs.Counter
+
+	// Spans, when non-nil, records an "xport" span for every traced
+	// payload in flight (see internal/obs/tracing).
+	Spans *tracing.Collector
 }
 
 // NewStats builds the transport metric set in reg with the given label
 // value (typically the network kind: "inproc" or "tcp"). A nil registry
-// yields nil.
+// yields a Stats with nil metrics, still usable as a span carrier.
 func NewStats(reg *obs.Registry, label string) *Stats {
 	if reg == nil {
-		return nil
+		return &Stats{}
 	}
 	l := `{net="` + label + `"}`
 	return &Stats{

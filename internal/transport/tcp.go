@@ -6,7 +6,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"github.com/replobj/replobj/internal/obs/tracing"
 	"github.com/replobj/replobj/internal/vtime"
 	"github.com/replobj/replobj/internal/wire"
 )
@@ -172,7 +174,7 @@ func (n *TCPNetwork) Listen(id wire.NodeID) (*TCPEndpoint, error) {
 		ln:      ln,
 		inbox:   vtime.NewMailbox[wire.Message](n.rt, "tcp/"+string(id)),
 		conns:   make(map[wire.NodeID]*tcpConn),
-		pending: make(map[wire.NodeID][]wire.Message),
+		pending: make(map[wire.NodeID][]queuedMsg),
 	}
 	// If the registry used port 0, record the actual bound address so peers
 	// in the same process can reach this node.
@@ -196,18 +198,26 @@ type TCPEndpoint struct {
 	// connection yet — e.g. a reply to a client whose ordered request
 	// (relayed by the sequencer) overtook its own direct connection. The
 	// buffer flushes as soon as the sender's connection is learned.
-	pending map[wire.NodeID][]wire.Message
+	pending map[wire.NodeID][]queuedMsg
 	closed  bool
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
+
+// queuedMsg is one send-queue element: the message plus its enqueue time
+// (zero unless span tracing is enabled), so the writer goroutine can record
+// how long a frame sat queued before its flush hit the socket.
+type queuedMsg struct {
+	msg wire.Message
+	at  time.Duration
+}
 
 // tcpConn pairs a socket with its bounded send queue. All writes go
 // through the queue to a dedicated writer goroutine (see writeLoop), so
 // protocol layers never block on — or interleave frames over — the socket.
 type tcpConn struct {
 	c net.Conn
-	q chan wire.Message
+	q chan queuedMsg
 
 	mu     sync.Mutex
 	closed bool
@@ -215,7 +225,7 @@ type tcpConn struct {
 
 // enqueue offers m to the writer goroutine without blocking. It reports
 // false when the connection is shut down or the queue is full.
-func (c *tcpConn) enqueue(m wire.Message) bool {
+func (c *tcpConn) enqueue(m queuedMsg) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -246,7 +256,7 @@ func (c *tcpConn) shutdown() {
 // newConn registers a writer goroutine for raw and returns its queue
 // handle.
 func (e *TCPEndpoint) newConn(to wire.NodeID, raw net.Conn) *tcpConn {
-	c := &tcpConn{c: raw, q: make(chan wire.Message, e.net.sendQueueDepth)}
+	c := &tcpConn{c: raw, q: make(chan queuedMsg, e.net.sendQueueDepth)}
 	e.net.rt.Go("tcp-write/"+string(e.id)+"->"+string(to), func() { e.writeLoop(to, c) })
 	return c
 }
@@ -261,14 +271,27 @@ func (e *TCPEndpoint) newConn(to wire.NodeID, raw net.Conn) *tcpConn {
 func (e *TCPEndpoint) writeLoop(to wire.NodeID, c *tcpConn) {
 	st := e.net.getStats()
 	enc := wire.NewEncoder(c.c)
+	var inflight []queuedMsg // traced frames awaiting flush (spans on only)
+	track := func(qm queuedMsg) {
+		if st == nil || st.Spans == nil {
+			return
+		}
+		if t, ok := qm.msg.Payload.(tracing.Traced); ok {
+			if t.TraceCtx().Valid() {
+				inflight = append(inflight, qm)
+			}
+		}
+	}
 	for m := range c.q {
+		inflight = inflight[:0]
 		batch := 0 // frames encoded into the buffer, awaiting flush
 		lost := 0  // frames that failed to encode
-		err := enc.EncodeBuffered(&m)
+		err := enc.EncodeBuffered(&m.msg)
 		if err != nil {
 			lost = 1
 		} else {
 			batch++
+			track(m)
 		coalesce:
 			for enc.Buffered() < e.net.coalesceBytes {
 				select {
@@ -276,11 +299,12 @@ func (e *TCPEndpoint) writeLoop(to wire.NodeID, c *tcpConn) {
 					if !ok {
 						break coalesce
 					}
-					if err = enc.EncodeBuffered(&m2); err != nil {
+					if err = enc.EncodeBuffered(&m2.msg); err != nil {
 						lost = 1
 						break coalesce
 					}
 					batch++
+					track(m2)
 				default:
 					break coalesce // queue idle: flush what we have
 				}
@@ -303,6 +327,25 @@ func (e *TCPEndpoint) writeLoop(to wire.NodeID, c *tcpConn) {
 		}
 		if st != nil {
 			st.MsgsSent.Add(uint64(batch))
+			if st.Spans != nil && len(inflight) > 0 {
+				// Enqueue→flush residency of every traced frame in the
+				// coalesced burst (socket flight time is not observable
+				// from one side; the queue wait is the tunable part).
+				now := e.net.rt.Now()
+				for _, qm := range inflight {
+					ctx := qm.msg.Payload.(tracing.Traced).TraceCtx()
+					st.Spans.Record(tracing.Span{
+						Trace:  ctx.TraceID,
+						ID:     tracing.NewSpanID(ctx.TraceID, "xport", string(e.id), qm.at),
+						Parent: ctx.Span,
+						Name:   "xport",
+						Node:   string(e.id),
+						Detail: string(qm.msg.To),
+						Start:  qm.at,
+						Dur:    now - qm.at,
+					})
+				}
+			}
 		}
 	}
 	_ = enc.Flush() // clean shutdown: best-effort final flush
@@ -320,15 +363,18 @@ func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
 // nodes that are neither registered nor connected yet are buffered briefly
 // (see pending).
 func (e *TCPEndpoint) Send(to wire.NodeID, payload any) {
-	msg := wire.Message{From: e.id, To: to, Payload: payload}
 	st := e.net.getStats()
+	qm := queuedMsg{msg: wire.Message{From: e.id, To: to, Payload: payload}}
+	if st != nil && st.Spans != nil {
+		qm.at = e.net.rt.Now()
+	}
 	conn, err := e.connTo(to)
 	if err != nil {
 		const maxPending = 128
 		buffered := false
 		e.mu.Lock()
 		if !e.closed && len(e.pending[to]) < maxPending {
-			e.pending[to] = append(e.pending[to], msg)
+			e.pending[to] = append(e.pending[to], qm)
 			buffered = true
 		}
 		e.mu.Unlock()
@@ -337,7 +383,7 @@ func (e *TCPEndpoint) Send(to wire.NodeID, payload any) {
 		}
 		return
 	}
-	if !conn.enqueue(msg) && st != nil {
+	if !conn.enqueue(qm) && st != nil {
 		st.Dropped.Inc()
 	}
 }

@@ -34,6 +34,15 @@ func (w *WrappedNetwork) Endpoint(id wire.NodeID) Endpoint {
 // Inner returns the wrapped network (e.g. to reach Inproc's Crash switch).
 func (w *WrappedNetwork) Inner() Network { return w.inner }
 
+// SetStats forwards the metric/span sink to the inner network when it
+// supports one, so instrumentation sees the traffic that actually survives
+// the interceptor (post-fault, for faultnet).
+func (w *WrappedNetwork) SetStats(st *Stats) {
+	if s, ok := w.inner.(interface{ SetStats(*Stats) }); ok {
+		s.SetStats(st)
+	}
+}
+
 type wrappedEndpoint struct {
 	net   *WrappedNetwork
 	inner Endpoint

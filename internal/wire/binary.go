@@ -55,6 +55,23 @@ type binaryCodec struct {
 	typ reflect.Type
 	enc func(*Buffer, any) error
 	dec func(*Reader) (any, error)
+	// use selects this codec over the base codec of the same type (variant
+	// registrations only; nil on a base codec).
+	use func(v any) bool
+	// variants are alternate encodings of the same type, consulted in
+	// registration order at encode time (base codecs only).
+	variants []*binaryCodec
+}
+
+// forValue returns the codec to encode v with: the first variant whose
+// predicate accepts v, or the base codec itself.
+func (c *binaryCodec) forValue(v any) *binaryCodec {
+	for _, vc := range c.variants {
+		if vc.use(v) {
+			return vc
+		}
+	}
+	return c
 }
 
 var (
@@ -82,6 +99,35 @@ func RegisterBinaryPayload(tag uint64, prototype any, enc func(*Buffer, any) err
 	c := &binaryCodec{tag: tag, typ: t, enc: enc, dec: dec}
 	binByTag[tag] = c
 	binByType[t] = c
+}
+
+// RegisterBinaryPayloadVariant installs an alternate binary encoding for a
+// type that already has a base codec, selected at encode time by the use
+// predicate. Values the predicate rejects keep the base codec — and its
+// exact byte layout — so extending a wire type with an optional field (a
+// trace context, say) stays tag-compatible: frames of values without the
+// field are byte-identical to frames produced before the variant existed.
+// The decode side is symmetric: the variant's tag maps to its dec, which
+// must produce a value the predicate accepts (so re-encoding a decoded
+// frame reproduces it bit for bit, the fuzzer-pinned codec invariant).
+func RegisterBinaryPayloadVariant(tag uint64, prototype any, use func(v any) bool, enc func(*Buffer, any) error, dec func(*Reader) (any, error)) {
+	if tag < TagUserMin {
+		panic(fmt.Sprintf("wire: binary payload tag %d is reserved", tag))
+	}
+	if use == nil {
+		panic("wire: binary payload variant needs a selection predicate")
+	}
+	t := reflect.TypeOf(prototype)
+	if _, dup := binByTag[tag]; dup {
+		panic(fmt.Sprintf("wire: binary payload tag %d registered twice", tag))
+	}
+	base, ok := binByType[t]
+	if !ok {
+		panic(fmt.Sprintf("wire: binary payload variant for %v has no base codec", t))
+	}
+	c := &binaryCodec{tag: tag, typ: t, enc: enc, dec: dec, use: use}
+	binByTag[tag] = c
+	base.variants = append(base.variants, c)
 }
 
 // HasBinaryCodec reports whether v's type has a registered binary fast
@@ -178,6 +224,7 @@ func (b *Buffer) Any(v any) error {
 		return nil
 	}
 	if c, ok := binByType[reflect.TypeOf(v)]; ok {
+		c = c.forValue(v)
 		b.Uvarint(c.tag)
 		return c.enc(b, v)
 	}
@@ -206,6 +253,7 @@ func appendBody(b *Buffer, m *Message) error {
 		}
 		return nil
 	}
+	c = c.forValue(m.Payload)
 	b.Uvarint(c.tag)
 	b.String(string(m.From))
 	b.String(string(m.To))

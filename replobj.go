@@ -53,6 +53,7 @@ import (
 	"github.com/replobj/replobj/internal/client"
 	"github.com/replobj/replobj/internal/gcs"
 	"github.com/replobj/replobj/internal/obs"
+	"github.com/replobj/replobj/internal/obs/tracing"
 	"github.com/replobj/replobj/internal/replica"
 	"github.com/replobj/replobj/internal/transport"
 	"github.com/replobj/replobj/internal/vtime"
@@ -99,11 +100,22 @@ type (
 	// TraceDivergence describes the first position where two replicas'
 	// schedule traces disagree.
 	TraceDivergence = obs.Divergence
+	// SpanCollector is the bounded lock-free span ring of the request
+	// tracer; pass one to NewCluster via WithSpans, dump it with
+	// WriteJSON/WriteChromeTrace or serve it at /spans.
+	SpanCollector = tracing.Collector
+	// Span is one annotated stage of a traced request (submit, transport,
+	// ordering, grant wait, execution, reply).
+	Span = tracing.Span
 )
 
 // NewMetricsRegistry returns an empty metrics registry, to be passed to
 // NewCluster via WithMetrics.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSpanCollector returns a span ring retaining the last n spans (n <= 0
+// selects the default, 16384), to be passed to NewCluster via WithSpans.
+func NewSpanCollector(n int) *SpanCollector { return tracing.NewCollector(n) }
 
 // FirstTraceDivergence compares two replicas' schedule traces and returns
 // the earliest position (over the common prefix of every shared stream)
@@ -161,6 +173,7 @@ type clusterConfig struct {
 	seed    int64
 	network transport.Network
 	metrics *obs.Registry
+	spans   *tracing.Collector
 }
 
 // WithLatency sets the one-way message latency of the simulated LAN
@@ -188,6 +201,15 @@ func WithMetrics(reg *MetricsRegistry) ClusterOption {
 	return func(c *clusterConfig) { c.metrics = reg }
 }
 
+// WithSpans attaches a span collector to the cluster, enabling end-to-end
+// request tracing: every client invocation allocates a deterministic trace
+// id, the context rides the wire with each request and reply, and every
+// layer (client, transport, sequencer, scheduler, execution) records a span
+// into col. Without it (the default) tracing is disabled and free.
+func WithSpans(col *SpanCollector) ClusterOption {
+	return func(c *clusterConfig) { c.spans = col }
+}
+
 // Cluster hosts replica groups and clients over one network.
 type Cluster struct {
 	rt      vtime.Runtime
@@ -197,6 +219,7 @@ type Cluster struct {
 	groups  map[GroupID]*Group
 	clients []*client.Client
 	metrics *obs.Registry
+	spans   *tracing.Collector
 }
 
 // NewCluster builds a cluster on rt.
@@ -210,17 +233,40 @@ func NewCluster(rt vtime.Runtime, opts ...ClusterOption) *Cluster {
 		dir:     replica.NewDirectory(),
 		groups:  make(map[GroupID]*Group),
 		metrics: cfg.metrics,
+		spans:   cfg.spans,
+	}
+	// With both metrics and tracing on, every recorded span also feeds a
+	// per-stage latency histogram, so /metrics exposes the pipeline
+	// decomposition (with streaming p50/p99/p999 quantile gauges) and each
+	// bucket carries a trace-id exemplar linking back to a concrete span.
+	if cfg.metrics != nil && cfg.spans != nil {
+		reg := cfg.metrics
+		cfg.spans.SetObserver(func(sp Span) {
+			h := reg.Histogram(
+				fmt.Sprintf(`replobj_span_stage_seconds{stage=%q,node=%q}`, sp.Name, sp.Node),
+				obs.LatencyBuckets())
+			h.Observe(sp.Dur.Seconds())
+			h.Exemplar(sp.Dur.Seconds(), sp.Trace)
+		})
+	}
+	// A Stats is needed whenever metrics or spans are on: it is both the
+	// metric set and the span carrier of the transport layer.
+	instrumented := cfg.metrics != nil || cfg.spans != nil
+	newStats := func(label string) *transport.Stats {
+		st := transport.NewStats(cfg.metrics, label)
+		st.Spans = cfg.spans
+		return st
 	}
 	if cfg.network != nil {
 		c.net = cfg.network
-		if cfg.metrics != nil {
+		if instrumented {
 			// Custom networks opt in by exposing SetStats (TCPNetwork does).
 			if s, ok := cfg.network.(interface{ SetStats(*transport.Stats) }); ok {
 				label := "custom"
 				if _, tcp := cfg.network.(*transport.TCPNetwork); tcp {
 					label = "tcp"
 				}
-				s.SetStats(transport.NewStats(cfg.metrics, label))
+				s.SetStats(newStats(label))
 			}
 		}
 	} else {
@@ -229,8 +275,8 @@ func NewCluster(rt vtime.Runtime, opts ...ClusterOption) *Cluster {
 			iopts = append(iopts, transport.WithJitter(cfg.jitter, cfg.seed))
 		}
 		c.inproc = transport.NewInproc(rt, iopts...)
-		if cfg.metrics != nil {
-			c.inproc.SetStats(transport.NewStats(cfg.metrics, "inproc"))
+		if instrumented {
+			c.inproc.SetStats(newStats("inproc"))
 		}
 		c.net = c.inproc
 	}
@@ -548,6 +594,7 @@ func (g *Group) StartRank(rank int) {
 		CheckpointEvery: g.cfg.checkpointEvery,
 		GCS:             gcfg,
 		Metrics:         g.cluster.metrics,
+		Spans:           g.cluster.spans,
 	}
 	if g.cfg.traceRetain > 0 {
 		tr := obs.NewTrace(g.cfg.traceRetain)
@@ -615,6 +662,7 @@ func (c *Cluster) NewClient(name string, opts ...ClientOption) *Client {
 		Name:      name,
 		Directory: c.dir,
 		Network:   c.net,
+		Spans:     c.spans,
 	}
 	for _, o := range opts {
 		o(&cfg)

@@ -1,0 +1,618 @@
+// Package adaptive implements ADETS-ADAPT, a meta-scheduler that switches
+// between the static multithreading strategies at deterministic epoch
+// boundaries of the totally ordered stream.
+//
+// The paper's own conclusion is that no strategy dominates: the best
+// scheduler depends on the workload's conflict ratio, nesting depth and
+// request mix (Section 5). ADETS-ADAPT wraps the static schedulers and
+// re-evaluates that choice while the object runs. Every Config.Epoch
+// positions of the total order it quiesces the active scheduler (reusing the
+// checkpoint cut of Scheduler.Quiesce), samples a metrics window that is a
+// pure function of the executed ordered prefix — request and callback
+// counts, declared-conflict-class ratio, distinct logical threads, lock
+// operations and how many of them touched contended mutexes, condition
+// waits, nested invocations — and feeds it to a pure decision function.
+// Because every replica sees the same window over the same prefix, the
+// switch decision is itself replicated state: all replicas swap to the same
+// successor at the same boundary, the swap is recorded in the schedule trace
+// ("sched" stream, switch events), and trace digests must stay equal across
+// it.
+//
+// A boundary whose quiesce reports live threads (blocked on future
+// deliveries — a nested reply, an undelivered notification) is skipped, the
+// same way on every replica, exactly like a skipped checkpoint: the
+// blocked-until-stable outcome is a function of the ordered prefix too.
+// Switches therefore only ever happen with no live request threads, which is
+// what makes the handoff safe: the successor starts empty, logical-thread
+// identity and reentrancy accounting live above the scheduler and carry
+// over, and parked dispatch work resumes into the successor's structures.
+//
+// The epoch counter, metrics window, switch history and generation are
+// replicated scheduler state (adets.StatefulScheduler): they ride checkpoint
+// snapshots so a replica restored by state transfer adopts the same epoch
+// and active kind as its donor instead of trying to re-derive them from a
+// truncated prefix.
+package adaptive
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/adets/cc"
+	"github.com/replobj/replobj/internal/adets/mat"
+	"github.com/replobj/replobj/internal/adets/sat"
+	"github.com/replobj/replobj/internal/adets/seq"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Kind names for the wrapped strategies, matching replobj.SchedulerKind.
+const (
+	KindSEQ = "SEQ"
+	KindSAT = "ADETS-SAT"
+	KindMAT = "ADETS-MAT"
+	KindCC  = "ADETS-CC"
+)
+
+// Name is the meta-scheduler's strategy name.
+const Name = "ADETS-ADAPT"
+
+// PlanStep forces the active kind from a given epoch on (tests and
+// experiments that need switches at exact boundaries). Steps define a step
+// function over epoch indices: at every boundary the last step whose Epoch
+// is <= the boundary's index applies, so a skipped boundary converges to the
+// planned kind at the next one.
+type PlanStep struct {
+	Epoch uint64
+	Kind  string
+}
+
+// Transition is one performed switch.
+type Transition struct {
+	Epoch uint64
+	From  string
+	To    string
+}
+
+// Config tunes the meta-scheduler.
+type Config struct {
+	// Epoch is the boundary spacing in total-order positions (default 64):
+	// a request delivered at position seq crosses into epoch seq/Epoch.
+	Epoch uint64
+	// Initial is the kind active before the first switch (default
+	// ADETS-SAT, the full-capability strategy).
+	Initial string
+	// MinWindow is the minimum number of requests a window must hold for
+	// the policy to run; sparser windows keep the current kind (default 8).
+	MinWindow uint64
+	// Factories construct the candidate schedulers by kind name. Defaults
+	// to DefaultFactories. A policy/plan result without a factory keeps the
+	// current kind.
+	Factories map[string]func() adets.Scheduler
+	// Policy is the pure decision function (default DefaultPolicy). It must
+	// depend only on its arguments — never on wall-clock time or local
+	// queue state — so every replica decides identically.
+	Policy func(w Window, current string) string
+	// Plan, when non-empty, overrides Policy with a fixed switching
+	// schedule (sorted by New).
+	Plan []PlanStep
+}
+
+// DefaultFactories builds the default candidate set: the four strategies the
+// default policy chooses between, with default options.
+func DefaultFactories() map[string]func() adets.Scheduler {
+	return map[string]func() adets.Scheduler{
+		KindSEQ: func() adets.Scheduler { return seq.New() },
+		KindSAT: func() adets.Scheduler { return sat.New() },
+		KindMAT: func() adets.Scheduler { return mat.New() },
+		KindCC:  func() adets.Scheduler { return cc.New() },
+	}
+}
+
+// Scheduler is the ADETS-ADAPT meta-scheduler. All scheduling operations
+// forward to the active inner scheduler; Submit additionally drives the
+// epoch state machine.
+type Scheduler struct {
+	cfg Config
+
+	env  adets.Env // outer environment
+	ienv adets.Env // environment handed to inner schedulers (wrapped broadcast)
+
+	// gen counts performed switches; it namespaces the ordered broadcasts of
+	// inner schedulers (timeout messages) so a fresh successor's ids never
+	// collide with — and stale deliveries never leak into — another
+	// generation. Atomic because inner broadcasts may fire from timer
+	// callbacks that do not hold the runtime lock.
+	gen atomic.Uint64
+
+	// Guarded by env.RT's lock.
+	inner     adets.Scheduler
+	kind      string
+	epoch     uint64
+	switches  uint64
+	skipped   uint64
+	history   []Transition
+	win       window
+	stopped   bool
+	quiescing bool
+}
+
+var (
+	_ adets.Scheduler         = (*Scheduler)(nil)
+	_ adets.StatefulScheduler = (*Scheduler)(nil)
+)
+
+// New validates cfg, fills defaults and returns the meta-scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 64
+	}
+	if cfg.Initial == "" {
+		cfg.Initial = KindSAT
+	}
+	if cfg.MinWindow == 0 {
+		cfg.MinWindow = 8
+	}
+	if cfg.Factories == nil {
+		cfg.Factories = DefaultFactories()
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = DefaultPolicy
+	}
+	if _, ok := cfg.Factories[cfg.Initial]; !ok {
+		return nil, fmt.Errorf("adaptive: no factory for initial kind %q", cfg.Initial)
+	}
+	cfg.Plan = append([]PlanStep(nil), cfg.Plan...)
+	sort.SliceStable(cfg.Plan, func(i, j int) bool { return cfg.Plan[i].Epoch < cfg.Plan[j].Epoch })
+	for _, st := range cfg.Plan {
+		if _, ok := cfg.Factories[st.Kind]; !ok {
+			return nil, fmt.Errorf("adaptive: no factory for planned kind %q (epoch %d)", st.Kind, st.Epoch)
+		}
+	}
+	s := &Scheduler{cfg: cfg, kind: cfg.Initial}
+	s.win.reset()
+	return s, nil
+}
+
+// Name implements adets.Scheduler.
+func (s *Scheduler) Name() string { return Name }
+
+// Capabilities implements adets.Scheduler. The meta-scheduler advertises the
+// full extended feature set; the default policy only ever switches to a kind
+// that supports the features the window has actually exercised (e.g. it
+// stays on ADETS-SAT once condition waits appear and never picks SEQ while
+// nested invocations or callbacks are in the mix).
+func (s *Scheduler) Capabilities() adets.Capabilities {
+	return adets.Capabilities{
+		Coordination:      "Locks/Monitor",
+		DeadlockFree:      "NI+CB",
+		Deployment:        "manual",
+		Multithreading:    "adaptive",
+		ReentrantLocks:    true,
+		ConditionVars:     true,
+		TimedWait:         true,
+		NestedInvocations: true,
+		Callbacks:         true,
+	}
+}
+
+// Start implements adets.Scheduler.
+func (s *Scheduler) Start(env adets.Env) {
+	s.env = env
+	s.ienv = env
+	outer := env.BroadcastOrdered
+	if outer != nil {
+		s.ienv.BroadcastOrdered = func(id string, payload any) {
+			outer(wrapID(s.gen.Load(), id), payload)
+		}
+	}
+	s.inner = s.cfg.Factories[s.kind]()
+	s.inner.Start(s.ienv)
+}
+
+// Stop implements adets.Scheduler.
+func (s *Scheduler) Stop() {
+	rt := s.env.RT
+	rt.Lock()
+	s.stopped = true
+	inner := s.inner
+	rt.Unlock()
+	inner.Stop()
+}
+
+// Submit implements adets.Scheduler. Stream-ordered submissions (Seq > 0)
+// drive the epoch state machine: the first submission whose position crosses
+// into a new epoch quiesces the active scheduler, samples the window,
+// decides, possibly swaps, and only then is forwarded — so it executes under
+// the successor.
+func (s *Scheduler) Submit(req adets.Request) {
+	rt := s.env.RT
+	rt.Lock()
+	if s.stopped {
+		rt.Unlock()
+		return
+	}
+	var boundary uint64
+	if req.Seq > 0 && !s.quiescing {
+		if e := req.Seq / s.cfg.Epoch; e > s.epoch {
+			boundary = e
+		}
+	}
+	rt.Unlock()
+	if boundary > 0 {
+		s.crossEpoch(boundary)
+	}
+	rt.Lock()
+	if s.stopped {
+		rt.Unlock()
+		return
+	}
+	s.win.noteSubmit(req)
+	inner := s.inner
+	rt.Unlock()
+	inner.Submit(req)
+}
+
+// crossEpoch runs the boundary protocol. The caller is the dispatching
+// goroutine, so no further ordered deliveries can reach the scheduler while
+// it is parked here — exactly the guarantee Scheduler.Quiesce requires.
+func (s *Scheduler) crossEpoch(e uint64) {
+	rt := s.env.RT
+	rt.Lock()
+	if s.stopped || s.quiescing {
+		rt.Unlock()
+		return
+	}
+	s.quiescing = true
+	inner := s.inner
+	rt.Unlock()
+
+	p := vtime.NewParker("adapt-epoch/" + string(s.env.Self))
+	drained := false
+	inner.Quiesce(func(d bool) {
+		drained = d
+		rt.Unpark(p)
+	})
+	rt.Lock()
+	rt.Park(p)
+	// Stable point: every thread has either completed or is parked on a
+	// future delivery. The window is now a pure function of the executed
+	// ordered prefix.
+	w := s.win.sample()
+	from := s.kind
+	to := from
+	verdict := "keep"
+	if !drained {
+		// Live threads parked on future deliveries: handing their scheduler-
+		// private park state to a fresh successor is not possible, so the
+		// boundary is skipped — deterministically, on every replica.
+		verdict = "skip"
+		s.skipped++
+	} else if next := s.decideLocked(w, e); next != from {
+		if _, ok := s.cfg.Factories[next]; ok {
+			to = next
+			verdict = "switch"
+		}
+	}
+	s.epoch = e
+	s.win.reset()
+	s.env.Obs.AdaptiveEpoch(e, from, to, verdict)
+	if verdict != "switch" {
+		s.quiescing = false
+		rt.Unlock()
+		return
+	}
+	s.switches++
+	s.kind = to
+	s.history = append(s.history, Transition{Epoch: e, From: from, To: to})
+	s.gen.Add(1)
+	old := s.inner
+	rt.Unlock()
+
+	// Build and start the successor before publishing it, so a direct peer
+	// message racing the swap still reaches a started scheduler. No request
+	// threads exist (drained) and the dispatch goroutine is here, so nothing
+	// else can touch the inner pointer meanwhile.
+	next := s.cfg.Factories[to]()
+	next.Start(s.ienv)
+	rt.Lock()
+	s.inner = next
+	s.quiescing = false
+	rt.Unlock()
+	old.Stop()
+}
+
+// decideLocked returns the kind the boundary at epoch e selects: the plan's
+// step function when a plan is set, otherwise the policy over the sampled
+// window (sparse windows keep the current kind).
+func (s *Scheduler) decideLocked(w Window, e uint64) string {
+	if len(s.cfg.Plan) > 0 {
+		kind := s.kind
+		for _, st := range s.cfg.Plan {
+			if st.Epoch > e {
+				break
+			}
+			kind = st.Kind
+		}
+		return kind
+	}
+	if w.Requests < s.cfg.MinWindow {
+		return s.kind
+	}
+	return s.cfg.Policy(w, s.kind)
+}
+
+// current returns the active inner scheduler under the runtime lock.
+func (s *Scheduler) current() adets.Scheduler {
+	rt := s.env.RT
+	rt.Lock()
+	inner := s.inner
+	rt.Unlock()
+	return inner
+}
+
+// Lock implements adets.Scheduler.
+func (s *Scheduler) Lock(t *adets.Thread, m adets.MutexID) error {
+	rt := s.env.RT
+	rt.Lock()
+	s.win.noteLock(t.Logical, m)
+	inner := s.inner
+	rt.Unlock()
+	return inner.Lock(t, m)
+}
+
+// Unlock implements adets.Scheduler.
+func (s *Scheduler) Unlock(t *adets.Thread, m adets.MutexID) error {
+	return s.current().Unlock(t, m)
+}
+
+// Wait implements adets.Scheduler.
+func (s *Scheduler) Wait(t *adets.Thread, m adets.MutexID, c adets.CondID, d time.Duration) (bool, error) {
+	rt := s.env.RT
+	rt.Lock()
+	s.win.waits++
+	if d > 0 {
+		s.win.timedWaits++
+	}
+	inner := s.inner
+	rt.Unlock()
+	return inner.Wait(t, m, c, d)
+}
+
+// Notify implements adets.Scheduler.
+func (s *Scheduler) Notify(t *adets.Thread, m adets.MutexID, c adets.CondID) error {
+	rt := s.env.RT
+	rt.Lock()
+	s.win.notifies++
+	inner := s.inner
+	rt.Unlock()
+	return inner.Notify(t, m, c)
+}
+
+// NotifyAll implements adets.Scheduler.
+func (s *Scheduler) NotifyAll(t *adets.Thread, m adets.MutexID, c adets.CondID) error {
+	rt := s.env.RT
+	rt.Lock()
+	s.win.notifies++
+	inner := s.inner
+	rt.Unlock()
+	return inner.NotifyAll(t, m, c)
+}
+
+// Yield implements adets.Scheduler.
+func (s *Scheduler) Yield(t *adets.Thread) { s.current().Yield(t) }
+
+// BeginNested implements adets.Scheduler. A thread parked here blocks on a
+// future delivery, so any boundary crossed meanwhile reports drained=false
+// and is skipped: the thread resumes under the scheduler that parked it.
+func (s *Scheduler) BeginNested(t *adets.Thread) {
+	rt := s.env.RT
+	rt.Lock()
+	s.win.nested++
+	inner := s.inner
+	rt.Unlock()
+	inner.BeginNested(t)
+}
+
+// EndNested implements adets.Scheduler.
+func (s *Scheduler) EndNested(t *adets.Thread) { s.current().EndNested(t) }
+
+// ViewChanged implements adets.Scheduler.
+func (s *Scheduler) ViewChanged(v gcs.View) { s.current().ViewChanged(v) }
+
+// Quiesce implements adets.Scheduler (the replica's checkpoint cut): the
+// meta-scheduler itself holds no thread state, so the verdict is the active
+// scheduler's.
+func (s *Scheduler) Quiesce(report func(drained bool)) {
+	s.current().Quiesce(report)
+}
+
+// HandleOrdered implements adets.Scheduler. Inner broadcasts travel with a
+// generation prefix; a message from a previous generation is consumed and
+// dropped — deterministically, because the swap that bumped the generation
+// happened at the same stream position on every replica, and a drained swap
+// guarantees no thread was waiting on it.
+func (s *Scheduler) HandleOrdered(id string, payload any) bool {
+	rest, gen, ok := splitID(id)
+	if !ok {
+		return false
+	}
+	if gen != s.gen.Load() {
+		return true
+	}
+	return s.current().HandleOrdered(rest, payload)
+}
+
+// HandleDirect implements adets.Scheduler.
+func (s *Scheduler) HandleDirect(from wire.NodeID, payload any) bool {
+	return s.current().HandleDirect(from, payload)
+}
+
+// CurrentKind returns the active strategy's kind name.
+func (s *Scheduler) CurrentKind() string {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	return s.kind
+}
+
+// Epoch returns the last crossed epoch boundary's index.
+func (s *Scheduler) Epoch() uint64 {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	return s.epoch
+}
+
+// Generation returns the switch generation (number of performed switches
+// since the group's genesis, including ones adopted via state transfer).
+func (s *Scheduler) Generation() uint64 { return s.gen.Load() }
+
+// Switches returns the number of performed switches.
+func (s *Scheduler) Switches() uint64 {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	return s.switches
+}
+
+// Skipped returns the number of boundaries skipped because the cut was not
+// drained.
+func (s *Scheduler) Skipped() uint64 {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	return s.skipped
+}
+
+// History returns the performed transitions in order.
+func (s *Scheduler) History() []Transition {
+	rt := s.env.RT
+	rt.Lock()
+	defer rt.Unlock()
+	return append([]Transition(nil), s.history...)
+}
+
+// --- replicated state (adets.StatefulScheduler) ---
+
+// persisted is the gob image of the meta-scheduler's replicated state.
+// Slices are sorted so the image is canonical.
+type persisted struct {
+	Kind     string
+	Epoch    uint64
+	Gen      uint64
+	Switches uint64
+	Skipped  uint64
+	History  []Transition
+	Win      persistedWindow
+}
+
+type persistedWindow struct {
+	Reqs, Callbacks, Classed uint64
+	Locks, Waits, TimedWaits uint64
+	Notifies, Nested         uint64
+	Logicals                 []string
+	Mutexes                  []persistedMutex
+}
+
+type persistedMutex struct {
+	ID       string
+	Ops      uint64
+	Logicals []string
+}
+
+// MarshalSchedulerState implements adets.StatefulScheduler. Called at a
+// drained checkpoint cut, where the window accumulators are a pure function
+// of the executed prefix.
+func (s *Scheduler) MarshalSchedulerState() ([]byte, error) {
+	rt := s.env.RT
+	rt.Lock()
+	img := persisted{
+		Kind:     s.kind,
+		Epoch:    s.epoch,
+		Gen:      s.gen.Load(),
+		Switches: s.switches,
+		Skipped:  s.skipped,
+		History:  append([]Transition(nil), s.history...),
+		Win:      s.win.persist(),
+	}
+	rt.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalSchedulerState implements adets.StatefulScheduler: the rejoiner
+// adopts the donor's epoch, window and active kind. When the donor's kind
+// differs from the local one the inner scheduler is swapped — safe because
+// snapshots are only taken drained, so the donor had no live threads, and
+// any threads the local (pre-crash) scheduler abandoned are woken with
+// ErrStopped by Stop.
+func (s *Scheduler) UnmarshalSchedulerState(data []byte) error {
+	var img persisted
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return err
+	}
+	if img.Kind == "" {
+		return fmt.Errorf("adaptive: empty scheduler state")
+	}
+	if _, ok := s.cfg.Factories[img.Kind]; !ok {
+		return fmt.Errorf("adaptive: no factory for restored kind %q", img.Kind)
+	}
+	rt := s.env.RT
+	rt.Lock()
+	swap := img.Kind != s.kind
+	old := s.inner
+	s.kind = img.Kind
+	s.epoch = img.Epoch
+	s.switches = img.Switches
+	s.skipped = img.Skipped
+	s.history = append(s.history[:0], img.History...)
+	s.win.restore(img.Win)
+	s.gen.Store(img.Gen)
+	rt.Unlock()
+	if !swap {
+		return nil
+	}
+	next := s.cfg.Factories[img.Kind]()
+	next.Start(s.ienv)
+	rt.Lock()
+	s.inner = next
+	rt.Unlock()
+	old.Stop()
+	return nil
+}
+
+// --- ordered-broadcast generation namespace ---
+
+const idPrefix = "adapt/"
+
+func wrapID(gen uint64, id string) string {
+	return idPrefix + strconv.FormatUint(gen, 10) + "/" + id
+}
+
+func splitID(id string) (rest string, gen uint64, ok bool) {
+	if !strings.HasPrefix(id, idPrefix) {
+		return "", 0, false
+	}
+	rem := id[len(idPrefix):]
+	i := strings.IndexByte(rem, '/')
+	if i < 0 {
+		return "", 0, false
+	}
+	g, err := strconv.ParseUint(rem[:i], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return rem[i+1:], g, true
+}

@@ -1,0 +1,416 @@
+package adaptive
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/adets/schedtest"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+func TestNewDefaults(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.cfg.Epoch != 64 || s.cfg.Initial != KindSAT || s.cfg.MinWindow != 8 {
+		t.Errorf("defaults = epoch %d initial %s minwindow %d, want 64/%s/8",
+			s.cfg.Epoch, s.cfg.Initial, s.cfg.MinWindow, KindSAT)
+	}
+	if s.cfg.Policy == nil || s.cfg.Factories == nil {
+		t.Error("policy/factories not defaulted")
+	}
+	if s.Name() != Name {
+		t.Errorf("Name = %s, want %s", s.Name(), Name)
+	}
+	caps := s.Capabilities()
+	if !caps.ReentrantLocks || !caps.ConditionVars || !caps.TimedWait ||
+		!caps.NestedInvocations || !caps.Callbacks {
+		t.Errorf("capabilities not full: %+v", caps)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Initial: "BOGUS"}); err == nil {
+		t.Error("unknown initial kind accepted")
+	}
+	if _, err := New(Config{Plan: []PlanStep{{Epoch: 1, Kind: "BOGUS"}}}); err == nil {
+		t.Error("unknown planned kind accepted")
+	}
+	s, err := New(Config{Plan: []PlanStep{{Epoch: 5, Kind: KindSEQ}, {Epoch: 2, Kind: KindMAT}}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.cfg.Plan[0].Epoch != 2 || s.cfg.Plan[1].Epoch != 5 {
+		t.Errorf("plan not sorted: %v", s.cfg.Plan)
+	}
+}
+
+func TestWrapSplitID(t *testing.T) {
+	for _, gen := range []uint64{0, 1, 42} {
+		id := wrapID(gen, "sat/timeout/7")
+		rest, g, ok := splitID(id)
+		if !ok || g != gen || rest != "sat/timeout/7" {
+			t.Errorf("splitID(wrapID(%d)) = %q %d %v", gen, rest, g, ok)
+		}
+	}
+	for _, bad := range []string{"", "x", "sat/timeout/7", "adapt/", "adapt/abc/x", "adapt/5", "adapt//x"} {
+		if _, _, ok := splitID(bad); ok {
+			t.Errorf("splitID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDecidePlanStepFunction(t *testing.T) {
+	s, err := New(Config{Plan: []PlanStep{{Epoch: 2, Kind: KindMAT}, {Epoch: 5, Kind: KindSEQ}}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	want := map[uint64]string{1: KindSAT, 2: KindMAT, 3: KindMAT, 4: KindMAT, 5: KindSEQ, 9: KindSEQ}
+	for e, kind := range want {
+		if got := s.decideLocked(Window{Requests: 100}, e); got != kind {
+			t.Errorf("epoch %d: decided %s, want %s", e, got, kind)
+		}
+	}
+}
+
+func TestDecideMinWindowHysteresis(t *testing.T) {
+	s, err := New(Config{MinWindow: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// A sparse window that would otherwise select ADETS-CC keeps the
+	// current kind.
+	w := Window{Requests: 3, Classed: 3}
+	if got := s.decideLocked(w, 1); got != KindSAT {
+		t.Errorf("sparse window decided %s, want keep %s", got, KindSAT)
+	}
+	w.Requests, w.Classed = 8, 8
+	if got := s.decideLocked(w, 1); got != KindCC {
+		t.Errorf("dense window decided %s, want %s", got, KindCC)
+	}
+}
+
+func TestDefaultPolicyTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		w       Window
+		current string
+		want    string
+	}{
+		{"empty-keeps-current", Window{}, KindMAT, KindMAT},
+		{"waits-force-sat", Window{Requests: 10, Waits: 1}, KindSEQ, KindSAT},
+		{"notifies-force-sat", Window{Requests: 10, Notifies: 2}, KindCC, KindSAT},
+		{"classed-selects-cc", Window{Requests: 8, Classed: 6}, KindSAT, KindCC},
+		{"lockfree-multiclient-selects-mat", Window{Requests: 8, Logicals: 4}, KindSAT, KindMAT},
+		{"single-client-selects-seq", Window{Requests: 8, Logicals: 1, LockOps: 8}, KindSAT, KindSEQ},
+		{"contended-selects-seq", Window{Requests: 8, Logicals: 4, LockOps: 10, SharedOps: 6}, KindMAT, KindSEQ},
+		{"contended-nested-selects-sat", Window{Requests: 8, Logicals: 4, LockOps: 10, SharedOps: 6, Nested: 1}, KindMAT, KindSAT},
+		{"single-client-callbacks-selects-sat", Window{Requests: 8, Logicals: 1, Callbacks: 2}, KindSEQ, KindSAT},
+		{"disjoint-locks-select-mat", Window{Requests: 8, Logicals: 4, LockOps: 10, SharedOps: 2}, KindSEQ, KindMAT},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := DefaultPolicy(tc.w, tc.current); got != tc.want {
+				t.Errorf("DefaultPolicy(%+v, %s) = %s, want %s", tc.w, tc.current, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestWindowAccumulator(t *testing.T) {
+	var w window
+	w.reset()
+	w.noteSubmit(adets.Request{Logical: "a", Seq: 1})
+	w.noteSubmit(adets.Request{Logical: "b", Seq: 2, Classes: []string{"c1"}})
+	w.noteSubmit(adets.Request{Logical: "a", Seq: 3, Callback: true})
+	w.noteLock("a", "m1")
+	w.noteLock("a", "m1")
+	w.noteLock("b", "m1") // m1 now shared: 3 ops count as shared
+	w.noteLock("b", "m2") // m2 private
+	got := w.sample()
+	want := Window{Requests: 3, Callbacks: 1, Classed: 1, Logicals: 2, LockOps: 4, SharedOps: 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sample = %+v, want %+v", got, want)
+	}
+}
+
+func TestWindowPersistRestore(t *testing.T) {
+	var w window
+	w.reset()
+	for i := 0; i < 5; i++ {
+		w.noteSubmit(adets.Request{Logical: wire.LogicalID(fmt.Sprintf("cl%d", i)), Seq: uint64(i + 1)})
+		w.noteLock(wire.LogicalID(fmt.Sprintf("cl%d", i)), adets.MutexID(fmt.Sprintf("m%d", i%2)))
+	}
+	w.waits, w.timedWaits, w.notifies, w.nested = 3, 1, 2, 1
+	img1, img2 := w.persist(), w.persist()
+	if !reflect.DeepEqual(img1, img2) {
+		t.Errorf("persist not canonical:\n  %+v\n  %+v", img1, img2)
+	}
+	var r window
+	r.restore(img1)
+	if !reflect.DeepEqual(r.sample(), w.sample()) {
+		t.Errorf("restored sample %+v, want %+v", r.sample(), w.sample())
+	}
+	if !reflect.DeepEqual(r.persist(), img1) {
+		t.Error("persist(restore(img)) != img")
+	}
+}
+
+// alternatingPlan switches between ADETS-MAT (odd epochs) and ADETS-SAT
+// (even epochs) for the first 16 epochs.
+func alternatingPlan() []PlanStep {
+	plan := make([]PlanStep, 0, 16)
+	for e := uint64(1); e <= 16; e++ {
+		kind := KindSAT
+		if e%2 == 1 {
+			kind = KindMAT
+		}
+		plan = append(plan, PlanStep{Epoch: e, Kind: kind})
+	}
+	return plan
+}
+
+// TestSwitchingEndToEnd drives the meta-scheduler through the schedtest
+// harness across planned switches while exercising every forwarded
+// operation: locks, condition waits (timed and plain), notifications,
+// yields, nested invocations, callbacks and view changes.
+func TestSwitchingEndToEnd(t *testing.T) {
+	factory := func(int) adets.Scheduler {
+		s, err := New(Config{Epoch: 3, MinWindow: 1, Plan: alternatingPlan()})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return s
+	}
+	c := schedtest.New(3, factory)
+	c.Run(func() {
+		// Epoch 0 (ADETS-SAT): a producer/consumer handoff plus a timed wait.
+		c.Submit("consumer", false, func(ic *schedtest.Ictx) {
+			_ = ic.Lock("buf")
+			if _, err := ic.Wait("buf", "", 0); err != nil {
+				t.Errorf("Wait: %v", err)
+			}
+			ic.Trace("consumed")
+			_ = ic.Unlock("buf")
+		})
+		c.Submit("producer", false, func(ic *schedtest.Ictx) {
+			ic.Compute(2 * time.Millisecond)
+			_ = ic.Lock("buf")
+			_ = ic.Notify("buf", "")
+			_ = ic.NotifyAll("buf", "")
+			_ = ic.Unlock("buf")
+		})
+		if _, err := c.Await(2, 30*time.Second); err != nil {
+			t.Fatalf("phase 1: %v", err)
+		}
+		// Cross into later epochs with a mixed workload.
+		const n = 8
+		for i := 0; i < n; i++ {
+			logical := wire.LogicalID(fmt.Sprintf("cl%d", i))
+			c.Submit(logical, false, func(ic *schedtest.Ictx) {
+				_ = ic.Lock("m")
+				ic.Yield()
+				ic.Compute(time.Millisecond)
+				_ = ic.Unlock(adets.MutexID("m"))
+			})
+		}
+		if _, err := c.Await(n, 30*time.Second); err != nil {
+			t.Fatalf("phase 2: %v", err)
+		}
+		// A nested invocation with a callback, then a view change.
+		c.Submit("chain", false, func(ic *schedtest.Ictx) {
+			ic.Trace("pre")
+			ic.Nested(20 * time.Millisecond)
+			ic.Trace("post")
+		})
+		c.RT.Sleep(5 * time.Millisecond)
+		c.Submit("chain", true, func(ic *schedtest.Ictx) {
+			ic.Trace("cb")
+		})
+		if _, err := c.Await(2, 30*time.Second); err != nil {
+			t.Fatalf("phase 3: %v", err)
+		}
+		c.ViewChange(gcs.View{Epoch: 2})
+		c.RT.Sleep(time.Millisecond)
+
+		var ref *Scheduler
+		for i, s := range c.Scheds {
+			as := s.(*Scheduler)
+			if as.Switches() == 0 {
+				t.Errorf("replica %d: no switches", i)
+			}
+			if as.Generation() != as.Switches() {
+				t.Errorf("replica %d: generation %d != switches %d", i, as.Generation(), as.Switches())
+			}
+			if i == 0 {
+				ref = as
+				continue
+			}
+			if !reflect.DeepEqual(as.History(), ref.History()) ||
+				as.Epoch() != ref.Epoch() || as.CurrentKind() != ref.CurrentKind() ||
+				as.Skipped() != ref.Skipped() {
+				t.Errorf("replica %d state (kind %s epoch %d skipped %d history %v) differs from replica 0 (kind %s epoch %d skipped %d history %v)",
+					i, as.CurrentKind(), as.Epoch(), as.Skipped(), as.History(),
+					ref.CurrentKind(), ref.Epoch(), ref.Skipped(), ref.History())
+			}
+		}
+	})
+	traces := c.Traces()
+	for i := 1; i < len(traces); i++ {
+		if !reflect.DeepEqual(traces[0], traces[i]) {
+			t.Errorf("replica %d trace %v differs from replica 0 %v", i, traces[i], traces[0])
+		}
+	}
+}
+
+// TestSkippedBoundary crosses an epoch boundary while a thread is parked in
+// a nested invocation: the cut is not drained, so every replica must skip
+// the boundary — and still agree on the skip count.
+func TestSkippedBoundary(t *testing.T) {
+	factory := func(int) adets.Scheduler {
+		s, err := New(Config{Epoch: 2, MinWindow: 1, Plan: alternatingPlan()})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return s
+	}
+	c := schedtest.New(2, factory)
+	c.Run(func() {
+		c.Submit("nester", false, func(ic *schedtest.Ictx) {
+			ic.Nested(50 * time.Millisecond)
+			ic.Trace("post")
+		})
+		// These cross seq 2 and 4 while the nester is parked on the future
+		// reply: the boundary quiesce must report non-drained and skip.
+		for i := 0; i < 3; i++ {
+			c.Submit(wire.LogicalID(fmt.Sprintf("q%d", i)), false, func(ic *schedtest.Ictx) {
+				ic.Compute(time.Millisecond)
+			})
+		}
+		if _, err := c.Await(4, 30*time.Second); err != nil {
+			t.Fatalf("await: %v", err)
+		}
+		s0 := c.Scheds[0].(*Scheduler)
+		s1 := c.Scheds[1].(*Scheduler)
+		if s0.Skipped() == 0 {
+			t.Error("no boundary was skipped; the nested park did not cross one")
+		}
+		if s0.Skipped() != s1.Skipped() || s0.Epoch() != s1.Epoch() {
+			t.Errorf("replicas disagree: skipped %d/%d epoch %d/%d",
+				s0.Skipped(), s1.Skipped(), s0.Epoch(), s1.Epoch())
+		}
+	})
+}
+
+// TestStatefulRoundTrip marshals the meta-state after switches and restores
+// it into a fresh instance (the snapshot state-transfer path): the rejoiner
+// must adopt the donor's kind, epoch, generation and history, swap its inner
+// scheduler, and keep executing requests.
+func TestStatefulRoundTrip(t *testing.T) {
+	donorFactory := func(int) adets.Scheduler {
+		s, err := New(Config{Epoch: 3, MinWindow: 1, Plan: []PlanStep{{Epoch: 1, Kind: KindMAT}}})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return s
+	}
+	var img []byte
+	var donor *Scheduler
+	c := schedtest.New(1, donorFactory)
+	c.Run(func() {
+		for i := 0; i < 6; i++ {
+			c.Submit(wire.LogicalID(fmt.Sprintf("cl%d", i)), false, func(ic *schedtest.Ictx) {
+				_ = ic.Lock("m")
+				_ = ic.Unlock("m")
+			})
+		}
+		if _, err := c.Await(6, 30*time.Second); err != nil {
+			t.Fatalf("await: %v", err)
+		}
+		donor = c.Scheds[0].(*Scheduler)
+		if donor.CurrentKind() != KindMAT || donor.Switches() == 0 {
+			t.Fatalf("donor did not switch: kind %s switches %d", donor.CurrentKind(), donor.Switches())
+		}
+		var err error
+		img, err = donor.MarshalSchedulerState()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+	})
+
+	c2 := schedtest.New(1, func(int) adets.Scheduler {
+		s, err := New(Config{Epoch: 3, MinWindow: 1})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return s
+	})
+	c2.Run(func() {
+		rejoiner := c2.Scheds[0].(*Scheduler)
+		if err := rejoiner.UnmarshalSchedulerState(img); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if rejoiner.CurrentKind() != donor.CurrentKind() ||
+			rejoiner.Epoch() != donor.Epoch() ||
+			rejoiner.Generation() != donor.Generation() ||
+			rejoiner.Switches() != donor.Switches() ||
+			!reflect.DeepEqual(rejoiner.History(), donor.History()) {
+			t.Errorf("rejoiner (kind %s epoch %d gen %d) != donor (kind %s epoch %d gen %d)",
+				rejoiner.CurrentKind(), rejoiner.Epoch(), rejoiner.Generation(),
+				donor.CurrentKind(), donor.Epoch(), donor.Generation())
+		}
+		// The swapped-in inner scheduler must execute requests.
+		c2.Submit("after", false, func(ic *schedtest.Ictx) {
+			_ = ic.Lock("m")
+			ic.Trace("after")
+			_ = ic.Unlock("m")
+		})
+		if _, err := c2.Await(1, 30*time.Second); err != nil {
+			t.Fatalf("post-restore await: %v", err)
+		}
+	})
+
+	// Error paths.
+	c3 := schedtest.New(1, donorFactory)
+	c3.Run(func() {
+		s := c3.Scheds[0].(*Scheduler)
+		if err := s.UnmarshalSchedulerState([]byte("garbage")); err == nil {
+			t.Error("garbage image accepted")
+		}
+	})
+}
+
+// TestHandleOrderedGenerations checks the broadcast id namespace: unprefixed
+// ids are not consumed, current-generation ids are forwarded to the inner
+// scheduler, and stale-generation ids are consumed and dropped.
+func TestHandleOrderedGenerations(t *testing.T) {
+	c := schedtest.New(1, func(int) adets.Scheduler {
+		s, err := New(Config{})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return s
+	})
+	c.Run(func() {
+		s := c.Scheds[0].(*Scheduler)
+		if s.HandleOrdered("unrelated/id", nil) {
+			t.Error("unprefixed id consumed")
+		}
+		if !s.HandleOrdered(wrapID(99, "x"), nil) {
+			t.Error("stale-generation id not consumed")
+		}
+		// Current generation forwards to the inner scheduler, which does not
+		// recognize the id either — but the meta-layer must have unwrapped it.
+		if s.HandleOrdered(wrapID(s.Generation(), "x"), nil) {
+			t.Error("inner scheduler claimed an unknown id")
+		}
+		if s.HandleDirect("peer", nil) {
+			t.Error("inner scheduler claimed an unknown direct payload")
+		}
+	})
+}

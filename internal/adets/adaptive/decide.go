@@ -1,0 +1,181 @@
+package adaptive
+
+import (
+	"sort"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Window is the metrics window one epoch accumulates, sampled at the
+// boundary's quiesced cut. Every field is a pure function of the executed
+// ordered prefix: the set of requests that ran (and how far each got before
+// the cut stabilized) is determined by the total order, and sums over that
+// set are independent of the real-time interleaving any one replica
+// happened to execute. Wall-clock quantities — grant latencies, live queue
+// depths — are deliberately absent; they are exported as advisory metrics
+// (SchedObs) but may never influence the decision.
+type Window struct {
+	// Requests counts scheduler submissions, Callbacks the subset flagged
+	// as callbacks, Classed the subset with declared conflict classes.
+	Requests  uint64
+	Callbacks uint64
+	Classed   uint64
+	// Logicals is the number of distinct logical threads that submitted.
+	Logicals uint64
+	// LockOps counts top-level mutex acquisitions; SharedOps the subset on
+	// mutexes acquired by >= 2 distinct logical threads within the window —
+	// the window's observed conflict ratio is SharedOps/LockOps.
+	LockOps   uint64
+	SharedOps uint64
+	// Condition-variable traffic and external interactions.
+	Waits      uint64
+	TimedWaits uint64
+	Notifies   uint64
+	Nested     uint64
+}
+
+// DefaultPolicy is the default pure decision function — the paper's
+// Section 5 findings as a rule list, first match wins:
+//
+//  1. Condition-variable traffic forces ADETS-SAT: the strategies that beat
+//     it elsewhere either lack condition variables (SEQ) or pay more for
+//     wakeup ordering under contention.
+//  2. A mostly-classed window (>= 75% of requests declaring conflict
+//     classes) selects ADETS-CC: disjoint classes dispatch in parallel.
+//  3. A lock-free multi-client window selects ADETS-MAT: pure computations
+//     overlap fully (the paper's pattern (a), Fig. 4a).
+//  4. A single client, or a lock-dominated window with a high conflict
+//     ratio (>= 50% of acquisitions on contended mutexes), selects SEQ —
+//     everything serializes anyway and SEQ has the least scheduling
+//     overhead — unless nested invocations or callbacks appeared, which SEQ
+//     cannot overlap (its single thread blocks; a callback would deadlock);
+//     then ADETS-SAT.
+//  5. Everything else selects ADETS-MAT.
+func DefaultPolicy(w Window, current string) string {
+	switch {
+	case w.Requests == 0:
+		return current
+	case w.Waits > 0 || w.Notifies > 0:
+		return KindSAT
+	case 4*w.Classed >= 3*w.Requests:
+		return KindCC
+	case w.LockOps == 0 && w.Logicals > 1 && w.Nested == 0 && w.Callbacks == 0:
+		return KindMAT
+	case w.Logicals <= 1 || 2*w.SharedOps >= w.LockOps:
+		if w.Nested > 0 || w.Callbacks > 0 {
+			return KindSAT
+		}
+		return KindSEQ
+	default:
+		return KindMAT
+	}
+}
+
+// window is the live accumulator behind Window.
+type window struct {
+	reqs, callbacks, classed uint64
+	locks                    uint64
+	waits, timedWaits        uint64
+	notifies, nested         uint64
+	logicals                 map[wire.LogicalID]struct{}
+	mutexes                  map[adets.MutexID]*mutexStat
+}
+
+type mutexStat struct {
+	ops      uint64
+	logicals map[wire.LogicalID]struct{}
+}
+
+func (w *window) reset() {
+	w.reqs, w.callbacks, w.classed = 0, 0, 0
+	w.locks, w.waits, w.timedWaits = 0, 0, 0
+	w.notifies, w.nested = 0, 0
+	w.logicals = make(map[wire.LogicalID]struct{})
+	w.mutexes = make(map[adets.MutexID]*mutexStat)
+}
+
+func (w *window) noteSubmit(req adets.Request) {
+	w.reqs++
+	if req.Callback {
+		w.callbacks++
+	}
+	if len(req.Classes) > 0 {
+		w.classed++
+	}
+	w.logicals[req.Logical] = struct{}{}
+}
+
+func (w *window) noteLock(logical wire.LogicalID, m adets.MutexID) {
+	w.locks++
+	ms := w.mutexes[m]
+	if ms == nil {
+		ms = &mutexStat{logicals: make(map[wire.LogicalID]struct{})}
+		w.mutexes[m] = ms
+	}
+	ms.ops++
+	ms.logicals[logical] = struct{}{}
+}
+
+// sample reduces the accumulator to the pure Window. Sums over maps are
+// iteration-order independent, so the result is identical on every replica
+// even though each observed its own real-time op order.
+func (w *window) sample() Window {
+	out := Window{
+		Requests:   w.reqs,
+		Callbacks:  w.callbacks,
+		Classed:    w.classed,
+		Logicals:   uint64(len(w.logicals)),
+		LockOps:    w.locks,
+		Waits:      w.waits,
+		TimedWaits: w.timedWaits,
+		Notifies:   w.notifies,
+		Nested:     w.nested,
+	}
+	for _, ms := range w.mutexes {
+		if len(ms.logicals) >= 2 {
+			out.SharedOps += ms.ops
+		}
+	}
+	return out
+}
+
+// persist serializes the accumulator canonically (sorted slices).
+func (w *window) persist() persistedWindow {
+	out := persistedWindow{
+		Reqs: w.reqs, Callbacks: w.callbacks, Classed: w.classed,
+		Locks: w.locks, Waits: w.waits, TimedWaits: w.timedWaits,
+		Notifies: w.notifies, Nested: w.nested,
+	}
+	for l := range w.logicals {
+		out.Logicals = append(out.Logicals, string(l))
+	}
+	sort.Strings(out.Logicals)
+	for m, ms := range w.mutexes {
+		pm := persistedMutex{ID: string(m), Ops: ms.ops}
+		for l := range ms.logicals {
+			pm.Logicals = append(pm.Logicals, string(l))
+		}
+		sort.Strings(pm.Logicals)
+		out.Mutexes = append(out.Mutexes, pm)
+	}
+	sort.Slice(out.Mutexes, func(i, j int) bool { return out.Mutexes[i].ID < out.Mutexes[j].ID })
+	return out
+}
+
+func (w *window) restore(img persistedWindow) {
+	w.reset()
+	w.reqs, w.callbacks, w.classed = img.Reqs, img.Callbacks, img.Classed
+	w.locks, w.waits, w.timedWaits = img.Locks, img.Waits, img.TimedWaits
+	w.notifies, w.nested = img.Notifies, img.Nested
+	for _, l := range img.Logicals {
+		w.logicals[wire.LogicalID(l)] = struct{}{}
+	}
+	for _, pm := range img.Mutexes {
+		ms := &mutexStat{ops: pm.Ops, logicals: make(map[wire.LogicalID]struct{})}
+		for _, l := range pm.Logicals {
+			ms.logicals[wire.LogicalID(l)] = struct{}{}
+		}
+		w.mutexes[adets.MutexID(pm.ID)] = ms
+	}
+}

@@ -1,0 +1,121 @@
+package adaptive
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// kinds the default policy may legally return.
+var policyKinds = map[string]bool{KindSEQ: true, KindSAT: true, KindMAT: true, KindCC: true}
+
+// FuzzDefaultPolicy fuzzes the decision function for the properties the
+// switch protocol depends on. Purity cannot be proven by fuzzing, but its
+// observable consequences can be checked on every input:
+//
+//   - determinism: the same window and current kind always produce the same
+//     verdict (the function has no hidden time or randomness inputs);
+//   - closure: the verdict is always a kind the default factory set can
+//     build, or the current kind verbatim;
+//   - capability safety: a window with condition-variable traffic never
+//     leaves the full-monitor kind, and a window with nested invocations or
+//     callbacks never selects SEQ (whose single thread would deadlock).
+func FuzzDefaultPolicy(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint8(0))
+	f.Add(uint64(10), uint64(0), uint64(9), uint64(4), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint8(1))
+	f.Add(uint64(10), uint64(1), uint64(0), uint64(1), uint64(10), uint64(10), uint64(2), uint64(1), uint64(1), uint64(1), uint8(2))
+	f.Add(uint64(100), uint64(0), uint64(0), uint64(50), uint64(80), uint64(10), uint64(0), uint64(0), uint64(0), uint64(0), uint8(3))
+	currents := []string{KindSEQ, KindSAT, KindMAT, KindCC}
+	f.Fuzz(func(t *testing.T, reqs, callbacks, classed, logicals, lockOps, sharedOps, waits, timedWaits, notifies, nested uint64, cur uint8) {
+		w := Window{
+			Requests: reqs, Callbacks: callbacks, Classed: classed,
+			Logicals: logicals, LockOps: lockOps, SharedOps: sharedOps,
+			Waits: waits, TimedWaits: timedWaits, Notifies: notifies, Nested: nested,
+		}
+		current := currents[int(cur)%len(currents)]
+		got := DefaultPolicy(w, current)
+		if again := DefaultPolicy(w, current); again != got {
+			t.Fatalf("nondeterministic: %s then %s for %+v", got, again, w)
+		}
+		if !policyKinds[got] && got != current {
+			t.Fatalf("verdict %q is not a buildable kind (window %+v, current %s)", got, w, current)
+		}
+		if w.Requests > 0 && (w.Waits > 0 || w.Notifies > 0) && got != KindSAT {
+			t.Fatalf("condition traffic decided %s, want %s (window %+v)", got, KindSAT, w)
+		}
+		if got == KindSEQ && (w.Nested > 0 || w.Callbacks > 0) {
+			t.Fatalf("SEQ selected with nested/callbacks in the window: %+v", w)
+		}
+	})
+}
+
+// FuzzSplitID fuzzes the broadcast-id parser: it must never panic, must
+// round-trip every wrapped id, and must never claim an id that wrapID could
+// not have produced for its parsed generation.
+func FuzzSplitID(f *testing.F) {
+	f.Add("adapt/0/sat/7")
+	f.Add("adapt/18446744073709551615/x")
+	f.Add("adapt//")
+	f.Add("viewchange/3")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, id string) {
+		rest, gen, ok := splitID(id)
+		if !ok {
+			return
+		}
+		if wrapID(gen, rest) != id {
+			t.Fatalf("splitID(%q) = (%q, %d) does not round-trip", id, rest, gen)
+		}
+	})
+}
+
+// FuzzWindowPersist fuzzes the canonical serialization: persist must be
+// stable under re-persisting and restore(persist(w)) must preserve the
+// sampled Window exactly.
+func FuzzWindowPersist(f *testing.F) {
+	f.Add(uint64(3), uint64(1), uint64(2), uint64(5), uint64(2), uint64(1), uint64(1), uint64(1))
+	f.Fuzz(func(t *testing.T, reqs, callbacks, classed, locks, waits, timedWaits, notifies, nested uint64) {
+		var w window
+		w.reset()
+		w.reqs, w.callbacks, w.classed = reqs, callbacks, classed
+		w.waits, w.timedWaits, w.notifies, w.nested = waits, timedWaits, notifies, nested
+		// Derive deterministic logical/mutex sets from the lock counter.
+		for i := uint64(0); i < locks%16; i++ {
+			w.noteLock(wire.LogicalID(fmt.Sprintf("cl%d", i%5)), adets.MutexID(fmt.Sprintf("m%d", i%3)))
+		}
+		img := w.persist()
+		if got := w.persist(); !equalPersisted(got, img) {
+			t.Fatal("persist is not canonical")
+		}
+		var r window
+		r.restore(img)
+		if r.sample() != w.sample() {
+			t.Fatalf("restore changed the sample: %+v != %+v", r.sample(), w.sample())
+		}
+	})
+}
+
+func equalPersisted(a, b persistedWindow) bool {
+	if a.Reqs != b.Reqs || len(a.Logicals) != len(b.Logicals) || len(a.Mutexes) != len(b.Mutexes) {
+		return false
+	}
+	for i := range a.Logicals {
+		if a.Logicals[i] != b.Logicals[i] {
+			return false
+		}
+	}
+	for i := range a.Mutexes {
+		am, bm := a.Mutexes[i], b.Mutexes[i]
+		if am.ID != bm.ID || am.Ops != bm.Ops || len(am.Logicals) != len(bm.Logicals) {
+			return false
+		}
+		for j := range am.Logicals {
+			if am.Logicals[j] != bm.Logicals[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

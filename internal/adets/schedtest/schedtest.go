@@ -155,6 +155,7 @@ func (c *Cluster) SubmitClasses(logical wire.LogicalID, callback bool, classes [
 			Logical:  logical,
 			Callback: callback,
 			Classes:  classes,
+			Seq:      seq,
 			Exec: func(t *adets.Thread) {
 				c.RT.Lock()
 				c.threads[i][logical] = t

@@ -1,0 +1,268 @@
+package schedtest
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Switcher is implemented by meta-schedulers that swap the active strategy
+// at epoch boundaries (ADETS-ADAPT). The switch-crossing invariants use it
+// to assert that the workload actually crossed at least one switch — an
+// invariant that vacuously passes because no switch happened tests nothing.
+type Switcher interface {
+	Switches() uint64
+	Epoch() uint64
+}
+
+// SwitchInvariants returns the switch-crossing conformance suite: the core
+// determinism properties (grant order, reentrancy, FIFO, timeout expiry)
+// restated across an epoch boundary at which the scheduler under test is
+// expected to swap strategies. Each invariant submits enough stream
+// positions to cross boundaries mid-workload and then requires both the
+// usual cross-replica agreement and a non-zero switch count.
+//
+// The factory must produce schedulers implementing Switcher and configured
+// to switch within the first few epochs (a plan alternating two
+// full-capability kinds at a small epoch length is the canonical setup).
+func SwitchInvariants() []Invariant {
+	return []Invariant{
+		{
+			Name: "grant-order-across-switch",
+			Desc: "mutex grant order stays identical on every replica when the request sequence spans a strategy switch",
+			Run:  invSwitchGrantOrder,
+		},
+		{
+			Name: "reentrancy-across-switch",
+			Desc: "reentrant hold depth accounting survives a strategy switch between requests of the same logical thread",
+			Run:  invSwitchReentrancy,
+		},
+		{
+			Name: "fifo-across-switch",
+			Desc: "a contended mutex is granted in FIFO order even when the successor strategy dispatches the tail",
+			Run:  invSwitchFIFO,
+		},
+		{
+			Name: "timeout-determinism-across-switch",
+			Desc: "timed waits armed after a switch expire deterministically (broadcast ids must not collide with the previous generation's)",
+			Run:  invSwitchTimeout,
+		},
+	}
+}
+
+// RunSwitchConformance runs the base conformance suite plus the
+// switch-crossing invariants against the scheduler built by factory.
+func RunSwitchConformance(t *testing.T, factory func(i int) adets.Scheduler) {
+	RunConformance(t, factory)
+	for _, inv := range SwitchInvariants() {
+		inv := inv
+		t.Run(inv.Name, func(t *testing.T) { inv.Run(t, factory) })
+	}
+}
+
+// requireSwitched asserts every replica performed at least one switch and
+// that all replicas agree on the switch count and epoch.
+func requireSwitched(t *testing.T, c *Cluster) {
+	t.Helper()
+	var switches, epoch uint64
+	for i, s := range c.Scheds {
+		sw, ok := s.(Switcher)
+		if !ok {
+			t.Fatalf("replica %d: scheduler %T does not implement Switcher", i, s)
+		}
+		if i == 0 {
+			switches, epoch = sw.Switches(), sw.Epoch()
+			if switches == 0 {
+				t.Errorf("replica 0 performed no switches: the invariant never crossed one (epoch %d)", epoch)
+			}
+			continue
+		}
+		if sw.Switches() != switches || sw.Epoch() != epoch {
+			t.Errorf("replica %d at switches=%d epoch=%d, replica 0 at switches=%d epoch=%d",
+				i, sw.Switches(), sw.Epoch(), switches, epoch)
+		}
+	}
+}
+
+// invSwitchGrantOrder: two batches of requests contend on one mutex with an
+// epoch boundary (and a planned switch) between the batches; the combined
+// critical-section entry order must be identical on every replica.
+func invSwitchGrantOrder(t *testing.T, factory func(i int) adets.Scheduler) {
+	c := New(3, factory)
+	c.Run(func() {
+		const n = 12
+		for i := 0; i < n; i++ {
+			logical := wire.LogicalID(fmt.Sprintf("g%d", i))
+			c.Submit(logical, false, func(ic *Ictx) {
+				if err := ic.Lock(m0); err != nil {
+					t.Errorf("Lock: %v", err)
+					return
+				}
+				ic.Trace("enter %s", logical)
+				ic.Compute(time.Millisecond)
+				_ = ic.Unlock(m0)
+			})
+		}
+		if _, err := c.Await(n, conformanceTimeout); err != nil {
+			t.Errorf("await: %v", err)
+			return
+		}
+		traces := c.Traces()
+		for i := 1; i < len(traces); i++ {
+			if !reflect.DeepEqual(traces[0], traces[i]) {
+				t.Errorf("replica %d grant order %v differs from replica 0 %v", i, traces[i], traces[0])
+			}
+		}
+		if len(traces[0]) != n {
+			t.Errorf("replica 0 recorded %d grants, want %d", len(traces[0]), n)
+		}
+		requireSwitched(t, c)
+	})
+}
+
+// invSwitchReentrancy: the same logical thread re-enters the same mutex to
+// depth 3 before and after a switch; the depth sequence must be identical on
+// both sides — the reentrancy layer sits above the scheduler and its
+// accounting must be oblivious to the swap.
+func invSwitchReentrancy(t *testing.T, factory func(i int) adets.Scheduler) {
+	c := New(3, factory)
+	c.Run(func() {
+		depths := func(ic *Ictx) {
+			for i := 0; i < 3; i++ {
+				if err := ic.Lock(m0); err != nil {
+					t.Errorf("Lock %d: %v", i, err)
+					return
+				}
+				ic.Trace("depth %d", ic.Depth(m0))
+			}
+			for i := 0; i < 3; i++ {
+				if err := ic.Unlock(m0); err != nil {
+					t.Errorf("Unlock %d: %v", i, err)
+					return
+				}
+			}
+		}
+		c.Submit("re", false, depths)
+		if _, err := c.Await(1, conformanceTimeout); err != nil {
+			t.Errorf("await pre-switch: %v", err)
+			return
+		}
+		// Push the stream across epoch boundaries so the plan switches.
+		const filler = 8
+		for i := 0; i < filler; i++ {
+			c.Submit(wire.LogicalID(fmt.Sprintf("f%d", i)), false, func(ic *Ictx) {
+				ic.Compute(time.Millisecond)
+			})
+		}
+		if _, err := c.Await(filler, conformanceTimeout); err != nil {
+			t.Errorf("await filler: %v", err)
+			return
+		}
+		c.Submit("re", false, depths)
+		if _, err := c.Await(1, conformanceTimeout); err != nil {
+			t.Errorf("await post-switch: %v", err)
+			return
+		}
+		want := []string{"depth 1", "depth 2", "depth 3", "depth 1", "depth 2", "depth 3"}
+		for i, tr := range c.Traces() {
+			if !reflect.DeepEqual(tr, want) {
+				t.Errorf("replica %d: depth sequence %v, want %v", i, tr, want)
+			}
+		}
+		requireSwitched(t, c)
+	})
+}
+
+// invSwitchFIFO: A holds the mutex while B and C queue behind it; the
+// boundary submissions that trigger the switch arrive while the queue
+// drains, so the successor strategy dispatches the tail of the workload —
+// and the grant order must still be exactly submission order everywhere.
+func invSwitchFIFO(t *testing.T, factory func(i int) adets.Scheduler) {
+	c := New(3, factory)
+	c.Run(func() {
+		sub := func(name string, pre, hold time.Duration) {
+			c.Submit(wire.LogicalID(name), false, func(ic *Ictx) {
+				ic.Compute(pre)
+				if err := ic.Lock(m0); err != nil {
+					t.Errorf("%s: Lock: %v", name, err)
+					return
+				}
+				ic.Trace("enter %s", name)
+				ic.Compute(hold)
+				_ = ic.Unlock(m0)
+			})
+		}
+		sub("A", 0, 10*time.Millisecond)
+		sub("B", 1*time.Millisecond, time.Millisecond)
+		sub("C", 2*time.Millisecond, time.Millisecond)
+		// The boundary crossers: submitted while A/B/C drain, granted under
+		// the successor.
+		sub("D", 3*time.Millisecond, time.Millisecond)
+		sub("E", 4*time.Millisecond, time.Millisecond)
+		sub("F", 5*time.Millisecond, time.Millisecond)
+		if _, err := c.Await(6, conformanceTimeout); err != nil {
+			t.Errorf("await: %v", err)
+			return
+		}
+		want := []string{"enter A", "enter B", "enter C", "enter D", "enter E", "enter F"}
+		for i, tr := range c.Traces() {
+			if !reflect.DeepEqual(tr, want) {
+				t.Errorf("replica %d: grant order %v, want FIFO %v", i, tr, want)
+			}
+		}
+		requireSwitched(t, c)
+	})
+}
+
+// invSwitchTimeout: a timed wait armed before any switch expires; the stream
+// then crosses switches (including back to the original kind, which restarts
+// its private timeout sequence numbers); a second timed wait armed under the
+// revisited kind must also expire. If the meta-scheduler fails to namespace
+// inner broadcast ids per generation, the second expiry message is dropped
+// as a duplicate of the first and the waiter hangs.
+func invSwitchTimeout(t *testing.T, factory func(i int) adets.Scheduler) {
+	c := New(3, factory)
+	c.Run(func() {
+		waitOnce := func(name string) {
+			c.Submit(wire.LogicalID(name), false, func(ic *Ictx) {
+				if err := ic.Lock(m0); err != nil {
+					t.Errorf("%s: Lock: %v", name, err)
+					return
+				}
+				timedOut, err := ic.Wait(m0, "", 5*time.Millisecond)
+				if err != nil {
+					t.Errorf("%s: Wait: %v", name, err)
+				}
+				ic.Trace("%s timedOut=%v", name, timedOut)
+				_ = ic.Unlock(m0)
+			})
+			if _, err := c.Await(1, conformanceTimeout); err != nil {
+				t.Errorf("%s: await: %v", name, err)
+			}
+		}
+		waitOnce("w1")
+		// Cross enough boundaries to switch away and back again.
+		const filler = 12
+		for i := 0; i < filler; i++ {
+			c.Submit(wire.LogicalID(fmt.Sprintf("f%d", i)), false, func(ic *Ictx) {
+				ic.Compute(time.Millisecond)
+			})
+		}
+		if _, err := c.Await(filler, conformanceTimeout); err != nil {
+			t.Errorf("await filler: %v", err)
+			return
+		}
+		waitOnce("w2")
+		want := []string{"w1 timedOut=true", "w2 timedOut=true"}
+		for i, tr := range c.Traces() {
+			if !reflect.DeepEqual(tr, want) {
+				t.Errorf("replica %d: %v, want %v", i, tr, want)
+			}
+		}
+		requireSwitched(t, c)
+	})
+}

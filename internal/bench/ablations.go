@@ -299,6 +299,7 @@ func All(cfg Config) ([]Result, error) {
 		{"cc-conflict", ConflictSweep},
 		{"memory", MemoryBounds},
 		{"latency-breakdown", LatencyBreakdown},
+		{"scenarios", ProductionScenarios},
 	}
 	out := make([]Result, 0, len(exps))
 	for _, e := range exps {
@@ -333,5 +334,6 @@ func Experiments() map[string]func(Config) (Result, error) {
 		"memory":        MemoryBounds,
 
 		"latency-breakdown": LatencyBreakdown,
+		"scenarios":         ProductionScenarios,
 	}
 }

@@ -78,6 +78,9 @@ type Result struct {
 	// Stages carries the per-stage latency decomposition of the
 	// latency-breakdown experiment (empty for every other result).
 	Stages []StageQuantile `json:",omitempty"`
+	// Scenarios carries the SLO rows of the production scenario suite
+	// (empty for every other result).
+	Scenarios []ScenarioSLO `json:",omitempty"`
 }
 
 // Format renders a result as an aligned text table (clients × strategies),
@@ -120,6 +123,14 @@ func (r Result) Format() string {
 		for _, sq := range r.Stages {
 			fmt.Fprintf(&b, "%-12s %-12s %8d %10.3f %10.3f %10.3f\n",
 				sq.Scheduler, sq.Stage, sq.Count, sq.P50ms, sq.P99ms, sq.P999ms)
+		}
+	}
+	if len(r.Scenarios) > 0 {
+		fmt.Fprintf(&b, "\n%-16s %-12s %8s %10s %10s %10s %9s\n",
+			"scenario", "scheduler", "reqs", "p50 ms", "p99 ms", "p99.9 ms", "switches")
+		for _, sc := range r.Scenarios {
+			fmt.Fprintf(&b, "%-16s %-12s %8d %10.3f %10.3f %10.3f %9d\n",
+				sc.Scenario, sc.Scheduler, sc.Requests, sc.P50ms, sc.P99ms, sc.P999ms, sc.Switches)
 		}
 	}
 	return b.String()

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"testing"
+
+	replobj "github.com/replobj/replobj"
+)
+
+// These tests pin the production scenario suite's qualitative claims — the
+// adaptive scheduler must track the best static kind on every scenario, and
+// must actually switch in the burst scenario — so the checked-in
+// results/BENCH_pr7.json stays reproducible. Every input is deterministic
+// (driver args derive from mix(driver, seq, salt)), so the configuration
+// printed on failure is the complete reproduction recipe.
+
+// scenarioTolerance is the regression bound: the adaptive scheduler's p99
+// may exceed the best static kind's p99 by at most this factor. The slack
+// covers the adaptation transient (requests delivered while the stream still
+// runs under the initial or previous kind).
+const scenarioTolerance = 1.15
+
+// scenarioTestCfg sizes the regression runs. PerClient must be large enough
+// that the one-off switch transient falls out of the p99 (at 150×12 drivers
+// the measured window is 1800 samples; the transient is a couple dozen).
+func scenarioTestCfg() Config {
+	cfg := Defaults()
+	cfg.PerClient = 150
+	cfg.Warmup = 5
+	return cfg
+}
+
+// scenarioTestKinds returns the kinds the regression compares: a
+// representative static subset in -short mode (including ADETS-CC, the
+// suite's strongest static kind), the full matrix otherwise. The adaptive
+// kind is always last.
+func scenarioTestKinds() []replobj.SchedulerKind {
+	if testing.Short() {
+		return []replobj.SchedulerKind{replobj.SEQ, replobj.MAT, replobj.CC, replobj.ADAPT}
+	}
+	return ScenarioKinds()
+}
+
+func TestScenarioObjectClasses(t *testing.T) {
+	var o scenarioObject
+	if got := o.ConflictClasses("op", []byte{7, 0, 10}); len(got) != 1 || got[0] != "s7" {
+		t.Errorf("classed request declared %v, want [s7]", got)
+	}
+	if got := o.ConflictClasses("op", []byte{0, 1, 3}); got != nil {
+		t.Errorf("global request declared %v, want nil", got)
+	}
+	if got := o.ConflictClasses("op", []byte{0}); got != nil {
+		t.Errorf("short args declared %v, want nil (conservative global)", got)
+	}
+}
+
+func TestScenarioSLORegression(t *testing.T) {
+	cfg := scenarioTestCfg()
+	kinds := scenarioTestKinds()
+	for _, spec := range ScenarioSpecs(cfg) {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			var adaptive ScenarioSLO
+			bestStatic := -1.0
+			bestKind := ""
+			for _, kind := range kinds {
+				slo, err := RunScenario(cfg, kind, spec)
+				if err != nil {
+					t.Fatalf("%s/%s (n=%d warmup=%d drivers=%d): %v",
+						spec.ID, kind, cfg.PerClient, cfg.Warmup, ScenarioDrivers, err)
+				}
+				// Every cell must produce full, finite, ordered quantiles.
+				if slo.Requests != ScenarioDrivers*cfg.PerClient {
+					t.Errorf("%s/%s: %d samples, want %d", spec.ID, kind, slo.Requests, ScenarioDrivers*cfg.PerClient)
+				}
+				if !(slo.P50ms > 0 && slo.P50ms <= slo.P99ms && slo.P99ms <= slo.P999ms) {
+					t.Errorf("%s/%s: quantiles not finite/ordered: p50=%v p99=%v p999=%v",
+						spec.ID, kind, slo.P50ms, slo.P99ms, slo.P999ms)
+				}
+				if kind == replobj.ADAPT {
+					adaptive = slo
+				} else if bestStatic < 0 || slo.P99ms < bestStatic {
+					bestStatic, bestKind = slo.P99ms, string(kind)
+				}
+			}
+			// The adaptive scheduler must land within tolerance of the best
+			// static kind on this scenario.
+			if adaptive.P99ms > scenarioTolerance*bestStatic {
+				t.Errorf("%s: adaptive p99 %.3f ms exceeds %.2f× best static %s (%.3f ms) [n=%d warmup=%d drivers=%d epoch=%d]",
+					spec.ID, adaptive.P99ms, scenarioTolerance, bestKind, bestStatic,
+					cfg.PerClient, cfg.Warmup, ScenarioDrivers, ScenarioEpoch)
+			}
+			// The burst scenario exists to force a mid-stream strategy change:
+			// a run with no switch would make the adaptive column vacuous.
+			// (RunScenario itself verifies cross-replica digest equality.)
+			if spec.ID == "auction-burst" && adaptive.Switches == 0 {
+				t.Errorf("%s: adaptive performed no switch [n=%d warmup=%d drivers=%d epoch=%d]",
+					spec.ID, cfg.PerClient, cfg.Warmup, ScenarioDrivers, ScenarioEpoch)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"strconv"
 
+	"github.com/replobj/replobj/internal/adets"
 	"github.com/replobj/replobj/internal/gcs"
 	"github.com/replobj/replobj/internal/obs"
 	"github.com/replobj/replobj/internal/vtime"
@@ -53,6 +54,10 @@ type snapshotEnvelope struct {
 	UsedGob bool
 	Entries []seenEntry
 	Streams map[string]obs.StreamState
+	// Sched carries replicated scheduler meta-state (adets.StatefulScheduler
+	// — the adaptive meta-scheduler's epoch, window and active kind), nil
+	// for stateless schedulers.
+	Sched []byte
 }
 
 // checkpoint runs at a checkpoint boundary (stream position seq, the
@@ -101,6 +106,13 @@ func (r *Replica) checkpoint(seq uint64) {
 		UsedGob: usedGob,
 		Entries: entries,
 		Streams: r.trace.ExportStreams(),
+	}
+	if ss, ok := r.sched.(adets.StatefulScheduler); ok {
+		sched, err := ss.MarshalSchedulerState()
+		if err != nil {
+			return // deterministic: the same state fails on every replica
+		}
+		env.Sched = sched
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
@@ -221,6 +233,14 @@ func (r *Replica) installSnapshot(d gcs.Delivery) {
 	r.nestedWaiting = make(map[wire.LogicalID]int)
 	r.pendingCallbacks = make(map[wire.LogicalID][]Request)
 	r.rt.Unlock()
+	if len(env.Sched) > 0 {
+		if ss, ok := r.sched.(adets.StatefulScheduler); ok {
+			// The rejoiner adopts the donor's scheduler epoch/kind: the
+			// boundary submissions that produced them are in the truncated
+			// prefix and can never be replayed here.
+			_ = ss.UnmarshalSchedulerState(env.Sched)
+		}
+	}
 	r.trace.RestoreStreams(env.Streams)
 }
 

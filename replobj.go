@@ -18,6 +18,8 @@
 //	ADETS-PDS  round-based preemptive deterministic scheduling (PDS-1/PDS-2)
 //	ADETS-CC   conflict-class parallel dispatch (this reproduction's
 //	           extension after Early Scheduling in Parallel SMR)
+//	ADETS-ADAPT adaptive strategy switching at deterministic epoch
+//	           boundaries of the total order (see WithAdaptive)
 //
 // A Cluster hosts replica groups and clients over a shared network —
 // in-process with simulated latency under vtime.Virtual() (the evaluation
@@ -43,6 +45,7 @@ import (
 	"time"
 
 	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/adets/adaptive"
 	"github.com/replobj/replobj/internal/adets/cc"
 	"github.com/replobj/replobj/internal/adets/lsa"
 	"github.com/replobj/replobj/internal/adets/mat"
@@ -156,12 +159,20 @@ const (
 	// requests are global barriers, so existing applications run unchanged
 	// (serialized). See internal/adets/cc.
 	CC SchedulerKind = "ADETS-CC"
+	// ADAPT is adaptive strategy switching: a meta-scheduler wraps the
+	// static kinds, samples a metrics window computed purely from the
+	// ordered stream, and switches the active strategy at deterministic
+	// epoch boundaries (quiesced cuts). The switch decision is replicated
+	// state — every replica swaps identically and trace digests stay equal
+	// across the swap. Configure with WithAdaptive; see
+	// internal/adets/adaptive.
+	ADAPT SchedulerKind = "ADETS-ADAPT"
 )
 
 // Kinds lists every scheduler kind in the paper's Table 1 order, followed
 // by this reproduction's extensions.
 func Kinds() []SchedulerKind {
-	return []SchedulerKind{SEQ, SL, SAT, ADSAT, MAT, LSA, PDS, PDS2, CC}
+	return []SchedulerKind{SEQ, SL, SAT, ADSAT, MAT, LSA, PDS, PDS2, CC, ADAPT}
 }
 
 // ClusterOption configures a Cluster.
@@ -342,6 +353,7 @@ type groupConfig struct {
 	ccLanes          int
 	conflictClasses  map[string][]string
 	checkpointEvery  int
+	adaptive         AdaptiveConfig
 }
 
 // WithScheduler selects the scheduling strategy (default ADETS-SAT).
@@ -416,6 +428,32 @@ func WithConflictClasses(classes map[string][]string) GroupOption {
 // replica of a group must use the same value.
 func WithCCLanes(n int) GroupOption {
 	return func(g *groupConfig) { g.ccLanes = n }
+}
+
+// AdaptiveConfig tunes the ADETS-ADAPT meta-scheduler (see WithAdaptive).
+// The zero value selects the defaults; all replicas of a group must use the
+// same configuration — it is an input of the replicated switch decision.
+type AdaptiveConfig struct {
+	// Epoch is the boundary spacing in total-order positions (default 64).
+	Epoch int
+	// Initial is the kind active before the first switch (default ADSAT).
+	Initial SchedulerKind
+	// MinWindow keeps the current kind when a window saw fewer requests
+	// (default 8) — hysteresis against flapping on sparse epochs.
+	MinWindow int
+	// Plan, when non-empty, overrides the built-in policy with a fixed
+	// switching schedule: at every boundary the entry with the largest
+	// epoch index <= the boundary's applies. Used by tests that need
+	// switches at exact positions.
+	Plan map[uint64]SchedulerKind
+}
+
+// WithAdaptive selects the ADETS-ADAPT meta-scheduler with the given
+// configuration. Equivalent to WithScheduler(ADAPT) plus tuning; the other
+// strategy options (WithCCLanes, WithPDSPool, WithLSAPeriod, ...) configure
+// the wrapped kinds the meta-scheduler switches between.
+func WithAdaptive(cfg AdaptiveConfig) GroupOption {
+	return func(g *groupConfig) { g.kind = ADAPT; g.adaptive = cfg }
 }
 
 // WithMATYield enables or disables honouring Yield under ADETS-MAT.
@@ -551,8 +589,45 @@ func (cfg *groupConfig) scheduler(rank int) (adets.Scheduler, error) {
 			opts = append(opts, cc.WithLanes(cfg.ccLanes))
 		}
 		return cc.New(opts...), nil
+	case ADAPT:
+		return cfg.adaptiveScheduler(rank)
 	}
 	return nil, fmt.Errorf("replobj: unknown scheduler kind %q", cfg.kind)
+}
+
+// adaptiveScheduler builds the ADETS-ADAPT meta-scheduler: every static kind
+// becomes a candidate factory, each constructed with this group's own
+// strategy options (lane counts, PDS pools, LSA periods), so a switch lands
+// on a scheduler configured exactly as a static deployment would be.
+func (cfg *groupConfig) adaptiveScheduler(rank int) (adets.Scheduler, error) {
+	statics := []SchedulerKind{SEQ, SL, SAT, ADSAT, MAT, LSA, PDS, PDS2, CC}
+	factories := make(map[string]func() adets.Scheduler, len(statics))
+	for _, k := range statics {
+		sub := *cfg
+		sub.kind = k
+		sub.factory = nil
+		if _, err := sub.scheduler(rank); err != nil {
+			return nil, err
+		}
+		factories[string(k)] = func() adets.Scheduler {
+			s, _ := sub.scheduler(rank)
+			return s
+		}
+	}
+	acfg := adaptive.Config{Factories: factories}
+	if cfg.adaptive.Epoch > 0 {
+		acfg.Epoch = uint64(cfg.adaptive.Epoch)
+	}
+	if cfg.adaptive.Initial != "" {
+		acfg.Initial = string(cfg.adaptive.Initial)
+	}
+	if cfg.adaptive.MinWindow > 0 {
+		acfg.MinWindow = uint64(cfg.adaptive.MinWindow)
+	}
+	for e, k := range cfg.adaptive.Plan {
+		acfg.Plan = append(acfg.Plan, adaptive.PlanStep{Epoch: e, Kind: string(k)})
+	}
+	return adaptive.New(acfg)
 }
 
 // Register binds a method handler on every (future) replica. Must precede
@@ -687,8 +762,14 @@ func Table1() string {
 		adets.Row("LSA", lsa.New().Capabilities()),
 		adets.Row("PDS", pds.New(pds.Config{}).Capabilities()),
 		adets.Row("ADETS-CC", cc.New().Capabilities()),
+		adets.Row("ADETS-ADAPT", adaptiveRowCaps()),
 	}
 	return adets.FormatTable1(rows)
+}
+
+func adaptiveRowCaps() adets.Capabilities {
+	s, _ := adaptive.New(adaptive.Config{})
+	return s.Capabilities()
 }
 
 // Runtime is the execution substrate interface (virtual or real time).

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	replobj "github.com/replobj/replobj"
@@ -35,6 +37,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		metrics  = flag.Bool("metrics", false, "collect cluster metrics and print a summary at the end")
 		conflict = flag.Float64("conflict-ratio", -1, "restrict the cc-conflict experiment to one global-request ratio in [0,1] (default: full sweep)")
+		shards   = flag.String("shards", "", "comma-separated shard counts for the shards experiment (default 1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -57,6 +60,16 @@ func main() {
 	cfg.Warmup = *warmup
 	cfg.Latency = *latency
 	cfg.ConflictRatio = *conflict
+	if *shards != "" {
+		for _, part := range strings.Split(*shards, ",") {
+			s, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || s <= 0 {
+				fmt.Fprintf(os.Stderr, "replbench: invalid -shards value %q\n", part)
+				os.Exit(2)
+			}
+			cfg.ShardCounts = append(cfg.ShardCounts, s)
+		}
+	}
 	if *metrics {
 		cfg.Metrics = replobj.NewMetricsRegistry()
 	}

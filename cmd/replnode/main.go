@@ -21,10 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	gonet "net"
 	"net/http"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -68,6 +70,7 @@ func main() {
 		ckptEvery    = flag.Int("checkpoint-every", 0, "take a checkpoint (and truncate the ordered log) every N deliveries (0 disables)")
 		spanDump     = flag.String("span-dump", "", "write the span ring as Chrome trace-event JSON to this file on shutdown (implies request tracing)")
 		spanRing     = flag.Int("span-ring", 0, "span-ring capacity (0 selects the default 16384)")
+		shardCount   = flag.Int("shards", 0, "host this rank of a sharded object with N shard groups (plus its directory); shard group i listens on the -addrs port + 1 + i")
 	)
 	flag.Parse()
 
@@ -78,9 +81,27 @@ func main() {
 	}
 
 	rt := vtime.Real()
-	registry := make(map[wire.NodeID]string, len(list))
-	for i, a := range list {
-		registry[wire.ReplicaID(wire.GroupID(*group), i)] = strings.TrimSpace(a)
+	registry := make(map[wire.NodeID]string, len(list)*(1+*shardCount))
+	if *shardCount > 0 {
+		// Sharded hosting: one process per rank serves the directory group at
+		// the listed port and shard group i at port + 1 + i, so a single
+		// -addrs list addresses every group of the object.
+		for i, a := range list {
+			host, port, err := splitAddr(strings.TrimSpace(a))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "replnode: -addrs entry %q: %v\n", a, err)
+				os.Exit(2)
+			}
+			registry[wire.ReplicaID(replobj.ShardDirGroup(*group), i)] = fmt.Sprintf("%s:%d", host, port)
+			for si := 0; si < *shardCount; si++ {
+				registry[wire.ReplicaID(replobj.ShardGroupName(*group, si), i)] =
+					fmt.Sprintf("%s:%d", host, port+1+si)
+			}
+		}
+	} else {
+		for i, a := range list {
+			registry[wire.ReplicaID(wire.GroupID(*group), i)] = strings.TrimSpace(a)
+		}
 	}
 	var net transport.Network = transport.NewTCP(rt, registry)
 
@@ -122,44 +143,72 @@ func main() {
 	if *ckptEvery > 0 {
 		gopts = append(gopts, replobj.WithCheckpointEvery(*ckptEvery))
 	}
-	g, err := cluster.NewGroup(*group, len(list), gopts...)
-	if err != nil {
-		log.Fatal(err)
+	register := func(g *replobj.Group) {
+		g.Register("add", func(inv *replobj.Invocation) ([]byte, error) {
+			st := inv.State().(*counter)
+			if err := inv.Lock("state"); err != nil {
+				return nil, err
+			}
+			defer func() { _ = inv.Unlock("state") }()
+			if len(inv.Args()) > 0 {
+				st.value += uint64(inv.Args()[0])
+			}
+			out := make([]byte, 8)
+			binary.BigEndian.PutUint64(out, st.value)
+			return out, nil
+		})
+		g.Register("get", func(inv *replobj.Invocation) ([]byte, error) {
+			st := inv.State().(*counter)
+			if err := inv.Lock("state"); err != nil {
+				return nil, err
+			}
+			defer func() { _ = inv.Unlock("state") }()
+			out := make([]byte, 8)
+			binary.BigEndian.PutUint64(out, st.value)
+			return out, nil
+		})
 	}
-	g.Register("add", func(inv *replobj.Invocation) ([]byte, error) {
-		st := inv.State().(*counter)
-		if err := inv.Lock("state"); err != nil {
-			return nil, err
-		}
-		defer func() { _ = inv.Unlock("state") }()
-		if len(inv.Args()) > 0 {
-			st.value += uint64(inv.Args()[0])
-		}
-		out := make([]byte, 8)
-		binary.BigEndian.PutUint64(out, st.value)
-		return out, nil
-	})
-	g.Register("get", func(inv *replobj.Invocation) ([]byte, error) {
-		st := inv.State().(*counter)
-		if err := inv.Lock("state"); err != nil {
-			return nil, err
-		}
-		defer func() { _ = inv.Unlock("state") }()
-		out := make([]byte, 8)
-		binary.BigEndian.PutUint64(out, st.value)
-		return out, nil
-	})
 
-	// Only this rank's replica actually starts; the others are remote.
-	g.StartRank(*rank)
-	log.Printf("replnode: %s rank %d (%s) serving with %s; ^C to stop",
-		*group, *rank, list[*rank], *sched)
+	// groups lists every group this process hosts a rank of: one in plain
+	// mode, the directory plus every shard group in sharded mode.
+	var groups []*replobj.Group
+	if *shardCount > 0 {
+		sopts := append(gopts, replobj.WithShards(*shardCount))
+		sh, err := cluster.NewSharded(*group, len(list), sopts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sh.EachShard(func(_ int, g *replobj.Group) { register(g) })
+		groups = append(groups, sh.Dir())
+		sh.EachShard(func(_ int, g *replobj.Group) { groups = append(groups, g) })
+	} else {
+		g, err := cluster.NewGroup(*group, len(list), gopts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		register(g)
+		groups = append(groups, g)
+	}
+
+	// Only this rank's replicas actually start; the others are remote.
+	for _, g := range groups {
+		g.StartRank(*rank)
+	}
+	if *shardCount > 0 {
+		log.Printf("replnode: %s rank %d (%s) serving %d shard groups + directory with %s; ^C to stop",
+			*group, *rank, list[*rank], *shardCount, *sched)
+	} else {
+		log.Printf("replnode: %s rank %d (%s) serving with %s; ^C to stop",
+			*group, *rank, list[*rank], *sched)
+	}
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
 		traces := make(map[string]*obs.Trace)
-		if tr := g.Trace(*rank); tr != nil {
-			traces[fmt.Sprintf("%s/%d", *group, *rank)] = tr
+		for _, g := range groups {
+			if tr := g.Trace(*rank); tr != nil {
+				traces[string(g.Members()[*rank])] = tr
+			}
 		}
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: obs.Handler(metrics, traces, spans)}
 		go func() {
@@ -177,8 +226,12 @@ func main() {
 	// Ordered teardown: stop the replica first (scheduler, group member,
 	// then the TCP endpoint — which closes the listener and every
 	// connection), flush the schedule trace, then the HTTP server.
-	g.Stop()
-	flushTrace(g.Trace(*rank))
+	for _, g := range groups {
+		g.Stop()
+	}
+	for _, g := range groups {
+		flushTrace(g.Trace(*rank))
+	}
 	if *spanDump != "" {
 		dumpSpans(spans, *spanDump)
 	}
@@ -189,6 +242,20 @@ func main() {
 	}
 	rt.Stop()
 	time.Sleep(100 * time.Millisecond)
+}
+
+// splitAddr parses "host:port" with a numeric port, for the sharded
+// port-offset addressing.
+func splitAddr(addr string) (string, int, error) {
+	host, portStr, err := gonet.SplitHostPort(addr)
+	if err != nil {
+		return "", 0, err
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", 0, fmt.Errorf("port %q is not numeric", portStr)
+	}
+	return host, port, nil
 }
 
 // dumpSpans writes the span ring as Chrome trace-event JSON — load the file

@@ -300,6 +300,7 @@ func All(cfg Config) ([]Result, error) {
 		{"memory", MemoryBounds},
 		{"latency-breakdown", LatencyBreakdown},
 		{"scenarios", ProductionScenarios},
+		{"shards", ShardScaleOut},
 	}
 	out := make([]Result, 0, len(exps))
 	for _, e := range exps {
@@ -335,5 +336,6 @@ func Experiments() map[string]func(Config) (Result, error) {
 
 		"latency-breakdown": LatencyBreakdown,
 		"scenarios":         ProductionScenarios,
+		"shards":            ShardScaleOut,
 	}
 }

@@ -42,6 +42,9 @@ type Config struct {
 	// ConflictRatio, when >= 0, restricts the cc-conflict experiment to a
 	// single global-request ratio instead of the default sweep grid.
 	ConflictRatio float64
+	// ShardCounts, when non-empty, overrides the shard-count sweep of the
+	// shards experiment (default {1,2,4,8}).
+	ShardCounts []int
 }
 
 // Defaults returns the standard experiment configuration.
@@ -81,6 +84,9 @@ type Result struct {
 	// Scenarios carries the SLO rows of the production scenario suite
 	// (empty for every other result).
 	Scenarios []ScenarioSLO `json:",omitempty"`
+	// ShardCells carries the aggregate and per-shard rows of the shard
+	// scale-out experiment (empty for every other result).
+	ShardCells []ShardCell `json:",omitempty"`
 }
 
 // Format renders a result as an aligned text table (clients × strategies),
@@ -131,6 +137,23 @@ func (r Result) Format() string {
 		for _, sc := range r.Scenarios {
 			fmt.Fprintf(&b, "%-16s %-12s %8d %10.3f %10.3f %10.3f %9d\n",
 				sc.Scenario, sc.Scheduler, sc.Requests, sc.P50ms, sc.P99ms, sc.P999ms, sc.Switches)
+		}
+	}
+	if len(r.ShardCells) > 0 {
+		fmt.Fprintf(&b, "\n%-16s %-10s %7s %6s %8s %12s %10s %10s %8s\n",
+			"scenario", "scheduler", "shards", "shard", "reqs", "rps", "p50 ms", "p99 ms", "speedup")
+		for _, sc := range r.ShardCells {
+			shardCol := "all"
+			if sc.Shard >= 0 {
+				shardCol = fmt.Sprint(sc.Shard)
+			}
+			speedup := ""
+			if sc.SpeedupVsS1 > 0 {
+				speedup = fmt.Sprintf("%.2fx", sc.SpeedupVsS1)
+			}
+			fmt.Fprintf(&b, "%-16s %-10s %7d %6s %8d %12.1f %10.3f %10.3f %8s\n",
+				sc.Scenario, sc.Scheduler, sc.Shards, shardCol, sc.Requests,
+				sc.ThroughputRPS, sc.P50ms, sc.P99ms, speedup)
 		}
 	}
 	return b.String()

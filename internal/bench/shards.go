@@ -1,0 +1,345 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/shard"
+	"github.com/replobj/replobj/internal/vtime"
+)
+
+// This file implements the shard scale-out experiment: the production
+// scenario workloads of the SLO suite, rerun against a sharded object with
+// S ∈ {1,2,4,8} independent replica groups behind consistent-hash routing.
+// The headline metric flips from latency to aggregate throughput — ops per
+// second of virtual makespan over a barrier-aligned measured phase — with
+// per-shard p50/p99 rows showing the balance of the ring. Every cell also
+// verifies per-shard trace-digest equality across replicas: sharding must
+// not cost any determinism.
+//
+// The scenarios predict the shape: the rate limiter serializes every
+// request inside a shard (SEQ), so shards multiply the only thing that
+// limits it and throughput scales near-linearly; the read-mostly cache
+// serializes only its 5% global writes, scaling in between; the session
+// store is already lane-parallel under ADETS-CC inside one group, so extra
+// shards mostly relieve sequencer pressure.
+
+// Shard scale-out sizing.
+const (
+	// ShardDrivers is the concurrent driver-connection count per cell; each
+	// driver owns a Router and spreads keys uniformly over the shards.
+	ShardDrivers = 24
+	// ShardKeyPool is the number of distinct key classes per shard a cell
+	// draws from (found by ring scan, so load is balanced by construction).
+	ShardKeyPool = 64
+	// shardClassSpace is the conflict-class space the keyed scenarios hash
+	// onto inside each shard group (mirrors ScenarioShards).
+	shardClassSpace = 64
+)
+
+// DefaultShardCounts is the S sweep of the shards experiment.
+var DefaultShardCounts = []int{1, 2, 4, 8}
+
+// ShardCell is one measured (scenario, shard-count[, shard]) row of the
+// scale-out experiment. Shard == -1 is the aggregate row; per-shard rows
+// carry the shard-group index and its local latency quantiles.
+type ShardCell struct {
+	Scenario  string
+	Scheduler string
+	Shards    int
+	Shard     int
+	Requests  int
+	// ThroughputRPS is measured ops per second of virtual makespan
+	// (aggregate rows) or this shard's share of them (per-shard rows).
+	ThroughputRPS float64
+	P50ms         float64
+	P99ms         float64
+	// SpeedupVsS1 is aggregate throughput relative to the same scenario at
+	// S=1 (aggregate rows only).
+	SpeedupVsS1 float64 `json:",omitempty"`
+}
+
+// shardScenario is one workload of the scale-out sweep.
+type shardScenario struct {
+	ID    string
+	Title string
+	Kind  replobj.SchedulerKind
+	// Args builds the op arguments for a key whose hash is kh (the class
+	// byte must derive from the key so classes spread inside each shard).
+	Args func(kh uint64, driver, seq int) []byte
+}
+
+func shardScenarios() []shardScenario {
+	return []shardScenario{
+		{
+			ID:    "rate-limiter",
+			Title: "per-tenant token buckets, fully serialized per shard",
+			Kind:  replobj.SEQ,
+			// Global inside the group: every op conflicts, 1 ms of compute.
+			// The shard count is the only parallelism — the near-linear cell.
+			Args: func(kh uint64, driver, seq int) []byte {
+				return []byte{0, 1, 10}
+			},
+		},
+		{
+			ID:    "read-mostly-kv",
+			Title: "95% classed shard reads, 5% global writes",
+			Kind:  replobj.CC,
+			Args: func(kh uint64, driver, seq int) []byte {
+				if mix(uint64(driver), uint64(seq), 43)%100 < 5 {
+					return []byte{0, 1, 20, 32} // write: global, 2 ms, spans 32 locks
+				}
+				return []byte{byte(kh % 32), 0, 5} // read: classed, 500 µs
+			},
+		},
+		{
+			ID:    "session-store",
+			Title: "per-session ops, fully classed (lane-parallel inside a shard)",
+			Kind:  replobj.CC,
+			Args: func(kh uint64, driver, seq int) []byte {
+				return []byte{byte(kh % shardClassSpace), 0, 10} // classed, 1 ms
+			},
+		},
+	}
+}
+
+// shardKeyPools scans candidate keys against the ring of (object, S) until
+// every shard owns ShardKeyPool key classes. The pools are a pure function
+// of the table, so drivers, replicas and this scan all agree on homes.
+func shardKeyPools(object string, s int) [][]string {
+	table := shard.NewTable(object, s, 0)
+	ring := shard.NewRing(table)
+	index := make(map[replobj.GroupID]int, s)
+	for i, gid := range table.Shards {
+		index[gid] = i
+	}
+	pools := make([][]string, s)
+	filled := 0
+	for i := 0; filled < s; i++ {
+		key := fmt.Sprintf("k%d", i)
+		si := index[ring.HomeGroup(key)]
+		if len(pools[si]) >= ShardKeyPool {
+			continue
+		}
+		pools[si] = append(pools[si], key)
+		if len(pools[si]) == ShardKeyPool {
+			filled++
+		}
+	}
+	return pools
+}
+
+// keyHash is the stable per-key hash the scenarios derive class bytes
+// from; any mixing works as long as every replica sees the same bytes —
+// the args travel with the request.
+func keyHash(key string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+type shardDriverOut struct {
+	durs   []time.Duration
+	shards []int
+	err    error
+}
+
+// runShardCell measures one (scenario, S) cell and returns the aggregate
+// row followed by the per-shard rows.
+func runShardCell(cfg Config, sc shardScenario, s int) ([]ShardCell, error) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	copts := []replobj.ClusterOption{replobj.WithLatency(cfg.Latency)}
+	if cfg.Metrics != nil {
+		copts = append(copts, replobj.WithMetrics(cfg.Metrics))
+	}
+	c := replobj.NewCluster(rt, copts...)
+	pools := shardKeyPools(sc.ID, s)
+
+	var outs []shardDriverOut
+	var makespan time.Duration
+	var firstErr error
+	vtime.Run(rt, "shards-main", func() {
+		defer c.Close()
+		opts := append(groupOpts(sc.Kind, ShardDrivers),
+			replobj.WithShards(s),
+			replobj.WithState(func() any { return scenarioObject{} }),
+			replobj.WithSchedTrace(0))
+		if sc.Kind == replobj.CC {
+			opts = append(opts, replobj.WithCCLanes(ScenarioLanes))
+		}
+		so, err := c.NewSharded(sc.ID, cfg.Replicas, opts...)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		so.EachShard(func(i int, g *replobj.Group) { registerScenarioObject(g) })
+		so.Start()
+
+		ready := vtime.NewMailbox[bool](rt, "shards-ready")
+		start := make([]*vtime.Mailbox[bool], ShardDrivers)
+		for i := range start {
+			start[i] = vtime.NewMailbox[bool](rt, fmt.Sprintf("shards-start-%d", i))
+		}
+		done := vtime.NewMailbox[shardDriverOut](rt, "shards-done")
+		for i := 0; i < ShardDrivers; i++ {
+			i := i
+			rt.Go(fmt.Sprintf("shards-driver-%d", i), func() {
+				cl := c.NewClient(fmt.Sprintf("d%d", i),
+					replobj.WithReplyPolicy(cfg.Policy),
+					replobj.WithInvocationTimeout(5*time.Minute))
+				r := cl.Router(sc.ID)
+				op := func(seq int) (int, error) {
+					si := int(mix(uint64(i), uint64(seq), 51) % uint64(s))
+					key := pools[si][mix(uint64(i), uint64(seq), 53)%ShardKeyPool]
+					args := sc.Args(keyHash(key), i, seq)
+					_, err := r.Invoke("op", args, replobj.WithShardKey(key))
+					return si, err
+				}
+				out := shardDriverOut{}
+				for seq := 0; seq < cfg.Warmup; seq++ {
+					if _, err := op(seq); err != nil {
+						out.err = err
+						break
+					}
+				}
+				ready.Put(true)
+				start[i].Get()
+				if out.err == nil {
+					for seq := 0; seq < cfg.PerClient; seq++ {
+						t0 := rt.Now()
+						si, err := op(cfg.Warmup + seq)
+						if err != nil {
+							out.err = err
+							break
+						}
+						out.durs = append(out.durs, rt.Now()-t0)
+						out.shards = append(out.shards, si)
+					}
+				}
+				done.Put(out)
+			})
+		}
+		// Barrier-aligned measured phase: makespan covers exactly the window
+		// in which every driver runs its measured ops.
+		for i := 0; i < ShardDrivers; i++ {
+			ready.Get()
+		}
+		t0 := rt.Now()
+		for i := range start {
+			start[i].Put(true)
+		}
+		for i := 0; i < ShardDrivers; i++ {
+			out, _ := done.Get()
+			if out.err != nil && firstErr == nil {
+				firstErr = out.err
+			}
+			outs = append(outs, out)
+		}
+		makespan = rt.Now() - t0
+
+		// Determinism oracle: inside every shard group the replicas took the
+		// same schedule, position for position.
+		if firstErr == nil {
+			so.EachShard(func(i int, g *replobj.Group) {
+				ref := g.Trace(0)
+				if cnt, _ := ref.Digest("order"); cnt == 0 {
+					firstErr = fmt.Errorf("shards %s S=%d: shard %d ordered nothing", sc.ID, s, i)
+					return
+				}
+				for rank := 1; rank < cfg.Replicas; rank++ {
+					if d := replobj.FirstTraceDivergence(ref, g.Trace(rank)); d != nil && firstErr == nil {
+						firstErr = fmt.Errorf("shards %s S=%d: shard %d rank %d diverged from rank 0: %v",
+							sc.ID, s, i, rank, d)
+					}
+				}
+			})
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	perShard := make([][]time.Duration, s)
+	var all []time.Duration
+	for _, out := range outs {
+		for j, d := range out.durs {
+			perShard[out.shards[j]] = append(perShard[out.shards[j]], d)
+			all = append(all, d)
+		}
+	}
+	if len(all) == 0 || makespan <= 0 {
+		return nil, fmt.Errorf("shards %s S=%d: no samples collected", sc.ID, s)
+	}
+	secs := makespan.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	cells := []ShardCell{{
+		Scenario:      sc.ID,
+		Scheduler:     string(sc.Kind),
+		Shards:        s,
+		Shard:         -1,
+		Requests:      len(all),
+		ThroughputRPS: float64(len(all)) / secs,
+		P50ms:         quantileMS(all, 0.50),
+		P99ms:         quantileMS(all, 0.99),
+	}}
+	for i, durs := range perShard {
+		if len(durs) == 0 {
+			return nil, fmt.Errorf("shards %s S=%d: shard %d served no measured ops", sc.ID, s, i)
+		}
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		cells = append(cells, ShardCell{
+			Scenario:      sc.ID,
+			Scheduler:     string(sc.Kind),
+			Shards:        s,
+			Shard:         i,
+			Requests:      len(durs),
+			ThroughputRPS: float64(len(durs)) / secs,
+			P50ms:         quantileMS(durs, 0.50),
+			P99ms:         quantileMS(durs, 0.99),
+		})
+	}
+	return cells, nil
+}
+
+// ShardScaleOut runs the scale-out sweep: every shard scenario at every
+// shard count. The figure plots aggregate throughput per shard count; the
+// full rows (per-shard quantiles, speedups) ride Result.ShardCells.
+func ShardScaleOut(cfg Config) (Result, error) {
+	counts := cfg.ShardCounts
+	if len(counts) == 0 {
+		counts = DefaultShardCounts
+	}
+	res := Result{
+		ID:     "shards",
+		Title:  "Shard scale-out — aggregate throughput vs shard count (consistent-hash routing)",
+		XLabel: "shards",
+		YLabel: "requests/s",
+	}
+	for _, sc := range shardScenarios() {
+		series := Series{Label: sc.ID}
+		baseline := 0.0
+		for _, s := range counts {
+			cells, err := runShardCell(cfg, sc, s)
+			if err != nil {
+				return res, err
+			}
+			agg := cells[0]
+			if s == 1 {
+				baseline = agg.ThroughputRPS
+			}
+			if baseline > 0 {
+				cells[0].SpeedupVsS1 = agg.ThroughputRPS / baseline
+			}
+			res.ShardCells = append(res.ShardCells, cells...)
+			series.Points = append(series.Points, Point{X: float64(s), Y: agg.ThroughputRPS})
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}

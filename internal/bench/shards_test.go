@@ -1,0 +1,60 @@
+package bench
+
+import "testing"
+
+// TestShardScaleOutSpeedup pins the headline claim of the scale-out
+// experiment: the serialization-bound scenario (rate-limiter under SEQ)
+// must gain at least 3x aggregate throughput at S=4, and no scenario may
+// lose throughput from sharding. Determinism is checked inside every cell
+// (per-shard trace-digest equality) — a divergence fails the run itself.
+func TestShardScaleOutSpeedup(t *testing.T) {
+	cfg := Defaults()
+	cfg.PerClient = 20
+	cfg.Warmup = 3
+	if testing.Short() {
+		cfg.PerClient = 10
+		cfg.Warmup = 2
+	}
+	cfg.ShardCounts = []int{1, 4}
+	res, err := ShardScaleOut(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agg := func(scenario string, s int) (ShardCell, bool) {
+		for _, c := range res.ShardCells {
+			if c.Scenario == scenario && c.Shards == s && c.Shard == -1 {
+				return c, true
+			}
+		}
+		return ShardCell{}, false
+	}
+	rl, ok := agg("rate-limiter", 4)
+	if !ok {
+		t.Fatal("no aggregate rate-limiter S=4 cell")
+	}
+	if rl.SpeedupVsS1 < 3.0 {
+		t.Errorf("rate-limiter speedup at S=4 = %.2fx, want >= 3x\n%s", rl.SpeedupVsS1, res.Format())
+	}
+	for _, sc := range []string{"rate-limiter", "read-mostly-kv", "session-store"} {
+		c, ok := agg(sc, 4)
+		if !ok {
+			t.Fatalf("no aggregate %s S=4 cell", sc)
+		}
+		if c.SpeedupVsS1 < 0.95 {
+			t.Errorf("%s lost throughput from sharding: %.2fx", sc, c.SpeedupVsS1)
+		}
+		// Per-shard rows exist and every shard served measured traffic.
+		for i := 0; i < 4; i++ {
+			found := false
+			for _, cell := range res.ShardCells {
+				if cell.Scenario == sc && cell.Shards == 4 && cell.Shard == i {
+					found = cell.Requests > 0
+				}
+			}
+			if !found {
+				t.Errorf("%s S=4: shard %d row missing or empty", sc, i)
+			}
+		}
+	}
+}

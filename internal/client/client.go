@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/obs"
 	"github.com/replobj/replobj/internal/obs/tracing"
 	"github.com/replobj/replobj/internal/replica"
 	"github.com/replobj/replobj/internal/transport"
@@ -76,6 +77,10 @@ type Config struct {
 	// wire, and the client records the root "rtt" span plus one "reply"
 	// span per replica answer.
 	Spans *tracing.Collector
+	// Metrics, when non-nil, receives the client-side shard routing series
+	// (routed/redirect/cross counters, directory epoch gauge) from Routers
+	// created off this client.
+	Metrics *obs.Registry
 }
 
 // Client is a replication-aware stub. Safe for use by one goroutine at a
@@ -89,6 +94,7 @@ type Client struct {
 	timeout time.Duration
 	retry   time.Duration
 	spans   *tracing.Collector
+	metrics *obs.Registry
 
 	// guarded by the runtime lock
 	calls   map[wire.InvocationID]*call
@@ -121,6 +127,7 @@ func New(cfg Config) *Client {
 		timeout: cfg.Timeout,
 		retry:   cfg.Retransmit,
 		spans:   cfg.Spans,
+		metrics: cfg.Metrics,
 		calls:   make(map[wire.InvocationID]*call),
 	}
 	c.ep = cfg.Network.Endpoint(c.self)
@@ -186,12 +193,27 @@ func (c *Client) recvLoop() {
 // reply policy is satisfied or the timeout expires. It must run on a
 // tracked goroutine.
 func (c *Client) Invoke(group wire.GroupID, method string, args []byte) ([]byte, error) {
-	cl, members, err := c.invoke(group, method, args, -1)
+	best, err := c.invokeReply(group, method, args, nil)
 	if err != nil {
 		return nil, err
 	}
-	// Pick the answer deterministically: all correct replicas return the
-	// same result; take the lowest-ranked responder for stability.
+	if best.Err != "" {
+		return nil, errors.New(best.Err)
+	}
+	return best.Result, nil
+}
+
+// invokeReply runs an invocation and returns the deterministically chosen
+// reply — the lowest-ranked responder; all correct replicas answer
+// identically. Unlike Invoke it surfaces the whole Reply, which the shard
+// Router needs: a wrong-shard redirect is an application-level Err plus
+// the replica's current ShardEpoch. mod, when non-nil, edits the request
+// before submission (the Router stamps shard routing fields with it).
+func (c *Client) invokeReply(group wire.GroupID, method string, args []byte, mod func(*replica.Request)) (replica.Reply, error) {
+	cl, members, err := c.invoke(group, method, args, -1, mod)
+	if err != nil {
+		return replica.Reply{}, err
+	}
 	c.rt.Lock()
 	var best *replica.Reply
 	for _, m := range members {
@@ -202,18 +224,15 @@ func (c *Client) Invoke(group wire.GroupID, method string, args []byte) ([]byte,
 	}
 	c.rt.Unlock()
 	if best == nil {
-		return nil, errors.New("client: no reply recorded")
+		return replica.Reply{}, errors.New("client: no reply recorded")
 	}
-	if best.Err != "" {
-		return nil, errors.New(best.Err)
-	}
-	return best.Result, nil
+	return *best, nil
 }
 
 // InvokeAll waits for every replica's reply (policy All for this call) and
 // returns them per node — used by consistency checks and tooling.
 func (c *Client) InvokeAll(group wire.GroupID, method string, args []byte) (map[wire.NodeID]replica.Reply, error) {
-	cl, _, err := c.invoke(group, method, args, len(c.dir.Members(group)))
+	cl, _, err := c.invoke(group, method, args, len(c.dir.Members(group)), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -227,8 +246,9 @@ func (c *Client) InvokeAll(group wire.GroupID, method string, args []byte) (map[
 }
 
 // invoke runs the request/retransmit/collect loop until `need` replies
-// arrived (need < 0 applies the configured policy).
-func (c *Client) invoke(group wire.GroupID, method string, args []byte, need int) (*call, []wire.NodeID, error) {
+// arrived (need < 0 applies the configured policy). mod, when non-nil,
+// edits the request before submission.
+func (c *Client) invoke(group wire.GroupID, method string, args []byte, need int, mod func(*replica.Request)) (*call, []wire.NodeID, error) {
 	members := c.dir.Members(group)
 	if len(members) == 0 {
 		return nil, nil, fmt.Errorf("client: unknown group %q", group)
@@ -268,6 +288,13 @@ func (c *Client) invoke(group wire.GroupID, method string, args []byte, need int
 		Kind:    replica.KindClient,
 		ReplyTo: c.self,
 		Trace:   cl.ctx,
+	}
+	if mod != nil {
+		mod(&req)
+	}
+	shardLabel := ""
+	if req.ShardEpoch != 0 {
+		shardLabel = string(group)
 	}
 	sub := gcs.Submit{Group: group, ID: id.String(), Origin: c.self, Payload: req}
 	send := func() {
@@ -317,6 +344,7 @@ func (c *Client) invoke(group wire.GroupID, method string, args []byte, need int
 			ID:     cl.ctx.TraceID, // root span: id == trace id
 			Name:   "rtt",
 			Node:   string(c.self),
+			Shard:  shardLabel,
 			Detail: string(group) + "." + method,
 			Start:  cl.t0,
 			Dur:    end - cl.t0,

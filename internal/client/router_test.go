@@ -1,0 +1,306 @@
+package client
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/replica"
+	"github.com/replobj/replobj/internal/shard"
+	"github.com/replobj/replobj/internal/transport"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// fakeShardWorld simulates a sharded object at the protocol level — a
+// directory replica serving encoded tables and one fake replica per shard
+// group that validates the stamped epoch exactly as a real replica does —
+// enough to unit-test the Router's refresh/redirect/backoff loop in
+// isolation.
+type fakeShardWorld struct {
+	rt  vtime.Runtime
+	net *transport.Inproc
+	eps []transport.Endpoint
+
+	// guarded by the runtime lock
+	table     shard.Table             // what the directory serves
+	installed map[wire.GroupID]uint64 // per shard group epoch
+	attempts  map[wire.GroupID]int    // routed-request deliveries per group
+}
+
+func newFakeShardWorld(t *testing.T, rt vtime.Runtime, net *transport.Inproc, shards int) *fakeShardWorld {
+	t.Helper()
+	w := &fakeShardWorld{
+		rt:        rt,
+		net:       net,
+		table:     shard.NewTable("o", shards, 0),
+		installed: make(map[wire.GroupID]uint64),
+		attempts:  make(map[wire.GroupID]int),
+	}
+	for _, gid := range w.table.Shards {
+		w.installed[gid] = w.table.Epoch
+	}
+
+	dirID := wire.ReplicaID(shard.DirGroup("o"), 0)
+	dirEP := net.Endpoint(dirID)
+	w.eps = append(w.eps, dirEP)
+	rt.Go("fake/"+string(dirID), func() {
+		for {
+			msg, ok := dirEP.Recv()
+			if !ok {
+				return
+			}
+			req, ok := submitRequest(msg.Payload)
+			if !ok {
+				continue
+			}
+			rt.Lock()
+			enc := w.table.Encode()
+			rt.Unlock()
+			dirEP.Send(req.ReplyTo, replica.Reply{ID: req.ID, From: dirID, Result: enc})
+		}
+	})
+
+	for _, gid := range w.table.Shards {
+		gid := gid
+		id := wire.ReplicaID(gid, 0)
+		ep := net.Endpoint(id)
+		w.eps = append(w.eps, ep)
+		rt.Go("fake/"+string(id), func() {
+			for {
+				msg, ok := ep.Recv()
+				if !ok {
+					return
+				}
+				req, ok := submitRequest(msg.Payload)
+				if !ok {
+					continue
+				}
+				rt.Lock()
+				w.attempts[gid]++
+				epoch := w.installed[gid]
+				rt.Unlock()
+				rep := replica.Reply{ID: req.ID, From: id}
+				if req.ShardEpoch != epoch {
+					rep.Err = shard.RedirectError(epoch, req.ShardKey, gid)
+					rep.ShardEpoch = epoch
+				} else {
+					rep.Result = []byte("ok@" + string(gid))
+				}
+				ep.Send(req.ReplyTo, rep)
+			}
+		})
+	}
+	return w
+}
+
+func submitRequest(payload any) (replica.Request, bool) {
+	sub, ok := payload.(gcs.Submit)
+	if !ok {
+		return replica.Request{}, false
+	}
+	req, ok := sub.Payload.(replica.Request)
+	return req, ok
+}
+
+func (w *fakeShardWorld) close() {
+	for _, ep := range w.eps {
+		ep.Close()
+	}
+}
+
+func (w *fakeShardWorld) directory() *replica.Directory {
+	d := replica.NewDirectory()
+	d.Add(shard.DirGroup("o"), []wire.NodeID{wire.ReplicaID(shard.DirGroup("o"), 0)})
+	for _, gid := range w.table.Shards {
+		d.Add(gid, []wire.NodeID{wire.ReplicaID(gid, 0)})
+	}
+	return d
+}
+
+// advanceEpoch installs the next-epoch table in the directory and,
+// optionally, in the shard groups.
+func (w *fakeShardWorld) advanceEpoch(vnodes int, installInShards bool) {
+	w.rt.Lock()
+	w.table = w.table.Next(vnodes)
+	if installInShards {
+		for _, gid := range w.table.Shards {
+			w.installed[gid] = w.table.Epoch
+		}
+	}
+	w.rt.Unlock()
+}
+
+func newRouterClient(w *fakeShardWorld) *Client {
+	return New(Config{
+		RT: w.rt, Name: "c1", Directory: w.directory(), Network: w.net,
+		Policy: First, Timeout: 5 * time.Second,
+	})
+}
+
+func TestRouterRoutesToHome(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	net := transport.NewInproc(rt)
+	w := newFakeShardWorld(t, rt, net, 2)
+	c := newRouterClient(w)
+	vtime.Run(rt, "main", func() {
+		defer w.close()
+		defer c.Close()
+		r := c.Router("o")
+		out, err := r.Invoke("m", nil, WithShardKey("k1"))
+		if err != nil {
+			t.Fatalf("Invoke: %v", err)
+		}
+		home, _ := r.Home("k1")
+		if string(out) != "ok@"+string(home) {
+			t.Errorf("Invoke answered by %q, ring says home is %q", out, home)
+		}
+		if r.Epoch() != 1 {
+			t.Errorf("Epoch = %d, want 1", r.Epoch())
+		}
+		rt.Lock()
+		other := 0
+		for gid, n := range w.attempts {
+			if gid != home {
+				other += n
+			}
+		}
+		rt.Unlock()
+		if other != 0 {
+			t.Errorf("%d requests hit non-home shards", other)
+		}
+	})
+}
+
+func TestRouterRequiresShardKey(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	net := transport.NewInproc(rt)
+	w := newFakeShardWorld(t, rt, net, 2)
+	c := newRouterClient(w)
+	vtime.Run(rt, "main", func() {
+		defer w.close()
+		defer c.Close()
+		if _, err := c.Router("o").Invoke("m", nil); err == nil {
+			t.Error("Invoke without WithShardKey succeeded")
+		}
+	})
+}
+
+// TestRouterStaleEpochRedirect: the world moves to epoch 2 after the
+// router cached epoch 1. The routed invoke must be redirected exactly
+// once, back off in virtual time, refresh, and succeed on the retry.
+func TestRouterStaleEpochRedirect(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	net := transport.NewInproc(rt)
+	w := newFakeShardWorld(t, rt, net, 2)
+	c := newRouterClient(w)
+	vtime.Run(rt, "main", func() {
+		defer w.close()
+		defer c.Close()
+		r := c.Router("o").WithRedirectBackoff(10 * time.Millisecond)
+		if err := r.Refresh(); err != nil {
+			t.Fatalf("Refresh: %v", err)
+		}
+		w.advanceEpoch(128, true)
+
+		t0 := rt.Now()
+		if _, err := r.Invoke("m", nil, WithShardKey("k1")); err != nil {
+			t.Fatalf("Invoke after epoch bump: %v", err)
+		}
+		if r.Epoch() != 2 {
+			t.Errorf("Epoch after redirect = %d, want 2", r.Epoch())
+		}
+		if waited := rt.Now() - t0; waited < 10*time.Millisecond {
+			t.Errorf("redirect retried after %v, before the 10ms backoff", waited)
+		}
+		rt.Lock()
+		total := 0
+		for _, n := range w.attempts {
+			total += n
+		}
+		rt.Unlock()
+		// One redirected attempt plus one successful retry (homes may move
+		// across the epoch bump, but each attempt is a single delivery under
+		// policy First with one replica per group).
+		if total != 2 {
+			t.Errorf("shard deliveries = %d, want 2 (one redirect, one retry)", total)
+		}
+	})
+}
+
+// TestRouterGivesUpAfterMaxRedirects: the directory keeps serving epoch 1
+// while the shards installed epoch 2 — refresh never converges, so the
+// router must stop after its redirect budget with a descriptive error.
+func TestRouterGivesUpAfterMaxRedirects(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	net := transport.NewInproc(rt)
+	w := newFakeShardWorld(t, rt, net, 2)
+	c := newRouterClient(w)
+	vtime.Run(rt, "main", func() {
+		defer w.close()
+		defer c.Close()
+		r := c.Router("o").WithMaxRedirects(2).WithRedirectBackoff(time.Millisecond)
+		if err := r.Refresh(); err != nil {
+			t.Fatalf("Refresh: %v", err)
+		}
+		// Shards move on; the directory stays stale (installInShards only).
+		rt.Lock()
+		for _, gid := range w.table.Shards {
+			w.installed[gid] = 2
+		}
+		rt.Unlock()
+
+		_, err := r.Invoke("m", nil, WithShardKey("k1"))
+		if err == nil {
+			t.Fatal("Invoke succeeded against permanently mismatched epochs")
+		}
+		if !strings.Contains(err.Error(), "wrong-shard redirects") {
+			t.Errorf("error %q does not mention redirects", err)
+		}
+		rt.Lock()
+		total := 0
+		for _, n := range w.attempts {
+			total += n
+		}
+		rt.Unlock()
+		if total != 3 {
+			t.Errorf("shard deliveries = %d, want 3 (initial + 2 redirect retries)", total)
+		}
+	})
+}
+
+// TestRouterBackoffIsBoundedAndDoubles pins the backoff schedule: 2ms, 4ms,
+// 8ms... capped at 100ms, all in virtual time.
+func TestRouterBackoffDoubles(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	net := transport.NewInproc(rt)
+	w := newFakeShardWorld(t, rt, net, 2)
+	c := newRouterClient(w)
+	vtime.Run(rt, "main", func() {
+		defer w.close()
+		defer c.Close()
+		r := c.Router("o").WithMaxRedirects(3).WithRedirectBackoff(4 * time.Millisecond)
+		if err := r.Refresh(); err != nil {
+			t.Fatalf("Refresh: %v", err)
+		}
+		rt.Lock()
+		for _, gid := range w.table.Shards {
+			w.installed[gid] = 2
+		}
+		rt.Unlock()
+		t0 := rt.Now()
+		if _, err := r.Invoke("m", nil, WithShardKey("k1")); err == nil {
+			t.Fatal("Invoke succeeded against permanently mismatched epochs")
+		}
+		// 3 retries → backoffs 4 + 8 + 16 = 28ms of virtual sleep at least.
+		if waited := rt.Now() - t0; waited < 28*time.Millisecond {
+			t.Errorf("total backoff %v, want >= 28ms (4+8+16)", waited)
+		}
+	})
+}

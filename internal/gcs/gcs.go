@@ -290,6 +290,11 @@ type Config struct {
 	// Spans, when non-nil, records ordering-stage spans ("order",
 	// "seq.batch") for traced payloads.
 	Spans *tracing.Collector
+
+	// Shard, when non-empty, labels this member's spans with its shard
+	// group id so per-stage latency decomposes per shard under multi-group
+	// hosting. Plain (unsharded) groups leave it empty.
+	Shard string
 }
 
 func (c *Config) applyDefaults() {

@@ -472,6 +472,7 @@ func (m *Member) flushBatchLocked(act *actions) {
 					Parent: ctx.Span,
 					Name:   "seq.batch",
 					Node:   string(m.cfg.Self),
+					Shard:  m.cfg.Shard,
 					Start:  batchAt[i],
 					Dur:    now - batchAt[i],
 				})
@@ -612,6 +613,7 @@ func (m *Member) deliverLocked(o Ordered, act *actions) {
 					Parent: ctx.Span,
 					Name:   "order",
 					Node:   string(m.cfg.Self),
+					Shard:  m.cfg.Shard,
 					Seq:    o.Seq,
 					Start:  start,
 					Dur:    now - start,

@@ -32,10 +32,21 @@ type Stats struct {
 // NewStats builds the member's metric set in reg, labelling every series
 // with the node ID. A nil registry yields nil (all recordings no-op).
 func NewStats(reg *obs.Registry, node string) *Stats {
+	return newStats(reg, `{node="`+node+`"}`)
+}
+
+// NewStatsGrouped is the multi-group hosting form of NewStats: one process
+// hosts many members (a sharded object's groups plus its directory), and
+// the extra shard label lets dashboards slice the same series per shard
+// group instead of prying the group out of the node id.
+func NewStatsGrouped(reg *obs.Registry, node, shard string) *Stats {
+	return newStats(reg, `{node="`+node+`",shard="`+shard+`"}`)
+}
+
+func newStats(reg *obs.Registry, label string) *Stats {
 	if reg == nil {
 		return nil
 	}
-	label := `{node="` + node + `"}`
 	return &Stats{
 		Broadcasts:         reg.Counter("replobj_gcs_broadcasts_total" + label),
 		Delivered:          reg.Counter("replobj_gcs_delivered_total" + label),

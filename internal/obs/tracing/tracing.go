@@ -106,6 +106,7 @@ type Span struct {
 	Parent uint64        `json:"parent,omitempty"`
 	Name   string        `json:"name"`
 	Node   string        `json:"node"`
+	Shard  string        `json:"shard,omitempty"`
 	Detail string        `json:"detail,omitempty"`
 	Seq    uint64        `json:"seq,omitempty"`
 	Start  time.Duration `json:"start_ns"`
@@ -350,6 +351,9 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		}
 		if sp.Parent != 0 {
 			args["parent"] = fmt.Sprintf("%016x", sp.Parent)
+		}
+		if sp.Shard != "" {
+			args["shard"] = sp.Shard
 		}
 		if sp.Detail != "" {
 			args["detail"] = sp.Detail

@@ -17,17 +17,39 @@ import (
 // tags 22/23, which append the two context words after the base fields.
 // Untraced values keep tags 20/21 with the exact pre-tracing byte layout,
 // so mixed-version peers interoperate as long as tracing stays off.
+//
+// Shard-routed traffic takes tags 24–26: 24 appends the routing epoch,
+// the shard key and the trace words to a request; 25 additionally carries
+// the cross-shard key list; 26 appends a reply's shard epoch and trace
+// words. The variant predicates are mutually exclusive (a value matches
+// exactly one tag), so the canonical-encoding invariant — decode then
+// re-encode is byte-stable — holds regardless of registration order.
 
 const (
 	tagRequest       = 20
 	tagReply         = 21
 	tagRequestTraced = 22
 	tagReplyTraced   = 23
+	tagRequestShard  = 24
+	tagRequestCross  = 25
+	tagReplyShard    = 26
 )
 
 // errUntracedVariant rejects traced-tag frames whose context is zero —
 // the canonical encoding of those values is the untraced tag.
 var errUntracedVariant = errors.New("replica: traced payload tag without trace id")
+
+// errUnshardedVariant rejects shard-tag frames without shard fields — the
+// canonical encoding of those values is tag 20/22 (or 21/23 for replies).
+var errUnshardedVariant = errors.New("replica: shard payload tag without shard fields")
+
+// maxCrossKeys bounds the cross-shard key list a frame may carry: sanity
+// against hostile or corrupted length prefixes.
+const maxCrossKeys = 1 << 12
+
+func requestSharded(q Request) bool {
+	return q.ShardEpoch != 0 || q.ShardKey != ""
+}
 
 func init() {
 	wire.RegisterBinaryPayload(tagRequest, Request{},
@@ -39,7 +61,10 @@ func init() {
 			return decRequestFields(r)
 		})
 	wire.RegisterBinaryPayloadVariant(tagRequestTraced, Request{},
-		func(v any) bool { return v.(Request).Trace.Valid() },
+		func(v any) bool {
+			q := v.(Request)
+			return q.Trace.Valid() && !requestSharded(q) && len(q.CrossKeys) == 0
+		},
 		func(b *wire.Buffer, v any) error {
 			q := v.(Request)
 			encRequestFields(b, q)
@@ -65,6 +90,82 @@ func init() {
 			}
 			return q, nil
 		})
+	wire.RegisterBinaryPayloadVariant(tagRequestShard, Request{},
+		func(v any) bool {
+			q := v.(Request)
+			return requestSharded(q) && len(q.CrossKeys) == 0
+		},
+		func(b *wire.Buffer, v any) error {
+			q := v.(Request)
+			encRequestFields(b, q)
+			b.Uvarint(q.ShardEpoch)
+			b.String(q.ShardKey)
+			b.Uvarint(q.Trace.TraceID)
+			b.Uvarint(q.Trace.Span)
+			return nil
+		},
+		func(r *wire.Reader) (any, error) {
+			q, err := decRequestShardFields(r)
+			if err != nil {
+				return nil, err
+			}
+			if !requestSharded(q) {
+				// Canonical form: without shard fields this is a 20/22 frame.
+				return nil, errUnshardedVariant
+			}
+			return q, nil
+		})
+	wire.RegisterBinaryPayloadVariant(tagRequestCross, Request{},
+		func(v any) bool { return len(v.(Request).CrossKeys) > 0 },
+		func(b *wire.Buffer, v any) error {
+			q := v.(Request)
+			encRequestFields(b, q)
+			b.Uvarint(q.ShardEpoch)
+			b.String(q.ShardKey)
+			b.Uvarint(uint64(len(q.CrossKeys)))
+			for _, k := range q.CrossKeys {
+				b.String(k)
+			}
+			b.Uvarint(q.Trace.TraceID)
+			b.Uvarint(q.Trace.Span)
+			return nil
+		},
+		func(r *wire.Reader) (any, error) {
+			q, err := decRequestFields(r)
+			if err != nil {
+				return nil, err
+			}
+			if q.ShardEpoch, err = r.Uvarint(); err != nil {
+				return nil, err
+			}
+			if q.ShardKey, err = r.String(); err != nil {
+				return nil, err
+			}
+			n, err := r.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				// Canonical form: no cross keys belongs on tag 24 (or 20/22).
+				return nil, errUnshardedVariant
+			}
+			if n > maxCrossKeys {
+				return nil, errors.New("replica: implausible cross-shard key count")
+			}
+			q.CrossKeys = make([]string, n)
+			for i := range q.CrossKeys {
+				if q.CrossKeys[i], err = r.String(); err != nil {
+					return nil, err
+				}
+			}
+			if q.Trace.TraceID, err = r.Uvarint(); err != nil {
+				return nil, err
+			}
+			if q.Trace.Span, err = r.Uvarint(); err != nil {
+				return nil, err
+			}
+			return q, nil
+		})
 	wire.RegisterBinaryPayload(tagReply, Reply{},
 		func(b *wire.Buffer, v any) error {
 			encReplyFields(b, v.(Reply))
@@ -74,7 +175,10 @@ func init() {
 			return decReplyFields(r)
 		})
 	wire.RegisterBinaryPayloadVariant(tagReplyTraced, Reply{},
-		func(v any) bool { return v.(Reply).Trace.Valid() },
+		func(v any) bool {
+			p := v.(Reply)
+			return p.Trace.Valid() && p.ShardEpoch == 0
+		},
 		func(b *wire.Buffer, v any) error {
 			p := v.(Reply)
 			encReplyFields(b, p)
@@ -98,6 +202,58 @@ func init() {
 			}
 			return p, nil
 		})
+	wire.RegisterBinaryPayloadVariant(tagReplyShard, Reply{},
+		func(v any) bool { return v.(Reply).ShardEpoch != 0 },
+		func(b *wire.Buffer, v any) error {
+			p := v.(Reply)
+			encReplyFields(b, p)
+			b.Uvarint(p.ShardEpoch)
+			b.Uvarint(p.Trace.TraceID)
+			b.Uvarint(p.Trace.Span)
+			return nil
+		},
+		func(r *wire.Reader) (any, error) {
+			p, err := decReplyFields(r)
+			if err != nil {
+				return nil, err
+			}
+			if p.ShardEpoch, err = r.Uvarint(); err != nil {
+				return nil, err
+			}
+			if p.Trace.TraceID, err = r.Uvarint(); err != nil {
+				return nil, err
+			}
+			if p.Trace.Span, err = r.Uvarint(); err != nil {
+				return nil, err
+			}
+			if p.ShardEpoch == 0 {
+				// Canonical form: epoch-less replies belong on tags 21/23.
+				return nil, errUnshardedVariant
+			}
+			return p, nil
+		})
+}
+
+// decRequestShardFields decodes a tag-24 frame: base fields, shard epoch,
+// shard key, trace words.
+func decRequestShardFields(r *wire.Reader) (Request, error) {
+	q, err := decRequestFields(r)
+	if err != nil {
+		return q, err
+	}
+	if q.ShardEpoch, err = r.Uvarint(); err != nil {
+		return q, err
+	}
+	if q.ShardKey, err = r.String(); err != nil {
+		return q, err
+	}
+	if q.Trace.TraceID, err = r.Uvarint(); err != nil {
+		return q, err
+	}
+	if q.Trace.Span, err = r.Uvarint(); err != nil {
+		return q, err
+	}
+	return q, nil
 }
 
 func encRequestFields(b *wire.Buffer, q Request) {

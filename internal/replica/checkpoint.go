@@ -8,6 +8,7 @@ import (
 	"github.com/replobj/replobj/internal/adets"
 	"github.com/replobj/replobj/internal/gcs"
 	"github.com/replobj/replobj/internal/obs"
+	"github.com/replobj/replobj/internal/shard"
 	"github.com/replobj/replobj/internal/vtime"
 	"github.com/replobj/replobj/internal/wire"
 )
@@ -58,6 +59,10 @@ type snapshotEnvelope struct {
 	// — the adaptive meta-scheduler's epoch, window and active kind), nil
 	// for stateless schedulers.
 	Sched []byte
+	// Shard carries the encoded shard routing table installed at the
+	// checkpoint (nil on unsharded groups), so a rejoiner restored past a
+	// truncated EpochMethod delivery still adopts the donor's epoch.
+	Shard []byte
 }
 
 // checkpoint runs at a checkpoint boundary (stream position seq, the
@@ -113,6 +118,9 @@ func (r *Replica) checkpoint(seq uint64) {
 			return // deterministic: the same state fails on every replica
 		}
 		env.Sched = sched
+	}
+	if r.shard != nil {
+		env.Shard = r.shard.Current().Table.Encode()
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
@@ -231,8 +239,15 @@ func (r *Replica) installSnapshot(d gcs.Delivery) {
 	r.nested = make(map[wire.InvocationID]*nestedCall)
 	r.earlyReplies = make(map[wire.InvocationID]Reply)
 	r.nestedWaiting = make(map[wire.LogicalID]int)
-	r.pendingCallbacks = make(map[wire.LogicalID][]Request)
+	r.pendingCallbacks = make(map[wire.LogicalID][]pendingCallback)
 	r.rt.Unlock()
+	if r.shard != nil && len(env.Shard) > 0 {
+		if t, err := shard.DecodeTable(env.Shard); err == nil {
+			if r.shard.Install(t) == nil {
+				r.shardEpochG.Set(int64(t.Epoch))
+			}
+		}
+	}
 	if len(env.Sched) > 0 {
 		if ss, ok := r.sched.(adets.StatefulScheduler); ok {
 			// The rejoiner adopts the donor's scheduler epoch/kind: the

@@ -7,6 +7,7 @@ import (
 
 	"github.com/replobj/replobj/internal/adets"
 	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/shard"
 	"github.com/replobj/replobj/internal/wire"
 )
 
@@ -18,9 +19,14 @@ var ErrStopped = errors.New("replica: stopped")
 // lock, condition-variable and nested-invocation operation is routed
 // through the deterministic scheduler.
 type Invocation struct {
-	r         *Replica
-	t         *adets.Thread
-	req       Request
+	r   *Replica
+	t   *adets.Thread
+	req Request
+	// epoch is the shard routing snapshot captured at this request's
+	// totally ordered dispatch point (nil on unsharded groups). InvokeShard
+	// routes against it, never against the live table, so a table installed
+	// mid-execution cannot make replicas pick different nested targets.
+	epoch     *shard.Epoch
 	nestedSeq uint64
 	anonSeq   uint64
 }
@@ -102,11 +108,63 @@ func (inv *Invocation) Now() time.Duration { return inv.r.rt.Now() }
 // computations can simply be executed inline instead.
 func (inv *Invocation) Compute(d time.Duration) { inv.r.rt.Sleep(d) }
 
+// ShardKey returns the key class this request was routed by (empty for
+// unrouted traffic and unsharded groups).
+func (inv *Invocation) ShardKey() string { return inv.req.ShardKey }
+
+// CrossKeys returns the additional key classes the client declared for
+// this invocation (see Request.CrossKeys); empty for single-shard calls.
+func (inv *Invocation) CrossKeys() []string { return inv.req.CrossKeys }
+
+// ShardEpoch returns the routing epoch this request executes under (0 on
+// unsharded groups).
+func (inv *Invocation) ShardEpoch() uint64 {
+	if inv.epoch == nil {
+		return 0
+	}
+	return inv.epoch.Table.Epoch
+}
+
+// ShardHome returns the shard group a key class is homed on under the
+// routing table captured at this request's ordered dispatch point. The
+// result is a pure function of (captured table, key), so every replica
+// resolves the same home.
+func (inv *Invocation) ShardHome(key string) (wire.GroupID, error) {
+	if inv.epoch == nil {
+		return "", errors.New("replica: ShardHome on an unsharded group")
+	}
+	return inv.epoch.Ring.HomeGroup(key), nil
+}
+
+// InvokeShard performs a nested invocation on the shard group owning key,
+// under the routing table captured at this request's ordered dispatch
+// point — the cross-shard path. The nested request is ordered in the
+// target group (validated there against the same epoch), its reply is
+// ordered back into this group's stream, and the resume position is the
+// deterministic merge point: identical on every replica of both groups.
+// A key homed on this very group loops through the same ordered nested
+// path, which is legal but wasteful — co-homed keys should be accessed
+// directly under a scheduler lock instead.
+func (inv *Invocation) InvokeShard(key, method string, args []byte) ([]byte, error) {
+	if inv.epoch == nil {
+		return nil, errors.New("replica: InvokeShard on an unsharded group")
+	}
+	home := inv.epoch.Ring.HomeGroup(key)
+	return inv.invoke(home, method, args, func(q *Request) {
+		q.ShardEpoch = inv.epoch.Table.Epoch
+		q.ShardKey = key
+	})
+}
+
 // Invoke performs a nested invocation of another replicated object. The
 // request carries this chain's logical thread id, so the target detects
 // callbacks; the reply is delivered through this group's total order and
 // resumes the thread at the same position on every replica.
 func (inv *Invocation) Invoke(group wire.GroupID, method string, args []byte) ([]byte, error) {
+	return inv.invoke(group, method, args, nil)
+}
+
+func (inv *Invocation) invoke(group wire.GroupID, method string, args []byte, mod func(*Request)) ([]byte, error) {
 	inv.nestedSeq++
 	id := wire.InvocationID{Logical: inv.req.Logical(), Seq: inv.nestedSeq + inv.req.ID.Seq*1000}
 	req := Request{
@@ -117,6 +175,9 @@ func (inv *Invocation) Invoke(group wire.GroupID, method string, args []byte) ([
 		Kind:   KindNested,
 		Origin: inv.r.group,
 		Trace:  inv.req.Trace,
+	}
+	if mod != nil {
+		mod(&req)
 	}
 	r := inv.r
 	r.rt.Lock()
@@ -139,7 +200,7 @@ func (inv *Invocation) Invoke(group wire.GroupID, method string, args []byte) ([
 	r.rt.Unlock()
 
 	for _, cb := range flush {
-		r.submitRequest(cb, true, 0)
+		r.submitRequest(cb.req, true, 0, cb.epoch)
 	}
 	if nc.reply == nil {
 		sub := gcs.Submit{

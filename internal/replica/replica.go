@@ -16,6 +16,7 @@ import (
 	"github.com/replobj/replobj/internal/gcs"
 	"github.com/replobj/replobj/internal/obs"
 	"github.com/replobj/replobj/internal/obs/tracing"
+	"github.com/replobj/replobj/internal/shard"
 	"github.com/replobj/replobj/internal/transport"
 	"github.com/replobj/replobj/internal/vtime"
 	"github.com/replobj/replobj/internal/wire"
@@ -83,6 +84,18 @@ type Request struct {
 	// byte-identical; a non-zero context selects the traced payload tag
 	// (see binary.go).
 	Trace tracing.Context
+	// ShardEpoch is the directory epoch the submitter routed under; 0 marks
+	// unrouted traffic, which skips shard validation. A sharded replica
+	// redirects requests whose epoch differs from its installed table.
+	ShardEpoch uint64
+	// ShardKey is the key class the request was routed by; sharded replicas
+	// verify at the ordered dispatch point that they are its home.
+	ShardKey string
+	// CrossKeys lists additional key classes the invocation touches that may
+	// be homed on other shards; the handler reaches them through
+	// Invocation.InvokeShard (or locally when co-homed). Non-empty CrossKeys
+	// mark the request as a cross-shard operation.
+	CrossKeys []string
 }
 
 // TraceCtx implements tracing.Traced.
@@ -99,6 +112,10 @@ type Reply struct {
 	// Trace carries the request's trace id and the executing replica's
 	// exec span, so the client links its reply span under the execution.
 	Trace tracing.Context
+	// ShardEpoch, when non-zero, is the replying shard's installed routing
+	// epoch. Combined with a wrong-shard Err it is the redirect signal the
+	// client router refreshes on; EpochMethod acks carry it informationally.
+	ShardEpoch uint64
 }
 
 // TraceCtx implements tracing.Traced.
@@ -156,6 +173,12 @@ type Config struct {
 	// truncated. The trigger is a pure function of the stream, so every
 	// replica checkpoints (or deterministically skips) the same boundaries.
 	CheckpointEvery int
+	// Shard, if non-nil, marks this replica a member of a sharded object's
+	// shard group: requests routed with a shard epoch are validated against
+	// the installed table at their ordered dispatch point (wrong epoch or
+	// wrong home → deterministic redirect reply), and the reserved
+	// shard.EpochMethod control request installs table updates in-stream.
+	Shard *shard.GroupState
 	// GCS carries the group communication knobs (failure detection etc.);
 	// Group/Self/Members/Send are filled in by the replica.
 	GCS gcs.Config
@@ -186,19 +209,29 @@ type Replica struct {
 	journal func(Request)
 	classes func(method string, args []byte) []string
 
+	// shard is non-nil on shard-group members (see Config.Shard);
+	// shardLabel tags this replica's spans with its shard group id so the
+	// latency breakdown decomposes per shard.
+	shard      *shard.GroupState
+	shardLabel string
+
 	// ckptEvery is Config.CheckpointEvery (0 = checkpointing off).
 	ckptEvery uint64
 
 	// Observability (all nil-safe; nil when disabled).
-	schedObs     *adets.SchedObs
-	trace        *obs.Trace
-	spans        *tracing.Collector
-	inflight     *obs.Gauge
-	cacheHits    *obs.Counter
-	checkpoints  *obs.Counter
-	ckptSkipped  *obs.Counter
-	snapSize     *obs.Gauge
-	ckptDuration *obs.Histogram
+	schedObs       *adets.SchedObs
+	trace          *obs.Trace
+	spans          *tracing.Collector
+	inflight       *obs.Gauge
+	cacheHits      *obs.Counter
+	checkpoints    *obs.Counter
+	ckptSkipped    *obs.Counter
+	snapSize       *obs.Gauge
+	ckptDuration   *obs.Histogram
+	shardRouted    *obs.Counter
+	shardRedirects *obs.Counter
+	shardCross     *obs.Counter
+	shardEpochG    *obs.Gauge
 
 	handlers map[string]Handler
 
@@ -217,13 +250,22 @@ type Replica struct {
 	// reached its Invoke so the logical program order (pre-invoke code →
 	// callback) holds on every replica.
 	nestedWaiting    map[wire.LogicalID]int
-	pendingCallbacks map[wire.LogicalID][]Request
+	pendingCallbacks map[wire.LogicalID][]pendingCallback
 	stopped          bool
 }
 
 type nestedCall struct {
 	thread *adets.Thread
 	reply  *Reply
+}
+
+// pendingCallback is a deferred callback request plus the shard routing
+// epoch captured at its ordered dispatch point — the epoch must travel
+// with the request so a table installed between deferral and flush cannot
+// change what the callback's handler routes against.
+type pendingCallback struct {
+	req   Request
+	epoch *shard.Epoch
 }
 
 // New wires a replica together: transport endpoint, group member,
@@ -242,10 +284,14 @@ func New(cfg Config) *Replica {
 		nested:           make(map[wire.InvocationID]*nestedCall),
 		earlyReplies:     make(map[wire.InvocationID]Reply),
 		nestedWaiting:    make(map[wire.LogicalID]int),
-		pendingCallbacks: make(map[wire.LogicalID][]Request),
+		pendingCallbacks: make(map[wire.LogicalID][]pendingCallback),
 	}
 	if cfg.State != nil {
 		r.state = cfg.State()
+	}
+	if cfg.Shard != nil {
+		r.shard = cfg.Shard
+		r.shardLabel = string(cfg.Group)
 	}
 	r.journal = cfg.Journal
 	r.classes = cfg.Classes
@@ -270,6 +316,14 @@ func New(cfg Config) *Replica {
 		r.ckptSkipped = cfg.Metrics.Counter("replobj_replica_checkpoints_skipped_total" + label)
 		r.snapSize = cfg.Metrics.Gauge("replobj_replica_snapshot_bytes" + label)
 		r.ckptDuration = cfg.Metrics.Histogram("replobj_replica_checkpoint_seconds"+label, obs.LatencyBuckets())
+		if r.shard != nil {
+			slabel := `{node="` + string(cfg.Self) + `",shard="` + r.shardLabel + `"}`
+			r.shardRouted = cfg.Metrics.Counter("replobj_shard_routed_requests_total" + slabel)
+			r.shardRedirects = cfg.Metrics.Counter("replobj_shard_redirects_total" + slabel)
+			r.shardCross = cfg.Metrics.Counter("replobj_shard_cross_requests_total" + slabel)
+			r.shardEpochG = cfg.Metrics.Gauge("replobj_shard_directory_epoch" + slabel)
+			r.shardEpochG.Set(int64(r.shard.Current().Table.Epoch))
+		}
 	}
 	g := cfg.GCS
 	g.Group = cfg.Group
@@ -277,8 +331,13 @@ func New(cfg Config) *Replica {
 	g.Members = cfg.Directory.Members(cfg.Group)
 	g.Send = r.ep.Send
 	g.Spans = cfg.Spans
+	g.Shard = r.shardLabel
 	if g.Stats == nil {
-		g.Stats = gcs.NewStats(cfg.Metrics, string(cfg.Self))
+		if r.shard != nil {
+			g.Stats = gcs.NewStatsGrouped(cfg.Metrics, string(cfg.Self), r.shardLabel)
+		} else {
+			g.Stats = gcs.NewStats(cfg.Metrics, string(cfg.Self))
+		}
 	}
 	r.member = gcs.NewMember(cfg.RT, g)
 	r.reent = adets.NewReentrancy(cfg.RT, cfg.Scheduler)
@@ -405,6 +464,44 @@ func (r *Replica) dispatchRequest(req Request, seq uint64) {
 		return
 	}
 	r.markSeenLocked(req.ID, seq)
+	// Shard control and validation happen here, at the totally ordered
+	// dispatch point, so the verdict (install / redirect / accept) and the
+	// routing table any accepted request will execute against are pure
+	// functions of the stream — identical on every replica.
+	var epoch *shard.Epoch
+	if r.shard != nil {
+		if req.Method == shard.EpochMethod {
+			r.rt.Unlock()
+			r.applyShardTable(req)
+			return
+		}
+		epoch = r.shard.Current()
+		if req.ShardEpoch != 0 {
+			var errstr string
+			if req.ShardEpoch != epoch.Table.Epoch {
+				errstr = shard.RedirectError(epoch.Table.Epoch, "", "")
+			} else if req.ShardKey != "" {
+				if home := epoch.Ring.HomeGroup(req.ShardKey); home != r.group {
+					errstr = shard.RedirectError(epoch.Table.Epoch, req.ShardKey, home)
+				}
+			}
+			if errstr != "" {
+				reply := Reply{ID: req.ID, From: r.self, Err: errstr, ShardEpoch: epoch.Table.Epoch}
+				if req.Trace.Valid() {
+					reply.Trace = req.Trace
+				}
+				r.cache[req.ID] = reply
+				r.rt.Unlock()
+				r.shardRedirects.Inc()
+				r.sendReply(req, reply)
+				return
+			}
+			r.shardRouted.Inc()
+			if len(req.CrossKeys) > 0 {
+				r.shardCross.Inc()
+			}
+		}
+	}
 	if r.journal != nil && req.Kind == KindClient {
 		r.journal(req)
 	}
@@ -416,20 +513,51 @@ func (r *Replica) dispatchRequest(req Request, seq uint64) {
 		// waiting for a mutex-table grant). Running the callback now would
 		// execute "later" code of the logical thread before "earlier" code.
 		// Defer it; Invoke flushes it once the originator is in place.
-		r.pendingCallbacks[req.Logical()] = append(r.pendingCallbacks[req.Logical()], req)
+		r.pendingCallbacks[req.Logical()] = append(r.pendingCallbacks[req.Logical()], pendingCallback{req: req, epoch: epoch})
 		r.rt.Unlock()
 		return
 	}
 	r.rt.Unlock()
-	r.submitRequest(req, callback, seq)
+	r.submitRequest(req, callback, seq, epoch)
 }
 
-func (r *Replica) submitRequest(req Request, callback bool, seq uint64) {
+// applyShardTable installs a table update delivered as a reserved
+// shard.EpochMethod control request. It runs at the request's ordered
+// position, outside the scheduler — table installs must not contend with
+// application threads — and replies like any invocation so the updater
+// learns the outcome. Install is idempotent for replayed epochs, and its
+// verdict depends only on (installed table, args), so every replica
+// accepts or rejects identically.
+func (r *Replica) applyShardTable(req Request) {
+	reply := Reply{ID: req.ID, From: r.self}
+	if req.Trace.Valid() {
+		reply.Trace = req.Trace
+	}
+	t, err := shard.DecodeTable(req.Args)
+	if err == nil {
+		err = r.shard.Install(t)
+	}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	cur := r.shard.Current().Table
+	reply.ShardEpoch = cur.Epoch
+	if err == nil {
+		reply.Result = cur.Encode()
+		r.shardEpochG.Set(int64(cur.Epoch))
+	}
+	r.rt.Lock()
+	r.cache[req.ID] = reply
+	r.rt.Unlock()
+	r.sendReply(req, reply)
+}
+
+func (r *Replica) submitRequest(req Request, callback bool, seq uint64, epoch *shard.Epoch) {
 	var classes []string
 	if r.classes != nil {
 		classes = r.classes(req.Method, req.Args)
 	}
-	exec := func(t *adets.Thread) { r.execute(req, t) }
+	exec := func(t *adets.Thread) { r.execute(req, t, epoch) }
 	if r.spans != nil && req.Trace.Valid() {
 		// The grant hooks only see the logical thread id; the binding lets
 		// them resolve it back to this request's trace (see SchedObs).
@@ -443,12 +571,13 @@ func (r *Replica) submitRequest(req Request, callback bool, seq uint64) {
 				Parent: req.Trace.Span,
 				Name:   "sched.wait",
 				Node:   string(r.self),
+				Shard:  r.shardLabel,
 				Detail: req.Method,
 				Seq:    seq,
 				Start:  tSubmit,
 				Dur:    tStart - tSubmit,
 			})
-			r.execute(req, t)
+			r.execute(req, t, epoch)
 		}
 	}
 	r.sched.Submit(adets.Request{
@@ -464,7 +593,7 @@ func (r *Replica) submitRequest(req Request, callback bool, seq uint64) {
 // Logical returns the logical thread of a request.
 func (req Request) Logical() wire.LogicalID { return req.ID.Logical }
 
-func (r *Replica) execute(req Request, t *adets.Thread) {
+func (r *Replica) execute(req Request, t *adets.Thread, epoch *shard.Epoch) {
 	r.inflight.Inc()
 	defer r.inflight.Dec()
 	traced := r.spans != nil && req.Trace.Valid()
@@ -472,7 +601,7 @@ func (r *Replica) execute(req Request, t *adets.Thread) {
 	if traced {
 		tStart = r.rt.Now()
 	}
-	inv := &Invocation{r: r, t: t, req: req}
+	inv := &Invocation{r: r, t: t, req: req, epoch: epoch}
 	var reply Reply
 	h, ok := r.handlers[req.Method]
 	if !ok {
@@ -493,6 +622,7 @@ func (r *Replica) execute(req Request, t *adets.Thread) {
 			Parent: req.Trace.Span,
 			Name:   "exec",
 			Node:   string(r.self),
+			Shard:  r.shardLabel,
 			Detail: req.Method,
 			Start:  tStart,
 			Dur:    tEnd - tStart,

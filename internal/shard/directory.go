@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DirectoryState is the replicated state of a shard directory group: the
+// current routing table of one sharded object. It is an ordinary
+// replicated object state — mutated only by totally ordered handler
+// invocations — so every directory replica holds the same table at the
+// same point of its stream. The mutex only guards against the replica's
+// checkpoint machinery reading concurrently with a handler.
+type DirectoryState struct {
+	mu    sync.Mutex
+	table Table
+}
+
+// StateFactory returns a per-replica state factory for the directory
+// group, seeded with the initial table. Each replica gets its own
+// DirectoryState instance (replicated state must never be shared between
+// co-hosted replicas).
+func StateFactory(initial Table) func() any {
+	return func() any { return &DirectoryState{table: initial} }
+}
+
+// Get returns the current table.
+func (d *DirectoryState) Get() Table {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.table
+}
+
+// Apply installs the next table. Updates must advance the epoch by
+// exactly one, keep the object name, and keep the shard set — shard-set
+// changes would require state migration, which this first cut does not
+// implement. The error string is deterministic, so a rejected update
+// rejects identically on every replica.
+func (d *DirectoryState) Apply(next Table) error {
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if next.Object != d.table.Object {
+		return fmt.Errorf("shard: table object %q does not match directory object %q", next.Object, d.table.Object)
+	}
+	if next.Epoch != d.table.Epoch+1 {
+		return fmt.Errorf("shard: table epoch %d does not follow directory epoch %d", next.Epoch, d.table.Epoch)
+	}
+	if !next.SameShards(d.table) {
+		return fmt.Errorf("shard: shard-set changes require state migration (have %d shards, got %d)", len(d.table.Shards), len(next.Shards))
+	}
+	d.table = next
+	return nil
+}
+
+// Snapshot implements the replica Snapshotter shape: directory state
+// rides checkpoints as the encoded table.
+func (d *DirectoryState) Snapshot() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.table.Encode(), nil
+}
+
+// Restore implements the replica Snapshotter shape.
+func (d *DirectoryState) Restore(b []byte) error {
+	t, err := DecodeTable(b)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.table = t
+	return nil
+}

@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Epoch is one immutable installed routing epoch of a shard group
+// replica: the table plus the ring derived from it. Handlers and the
+// dispatch loop work against an Epoch snapshot, so a table install
+// mid-request can never change what an already-dispatched request sees.
+type Epoch struct {
+	Table Table
+	Ring  *Ring
+}
+
+// GroupState is a shard-group replica's view of the routing table. The
+// dispatch goroutine installs new epochs at totally ordered points
+// (EpochMethod requests, snapshot installs); request threads and
+// observers read the current snapshot through an atomic pointer, so no
+// reader ever blocks the ordered stream.
+type GroupState struct {
+	self wire.GroupID
+	cur  atomic.Pointer[Epoch]
+}
+
+// NewGroupState seeds a replica's routing state. self is the shard group
+// the replica belongs to; initial is the bootstrap table (epoch 1 unless
+// the replica is rejoining from a snapshot, which reinstalls on top).
+func NewGroupState(self wire.GroupID, initial Table) *GroupState {
+	g := &GroupState{self: self}
+	e := &Epoch{Table: initial, Ring: NewRing(initial)}
+	g.cur.Store(e)
+	return g
+}
+
+// Self returns the shard group this replica belongs to.
+func (g *GroupState) Self() wire.GroupID { return g.self }
+
+// Current returns the installed epoch snapshot.
+func (g *GroupState) Current() *Epoch { return g.cur.Load() }
+
+// Install switches to a newer table. Installing the current epoch again
+// is an idempotent no-op (EpochMethod retries land here); going backwards
+// is an error. Only the dispatch goroutine calls Install, at ordered
+// points, so the read-modify-write needs no CAS loop.
+func (g *GroupState) Install(t Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cur := g.cur.Load()
+	if t.Object != cur.Table.Object {
+		return fmt.Errorf("shard: table object %q does not match group object %q", t.Object, cur.Table.Object)
+	}
+	if t.Epoch < cur.Table.Epoch {
+		return fmt.Errorf("shard: table epoch %d behind installed epoch %d", t.Epoch, cur.Table.Epoch)
+	}
+	if t.Epoch == cur.Table.Epoch {
+		return nil
+	}
+	g.cur.Store(&Epoch{Table: t, Ring: NewRing(t)})
+	return nil
+}

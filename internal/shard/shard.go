@@ -1,0 +1,262 @@
+// Package shard partitions a replicated object's key space across many
+// independent replica groups — the scale-out axis of the middleware. One
+// replicated object = one group = one total order is the hard ceiling on
+// aggregate throughput no matter how fast the single pipeline gets;
+// following Parallel Deferred Update Replication (see PAPERS.md), the
+// object space is split into S shards, each a full replica group with its
+// own sequencer, ordered log, scheduler and checkpoints, and clients route
+// each invocation to its home group by key class.
+//
+// Routing is a consistent-hash ring with virtual nodes, derived from an
+// epoch-numbered Table. The table itself lives in a *shard directory* that
+// is a replicated object like any other (the middleware eats its own
+// dogfood), so all clients and replicas converge on the same routing
+// epoch; a replica that receives a request routed with a stale epoch — or
+// with a key it does not own under the current table — answers with a
+// deterministic redirect carrying its current epoch, and the client
+// refreshes and retries with bounded backoff.
+//
+// Cross-shard invocations take a first-cut blocking two-group ordered
+// path: the request is ordered in the primary key's home group, and the
+// handler reaches the other shards through nested invocations routed by
+// the table captured at the request's totally ordered dispatch point
+// (Invocation.InvokeShard), so the merge point — the nested reply's
+// position in the originating order — is identical on every replica.
+//
+// This package holds the pure routing machinery (table, ring, directory
+// state, per-replica group state); the replica/client integration lives in
+// internal/replica and internal/client, the public API in replobj.go.
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// DefaultVNodes is the default number of virtual nodes each shard places
+// on the ring. More virtual nodes smooth the key distribution and shrink
+// the per-shard load variance; 64 keeps rebalance deltas near the
+// theoretical 1/(S+1) bound without bloating ring construction.
+const DefaultVNodes = 64
+
+// EpochMethod is the reserved control method that installs a new routing
+// table on a shard group. It travels through the group's own total order
+// and is applied inline at its ordered dispatch position — never through
+// the scheduler — so every replica switches epochs at exactly the same
+// point of the stream. Application handlers cannot be registered under it.
+const EpochMethod = "_shard/epoch"
+
+// GroupName returns the group id of the i-th shard of an object.
+func GroupName(object string, i int) wire.GroupID {
+	return wire.GroupID(object + "@" + strconv.Itoa(i))
+}
+
+// DirGroup returns the group id of an object's shard directory.
+func DirGroup(object string) wire.GroupID {
+	return wire.GroupID(object + ".dir")
+}
+
+// SplitGroup parses a shard group id back into (object, shard index).
+// ok is false for unsharded group ids (including directory groups).
+func SplitGroup(g wire.GroupID) (object string, index int, ok bool) {
+	s := string(g)
+	at := strings.LastIndexByte(s, '@')
+	if at <= 0 || at == len(s)-1 {
+		return "", 0, false
+	}
+	idx, err := strconv.Atoi(s[at+1:])
+	if err != nil || idx < 0 {
+		return "", 0, false
+	}
+	return s[:at], idx, true
+}
+
+// Table is the epoch-numbered routing table of one sharded object: the
+// shard groups in rank order plus the virtual-node count of the ring
+// derived from it. Tables are immutable values; a rebalance installs a
+// whole new table under the next epoch.
+type Table struct {
+	// Object is the sharded object's base name.
+	Object string
+	// Epoch numbers the table, starting at 1; every routed request carries
+	// the epoch it was routed under, and shard replicas redirect requests
+	// whose epoch differs from the installed one.
+	Epoch uint64
+	// Shards lists the shard group ids in rank order.
+	Shards []wire.GroupID
+	// VNodes is the virtual-node count per shard on the ring.
+	VNodes int
+}
+
+// NewTable builds the epoch-1 table of an object with n shards. vnodes <= 0
+// selects DefaultVNodes.
+func NewTable(object string, n, vnodes int) Table {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	t := Table{Object: object, Epoch: 1, VNodes: vnodes}
+	for i := 0; i < n; i++ {
+		t.Shards = append(t.Shards, GroupName(object, i))
+	}
+	return t
+}
+
+// Next returns the table of the following epoch with a new virtual-node
+// count — the only rebalance shape supported without state migration: the
+// shard set is unchanged, but key→shard assignment may shift with the
+// vnode weighting.
+func (t Table) Next(vnodes int) Table {
+	if vnodes <= 0 {
+		vnodes = t.VNodes
+	}
+	return Table{
+		Object: t.Object,
+		Epoch:  t.Epoch + 1,
+		Shards: append([]wire.GroupID(nil), t.Shards...),
+		VNodes: vnodes,
+	}
+}
+
+// Validate checks structural invariants.
+func (t Table) Validate() error {
+	if t.Object == "" {
+		return errors.New("shard: table without object name")
+	}
+	if t.Epoch == 0 {
+		return errors.New("shard: table epoch 0")
+	}
+	if len(t.Shards) == 0 {
+		return errors.New("shard: table without shards")
+	}
+	if t.VNodes <= 0 {
+		return errors.New("shard: table without virtual nodes")
+	}
+	seen := make(map[wire.GroupID]bool, len(t.Shards))
+	for _, g := range t.Shards {
+		if g == "" || seen[g] {
+			return fmt.Errorf("shard: duplicate or empty shard group %q", g)
+		}
+		seen[g] = true
+	}
+	return nil
+}
+
+// SameShards reports whether o covers exactly the same shard set in the
+// same order — the precondition for a migration-free table update.
+func (t Table) SameShards(o Table) bool {
+	if len(t.Shards) != len(o.Shards) {
+		return false
+	}
+	for i := range t.Shards {
+		if t.Shards[i] != o.Shards[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode serializes the table into the canonical binary form that rides
+// directory replies, EpochMethod control requests and checkpoint
+// envelopes: uvarint epoch, uvarint vnodes, object, uvarint shard count,
+// shards — all strings length-prefixed.
+func (t Table) Encode() []byte {
+	out := make([]byte, 0, 16+len(t.Object)+16*len(t.Shards))
+	out = binary.AppendUvarint(out, t.Epoch)
+	out = binary.AppendUvarint(out, uint64(t.VNodes))
+	out = appendString(out, t.Object)
+	out = binary.AppendUvarint(out, uint64(len(t.Shards)))
+	for _, g := range t.Shards {
+		out = appendString(out, string(g))
+	}
+	return out
+}
+
+// DecodeTable parses an encoded table and validates it.
+func DecodeTable(b []byte) (Table, error) {
+	var t Table
+	epoch, b, err := readUvarint(b)
+	if err != nil {
+		return t, err
+	}
+	vn, b, err := readUvarint(b)
+	if err != nil {
+		return t, err
+	}
+	obj, b, err := readString(b)
+	if err != nil {
+		return t, err
+	}
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return t, err
+	}
+	if n > 1<<16 {
+		return t, fmt.Errorf("shard: implausible shard count %d", n)
+	}
+	t = Table{Object: obj, Epoch: epoch, VNodes: int(vn)}
+	for i := uint64(0); i < n; i++ {
+		var g string
+		if g, b, err = readString(b); err != nil {
+			return t, err
+		}
+		t.Shards = append(t.Shards, wire.GroupID(g))
+	}
+	if len(b) != 0 {
+		return t, errors.New("shard: trailing bytes after table")
+	}
+	if err := t.Validate(); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+var errTruncated = errors.New("shard: truncated table encoding")
+
+func appendString(out []byte, s string) []byte {
+	out = binary.AppendUvarint(out, uint64(len(s)))
+	return append(out, s...)
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, errTruncated
+	}
+	return v, b[n:], nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return "", b, err
+	}
+	if n > uint64(len(b)) {
+		return "", b, errTruncated
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// RedirectPrefix opens the deterministic error string of a wrong-shard
+// reply. The authoritative redirect marker on the wire is the reply's
+// non-zero ShardEpoch field; the prefix exists for log readability and
+// for IsRedirect checks on flattened errors.
+const RedirectPrefix = "shard: wrong shard"
+
+// RedirectError formats a wrong-shard reply error: the replica's installed
+// epoch and, when the key itself is misrouted, the key's current home.
+func RedirectError(epoch uint64, key string, home wire.GroupID) string {
+	if home != "" {
+		return fmt.Sprintf("%s (epoch %d; key %q is homed on %s)", RedirectPrefix, epoch, key, home)
+	}
+	return fmt.Sprintf("%s (epoch %d)", RedirectPrefix, epoch)
+}
+
+// IsRedirect reports whether an error string is a wrong-shard redirect.
+func IsRedirect(errstr string) bool {
+	return strings.HasPrefix(errstr, RedirectPrefix)
+}

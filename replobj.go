@@ -58,6 +58,7 @@ import (
 	"github.com/replobj/replobj/internal/obs"
 	"github.com/replobj/replobj/internal/obs/tracing"
 	"github.com/replobj/replobj/internal/replica"
+	"github.com/replobj/replobj/internal/shard"
 	"github.com/replobj/replobj/internal/transport"
 	"github.com/replobj/replobj/internal/vtime"
 	"github.com/replobj/replobj/internal/wire"
@@ -354,6 +355,11 @@ type groupConfig struct {
 	conflictClasses  map[string][]string
 	checkpointEvery  int
 	adaptive         AdaptiveConfig
+	shards           int
+	shardVNodes      int
+	// shardTable marks a group as one shard of a sharded object; set
+	// internally by NewSharded, never by a GroupOption.
+	shardTable *shard.Table
 }
 
 // WithScheduler selects the scheduling strategy (default ADETS-SAT).
@@ -497,6 +503,21 @@ func WithSchedTrace(retain int) GroupOption {
 // suspicion threshold, retention).
 func WithGCSConfig(cfg gcs.Config) GroupOption {
 	return func(g *groupConfig) { g.gcs = cfg }
+}
+
+// WithShards partitions the object space of a sharded object across n
+// independent replica groups (each with its own sequencer, log,
+// checkpoints and scheduler). Honoured by NewSharded only; plain NewGroup
+// ignores it. Default 1.
+func WithShards(n int) GroupOption {
+	return func(g *groupConfig) { g.shards = n }
+}
+
+// WithShardVNodes sets the number of virtual nodes each shard places on
+// the consistent-hash ring (default shard.DefaultVNodes = 64). More
+// vnodes smooth the key distribution at the cost of a larger ring.
+func WithShardVNodes(n int) GroupOption {
+	return func(g *groupConfig) { g.shardVNodes = n }
 }
 
 // Group is a replicated object group. Replica instances are created when
@@ -671,6 +692,11 @@ func (g *Group) StartRank(rank int) {
 		Metrics:         g.cluster.metrics,
 		Spans:           g.cluster.spans,
 	}
+	if g.cfg.shardTable != nil {
+		// Each rank gets its own GroupState: the routing table is replicated
+		// state, installed per replica at the ordered dispatch position.
+		rcfg.Shard = shard.NewGroupState(g.id, *g.cfg.shardTable)
+	}
 	if g.cfg.traceRetain > 0 {
 		tr := obs.NewTrace(g.cfg.traceRetain)
 		g.traces[rank] = tr
@@ -738,6 +764,7 @@ func (c *Cluster) NewClient(name string, opts ...ClientOption) *Client {
 		Directory: c.dir,
 		Network:   c.net,
 		Spans:     c.spans,
+		Metrics:   c.metrics,
 	}
 	for _, o := range opts {
 		o(&cfg)

@@ -1,0 +1,217 @@
+package replobj
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/replobj/replobj/internal/client"
+	"github.com/replobj/replobj/internal/shard"
+)
+
+// Shard-aware vocabulary re-exported so applications need only this
+// package.
+type (
+	// ShardTable is the epoch-numbered routing table of a sharded object:
+	// the shard group list plus the virtual-node weighting of the
+	// consistent-hash ring. Key→shard assignment is a pure function of the
+	// table, so every router and replica derives identical homes.
+	ShardTable = shard.Table
+	// ShardRouter is the shard-aware client stub: it routes each invocation
+	// to its key's home shard group and follows wrong-shard redirects under
+	// bounded backoff. Obtain one with Client.Router(object).
+	ShardRouter = client.Router
+	// ShardInvokeOption parameterizes one routed invocation (see
+	// WithShardKey, WithCrossKey).
+	ShardInvokeOption = client.InvokeOption
+)
+
+// WithShardKey declares the key class a routed invocation is hashed by;
+// required on every ShardRouter.Invoke.
+func WithShardKey(key string) ShardInvokeOption { return client.WithShardKey(key) }
+
+// WithCrossKey declares an additional key class the invocation touches.
+// The request executes on the primary key's home shard; the handler
+// reaches keys homed elsewhere through Invocation.InvokeShard. May be
+// repeated.
+func WithCrossKey(key string) ShardInvokeOption { return client.WithCrossKey(key) }
+
+// Sharded is a sharded replicated object: the object space is partitioned
+// across S independent replica groups — each with its own sequencer,
+// totally ordered log, checkpoints and deterministic scheduler — by a
+// consistent-hash ring over key classes. The routing table lives in an
+// epoch-numbered shard directory that is itself a replicated object
+// (group "<object>.dir"), so routers bootstrap and refresh through the
+// same invocation path as any other object.
+type Sharded struct {
+	object string
+	table  ShardTable
+	dir    *Group
+	shards []*Group
+}
+
+// NewSharded creates a sharded object with n replicas per shard group.
+// The shard count comes from WithShards (default 1) and the ring
+// weighting from WithShardVNodes; all other group options apply to every
+// shard group. The directory group is created alongside with the same
+// replica count and a lean serial scheduler.
+func (c *Cluster) NewSharded(object string, n int, opts ...GroupOption) (*Sharded, error) {
+	if strings.ContainsAny(object, "@") {
+		return nil, fmt.Errorf("replobj: sharded object name %q must not contain '@'", object)
+	}
+	cfg := groupConfig{kind: ADSAT}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	shards := cfg.shards
+	if shards <= 0 {
+		shards = 1
+	}
+	table := shard.NewTable(object, shards, cfg.shardVNodes)
+	// Pre-check names so a duplicate cannot leave a half-created object.
+	if _, dup := c.groups[shard.DirGroup(object)]; dup {
+		return nil, fmt.Errorf("replobj: group %q already exists", shard.DirGroup(object))
+	}
+	for _, gid := range table.Shards {
+		if _, dup := c.groups[gid]; dup {
+			return nil, fmt.Errorf("replobj: group %q already exists", gid)
+		}
+	}
+
+	// The directory group: a small replicated object holding the routing
+	// table. It inherits the failure-detection and GCS tuning of the data
+	// groups (a crashed directory sequencer must fail over like any other)
+	// but keeps the default serial scheduler — its workload is tiny.
+	dirOpts := []GroupOption{
+		WithState(shard.StateFactory(table)),
+		WithFailureDetection(cfg.failureDetection),
+		WithGCSConfig(cfg.gcs),
+	}
+	dir, err := c.NewGroup(string(shard.DirGroup(object)), n, dirOpts...)
+	if err != nil {
+		return nil, err
+	}
+	dir.Register("get", func(inv *Invocation) ([]byte, error) {
+		if err := inv.Lock("table"); err != nil {
+			return nil, err
+		}
+		defer inv.Unlock("table")
+		return inv.State().(*shard.DirectoryState).Get().Encode(), nil
+	})
+	dir.Register("set", func(inv *Invocation) ([]byte, error) {
+		if err := inv.Lock("table"); err != nil {
+			return nil, err
+		}
+		defer inv.Unlock("table")
+		next, err := shard.DecodeTable(inv.Args())
+		if err != nil {
+			return nil, err
+		}
+		if err := inv.State().(*shard.DirectoryState).Apply(next); err != nil {
+			return nil, err
+		}
+		return next.Encode(), nil
+	})
+
+	s := &Sharded{object: object, table: table, dir: dir}
+	for _, gid := range table.Shards {
+		g, err := c.NewGroup(string(gid), n, opts...)
+		if err != nil {
+			return nil, err // unreachable: names pre-checked, opts validated above
+		}
+		t := table
+		g.cfg.shardTable = &t
+		s.shards = append(s.shards, g)
+	}
+	return s, nil
+}
+
+// Object returns the sharded object's name.
+func (s *Sharded) Object() string { return s.object }
+
+// NumShards returns the shard-group count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns the i-th shard group (nil out of range).
+func (s *Sharded) Shard(i int) *Group {
+	if i < 0 || i >= len(s.shards) {
+		return nil
+	}
+	return s.shards[i]
+}
+
+// Groups returns the shard group ids in rank order.
+func (s *Sharded) Groups() []GroupID {
+	return append([]GroupID(nil), s.table.Shards...)
+}
+
+// Dir returns the shard-directory group.
+func (s *Sharded) Dir() *Group { return s.dir }
+
+// Table returns the table the shard groups were created with (epoch 1
+// unless updated through UpdateTable).
+func (s *Sharded) Table() ShardTable { return s.table }
+
+// Register binds a method handler on every shard group. Must precede
+// Start/StartRank.
+func (s *Sharded) Register(method string, h Handler) {
+	for _, g := range s.shards {
+		g.Register(method, h)
+	}
+}
+
+// EachShard calls fn for every shard group in rank order.
+func (s *Sharded) EachShard(fn func(i int, g *Group)) {
+	for i, g := range s.shards {
+		fn(i, g)
+	}
+}
+
+// Start launches every replica of the directory and all shard groups in
+// this process.
+func (s *Sharded) Start() {
+	s.dir.Start()
+	for _, g := range s.shards {
+		g.Start()
+	}
+}
+
+// Stop shuts all locally running replicas of the object down.
+func (s *Sharded) Stop() {
+	for _, g := range s.shards {
+		g.Stop()
+	}
+	s.dir.Stop()
+}
+
+// UpdateTable installs the next-epoch routing table: first in the
+// directory (so new routers bootstrap the new epoch), then in every shard
+// group through the reserved epoch-install method, applied at a totally
+// ordered position of each group's stream. In-flight requests stamped
+// with the old epoch are answered with deterministic wrong-shard
+// redirects during the handover; routers absorb them with bounded
+// backoff. next must follow the current table (epoch + 1, same shard
+// set — this first cut rebalances vnode weighting only, no state
+// migration).
+func (s *Sharded) UpdateTable(cl *Client, next ShardTable) error {
+	if err := next.Validate(); err != nil {
+		return fmt.Errorf("replobj: shard table update: %w", err)
+	}
+	enc := next.Encode()
+	if _, err := cl.Invoke(s.dir.id, "set", enc); err != nil {
+		return fmt.Errorf("replobj: shard directory update: %w", err)
+	}
+	for _, g := range s.shards {
+		if _, err := cl.Invoke(g.id, shard.EpochMethod, enc); err != nil {
+			return fmt.Errorf("replobj: shard %s epoch install: %w", g.id, err)
+		}
+	}
+	s.table = next
+	return nil
+}
+
+// ShardGroupName returns the group id of shard i of a sharded object —
+// useful when addressing shard groups directly (tooling, experiments).
+func ShardGroupName(object string, i int) GroupID { return shard.GroupName(object, i) }
+
+// ShardDirGroup returns the group id of the object's shard directory.
+func ShardDirGroup(object string) GroupID { return shard.DirGroup(object) }

@@ -301,6 +301,7 @@ func All(cfg Config) ([]Result, error) {
 		{"latency-breakdown", LatencyBreakdown},
 		{"scenarios", ProductionScenarios},
 		{"shards", ShardScaleOut},
+		{"reshard", ReshardLive},
 	}
 	out := make([]Result, 0, len(exps))
 	for _, e := range exps {
@@ -337,5 +338,6 @@ func Experiments() map[string]func(Config) (Result, error) {
 		"latency-breakdown": LatencyBreakdown,
 		"scenarios":         ProductionScenarios,
 		"shards":            ShardScaleOut,
+		"reshard":           ReshardLive,
 	}
 }

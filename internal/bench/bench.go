@@ -87,6 +87,9 @@ type Result struct {
 	// ShardCells carries the aggregate and per-shard rows of the shard
 	// scale-out experiment (empty for every other result).
 	ShardCells []ShardCell `json:",omitempty"`
+	// ReshardCells carries the per-transition rows of the live-resharding
+	// experiment (empty for every other result).
+	ReshardCells []ReshardCell `json:",omitempty"`
 }
 
 // Format renders a result as an aligned text table (clients × strategies),
@@ -154,6 +157,16 @@ func (r Result) Format() string {
 			fmt.Fprintf(&b, "%-16s %-10s %7d %6s %8d %12.1f %10.3f %10.3f %8s\n",
 				sc.Scenario, sc.Scheduler, sc.Shards, shardCol, sc.Requests,
 				sc.ThroughputRPS, sc.P50ms, sc.P99ms, speedup)
+		}
+	}
+	if len(r.ReshardCells) > 0 {
+		fmt.Fprintf(&b, "\n%-12s %5s %3s %6s %10s %10s %10s %10s %10s %9s %5s %5s\n",
+			"transition", "from", "to", "reqs", "window ms", "base p99", "win p99", "after p99", "stall ms", "base p50", "lost", "dup")
+		for _, rc := range r.ReshardCells {
+			fmt.Fprintf(&b, "%-12s %5d %3d %6d %10.2f %10.3f %10.3f %10.3f %10.3f %9.3f %5d %5d\n",
+				rc.Transition, rc.FromShards, rc.ToShards, rc.Requests, rc.WindowMs,
+				rc.BaselineP99ms, rc.WindowP99ms, rc.AfterP99ms, rc.StallMs,
+				rc.BaselineP50ms, rc.LostEffects, rc.DupEffects)
 		}
 	}
 	return b.String()

@@ -1,0 +1,467 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/vtime"
+)
+
+// This file implements the live-resharding experiment: a sharded keyed
+// counter serves routed put traffic while Sharded.Reshard changes the
+// shard count underneath it — grow 2→4 and shrink 4→2. The experiment
+// answers the two questions an operator asks of elastic resharding:
+//
+//   1. Correctness under load: did every put land exactly once? Per-key
+//      client-side success counts are compared against the object's final
+//      values (LostEffects / DupEffects must be zero), and per-shard trace
+//      digests must agree across replicas.
+//   2. The cost of the move: latency quantiles split into before / during
+//      / after the migration window, plus the availability dip — the
+//      longest gap between consecutive successful completions overlapping
+//      the window. The dual-home forwarding path is what keeps the dip at
+//      request granularity instead of "object unavailable until cutover".
+
+// Reshard experiment sizing.
+const (
+	// ReshardDrivers is the concurrent routed-put driver count per cell.
+	ReshardDrivers = 12
+	// ReshardKeys is the distinct key-class count the drivers spread over
+	// (keys move between groups when the ring changes).
+	ReshardKeys = 48
+	// reshardTriggerFrac is the fraction of measured ops completed before
+	// the transition is kicked off, placing the window inside the measured
+	// phase.
+	reshardTriggerFrac = 3
+)
+
+// ReshardCell is one measured live transition.
+type ReshardCell struct {
+	Transition string // e.g. "grow-2to4"
+	FromShards int
+	ToShards   int
+	// Requests is the total measured puts; every one must succeed.
+	Requests int
+	// WindowMs is the virtual duration of the Reshard call (prepare →
+	// handoff → fence → retire).
+	WindowMs float64
+	// Latency quantiles by phase: puts issued before the transition
+	// started, puts issued inside the window, puts issued after the fence.
+	BaselineP50ms float64
+	BaselineP99ms float64
+	WindowP99ms   float64
+	AfterP99ms    float64
+	// StallMs is the availability dip: the longest gap between consecutive
+	// successful completions (cluster-wide) overlapping the window.
+	StallMs float64
+	// LostEffects / DupEffects count per-key mismatches between the
+	// client-observed successful puts and the object's final values.
+	// Both must be zero — the experiment's headline correctness claim.
+	LostEffects int
+	DupEffects  int
+}
+
+// reshardCounter is the experiment's object state: a per-key u64 counter
+// implementing the keyed snapshotter contract that elastic resharding
+// requires (per-key export / install / drop at quiesced positions).
+type reshardCounter struct {
+	m map[string]uint64
+}
+
+func be64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func (s *reshardCounter) Snapshot() ([]byte, error) {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := be64(uint64(len(keys)))
+	for _, k := range keys {
+		out = append(out, be64(uint64(len(k)))...)
+		out = append(out, k...)
+		out = append(out, be64(s.m[k])...)
+	}
+	return out, nil
+}
+
+func (s *reshardCounter) Restore(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("reshard bench: truncated snapshot")
+	}
+	n := binary.BigEndian.Uint64(data[:8])
+	data = data[8:]
+	m := make(map[string]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		if len(data) < 8 {
+			return fmt.Errorf("reshard bench: truncated key length")
+		}
+		kl := binary.BigEndian.Uint64(data[:8])
+		data = data[8:]
+		if uint64(len(data)) < kl+8 {
+			return fmt.Errorf("reshard bench: truncated key entry")
+		}
+		k := string(data[:kl])
+		m[k] = binary.BigEndian.Uint64(data[kl : kl+8])
+		data = data[kl+8:]
+	}
+	s.m = m
+	return nil
+}
+
+func (s *reshardCounter) ExportKeys(selected func(string) bool) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	for k, v := range s.m {
+		if selected(k) {
+			out[k] = be64(v)
+		}
+	}
+	return out, nil
+}
+
+func (s *reshardCounter) InstallKeys(state map[string][]byte) error {
+	for k, img := range state {
+		if len(img) != 8 {
+			return fmt.Errorf("reshard bench: key %q image has %d bytes, want 8", k, len(img))
+		}
+		s.m[k] = binary.BigEndian.Uint64(img)
+	}
+	return nil
+}
+
+func (s *reshardCounter) DropKeys(keys []string) error {
+	for _, k := range keys {
+		delete(s.m, k)
+	}
+	return nil
+}
+
+// reshardSample is one measured put: when it was issued and how long it
+// took (virtual time).
+type reshardSample struct {
+	issued time.Duration
+	dur    time.Duration
+}
+
+type reshardDriverOut struct {
+	samples []reshardSample
+	puts    map[string]uint64
+	err     error
+}
+
+// runReshardCell measures one live transition from → to under driver load.
+func runReshardCell(cfg Config, from, to int, label string) (ReshardCell, error) {
+	cell := ReshardCell{Transition: label, FromShards: from, ToShards: to}
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	copts := []replobj.ClusterOption{replobj.WithLatency(cfg.Latency)}
+	if cfg.Metrics != nil {
+		copts = append(copts, replobj.WithMetrics(cfg.Metrics))
+	}
+	c := replobj.NewCluster(rt, copts...)
+
+	keys := make([]string, ReshardKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%03d", i)
+	}
+
+	var outs []reshardDriverOut
+	var windowStart, windowEnd time.Duration
+	var firstErr error
+	want := make(map[string]uint64)
+	got := make(map[string]uint64)
+	vtime.Run(rt, "reshard-main", func() {
+		defer c.Close()
+		s, err := c.NewSharded("elastic", cfg.Replicas,
+			replobj.WithShards(from),
+			replobj.WithScheduler(replobj.ADSAT),
+			replobj.WithState(func() any { return &reshardCounter{m: make(map[string]uint64)} }),
+			replobj.WithSchedTrace(0))
+		if err != nil {
+			firstErr = err
+			return
+		}
+		s.Register("put", func(inv *replobj.Invocation) ([]byte, error) {
+			st := inv.State().(*reshardCounter)
+			if err := inv.Lock("state"); err != nil {
+				return nil, err
+			}
+			defer func() { _ = inv.Unlock("state") }()
+			st.m[inv.ShardKey()]++
+			return be64(st.m[inv.ShardKey()]), nil
+		})
+		s.Register("get", func(inv *replobj.Invocation) ([]byte, error) {
+			st := inv.State().(*reshardCounter)
+			if err := inv.Lock("state"); err != nil {
+				return nil, err
+			}
+			defer func() { _ = inv.Unlock("state") }()
+			return be64(st.m[inv.ShardKey()]), nil
+		})
+		s.Start()
+
+		// completed counts measured puts cluster-wide (runtime lock), so
+		// the resharder can trigger mid-phase; reshardDone releases the
+		// drivers into their fixed after-fence tail.
+		completed := 0
+		reshardDone := false
+		totalOps := ReshardDrivers * cfg.PerClient
+		const afterTail = 6 // post-fence puts per driver, populating the "after" phase
+
+		ready := vtime.NewMailbox[bool](rt, "reshard-ready")
+		start := make([]*vtime.Mailbox[bool], ReshardDrivers)
+		for i := range start {
+			start[i] = vtime.NewMailbox[bool](rt, fmt.Sprintf("reshard-start-%d", i))
+		}
+		done := vtime.NewMailbox[reshardDriverOut](rt, "reshard-done")
+		for i := 0; i < ReshardDrivers; i++ {
+			i := i
+			rt.Go(fmt.Sprintf("reshard-driver-%d", i), func() {
+				cl := c.NewClient(fmt.Sprintf("rsd%d", i),
+					replobj.WithReplyPolicy(cfg.Policy),
+					replobj.WithInvocationTimeout(5*time.Minute))
+				r := cl.Router("elastic").WithMaxRedirects(32)
+				op := func(seq int) (string, error) {
+					key := keys[mix(uint64(i), uint64(seq), 71)%ReshardKeys]
+					_, err := r.Invoke("put", nil, replobj.WithShardKey(key))
+					return key, err
+				}
+				out := reshardDriverOut{puts: make(map[string]uint64)}
+				for seq := 0; seq < cfg.Warmup; seq++ {
+					if key, err := op(seq); err != nil {
+						out.err = err
+						break
+					} else {
+						out.puts[key]++
+					}
+				}
+				ready.Put(true)
+				start[i].Get()
+				if out.err == nil {
+					// Measured phase: at least PerClient puts, and keep
+					// issuing until the fence lands so the window phase has
+					// traffic; then a fixed after-fence tail.
+					seq := 0
+					for {
+						rt.Lock()
+						fenced := reshardDone
+						rt.Unlock()
+						if seq >= cfg.PerClient && fenced {
+							break
+						}
+						if seq >= cfg.PerClient*8 {
+							out.err = fmt.Errorf("driver %d: reshard still running after %d puts", i, seq)
+							break
+						}
+						t0 := rt.Now()
+						key, err := op(cfg.Warmup + seq)
+						if err != nil {
+							out.err = fmt.Errorf("driver %d put %d: %w", i, seq, err)
+							break
+						}
+						out.samples = append(out.samples, reshardSample{issued: t0, dur: rt.Now() - t0})
+						out.puts[key]++
+						rt.Lock()
+						completed++
+						rt.Unlock()
+						seq++
+					}
+					for j := 0; out.err == nil && j < afterTail; j++ {
+						t0 := rt.Now()
+						key, err := op(cfg.Warmup + seq + j)
+						if err != nil {
+							out.err = fmt.Errorf("driver %d tail put %d: %w", i, j, err)
+							break
+						}
+						out.samples = append(out.samples, reshardSample{issued: t0, dur: rt.Now() - t0})
+						out.puts[key]++
+					}
+				}
+				done.Put(out)
+			})
+		}
+		for i := 0; i < ReshardDrivers; i++ {
+			ready.Get()
+		}
+		for i := range start {
+			start[i].Put(true)
+		}
+
+		// The resharder waits for a third of the measured traffic, then
+		// performs the transition live.
+		resharded := vtime.NewMailbox[error](rt, "reshard-admin-done")
+		rt.Go("resharder", func() {
+			for {
+				rt.Lock()
+				c := completed
+				rt.Unlock()
+				if c >= totalOps/reshardTriggerFrac {
+					break
+				}
+				rt.Sleep(2 * time.Millisecond)
+			}
+			admin := c.NewClient("reshard-admin",
+				replobj.WithReplyPolicy(cfg.Policy),
+				replobj.WithInvocationTimeout(5*time.Minute))
+			windowStart = rt.Now()
+			err := s.Reshard(admin, to)
+			windowEnd = rt.Now()
+			rt.Lock()
+			reshardDone = true
+			rt.Unlock()
+			resharded.Put(err)
+		})
+
+		for i := 0; i < ReshardDrivers; i++ {
+			out, _ := done.Get()
+			if out.err != nil && firstErr == nil {
+				firstErr = out.err
+			}
+			outs = append(outs, out)
+		}
+		if err, _ := resharded.Get(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("reshard %s: %w", label, err)
+		}
+		if firstErr != nil {
+			return
+		}
+
+		// Correctness: client-observed puts vs final object values, and
+		// per-shard determinism across replicas.
+		for _, out := range outs {
+			for k, n := range out.puts {
+				want[k] += n
+			}
+		}
+		checker := c.NewClient("reshard-checker",
+			replobj.WithReplyPolicy(cfg.Policy),
+			replobj.WithInvocationTimeout(5*time.Minute))
+		r := checker.Router("elastic").WithMaxRedirects(32)
+		for _, key := range keys {
+			v, err := r.Invoke("get", nil, replobj.WithShardKey(key))
+			if err != nil {
+				firstErr = fmt.Errorf("reshard %s: readback %s: %w", label, key, err)
+				return
+			}
+			got[key] = binary.BigEndian.Uint64(v)
+		}
+		s.EachShard(func(i int, g *replobj.Group) {
+			ref := g.Trace(0)
+			for rank := 1; rank < cfg.Replicas; rank++ {
+				if d := replobj.FirstTraceDivergence(ref, g.Trace(rank)); d != nil && firstErr == nil {
+					firstErr = fmt.Errorf("reshard %s: shard %d rank %d diverged from rank 0: %v",
+						label, i, rank, d)
+				}
+			}
+		})
+	})
+	if firstErr != nil {
+		return cell, firstErr
+	}
+
+	for _, key := range keys {
+		switch {
+		case got[key] < want[key]:
+			cell.LostEffects += int(want[key] - got[key])
+		case got[key] > want[key]:
+			cell.DupEffects += int(got[key] - want[key])
+		}
+	}
+
+	// Phase split by issue time; availability dip from completion gaps
+	// overlapping the window.
+	var baseline, window, after []time.Duration
+	var completions []time.Duration
+	for _, out := range outs {
+		for _, sm := range out.samples {
+			switch {
+			case sm.issued < windowStart:
+				baseline = append(baseline, sm.dur)
+			case sm.issued <= windowEnd:
+				window = append(window, sm.dur)
+			default:
+				after = append(after, sm.dur)
+			}
+			completions = append(completions, sm.issued+sm.dur)
+			cell.Requests++
+		}
+	}
+	if len(baseline) == 0 || len(window) == 0 || len(after) == 0 {
+		return cell, fmt.Errorf("reshard %s: empty phase (baseline=%d window=%d after=%d) — transition missed the measured traffic",
+			label, len(baseline), len(window), len(after))
+	}
+	sort.Slice(baseline, func(i, j int) bool { return baseline[i] < baseline[j] })
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	sort.Slice(after, func(i, j int) bool { return after[i] < after[j] })
+	sort.Slice(completions, func(i, j int) bool { return completions[i] < completions[j] })
+	cell.WindowMs = float64(windowEnd-windowStart) / float64(time.Millisecond)
+	cell.BaselineP50ms = quantileMS(baseline, 0.50)
+	cell.BaselineP99ms = quantileMS(baseline, 0.99)
+	cell.WindowP99ms = quantileMS(window, 0.99)
+	cell.AfterP99ms = quantileMS(after, 0.99)
+	var stall time.Duration
+	prev := windowStart
+	for _, t := range completions {
+		if t <= prev {
+			continue
+		}
+		// Only gaps that overlap the migration window count toward the dip.
+		if prev <= windowEnd && t >= windowStart {
+			lo, hi := prev, t
+			if lo < windowStart {
+				lo = windowStart
+			}
+			if hi > windowEnd {
+				hi = windowEnd
+			}
+			if hi-lo > stall {
+				stall = hi - lo
+			}
+		}
+		prev = t
+	}
+	cell.StallMs = float64(stall) / float64(time.Millisecond)
+	return cell, nil
+}
+
+// ReshardLive runs both live transitions and reports per-phase p99 plus
+// the availability dip. The figure plots p99 by phase (0=before, 1=during,
+// 2=after) per transition; the full rows ride Result.ReshardCells.
+func ReshardLive(cfg Config) (Result, error) {
+	res := Result{
+		ID:     "reshard",
+		Title:  "Live resharding — p99 before/during/after the migration window (routed puts)",
+		XLabel: "phase (0=before 1=during 2=after)",
+		YLabel: "p99 ms",
+	}
+	transitions := []struct {
+		label    string
+		from, to int
+	}{
+		{"grow-2to4", 2, 4},
+		{"shrink-4to2", 4, 2},
+	}
+	for _, tr := range transitions {
+		cell, err := runReshardCell(cfg, tr.from, tr.to, tr.label)
+		if err != nil {
+			return res, err
+		}
+		res.ReshardCells = append(res.ReshardCells, cell)
+		res.Series = append(res.Series, Series{
+			Label: tr.label,
+			Points: []Point{
+				{X: 0, Y: cell.BaselineP99ms},
+				{X: 1, Y: cell.WindowP99ms},
+				{X: 2, Y: cell.AfterP99ms},
+			},
+		})
+	}
+	return res, nil
+}

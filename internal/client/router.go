@@ -160,6 +160,7 @@ func (r *Router) Invoke(method string, args []byte, opts ...InvokeOption) ([]byt
 		return nil, errors.New("client: routed invoke requires WithShardKey")
 	}
 	backoff := r.backoff
+	var wantEpoch uint64
 	for attempt := 0; ; attempt++ {
 		if r.ring == nil {
 			if err := r.Refresh(); err != nil {
@@ -182,6 +183,9 @@ func (r *Router) Invoke(method string, args []byte, opts ...InvokeOption) ([]byt
 				return nil, fmt.Errorf("client: gave up after %d wrong-shard redirects (last from %s: %s)",
 					attempt+1, home, rep.Err)
 			}
+			if rep.ShardEpoch > wantEpoch {
+				wantEpoch = rep.ShardEpoch
+			}
 			// Bounded backoff before refreshing: during a table update the
 			// directory may answer the new epoch before the shard groups have
 			// installed it (or vice versa); a short pause lets the EpochMethod
@@ -192,6 +196,19 @@ func (r *Router) Invoke(method string, args []byte, opts ...InvokeOption) ([]byt
 			}
 			if err := r.Refresh(); err != nil {
 				return nil, err
+			}
+			// The redirecting replica validated against rep.ShardEpoch; a
+			// directory answer older than that is itself stale and would only
+			// bounce us straight back. Poll the directory a few more rounds
+			// under the same backoff before spending another shard attempt.
+			for round := 0; r.table.Epoch < wantEpoch && round < r.maxRedirects; round++ {
+				r.c.rt.Sleep(backoff)
+				if backoff *= 2; backoff > r.maxBackoff {
+					backoff = r.maxBackoff
+				}
+				if err := r.Refresh(); err != nil {
+					return nil, err
+				}
 			}
 			continue
 		}

@@ -27,6 +27,12 @@ type fakeShardWorld struct {
 	table     shard.Table             // what the directory serves
 	installed map[wire.GroupID]uint64 // per shard group epoch
 	attempts  map[wire.GroupID]int    // routed-request deliveries per group
+	// dualHome marks a group as a migration source inside the dual-home
+	// window: a request stamped with its (pre-fence) installed epoch is
+	// answered with a forwarded result instead of executing locally —
+	// mirroring the replica's ordered relay of moved keys to their new
+	// home. The value labels the relay target in the reply payload.
+	dualHome map[wire.GroupID]wire.GroupID
 }
 
 func newFakeShardWorld(t *testing.T, rt vtime.Runtime, net *transport.Inproc, shards int) *fakeShardWorld {
@@ -37,6 +43,7 @@ func newFakeShardWorld(t *testing.T, rt vtime.Runtime, net *transport.Inproc, sh
 		table:     shard.NewTable("o", shards, 0),
 		installed: make(map[wire.GroupID]uint64),
 		attempts:  make(map[wire.GroupID]int),
+		dualHome:  make(map[wire.GroupID]wire.GroupID),
 	}
 	for _, gid := range w.table.Shards {
 		w.installed[gid] = w.table.Epoch
@@ -80,13 +87,17 @@ func newFakeShardWorld(t *testing.T, rt vtime.Runtime, net *transport.Inproc, sh
 				rt.Lock()
 				w.attempts[gid]++
 				epoch := w.installed[gid]
+				fwd, dual := w.dualHome[gid]
 				rt.Unlock()
 				rep := replica.Reply{ID: req.ID, From: id}
-				if req.ShardEpoch != epoch {
+				switch {
+				case req.ShardEpoch == epoch && dual:
+					rep.Result = []byte("fwd@" + string(fwd))
+				case req.ShardEpoch == epoch:
+					rep.Result = []byte("ok@" + string(gid))
+				default:
 					rep.Err = shard.RedirectError(epoch, req.ShardKey, gid)
 					rep.ShardEpoch = epoch
-				} else {
-					rep.Result = []byte("ok@" + string(gid))
 				}
 				ep.Send(req.ReplyTo, rep)
 			}
@@ -270,6 +281,167 @@ func TestRouterGivesUpAfterMaxRedirects(t *testing.T) {
 		rt.Unlock()
 		if total != 3 {
 			t.Errorf("shard deliveries = %d, want 3 (initial + 2 redirect retries)", total)
+		}
+	})
+}
+
+// TestRouterDualHomeForwardLands: the dual-home window of a live reshard —
+// the directory already serves the next epoch and the key's state has left
+// with the cut, but the source group's fence has not flipped yet. A stale
+// router (old epoch cached) must land its request in ONE delivery: the
+// source relays it over the ordered cross-shard path and answers with the
+// forwarded result — no redirect round, no forced refresh.
+func TestRouterDualHomeForwardLands(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	net := transport.NewInproc(rt)
+	w := newFakeShardWorld(t, rt, net, 2)
+	c := newRouterClient(w)
+	vtime.Run(rt, "main", func() {
+		defer w.close()
+		defer c.Close()
+		r := c.Router("o")
+		if err := r.Refresh(); err != nil {
+			t.Fatalf("Refresh: %v", err)
+		}
+		home, err := r.Home("k1")
+		if err != nil {
+			t.Fatalf("Home: %v", err)
+		}
+
+		// Open the window: directory flips to epoch 2, the old home keeps
+		// its pre-fence epoch but forwards (the key's state moved with the
+		// cut to "o@9").
+		rt.Lock()
+		w.dualHome[home] = wire.GroupID("o@9")
+		rt.Unlock()
+		w.advanceEpoch(128, false)
+
+		out, err := r.Invoke("m", nil, WithShardKey("k1"))
+		if err != nil {
+			t.Fatalf("Invoke in dual-home window: %v", err)
+		}
+		if string(out) != "fwd@o@9" {
+			t.Errorf("result %q, want the forwarded reply fwd@o@9", out)
+		}
+		if r.Epoch() != 1 {
+			t.Errorf("Epoch = %d, want 1 (the stale router must not be forced to refresh)", r.Epoch())
+		}
+		rt.Lock()
+		total := 0
+		for _, n := range w.attempts {
+			total += n
+		}
+		rt.Unlock()
+		if total != 1 {
+			t.Errorf("shard deliveries = %d, want 1 (forward lands without a redirect round)", total)
+		}
+	})
+}
+
+// TestRouterDualHomeFenceConverges: after the fence closes the window, the
+// same stale router is redirected exactly once, refreshes to the new
+// table, and its next attempt lands on the new home under the new epoch.
+func TestRouterDualHomeFenceConverges(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	net := transport.NewInproc(rt)
+	w := newFakeShardWorld(t, rt, net, 2)
+	c := newRouterClient(w)
+	vtime.Run(rt, "main", func() {
+		defer w.close()
+		defer c.Close()
+		r := c.Router("o").WithRedirectBackoff(time.Millisecond)
+		if err := r.Refresh(); err != nil {
+			t.Fatalf("Refresh: %v", err)
+		}
+		home, err := r.Home("k1")
+		if err != nil {
+			t.Fatalf("Home: %v", err)
+		}
+		rt.Lock()
+		w.dualHome[home] = wire.GroupID("o@9")
+		rt.Unlock()
+		w.advanceEpoch(128, false)
+		if _, err := r.Invoke("m", nil, WithShardKey("k1")); err != nil {
+			t.Fatalf("Invoke in dual-home window: %v", err)
+		}
+
+		// Fence: every group installs epoch 2 and forwarding stops.
+		rt.Lock()
+		delete(w.dualHome, home)
+		for _, gid := range w.table.Shards {
+			w.installed[gid] = w.table.Epoch
+		}
+		attemptsBefore := 0
+		for _, n := range w.attempts {
+			attemptsBefore += n
+		}
+		rt.Unlock()
+
+		out, err := r.Invoke("m", nil, WithShardKey("k1"))
+		if err != nil {
+			t.Fatalf("Invoke after fence: %v", err)
+		}
+		if !strings.HasPrefix(string(out), "ok@") {
+			t.Errorf("result %q, want a direct ok@... reply under the new epoch", out)
+		}
+		if r.Epoch() != 2 {
+			t.Errorf("Epoch after fence = %d, want 2 (redirect must refresh the table)", r.Epoch())
+		}
+		rt.Lock()
+		total := 0
+		for _, n := range w.attempts {
+			total += n
+		}
+		rt.Unlock()
+		if got := total - attemptsBefore; got != 2 {
+			t.Errorf("post-fence deliveries = %d, want 2 (one redirect, one landed retry)", got)
+		}
+	})
+}
+
+// TestRouterDualHomeRedirectStormBounded: a refreshed router reaches the
+// new home while that group has not fenced yet and keeps answering with
+// its old epoch (e.g. its handoff stalled). The redirect storm must stop
+// at the WithMaxRedirects budget with a descriptive error instead of
+// spinning forever between the fresh directory and the lagging group.
+func TestRouterDualHomeRedirectStormBounded(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	net := transport.NewInproc(rt)
+	w := newFakeShardWorld(t, rt, net, 2)
+	c := newRouterClient(w)
+	vtime.Run(rt, "main", func() {
+		defer w.close()
+		defer c.Close()
+		r := c.Router("o").WithMaxRedirects(3).WithRedirectBackoff(time.Millisecond)
+		// Directory serves epoch 2; every group still has epoch 1 installed
+		// and no forwarding (the window is open but this key's chunk has not
+		// landed — the lagging group can only bounce).
+		w.advanceEpoch(128, false)
+		if err := r.Refresh(); err != nil {
+			t.Fatalf("Refresh: %v", err)
+		}
+		if r.Epoch() != 2 {
+			t.Fatalf("Epoch after refresh = %d, want 2", r.Epoch())
+		}
+
+		_, err := r.Invoke("m", nil, WithShardKey("k1"))
+		if err == nil {
+			t.Fatal("Invoke succeeded against a group that never fences")
+		}
+		if !strings.Contains(err.Error(), "wrong-shard redirects") {
+			t.Errorf("error %q does not mention the redirect budget", err)
+		}
+		rt.Lock()
+		total := 0
+		for _, n := range w.attempts {
+			total += n
+		}
+		rt.Unlock()
+		if total != 4 {
+			t.Errorf("shard deliveries = %d, want 4 (initial + 3 budgeted retries)", total)
 		}
 	})
 }

@@ -284,6 +284,17 @@ type Config struct {
 	// delay trades that latency for bigger rounds under sustained load.
 	MaxBatchDelay time.Duration
 
+	// DuplicateSubmit, when non-nil, is invoked (outside the runtime lock)
+	// for each submit whose id this member has already seen ordered. The
+	// ordered stream carries no second delivery in that case, so the owner
+	// gets no other signal that a client is retransmitting: the replica
+	// layer uses the hook to resend a cached at-most-once reply whose
+	// original transmission was lost. Without it, a retransmitting client
+	// can wait forever once every live replica has delivered the request
+	// (the sequencer's log re-broadcast only repairs members that missed
+	// the ordered message itself).
+	DuplicateSubmit func(sub Submit)
+
 	// Stats receives protocol metrics. May be nil (all recordings no-op).
 	Stats *Stats
 

@@ -1,0 +1,77 @@
+package gcs
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// TestHoldTruncationPinsLog: an armed migration pins log truncation at its
+// prepare position — a checkpoint taken while the hold is armed must not
+// advance the log floor past it, so a rejoiner can still replay the
+// ordered tail from the prepare onward (snapshot bridges only the prefix).
+// Release restores normal checkpoint-driven truncation.
+func TestHoldTruncationPinsLog(t *testing.T) {
+	h := newHarness(3, false)
+	h.run(func() {
+		cl := h.net.Endpoint(wire.ClientID("c1"))
+		defer cl.Close()
+		const n = 12
+		for i := 0; i < n; i++ {
+			h.submitFromClient(cl, fmt.Sprintf("m%02d", i), "x")
+		}
+		take(t, h.rt, h.members[0], n)
+		m := h.members[0]
+
+		// Arm the hold at seq 5 (the migration prepare), then checkpoint at
+		// 10: without the hold this would retain only seqs 11..12.
+		m.HoldTruncation(5)
+		m.SetCheckpoint(10, []byte("snapimage"))
+		if got := m.LogLen(); got != 8 {
+			t.Errorf("held log length = %d, want 8 (seqs 5..12 pinned by the hold)", got)
+		}
+
+		// The hold only lowers: a later, higher hold must not let the floor
+		// creep up past the original pin.
+		m.HoldTruncation(8)
+		m.SetCheckpoint(10, []byte("snapimage"))
+		if got := m.LogLen(); got != 8 {
+			t.Errorf("log length after higher re-hold = %d, want 8 (hold must only lower)", got)
+		}
+
+		// Release: the next checkpoint truncates normally again.
+		m.ReleaseTruncation()
+		m.SetCheckpoint(10, []byte("snapimage"))
+		if got := m.LogLen(); got != 2 {
+			t.Errorf("post-release log length = %d, want 2 (seqs 11..12)", got)
+		}
+	})
+}
+
+// TestHoldTruncationIdempotentRelease: releasing without a hold (or twice)
+// is a no-op, and a fresh hold after release arms again.
+func TestHoldTruncationIdempotentRelease(t *testing.T) {
+	h := newHarness(3, false)
+	h.run(func() {
+		cl := h.net.Endpoint(wire.ClientID("c1"))
+		defer cl.Close()
+		const n = 8
+		for i := 0; i < n; i++ {
+			h.submitFromClient(cl, fmt.Sprintf("m%02d", i), "x")
+		}
+		take(t, h.rt, h.members[0], n)
+		m := h.members[0]
+		m.ReleaseTruncation()
+		m.ReleaseTruncation()
+		m.SetCheckpoint(6, []byte("s"))
+		if got := m.LogLen(); got != 2 {
+			t.Errorf("log length = %d, want 2 (release without hold must not pin)", got)
+		}
+		m.HoldTruncation(7)
+		m.SetCheckpoint(8, []byte("s"))
+		if got := m.LogLen(); got != 2 {
+			t.Errorf("log length = %d, want 2 (seqs 7..8 under fresh hold)", got)
+		}
+	})
+}

@@ -48,6 +48,12 @@ type Member struct {
 	logFloor  uint64
 	snapSeq   uint64 // latest checkpoint position (0 = none)
 	snapData  []byte // latest checkpoint state image
+	// holdSeq, when non-zero, pins the truncation floor below it: entries
+	// at or above holdSeq survive checkpoints, the stability watermark and
+	// the retention cap. The replica holds its shard-migration prepare
+	// position so the prepare→fence tail (including handoff chunks) stays
+	// replayable for rejoiners until the fence releases the hold.
+	holdSeq uint64
 
 	// Submits seen but possibly not yet ordered; resubmitted on view change
 	// and re-sent by the FD tick once stale (cacheAt records when each was
@@ -150,7 +156,7 @@ func (m *Member) Broadcast(id string, payload any) {
 		m.maybeFlushBatchLocked(&act)
 	}
 	m.rt.Unlock()
-	act.do(m.cfg.Send)
+	act.finish(m)
 }
 
 // noteSubmitLocked remembers when a self-originated id was broadcast so its
@@ -183,6 +189,39 @@ func (m *Member) SetCheckpoint(seq uint64, data []byte) {
 	if !m.stopped && seq > m.snapSeq && len(data) > 0 {
 		m.snapSeq = seq
 		m.snapData = data
+		m.truncateLocked()
+	}
+	m.rt.Unlock()
+}
+
+// HoldTruncation pins the truncation floor strictly below seq: ordered
+// messages at or above seq are retained regardless of later checkpoints,
+// the stability watermark, or the retention cap. Holds do not stack — a
+// second call only lowers the pin — and Release resumes normal
+// truncation. The shard-migration protocol holds its prepare position so
+// a replica that rejoins mid-handoff recovers by snapshot (necessarily
+// pre-prepare, checkpoints being suppressed during migration) plus a tail
+// that still contains the prepare, the source cut and every chunk.
+func (m *Member) HoldTruncation(seq uint64) {
+	m.rt.Lock()
+	if !m.stopped && seq > 0 && (m.holdSeq == 0 || seq < m.holdSeq) {
+		m.holdSeq = seq
+		if st := m.cfg.Stats; st != nil {
+			st.TruncationHold.Set(int64(seq))
+		}
+	}
+	m.rt.Unlock()
+}
+
+// ReleaseTruncation lifts the HoldTruncation pin and immediately
+// re-truncates up to the normal stability floor.
+func (m *Member) ReleaseTruncation() {
+	m.rt.Lock()
+	if !m.stopped && m.holdSeq != 0 {
+		m.holdSeq = 0
+		if st := m.cfg.Stats; st != nil {
+			st.TruncationHold.Set(0)
+		}
 		m.truncateLocked()
 	}
 	m.rt.Unlock()
@@ -246,7 +285,7 @@ func (m *Member) Handle(from wire.NodeID, payload any) bool {
 	}
 	m.maybeFlushBatchLocked(&act)
 	m.rt.Unlock()
-	act.do(m.cfg.Send)
+	act.finish(m)
 	return true
 }
 
@@ -284,6 +323,9 @@ type outMsg struct {
 // go straight to the mailbox via PutLocked, preserving total order.
 type actions struct {
 	sends []outMsg
+	// dups are already-ordered submits to surface through the
+	// DuplicateSubmit hook once the lock is released.
+	dups []Submit
 	// nacked dedups gap NACKs within one lock section (see
 	// handleOrderedLocked).
 	nacked bool
@@ -296,6 +338,18 @@ func (a *actions) send(to wire.NodeID, payload any) {
 func (a *actions) do(send func(to wire.NodeID, payload any)) {
 	for _, s := range a.sends {
 		send(s.to, s.payload)
+	}
+}
+
+// finish runs the post-lock tail of an event: queued sends, then the
+// duplicate-submit notifications (which may call back into the replica
+// layer and so must also run without the runtime lock held).
+func (a *actions) finish(m *Member) {
+	a.do(m.cfg.Send)
+	if m.cfg.DuplicateSubmit != nil {
+		for _, d := range a.dups {
+			m.cfg.DuplicateSubmit(d)
+		}
 	}
 }
 
@@ -345,6 +399,9 @@ func (m *Member) quorumOKLocked(now time.Duration) bool {
 
 func (m *Member) handleSubmitLocked(sub Submit, act *actions) {
 	if m.orderedIDs[sub.ID] {
+		if m.cfg.DuplicateSubmit != nil {
+			act.dups = append(act.dups, sub)
+		}
 		// A duplicate of something already ordered — usually a client
 		// retransmission because some replica never received the ordered
 		// message (e.g. the final message of a burst was lost and no later
@@ -434,7 +491,7 @@ func (m *Member) batchTick() {
 		m.flushBatchLocked(&act)
 	}
 	m.rt.Unlock()
-	act.do(m.cfg.Send)
+	act.finish(m)
 }
 
 // flushBatchLocked broadcasts the open batch as one ordering round:
@@ -789,10 +846,13 @@ func (m *Member) retainLocked(o Ordered) {
 		return
 	}
 	// Rebuild, keeping a window below the delivery frontier plus everything
-	// not yet delivered.
+	// not yet delivered — and never evicting a held migration tail.
 	floor := uint64(0)
 	if m.nextDeliver > uint64(m.cfg.LogRetain) {
 		floor = m.nextDeliver - uint64(m.cfg.LogRetain)
+	}
+	if m.holdSeq != 0 && floor > m.holdSeq {
+		floor = m.holdSeq
 	}
 	for seq := range m.log {
 		if seq < floor {
@@ -817,6 +877,12 @@ func (m *Member) truncateLocked() {
 	if m.cfg.FailureDetection {
 		if w := m.watermarkLocked(); w < floor {
 			floor = w
+		}
+	}
+	if m.holdSeq != 0 && floor >= m.holdSeq {
+		floor = m.holdSeq - 1
+		if st := m.cfg.Stats; st != nil {
+			st.TruncationHeld.Inc()
 		}
 	}
 	if floor <= m.logFloor {

@@ -33,6 +33,7 @@ const (
 	tagRequestShard  = 24
 	tagRequestCross  = 25
 	tagReplyShard    = 26
+	tagMigrateChunk  = 27
 )
 
 // errUntracedVariant rejects traced-tag frames whose context is zero —
@@ -46,6 +47,14 @@ var errUnshardedVariant = errors.New("replica: shard payload tag without shard f
 // maxCrossKeys bounds the cross-shard key list a frame may carry: sanity
 // against hostile or corrupted length prefixes.
 const maxCrossKeys = 1 << 12
+
+// maxChunkKeys / maxChunkCache bound a migration chunk's key and
+// reply-cache entry counts — again sanity against corrupted prefixes (the
+// sender chunks at shard.DefaultChunkKeys, far below either).
+const (
+	maxChunkKeys  = 1 << 20
+	maxChunkCache = 1 << 16
+)
 
 func requestSharded(q Request) bool {
 	return q.ShardEpoch != 0 || q.ShardKey != ""
@@ -232,6 +241,118 @@ func init() {
 			}
 			return p, nil
 		})
+	wire.RegisterBinaryPayload(tagMigrateChunk, MigrateChunk{},
+		func(b *wire.Buffer, v any) error {
+			encMigrateChunk(b, v.(MigrateChunk))
+			return nil
+		},
+		func(r *wire.Reader) (any, error) {
+			return decMigrateChunk(r)
+		})
+}
+
+func encMigrateChunk(b *wire.Buffer, ck MigrateChunk) {
+	b.String(ck.Object)
+	b.Uvarint(ck.Epoch)
+	b.String(string(ck.Source))
+	b.String(string(ck.Target))
+	b.Uvarint(uint64(ck.Index))
+	b.Uvarint(uint64(ck.Count))
+	b.Uvarint(ck.Cut)
+	b.Uvarint(uint64(len(ck.Keys)))
+	for _, k := range ck.Keys {
+		b.String(k.Key)
+		b.Bytes(k.Data)
+	}
+	b.Uvarint(uint64(len(ck.Cache)))
+	for _, ce := range ck.Cache {
+		encInvocationID(b, ce.ID)
+		b.String(ce.Key)
+		encReplyFields(b, ce.Reply)
+		b.Uvarint(ce.Reply.ShardEpoch)
+		b.Uvarint(ce.Reply.Trace.TraceID)
+		b.Uvarint(ce.Reply.Trace.Span)
+	}
+}
+
+func decMigrateChunk(r *wire.Reader) (MigrateChunk, error) {
+	var ck MigrateChunk
+	var err error
+	if ck.Object, err = r.String(); err != nil {
+		return ck, err
+	}
+	if ck.Epoch, err = r.Uvarint(); err != nil {
+		return ck, err
+	}
+	s, err := r.String()
+	if err != nil {
+		return ck, err
+	}
+	ck.Source = wire.GroupID(s)
+	if s, err = r.String(); err != nil {
+		return ck, err
+	}
+	ck.Target = wire.GroupID(s)
+	u, err := r.Uvarint()
+	if err != nil {
+		return ck, err
+	}
+	ck.Index = int(u)
+	if u, err = r.Uvarint(); err != nil {
+		return ck, err
+	}
+	ck.Count = int(u)
+	if ck.Cut, err = r.Uvarint(); err != nil {
+		return ck, err
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return ck, err
+	}
+	if n > maxChunkKeys {
+		return ck, errors.New("replica: implausible migration chunk key count")
+	}
+	if n > 0 {
+		ck.Keys = make([]KeyState, n)
+		for i := range ck.Keys {
+			if ck.Keys[i].Key, err = r.String(); err != nil {
+				return ck, err
+			}
+			if ck.Keys[i].Data, err = r.Bytes(); err != nil {
+				return ck, err
+			}
+		}
+	}
+	if n, err = r.Uvarint(); err != nil {
+		return ck, err
+	}
+	if n > maxChunkCache {
+		return ck, errors.New("replica: implausible migration cache entry count")
+	}
+	if n > 0 {
+		ck.Cache = make([]CacheEntry, n)
+		for i := range ck.Cache {
+			if ck.Cache[i].ID, err = decInvocationID(r); err != nil {
+				return ck, err
+			}
+			if ck.Cache[i].Key, err = r.String(); err != nil {
+				return ck, err
+			}
+			if ck.Cache[i].Reply, err = decReplyFields(r); err != nil {
+				return ck, err
+			}
+			if ck.Cache[i].Reply.ShardEpoch, err = r.Uvarint(); err != nil {
+				return ck, err
+			}
+			if ck.Cache[i].Reply.Trace.TraceID, err = r.Uvarint(); err != nil {
+				return ck, err
+			}
+			if ck.Cache[i].Reply.Trace.Span, err = r.Uvarint(); err != nil {
+				return ck, err
+			}
+		}
+	}
+	return ck, nil
 }
 
 // decRequestShardFields decodes a tag-24 frame: base fields, shard epoch,

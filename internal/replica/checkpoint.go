@@ -45,6 +45,10 @@ type seenEntry struct {
 	SeenAt uint64
 	Done   bool
 	Reply  Reply
+	// Key is the shard key the request was accepted under (empty when
+	// unrouted); restoring it keeps a rejoiner's migration reply-cache
+	// handoffs byte-identical to its peers'.
+	Key string
 }
 
 // snapshotEnvelope is the serialized form of a checkpoint: everything a
@@ -75,6 +79,20 @@ type snapshotEnvelope struct {
 // every replica records the same event (checkpoint or skip marker) and any
 // disagreement surfaces as a digest divergence.
 func (r *Replica) checkpoint(seq uint64) {
+	// No snapshot may cover a half-done ring transition: the handoff state
+	// (buffered chunks, parked requests, pending cut) is reconstructed by
+	// rejoiners from the ordered tail instead, which the migration's
+	// truncation hold keeps available. The verdict is a pure function of
+	// the stream (the migration is armed and disarmed at ordered
+	// positions), so every replica defers the same boundaries.
+	r.rt.Lock()
+	migrating := r.mig != nil || len(r.earlyChunks) > 0
+	r.rt.Unlock()
+	if migrating {
+		r.ckptSkipped.Inc()
+		r.trace.Record("order", obs.KindCheckpoint, "ckpt", strconv.FormatUint(seq, 10)+"/defer")
+		return
+	}
 	start := r.rt.Now()
 	p := vtime.NewParker("ckpt/" + string(r.self))
 	drained := false
@@ -184,6 +202,7 @@ func (r *Replica) evictStableLocked(seq uint64) {
 		if at <= floor {
 			if _, done := r.cache[id]; done {
 				delete(r.seen, id)
+				delete(r.seenKey, id)
 				delete(r.cache, id)
 				continue
 			}
@@ -202,7 +221,7 @@ func (r *Replica) seenEntriesLocked() []seenEntry {
 		if !ok {
 			continue
 		}
-		e := seenEntry{ID: id, SeenAt: at}
+		e := seenEntry{ID: id, SeenAt: at, Key: r.seenKey[id]}
 		if rep, done := r.cache[id]; done {
 			e.Done = true
 			e.Reply = rep
@@ -227,10 +246,14 @@ func (r *Replica) installSnapshot(d gcs.Delivery) {
 	r.rt.Lock()
 	r.seen = make(map[wire.InvocationID]uint64, len(env.Entries))
 	r.seenOrder = r.seenOrder[:0]
+	r.seenKey = make(map[wire.InvocationID]string)
 	r.cache = make(map[wire.InvocationID]Reply, len(env.Entries))
 	for _, e := range env.Entries {
 		r.seen[e.ID] = e.SeenAt
 		r.seenOrder = append(r.seenOrder, e.ID)
+		if e.Key != "" {
+			r.seenKey[e.ID] = e.Key
+		}
 		if e.Done {
 			r.cache[e.ID] = e.Reply
 		}
@@ -240,10 +263,18 @@ func (r *Replica) installSnapshot(d gcs.Delivery) {
 	r.earlyReplies = make(map[wire.InvocationID]Reply)
 	r.nestedWaiting = make(map[wire.LogicalID]int)
 	r.pendingCallbacks = make(map[wire.LogicalID][]pendingCallback)
+	// Checkpoints are never taken mid-migration, so the donor had no
+	// handoff state; any local leftovers are stale by construction. The
+	// ordered tail past the snapshot replays prepare/chunks/fence and
+	// rebuilds them deterministically.
+	r.mig = nil
+	r.earlyChunks = nil
 	r.rt.Unlock()
 	if r.shard != nil && len(env.Shard) > 0 {
+		// Restore, not Install: the donor's table may be any number of
+		// epochs (and reshapes) ahead of this rejoiner's.
 		if t, err := shard.DecodeTable(env.Shard); err == nil {
-			if r.shard.Install(t) == nil {
+			if r.shard.Restore(t) == nil {
 				r.shardEpochG.Set(int64(t.Epoch))
 			}
 		}

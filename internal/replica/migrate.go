@@ -1,0 +1,619 @@
+package replica
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/obs"
+	"github.com/replobj/replobj/internal/shard"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Elastic resharding, replica side. A ring transition moves keys between
+// shard groups — between two independent total orders — so every step is
+// itself an ordered event:
+//
+//  1. Prepare (shard.PrepareMethod, ordered on every participating group)
+//     arms the transition: the replica plans the migration against its
+//     installed table, freezes checkpoints and pins gcs log truncation at
+//     the prepare position.
+//  2. Cut (source groups): at the first quiesced position after prepare,
+//     the replica exports every moving key through the state's
+//     KeyedSnapshotter, drops them locally, and submits the chunks into
+//     each target group's total order. All replicas of the group reach
+//     the same cut position (the quiescence verdict is a deterministic
+//     function of the stream) and submit byte-identical chunks under the
+//     same ids, so gcs dedup installs each chunk exactly once.
+//  3. Dual-home window (source groups, post-cut): a request stamped with
+//     the old epoch whose key has moved is accepted — at-most-once
+//     bookkeeping included — and forwarded to the new home over the
+//     ordered nested-invocation path, stamped with the next epoch. The
+//     reply relays back through the source group's own order.
+//  4. Install (target groups): delivered chunks are folded into the state
+//     at quiesced positions; requests stamped with the next epoch for a
+//     key whose handoff has not installed yet are parked and flushed — in
+//     arrival order — the moment their source stream completes.
+//  5. Fence (shard.FenceMethod): deterministically fails until the
+//     handoff has drained, then installs the next epoch as current. The
+//     cutover is exact: at the source's single ordered stream, an
+//     old-epoch request for a moved key is delivered either before the
+//     fence (executed locally pre-cut, or forwarded) or after it
+//     (redirected) — never both.
+//
+// Sharded.Reshard in the public API orchestrates the sequence; the pure
+// planning lives in internal/shard.
+
+// KeyedSnapshotter is implemented by object states that support partial,
+// per-key state transfer — the requirement for elastic resharding (the
+// whole-state Snapshotter is not enough: a migration moves a subset of
+// keys between two live states). All three methods are called only at
+// quiesced ordered positions, with no request threads live.
+type KeyedSnapshotter interface {
+	// ExportKeys serializes every key selected by the predicate.
+	ExportKeys(selected func(key string) bool) (map[string][]byte, error)
+	// InstallKeys folds exported key images into this state.
+	InstallKeys(state map[string][]byte) error
+	// DropKeys removes keys handed off to another shard.
+	DropKeys(keys []string) error
+}
+
+// KeyState is one key's serialized image inside a migration chunk.
+type KeyState struct {
+	Key  string
+	Data []byte
+}
+
+// CacheEntry is one migrated reply-cache entry: the at-most-once
+// bookkeeping of a moved key travels with its state, so a client
+// retransmission of an already-executed invocation hitting the new home
+// is answered from cache instead of re-executed.
+type CacheEntry struct {
+	ID    wire.InvocationID
+	Key   string
+	Reply Reply
+}
+
+// MigrateChunk is one ordered handoff frame of a ring transition,
+// submitted by the source group's replicas into the target group's total
+// order at the source's quiesced cut. Every source replica submits
+// byte-identical chunks under the same gcs ids, so the target orders each
+// chunk exactly once regardless of source group size or crashes.
+type MigrateChunk struct {
+	// Object names the sharded object; Epoch is the transition's target
+	// epoch (the chunk is part of the migration INTO that epoch).
+	Object string
+	Epoch  uint64
+	// Source and Target are the handoff's shard groups.
+	Source wire.GroupID
+	Target wire.GroupID
+	// Index/Count position this chunk in its (source → target) stream;
+	// Count is carried by every chunk so the target learns the stream
+	// extent from whichever chunk arrives first. A moved-key set can be
+	// empty — the stream is then a single chunk with no keys.
+	Index int
+	Count int
+	// Cut is the source group's stream position of the quiesced cut
+	// (observability; targets do not interpret it).
+	Cut uint64
+	// Keys carries the moved key images; Cache the reply-cache entries of
+	// moved keys (attached to the stream's first chunk).
+	Keys  []KeyState
+	Cache []CacheEntry
+}
+
+func init() {
+	wire.RegisterPayload(MigrateChunk{})
+}
+
+// chunkID is the gcs submission id of one handoff frame: identical on
+// every source replica, so the target's sequencer dedups the group-wide
+// resubmissions to one ordered instance.
+func chunkID(object string, epoch uint64, source, target wire.GroupID, index int) string {
+	return "migrate/" + object + "/" + strconv.FormatUint(epoch, 10) + "/" +
+		string(source) + "/" + string(target) + "/" + strconv.Itoa(index)
+}
+
+// migration is a replica's handoff state between prepare and fence. It is
+// only touched by the dispatch goroutine (all protocol steps happen at
+// ordered positions); the runtime lock guards the fields the status
+// handler and tests read.
+type migration struct {
+	plan *shard.Plan
+	next *shard.Epoch
+	// prepareSeq is the ordered position of the prepare (the truncation
+	// hold point).
+	prepareSeq uint64
+
+	// Source role.
+	outgoing []shard.Move
+	cutDone  bool
+	cutSeq   uint64
+
+	// Target role: one stream per incoming move, keyed by source group.
+	incoming map[wire.GroupID]*incomingStream
+
+	// forwarded counts dual-home forwards relayed by this replica.
+	forwarded int
+}
+
+// incomingStream tracks one source group's chunk stream: chunks buffer on
+// delivery and install in index order at quiesced positions.
+type incomingStream struct {
+	move     shard.Move
+	buffered map[int]MigrateChunk
+	// next is the lowest uninstalled chunk index; count the stream extent
+	// (0 until the first chunk arrives).
+	next  int
+	count int
+	done  bool
+	// parked buffers next-epoch requests for this stream's keys until the
+	// handoff installs, in arrival order.
+	parked []parkedRequest
+}
+
+type parkedRequest struct {
+	req Request
+	seq uint64
+}
+
+// bufferChunk files a delivered chunk under its stream. Replayed or alien
+// chunks (wrong epoch, unplanned source, already-installed index) are
+// dropped — a plan replay is idempotent by construction.
+func (m *migration) bufferChunk(ck MigrateChunk) {
+	if ck.Epoch != m.next.Table.Epoch {
+		return
+	}
+	s := m.incoming[ck.Source]
+	if s == nil || s.done || ck.Index < s.next {
+		return
+	}
+	if _, dup := s.buffered[ck.Index]; dup {
+		return
+	}
+	s.buffered[ck.Index] = ck
+	if s.count == 0 && ck.Count > 0 {
+		s.count = ck.Count
+	}
+}
+
+// dispatchMigrateChunk handles an ordered MigrateChunk delivery. Chunks
+// arriving before this group's own prepare (possible only if the
+// orchestrator's prepare order is violated, but harmless to tolerate) are
+// buffered aside and folded in at prepare; both buffers suppress
+// checkpoints, so no snapshot ever covers half a handoff.
+func (r *Replica) dispatchMigrateChunk(ck MigrateChunk) {
+	r.rt.Lock()
+	defer r.rt.Unlock()
+	if r.stopped {
+		return
+	}
+	if r.mig == nil {
+		r.earlyChunks = append(r.earlyChunks, ck)
+		return
+	}
+	r.mig.bufferChunk(ck)
+}
+
+// applyShardPrepare arms a transition at its ordered position (inline,
+// outside the scheduler, like EpochMethod installs).
+func (r *Replica) applyShardPrepare(req Request, seq uint64) {
+	reply := Reply{ID: req.ID, From: r.self}
+	if req.Trace.Valid() {
+		reply.Trace = req.Trace
+	}
+	err := r.prepareMigration(req.Args, seq)
+	cur := r.shard.Current().Table
+	reply.ShardEpoch = cur.Epoch
+	if err != nil {
+		reply.Err = err.Error()
+	} else {
+		reply.Result = cur.Encode()
+	}
+	r.rt.Lock()
+	r.cache[req.ID] = reply
+	r.rt.Unlock()
+	r.sendReply(req, reply)
+}
+
+func (r *Replica) prepareMigration(args []byte, seq uint64) error {
+	next, err := shard.DecodeTable(args)
+	if err != nil {
+		return err
+	}
+	cur := r.shard.Current().Table
+	if cur.Epoch == next.Epoch && cur.SameShards(next) {
+		return nil // post-fence prepare replay: idempotent
+	}
+	// Probe the plan before arming: a group whose state cannot do keyed
+	// transfer must reject with nothing armed, identically everywhere.
+	probe, err := shard.PlanMigration(cur, next)
+	if err != nil {
+		return err
+	}
+	if len(probe.Outgoing(r.group)) > 0 || len(probe.Incoming(r.group)) > 0 {
+		if _, ok := r.state.(KeyedSnapshotter); !ok {
+			return fmt.Errorf("replica: state %T does not implement KeyedSnapshotter; cannot reshard", r.state)
+		}
+	}
+	plan, err := r.shard.BeginTransition(next)
+	if err != nil {
+		return err
+	}
+	r.rt.Lock()
+	if r.mig == nil {
+		m := &migration{
+			plan:       plan,
+			next:       r.shard.Pending(),
+			prepareSeq: seq,
+			outgoing:   plan.Outgoing(r.group),
+			incoming:   make(map[wire.GroupID]*incomingStream),
+		}
+		for _, mv := range plan.Incoming(r.group) {
+			m.incoming[mv.Source] = &incomingStream{move: mv, buffered: make(map[int]MigrateChunk)}
+		}
+		for _, ck := range r.earlyChunks {
+			m.bufferChunk(ck)
+		}
+		r.earlyChunks = nil
+		r.mig = m
+	}
+	r.rt.Unlock()
+	r.member.HoldTruncation(seq)
+	r.migActive.Set(1)
+	return nil
+}
+
+// applyShardStatus answers a migration progress probe at its ordered
+// position — a consistent cut of the stream, identical across replicas.
+func (r *Replica) applyShardStatus(req Request) {
+	reply := Reply{ID: req.ID, From: r.self}
+	if req.Trace.Valid() {
+		reply.Trace = req.Trace
+	}
+	st := r.migrationStatus()
+	reply.ShardEpoch = st.Epoch
+	reply.Result = st.Encode()
+	r.rt.Lock()
+	r.cache[req.ID] = reply
+	r.rt.Unlock()
+	r.sendReply(req, reply)
+}
+
+func (r *Replica) migrationStatus() shard.Status {
+	st := shard.Status{Epoch: r.shard.Current().Table.Epoch}
+	r.rt.Lock()
+	defer r.rt.Unlock()
+	m := r.mig
+	if m == nil {
+		return st
+	}
+	st.Next = m.next.Table.Epoch
+	st.OutTotal = len(m.outgoing)
+	if m.cutDone {
+		st.OutDone = st.OutTotal
+	}
+	st.InTotal = len(m.incoming)
+	for _, s := range m.incoming {
+		if s.done {
+			st.InDone++
+		}
+		st.Parked += len(s.parked)
+	}
+	st.Forwarded = m.forwarded
+	return st
+}
+
+// applyShardFence completes (or deterministically refuses to complete)
+// the transition at its ordered position.
+func (r *Replica) applyShardFence(req Request) {
+	reply := Reply{ID: req.ID, From: r.self}
+	if req.Trace.Valid() {
+		reply.Trace = req.Trace
+	}
+	err := r.fenceMigration(req.Args)
+	cur := r.shard.Current().Table
+	reply.ShardEpoch = cur.Epoch
+	if err != nil {
+		reply.Err = err.Error()
+	} else {
+		reply.Result = cur.Encode()
+	}
+	r.rt.Lock()
+	r.cache[req.ID] = reply
+	r.rt.Unlock()
+	r.sendReply(req, reply)
+}
+
+func (r *Replica) fenceMigration(args []byte) error {
+	next, err := shard.DecodeTable(args)
+	if err != nil {
+		return err
+	}
+	cur := r.shard.Current().Table
+	if cur.Epoch == next.Epoch && cur.SameShards(next) {
+		return nil // post-fence replay: idempotent
+	}
+	pending := r.shard.Pending()
+	if pending == nil || pending.Table.Epoch != next.Epoch {
+		return fmt.Errorf("replica: fence for epoch %d without matching transition (installed epoch %d)", next.Epoch, cur.Epoch)
+	}
+	if st := r.migrationStatus(); !st.Done() {
+		return fmt.Errorf("replica: fence before handoff drained (out %d/%d, in %d/%d, parked %d)",
+			st.OutDone, st.OutTotal, st.InDone, st.InTotal, st.Parked)
+	}
+	if _, err := r.shard.FinalizeTransition(); err != nil {
+		return err
+	}
+	r.rt.Lock()
+	r.mig = nil
+	r.rt.Unlock()
+	r.member.ReleaseTruncation()
+	r.shardEpochG.Set(int64(next.Epoch))
+	r.migActive.Set(0)
+	r.trace.Record("order", obs.KindCheckpoint, "migrate-fence", strconv.FormatUint(next.Epoch, 10))
+	return nil
+}
+
+// migrationStep runs after every ordered delivery while a transition is
+// armed: it retries the pending quiesced work (the source cut, target
+// chunk installs) until the scheduler drains. The attempt set and the
+// quiescence verdict are both pure functions of the stream, so every
+// replica performs each step at the same position — certified by the
+// migrate-* trace records, which divergence checks compare like any other
+// event.
+func (r *Replica) migrationStep(seq uint64) {
+	r.rt.Lock()
+	m := r.mig
+	if m == nil {
+		r.rt.Unlock()
+		return
+	}
+	needCut := len(m.outgoing) > 0 && !m.cutDone
+	needInstall := false
+	for _, s := range m.incoming {
+		if !s.done {
+			if _, ok := s.buffered[s.next]; ok {
+				needInstall = true
+				break
+			}
+		}
+	}
+	r.rt.Unlock()
+	if !needCut && !needInstall {
+		return
+	}
+	p := vtime.NewParker("migrate/" + string(r.self))
+	drained := false
+	r.sched.Quiesce(func(d bool) {
+		drained = d
+		r.rt.Unpark(p)
+	})
+	r.rt.Lock()
+	r.rt.Park(p)
+	r.rt.Unlock()
+	if !drained {
+		r.trace.Record("order", obs.KindCheckpoint, "migrate", strconv.FormatUint(seq, 10)+"/busy")
+		return
+	}
+	if needCut {
+		r.performCut(m, seq)
+	}
+	if needInstall {
+		r.performInstalls(m, seq)
+	}
+}
+
+// performCut exports every outgoing move at this quiesced position: the
+// moved keys leave the state, their reply-cache entries ride along, and
+// the chunks enter each target's total order. Failures (a state whose
+// export breaks) are deterministic — every replica fails the same way and
+// the fence never passes, surfacing the error at the orchestrator.
+func (r *Replica) performCut(m *migration, seq uint64) {
+	ks := r.state.(KeyedSnapshotter) // checked at prepare
+	object := m.next.Table.Object
+	for _, mv := range m.outgoing {
+		mv := mv
+		exported, err := ks.ExportKeys(func(key string) bool {
+			got, moved := m.plan.MoveOf(key)
+			return moved && got == mv
+		})
+		if err != nil {
+			return
+		}
+		keys := make([]string, 0, len(exported))
+		for k := range exported {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		cache := r.movedCacheEntries(mv)
+		if err := ks.DropKeys(keys); err != nil {
+			return
+		}
+		chunks := shard.Chunks(keys, shard.DefaultChunkKeys)
+		members := r.dir.Members(mv.Target)
+		for i, chunkKeys := range chunks {
+			ck := MigrateChunk{
+				Object: object,
+				Epoch:  m.next.Table.Epoch,
+				Source: r.group,
+				Target: mv.Target,
+				Index:  i,
+				Count:  len(chunks),
+				Cut:    seq,
+			}
+			for _, k := range chunkKeys {
+				ck.Keys = append(ck.Keys, KeyState{Key: k, Data: exported[k]})
+			}
+			if i == 0 {
+				ck.Cache = cache
+			}
+			sub := gcs.Submit{
+				Group:   mv.Target,
+				ID:      chunkID(object, ck.Epoch, r.group, mv.Target, i),
+				Origin:  r.self,
+				Payload: ck,
+			}
+			for _, node := range members {
+				r.ep.Send(node, sub)
+			}
+			r.migChunksSent.Inc()
+		}
+		r.migKeysMoved.Add(uint64(len(keys)))
+	}
+	m.cutDone = true
+	m.cutSeq = seq
+	r.trace.Record("order", obs.KindCheckpoint, "migrate-cut", strconv.FormatUint(seq, 10))
+}
+
+// movedCacheEntries collects the Done reply-cache entries of keys riding
+// a move, in first-seen order (deterministic: it follows the stream).
+func (r *Replica) movedCacheEntries(mv shard.Move) []CacheEntry {
+	r.rt.Lock()
+	defer r.rt.Unlock()
+	var out []CacheEntry
+	for _, id := range r.seenOrder {
+		key, ok := r.seenKey[id]
+		if !ok || key == "" {
+			continue
+		}
+		got, moved := r.mig.plan.MoveOf(key)
+		if !moved || got != mv {
+			continue
+		}
+		if rep, done := r.cache[id]; done {
+			out = append(out, CacheEntry{ID: id, Key: key, Reply: rep})
+		}
+	}
+	return out
+}
+
+// performInstalls folds buffered chunks into the state, in index order
+// per stream, and flushes the stream's parked requests once it completes.
+func (r *Replica) performInstalls(m *migration, seq uint64) {
+	ks := r.state.(KeyedSnapshotter) // checked at prepare
+	for _, mv := range m.plan.Incoming(r.group) {
+		s := m.incoming[mv.Source]
+		if s == nil || s.done {
+			continue
+		}
+		for {
+			ck, ok := s.buffered[s.next]
+			if !ok {
+				break
+			}
+			if len(ck.Keys) > 0 {
+				kv := make(map[string][]byte, len(ck.Keys))
+				for _, k := range ck.Keys {
+					kv[k.Key] = k.Data
+				}
+				if err := ks.InstallKeys(kv); err != nil {
+					return // deterministic failure: fence never passes
+				}
+			}
+			r.rt.Lock()
+			for _, ce := range ck.Cache {
+				if _, dup := r.seen[ce.ID]; dup {
+					continue // already seen here: at-most-once wins
+				}
+				r.markSeenLocked(ce.ID, seq, ce.Key)
+				r.cache[ce.ID] = ce.Reply
+			}
+			delete(s.buffered, s.next)
+			s.next++
+			r.rt.Unlock()
+			r.migChunksInstalled.Inc()
+			r.trace.Record("order", obs.KindCheckpoint, InstallLabel,
+				strconv.FormatUint(seq, 10)+"/"+string(ck.Source)+"/"+strconv.Itoa(ck.Index))
+		}
+		if s.count > 0 && s.next >= s.count {
+			s.done = true
+			parked := s.parked
+			s.parked = nil
+			r.migParked.Add(-int64(len(parked)))
+			for _, pr := range parked {
+				r.admit(pr.req, pr.seq, m.next)
+			}
+		}
+	}
+}
+
+// InstallLabel is the trace id of a chunk-install event — the ordered
+// "_shard/install" position of the handoff on the target group's order.
+const InstallLabel = shard.InstallMethod
+
+// submitForward schedules the dual-home relay of an old-epoch request: a
+// scheduler thread performs a nested invocation of the new home (stamped
+// with the next epoch) and relays the ordered reply to the caller. The
+// nested id derives deterministically from the original request, so every
+// source replica submits the same invocation and gcs dedup executes it
+// exactly once at the target.
+func (r *Replica) submitForward(req Request, callback bool, seq uint64, next *shard.Epoch, target wire.GroupID) {
+	var classes []string
+	if r.classes != nil {
+		classes = r.classes(req.Method, req.Args)
+	}
+	r.sched.Submit(adets.Request{
+		ID:       req.ID,
+		Logical:  req.Logical(),
+		Callback: callback,
+		Classes:  classes,
+		Seq:      seq,
+		Exec:     func(t *adets.Thread) { r.executeForward(req, t, next, target) },
+	})
+}
+
+func (r *Replica) executeForward(req Request, t *adets.Thread, next *shard.Epoch, target wire.GroupID) {
+	r.inflight.Inc()
+	defer r.inflight.Dec()
+	inv := &Invocation{r: r, t: t, req: req, epoch: next}
+	result, err := inv.invoke(target, req.Method, req.Args, func(q *Request) {
+		q.ShardEpoch = next.Table.Epoch
+		q.ShardKey = req.ShardKey
+		q.CrossKeys = req.CrossKeys
+	})
+	reply := Reply{ID: req.ID, From: r.self, Result: result}
+	if err != nil {
+		reply.Err = err.Error()
+		if shard.IsRedirect(reply.Err) {
+			// The new home bounced the relayed request (e.g. it is mid-
+			// failover on yet another transition). Keep the redirect signal
+			// intact so the router retries instead of failing terminally.
+			reply.ShardEpoch = next.Table.Epoch
+		}
+	}
+	if req.Trace.Valid() {
+		reply.Trace = req.Trace
+	}
+	r.rt.Lock()
+	r.cache[req.ID] = reply
+	r.logicalLive[req.Logical()]--
+	if r.logicalLive[req.Logical()] == 0 {
+		delete(r.logicalLive, req.Logical())
+	}
+	r.rt.Unlock()
+	r.sendReply(req, reply)
+}
+
+// admit runs the post-validation tail of request dispatch (callback
+// classification and scheduler submission) — shared by the normal path
+// and the parked-request flush.
+func (r *Replica) admit(req Request, seq uint64, epoch *shard.Epoch) {
+	r.rt.Lock()
+	if r.stopped {
+		r.rt.Unlock()
+		return
+	}
+	callback := r.logicalLive[req.Logical()] > 0
+	r.logicalLive[req.Logical()]++
+	if callback && r.nestedWaiting[req.Logical()] == 0 {
+		r.pendingCallbacks[req.Logical()] = append(r.pendingCallbacks[req.Logical()], pendingCallback{req: req, epoch: epoch})
+		r.rt.Unlock()
+		return
+	}
+	r.rt.Unlock()
+	r.submitRequest(req, callback, seq, epoch)
+}

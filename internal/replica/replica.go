@@ -233,11 +233,22 @@ type Replica struct {
 	shardCross     *obs.Counter
 	shardEpochG    *obs.Gauge
 
+	// Migration metrics (see migrate.go).
+	migActive          *obs.Gauge
+	migParked          *obs.Gauge
+	migKeysMoved       *obs.Counter
+	migChunksSent      *obs.Counter
+	migChunksInstalled *obs.Counter
+	migForwarded       *obs.Counter
+
 	handlers map[string]Handler
 
 	// All fields below are guarded by the runtime lock.
-	seen        map[wire.InvocationID]uint64 // delivered at least once, at this stream position
-	seenOrder   []wire.InvocationID
+	seen      map[wire.InvocationID]uint64 // delivered at least once, at this stream position
+	seenOrder []wire.InvocationID
+	// seenKey remembers the shard key an accepted routed request carried, so
+	// a migration can select the reply-cache entries riding a key move.
+	seenKey     map[wire.InvocationID]string
 	cache       map[wire.InvocationID]Reply // completed (reply cache)
 	logicalLive map[wire.LogicalID]int
 	nested      map[wire.InvocationID]*nestedCall
@@ -252,6 +263,12 @@ type Replica struct {
 	nestedWaiting    map[wire.LogicalID]int
 	pendingCallbacks map[wire.LogicalID][]pendingCallback
 	stopped          bool
+
+	// mig is the in-progress ring transition (nil outside migrations);
+	// earlyChunks buffers handoff chunks delivered before this group's own
+	// prepare. Both are mutated only at ordered dispatch positions.
+	mig         *migration
+	earlyChunks []MigrateChunk
 }
 
 type nestedCall struct {
@@ -279,6 +296,7 @@ func New(cfg Config) *Replica {
 		sched:            cfg.Scheduler,
 		handlers:         make(map[string]Handler),
 		seen:             make(map[wire.InvocationID]uint64),
+		seenKey:          make(map[wire.InvocationID]string),
 		cache:            make(map[wire.InvocationID]Reply),
 		logicalLive:      make(map[wire.LogicalID]int),
 		nested:           make(map[wire.InvocationID]*nestedCall),
@@ -323,6 +341,12 @@ func New(cfg Config) *Replica {
 			r.shardCross = cfg.Metrics.Counter("replobj_shard_cross_requests_total" + slabel)
 			r.shardEpochG = cfg.Metrics.Gauge("replobj_shard_directory_epoch" + slabel)
 			r.shardEpochG.Set(int64(r.shard.Current().Table.Epoch))
+			r.migActive = cfg.Metrics.Gauge("replobj_shard_migration_active" + slabel)
+			r.migParked = cfg.Metrics.Gauge("replobj_shard_migration_parked" + slabel)
+			r.migKeysMoved = cfg.Metrics.Counter("replobj_shard_migration_keys_total" + slabel)
+			r.migChunksSent = cfg.Metrics.Counter("replobj_shard_migration_chunks_sent_total" + slabel)
+			r.migChunksInstalled = cfg.Metrics.Counter("replobj_shard_migration_chunks_installed_total" + slabel)
+			r.migForwarded = cfg.Metrics.Counter("replobj_shard_migration_forwarded_total" + slabel)
 		}
 	}
 	g := cfg.GCS
@@ -337,6 +361,25 @@ func New(cfg Config) *Replica {
 			g.Stats = gcs.NewStatsGrouped(cfg.Metrics, string(cfg.Self), r.shardLabel)
 		} else {
 			g.Stats = gcs.NewStats(cfg.Metrics, string(cfg.Self))
+		}
+	}
+	// A client retransmission of an already-ordered request produces no new
+	// delivery, so the dispatch-time duplicate path never sees it. Replay
+	// the cached at-most-once reply here instead — the original reply may
+	// have been lost in the network, and with replicas down the client may
+	// have no slack to reach its reply quorum without this replica.
+	g.DuplicateSubmit = func(sub gcs.Submit) {
+		req, ok := sub.Payload.(Request)
+		if !ok || req.Kind != KindClient {
+			return
+		}
+		r.rt.Lock()
+		cached, done := r.cache[req.ID]
+		stopped := r.stopped
+		r.rt.Unlock()
+		if done && !stopped {
+			r.cacheHits.Inc()
+			r.sendReply(req, cached)
 		}
 	}
 	r.member = gcs.NewMember(cfg.RT, g)
@@ -433,6 +476,8 @@ func (r *Replica) dispatchLoop() {
 			r.dispatchRequest(p, d.Seq)
 		case Reply:
 			r.dispatchNestedReply(p)
+		case MigrateChunk:
+			r.dispatchMigrateChunk(p)
 		default:
 			if p != nil {
 				r.sched.HandleOrdered(d.ID, p)
@@ -441,6 +486,9 @@ func (r *Replica) dispatchLoop() {
 		if r.ckptEvery > 0 && d.Seq%r.ckptEvery == 0 {
 			r.checkpoint(d.Seq)
 		}
+		// While a ring transition is armed, retry its pending quiesced work
+		// (source cut, target installs) after every delivery.
+		r.migrationStep(d.Seq)
 	}
 }
 
@@ -463,33 +511,91 @@ func (r *Replica) dispatchRequest(req Request, seq uint64) {
 		// Still executing: the original execution will reply.
 		return
 	}
-	r.markSeenLocked(req.ID, seq)
+	r.markSeenLocked(req.ID, seq, req.ShardKey)
 	// Shard control and validation happen here, at the totally ordered
-	// dispatch point, so the verdict (install / redirect / accept) and the
-	// routing table any accepted request will execute against are pure
-	// functions of the stream — identical on every replica.
+	// dispatch point, so the verdict (install / redirect / accept / forward
+	// / park) and the routing table any accepted request will execute
+	// against are pure functions of the stream — identical on every replica.
 	var epoch *shard.Epoch
 	if r.shard != nil {
-		if req.Method == shard.EpochMethod {
+		switch req.Method {
+		case shard.EpochMethod:
 			r.rt.Unlock()
 			r.applyShardTable(req)
+			return
+		case shard.PrepareMethod:
+			r.rt.Unlock()
+			r.applyShardPrepare(req, seq)
+			return
+		case shard.StatusMethod:
+			r.rt.Unlock()
+			r.applyShardStatus(req)
+			return
+		case shard.FenceMethod:
+			r.rt.Unlock()
+			r.applyShardFence(req)
 			return
 		}
 		epoch = r.shard.Current()
 		if req.ShardEpoch != 0 {
+			m := r.mig
 			var errstr string
-			if req.ShardEpoch != epoch.Table.Epoch {
-				errstr = shard.RedirectError(epoch.Table.Epoch, "", "")
-			} else if req.ShardKey != "" {
-				if home := epoch.Ring.HomeGroup(req.ShardKey); home != r.group {
-					errstr = shard.RedirectError(epoch.Table.Epoch, req.ShardKey, home)
+			switch {
+			case req.ShardEpoch == epoch.Table.Epoch:
+				if req.ShardKey != "" {
+					if home := epoch.Ring.HomeGroup(req.ShardKey); home != r.group {
+						errstr = shard.RedirectError(epoch.Table.Epoch, req.ShardKey, home)
+					} else if m != nil && m.cutDone {
+						// Dual-home window: the key's state has already left
+						// with the cut, but the fence has not flipped this
+						// request's epoch yet. Relay it over the ordered
+						// cross-shard path to its new home instead of
+						// redirecting — the client keeps its in-flight call.
+						if mv, moved := m.plan.MoveOf(req.ShardKey); moved && mv.Source == r.group {
+							m.forwarded++
+							callback := r.logicalLive[req.Logical()] > 0
+							r.logicalLive[req.Logical()]++
+							next := m.next
+							r.rt.Unlock()
+							r.migForwarded.Inc()
+							r.shardRouted.Inc()
+							r.submitForward(req, callback, seq, next, mv.Target)
+							return
+						}
+					}
 				}
+			case m != nil && req.ShardEpoch == m.next.Table.Epoch:
+				// Routed under the transition's target epoch (the client
+				// refreshed ahead of this group's fence). Valid on the new
+				// home; parked while the key's handoff is still in flight.
+				if req.ShardKey != "" {
+					if home := m.next.Ring.HomeGroup(req.ShardKey); home != r.group {
+						errstr = shard.RedirectError(epoch.Table.Epoch, req.ShardKey, home)
+					} else {
+						if mv, moved := m.plan.MoveOf(req.ShardKey); moved && mv.Target == r.group {
+							if s := m.incoming[mv.Source]; s != nil && !s.done {
+								s.parked = append(s.parked, parkedRequest{req: req, seq: seq})
+								r.rt.Unlock()
+								r.migParked.Inc()
+								return
+							}
+						}
+						epoch = m.next
+					}
+				} else {
+					epoch = m.next
+				}
+			default:
+				errstr = shard.RedirectError(epoch.Table.Epoch, "", "")
 			}
 			if errstr != "" {
 				reply := Reply{ID: req.ID, From: r.self, Err: errstr, ShardEpoch: epoch.Table.Epoch}
 				if req.Trace.Valid() {
 					reply.Trace = req.Trace
 				}
+				// A redirected request never executes; its key must not ride
+				// a migration's reply-cache handoff.
+				delete(r.seenKey, req.ID)
 				r.cache[req.ID] = reply
 				r.rt.Unlock()
 				r.shardRedirects.Inc()
@@ -687,13 +793,17 @@ func (r *Replica) dispatchNestedReply(reply Reply) {
 
 const maxSeen = 1 << 14
 
-func (r *Replica) markSeenLocked(id wire.InvocationID, seq uint64) {
+func (r *Replica) markSeenLocked(id wire.InvocationID, seq uint64, key string) {
 	r.seen[id] = seq
 	r.seenOrder = append(r.seenOrder, id)
+	if key != "" {
+		r.seenKey[id] = key
+	}
 	if len(r.seenOrder) > maxSeen {
 		old := r.seenOrder[0]
 		r.seenOrder = r.seenOrder[1:]
 		delete(r.seen, old)
+		delete(r.seenKey, old)
 		delete(r.cache, old)
 	}
 }

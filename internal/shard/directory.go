@@ -32,10 +32,12 @@ func (d *DirectoryState) Get() Table {
 }
 
 // Apply installs the next table. Updates must advance the epoch by
-// exactly one, keep the object name, and keep the shard set — shard-set
-// changes would require state migration, which this first cut does not
-// implement. The error string is deterministic, so a rejected update
-// rejects identically on every replica.
+// exactly one and keep the object name; the shard set may change — the
+// directory flip is the first half of a resharding fence (Sharded.Reshard
+// flips the directory only after every handoff has drained, and shard
+// replicas guard the migration-free EpochMethod path with their own
+// SameShards check). The error strings are deterministic, so a rejected
+// update rejects identically on every replica.
 func (d *DirectoryState) Apply(next Table) error {
 	if err := next.Validate(); err != nil {
 		return err
@@ -47,9 +49,6 @@ func (d *DirectoryState) Apply(next Table) error {
 	}
 	if next.Epoch != d.table.Epoch+1 {
 		return fmt.Errorf("shard: table epoch %d does not follow directory epoch %d", next.Epoch, d.table.Epoch)
-	}
-	if !next.SameShards(d.table) {
-		return fmt.Errorf("shard: shard-set changes require state migration (have %d shards, got %d)", len(d.table.Shards), len(next.Shards))
 	}
 	d.table = next
 	return nil

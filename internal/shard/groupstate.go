@@ -16,14 +16,23 @@ type Epoch struct {
 	Ring  *Ring
 }
 
+// view is the immutable routing view behind GroupState's atomic pointer:
+// the current epoch plus, during a ring transition, the pending next
+// epoch and the migration plan between them.
+type view struct {
+	cur  *Epoch
+	next *Epoch
+	plan *Plan
+}
+
 // GroupState is a shard-group replica's view of the routing table. The
 // dispatch goroutine installs new epochs at totally ordered points
-// (EpochMethod requests, snapshot installs); request threads and
-// observers read the current snapshot through an atomic pointer, so no
-// reader ever blocks the ordered stream.
+// (EpochMethod requests, migration prepare/fence, snapshot installs);
+// request threads and observers read the current snapshot through an
+// atomic pointer, so no reader ever blocks the ordered stream.
 type GroupState struct {
 	self wire.GroupID
-	cur  atomic.Pointer[Epoch]
+	cur  atomic.Pointer[view]
 }
 
 // NewGroupState seeds a replica's routing state. self is the shard group
@@ -31,8 +40,7 @@ type GroupState struct {
 // the replica is rejoining from a snapshot, which reinstalls on top).
 func NewGroupState(self wire.GroupID, initial Table) *GroupState {
 	g := &GroupState{self: self}
-	e := &Epoch{Table: initial, Ring: NewRing(initial)}
-	g.cur.Store(e)
+	g.cur.Store(&view{cur: &Epoch{Table: initial, Ring: NewRing(initial)}})
 	return g
 }
 
@@ -40,26 +48,92 @@ func NewGroupState(self wire.GroupID, initial Table) *GroupState {
 func (g *GroupState) Self() wire.GroupID { return g.self }
 
 // Current returns the installed epoch snapshot.
-func (g *GroupState) Current() *Epoch { return g.cur.Load() }
+func (g *GroupState) Current() *Epoch { return g.cur.Load().cur }
 
-// Install switches to a newer table. Installing the current epoch again
-// is an idempotent no-op (EpochMethod retries land here); going backwards
-// is an error. Only the dispatch goroutine calls Install, at ordered
-// points, so the read-modify-write needs no CAS loop.
+// Pending returns the transition's target epoch, nil outside transitions.
+func (g *GroupState) Pending() *Epoch { return g.cur.Load().next }
+
+// Plan returns the in-progress migration plan, nil outside transitions.
+func (g *GroupState) Plan() *Plan { return g.cur.Load().plan }
+
+// Install switches to a newer table with the same shard set — the
+// migration-free epoch bump of EpochMethod. Installing the current epoch
+// again is an idempotent no-op (EpochMethod retries land here); going
+// backwards, changing the shard set (that path is BeginTransition +
+// FinalizeTransition), or installing during a transition is an error.
+// Only the dispatch goroutine mutates the state, at ordered points, so
+// the read-modify-write needs no CAS loop.
 func (g *GroupState) Install(t Table) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	cur := g.cur.Load()
-	if t.Object != cur.Table.Object {
-		return fmt.Errorf("shard: table object %q does not match group object %q", t.Object, cur.Table.Object)
+	v := g.cur.Load()
+	if t.Object != v.cur.Table.Object {
+		return fmt.Errorf("shard: table object %q does not match group object %q", t.Object, v.cur.Table.Object)
 	}
-	if t.Epoch < cur.Table.Epoch {
-		return fmt.Errorf("shard: table epoch %d behind installed epoch %d", t.Epoch, cur.Table.Epoch)
+	if t.Epoch < v.cur.Table.Epoch {
+		return fmt.Errorf("shard: table epoch %d behind installed epoch %d", t.Epoch, v.cur.Table.Epoch)
 	}
-	if t.Epoch == cur.Table.Epoch {
+	if t.Epoch == v.cur.Table.Epoch {
 		return nil
 	}
-	g.cur.Store(&Epoch{Table: t, Ring: NewRing(t)})
+	if v.next != nil {
+		return fmt.Errorf("shard: epoch install during transition to %d", v.next.Table.Epoch)
+	}
+	if !t.SameShards(v.cur.Table) {
+		return fmt.Errorf("shard: shard-set change %d -> %d shards requires migration", len(v.cur.Table.Shards), len(t.Shards))
+	}
+	g.cur.Store(&view{cur: &Epoch{Table: t, Ring: NewRing(t)}})
+	return nil
+}
+
+// BeginTransition arms a ring transition to the next-epoch table and
+// returns the migration plan. Re-arming the same transition is
+// idempotent (prepare retries return the existing plan).
+func (g *GroupState) BeginTransition(next Table) (*Plan, error) {
+	v := g.cur.Load()
+	if v.next != nil {
+		if next.Epoch == v.next.Table.Epoch && next.SameShards(v.next.Table) {
+			return v.plan, nil
+		}
+		return nil, fmt.Errorf("shard: transition to epoch %d already in progress", v.next.Table.Epoch)
+	}
+	plan, err := PlanMigration(v.cur.Table, next)
+	if err != nil {
+		return nil, err
+	}
+	g.cur.Store(&view{
+		cur:  v.cur,
+		next: &Epoch{Table: next, Ring: plan.toRing},
+		plan: plan,
+	})
+	return plan, nil
+}
+
+// FinalizeTransition fences the in-progress transition: the pending
+// epoch becomes current. Calling it without a transition is an error
+// (the fence handler checks handoff completion before calling).
+func (g *GroupState) FinalizeTransition() (*Epoch, error) {
+	v := g.cur.Load()
+	if v.next == nil {
+		return nil, fmt.Errorf("shard: fence without a transition (epoch %d)", v.cur.Table.Epoch)
+	}
+	g.cur.Store(&view{cur: v.next})
+	return v.next, nil
+}
+
+// Restore adopts a table from a snapshot install, clearing any armed
+// transition: checkpoints never cover mid-migration state (they are
+// suppressed between prepare and fence), so a snapshot's table is always
+// pre-prepare or post-fence and the tail replay reconstructs the rest.
+func (g *GroupState) Restore(t Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	v := g.cur.Load()
+	if t.Object != v.cur.Table.Object {
+		return fmt.Errorf("shard: table object %q does not match group object %q", t.Object, v.cur.Table.Object)
+	}
+	g.cur.Store(&view{cur: &Epoch{Table: t, Ring: NewRing(t)}})
 	return nil
 }

@@ -1,0 +1,253 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// Elastic resharding: moving a key between shard groups means moving its
+// state between two independent total orders, so every step of a ring
+// transition is itself an ordered event. This file holds the pure parts —
+// the transition table shape, the migration planner (which group hands
+// which arc of the ring to which other group), deterministic chunk
+// partitioning, and the control-method constants plus the Status encoding
+// the orchestrator polls. The replica-side protocol that consumes a Plan
+// (quiesced cut, chunked handoff, dual-home forwarding, fence) lives in
+// internal/replica; the orchestration in replobj's Sharded.Reshard.
+
+// Reserved control methods of the migration protocol. Like EpochMethod
+// they are applied inline at their ordered dispatch positions, never
+// through the scheduler, so every replica of a group takes each step at
+// exactly the same point of its stream.
+const (
+	// PrepareMethod arms a transition: the replica computes the migration
+	// plan against its installed table, freezes checkpoints and log
+	// truncation, and — on source groups — schedules the quiesced cut.
+	PrepareMethod = "_shard/prepare"
+	// InstallMethod labels the ordered position at which a migration chunk
+	// is folded into a target replica's state (chunks travel as their own
+	// ordered payloads; the label appears in traces and status output).
+	InstallMethod = "_shard/install"
+	// FenceMethod completes a transition: the pending table becomes
+	// current. It deterministically fails while any incoming handoff is
+	// still draining, so the orchestrator retries until every replica of
+	// the group fences at the same stream position.
+	FenceMethod = "_shard/fence"
+	// StatusMethod reads a replica's migration progress (read-only, still
+	// ordered so the answer is a consistent cut of the stream).
+	StatusMethod = "_shard/status"
+)
+
+// Reshape returns the next-epoch table with n shards — the elastic
+// counterpart of Next. Shard group ids are always object@0..n-1, so
+// growing keeps every existing group and appends, and shrinking retires
+// the tail groups; vnode weighting is preserved.
+func (t Table) Reshape(n int) Table {
+	nt := Table{Object: t.Object, Epoch: t.Epoch + 1, VNodes: t.VNodes}
+	for i := 0; i < n; i++ {
+		nt.Shards = append(nt.Shards, GroupName(t.Object, i))
+	}
+	return nt
+}
+
+// Move is one directed handoff of a ring transition: every key homed on
+// Source under the old table and on Target under the new one.
+type Move struct {
+	Source wire.GroupID
+	Target wire.GroupID
+}
+
+// Plan is the full migration plan between two adjacent epochs: the
+// distinct (source, target) pairs induced by the ring diff. Plans are
+// pure functions of the two tables — every replica and the orchestrator
+// compute the identical plan independently.
+type Plan struct {
+	From, To Table
+	Moves    []Move
+
+	fromRing, toRing *Ring
+}
+
+// PlanMigration diffs the rings of two adjacent-epoch tables of the same
+// object. The moved-key set is exactly the set of keys whose home differs
+// between the rings; Moves lists the distinct ownership changes, computed
+// arc-by-arc over the merged point sets (ownership is constant on each
+// elementary arc, so checking one position per arc is exhaustive).
+func PlanMigration(from, to Table) (*Plan, error) {
+	if err := from.Validate(); err != nil {
+		return nil, err
+	}
+	if err := to.Validate(); err != nil {
+		return nil, err
+	}
+	if from.Object != to.Object {
+		return nil, fmt.Errorf("shard: migration across objects %q -> %q", from.Object, to.Object)
+	}
+	if to.Epoch != from.Epoch+1 {
+		return nil, fmt.Errorf("shard: migration epoch %d does not follow %d", to.Epoch, from.Epoch)
+	}
+	p := &Plan{From: from, To: to, fromRing: NewRing(from), toRing: NewRing(to)}
+
+	// Merged arc boundaries: each ring's ownership is constant between
+	// consecutive points of the union, and the arc ending at boundary h
+	// (right-closed) is owned by homeHash(h) on both rings. The wrap arc
+	// (maxBoundary, minBoundary] is covered by the minimum boundary.
+	bounds := make([]uint64, 0, len(p.fromRing.points)+len(p.toRing.points))
+	for _, pt := range p.fromRing.points {
+		bounds = append(bounds, pt.hash)
+	}
+	for _, pt := range p.toRing.points {
+		bounds = append(bounds, pt.hash)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	seen := make(map[Move]bool)
+	for i, h := range bounds {
+		if i > 0 && bounds[i-1] == h {
+			continue
+		}
+		src := from.Shards[p.fromRing.homeHash(h)]
+		dst := to.Shards[p.toRing.homeHash(h)]
+		if src == dst {
+			continue
+		}
+		m := Move{Source: src, Target: dst}
+		if !seen[m] {
+			seen[m] = true
+			p.Moves = append(p.Moves, m)
+		}
+	}
+	sort.Slice(p.Moves, func(i, j int) bool {
+		if p.Moves[i].Source != p.Moves[j].Source {
+			return p.Moves[i].Source < p.Moves[j].Source
+		}
+		return p.Moves[i].Target < p.Moves[j].Target
+	})
+	return p, nil
+}
+
+// MoveOf returns the handoff a key rides, if its home changes across the
+// transition.
+func (p *Plan) MoveOf(key string) (Move, bool) {
+	src := p.From.Shards[p.fromRing.Home(key)]
+	dst := p.To.Shards[p.toRing.Home(key)]
+	if src == dst {
+		return Move{}, false
+	}
+	return Move{Source: src, Target: dst}, true
+}
+
+// Outgoing lists the moves a group sends (Source == self), in plan order.
+func (p *Plan) Outgoing(self wire.GroupID) []Move {
+	var out []Move
+	for _, m := range p.Moves {
+		if m.Source == self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Incoming lists the moves a group receives (Target == self), in plan
+// order.
+func (p *Plan) Incoming(self wire.GroupID) []Move {
+	var in []Move
+	for _, m := range p.Moves {
+		if m.Target == self {
+			in = append(in, m)
+		}
+	}
+	return in
+}
+
+// DefaultChunkKeys caps the number of keys per migration chunk. Chunking
+// bounds frame size and lets the target interleave installs with its own
+// traffic; the cut is still atomic — all chunks of one move export at the
+// same quiesced position.
+const DefaultChunkKeys = 256
+
+// Chunks partitions a sorted key list into runs of at most size keys
+// (size <= 0 selects DefaultChunkKeys). An empty key list yields a single
+// empty chunk so the handoff always has at least one frame — the target
+// learns the stream extent even when nothing moves.
+func Chunks(sorted []string, size int) [][]string {
+	if size <= 0 {
+		size = DefaultChunkKeys
+	}
+	if len(sorted) == 0 {
+		return [][]string{nil}
+	}
+	out := make([][]string, 0, (len(sorted)+size-1)/size)
+	for len(sorted) > size {
+		out = append(out, sorted[:size])
+		sorted = sorted[size:]
+	}
+	return append(out, sorted)
+}
+
+// Status is one replica's migration progress, answered under
+// StatusMethod. The orchestrator polls every replica group until Done on
+// all of them before fencing.
+type Status struct {
+	// Epoch is the installed (current) epoch; Next is the pending one, 0
+	// when no transition is in progress.
+	Epoch, Next uint64
+	// OutDone/OutTotal count this group's outgoing moves whose quiesced
+	// cut has completed (state exported and handed off).
+	OutDone, OutTotal int
+	// InDone/InTotal count incoming source streams fully installed.
+	InDone, InTotal int
+	// Parked counts requests for incoming keys buffered behind an
+	// uninstalled handoff (0 once InDone == InTotal).
+	Parked int
+	// Forwarded counts old-epoch arrivals relayed to the new home during
+	// the dual-home window.
+	Forwarded int
+}
+
+// Done reports whether the replica has finished its part of the handoff
+// and can fence.
+func (s Status) Done() bool {
+	return s.Next != 0 && s.OutDone == s.OutTotal && s.InDone == s.InTotal
+}
+
+// Encode serializes a Status (uvarint fields in declaration order).
+func (s Status) Encode() []byte {
+	out := make([]byte, 0, 9*7)
+	out = binary.AppendUvarint(out, s.Epoch)
+	out = binary.AppendUvarint(out, s.Next)
+	out = binary.AppendUvarint(out, uint64(s.OutDone))
+	out = binary.AppendUvarint(out, uint64(s.OutTotal))
+	out = binary.AppendUvarint(out, uint64(s.InDone))
+	out = binary.AppendUvarint(out, uint64(s.InTotal))
+	out = binary.AppendUvarint(out, uint64(s.Parked))
+	out = binary.AppendUvarint(out, uint64(s.Forwarded))
+	return out
+}
+
+// DecodeStatus parses an encoded Status.
+func DecodeStatus(b []byte) (Status, error) {
+	var s Status
+	fields := []*int{&s.OutDone, &s.OutTotal, &s.InDone, &s.InTotal, &s.Parked, &s.Forwarded}
+	var err error
+	if s.Epoch, b, err = readUvarint(b); err != nil {
+		return s, err
+	}
+	if s.Next, b, err = readUvarint(b); err != nil {
+		return s, err
+	}
+	for _, f := range fields {
+		var v uint64
+		if v, b, err = readUvarint(b); err != nil {
+			return s, err
+		}
+		*f = int(v)
+	}
+	if len(b) != 0 {
+		return s, errors.New("shard: trailing bytes after status")
+	}
+	return s, nil
+}

@@ -1,0 +1,290 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestReshapeShape: Reshape advances the epoch by one, renumbers the
+// shard groups 0..n-1, and keeps the vnode weighting.
+func TestReshapeShape(t *testing.T) {
+	tab := NewTable("kv", 2, 16)
+	grown := tab.Reshape(4)
+	if grown.Epoch != 2 || grown.VNodes != 16 || len(grown.Shards) != 4 {
+		t.Fatalf("reshape mangled table: %+v", grown)
+	}
+	for i, g := range grown.Shards {
+		if g != GroupName("kv", i) {
+			t.Fatalf("shard %d named %s", i, g)
+		}
+	}
+	if err := grown.Validate(); err != nil {
+		t.Fatalf("reshaped table invalid: %v", err)
+	}
+	shrunk := grown.Reshape(1)
+	if shrunk.Epoch != 3 || len(shrunk.Shards) != 1 {
+		t.Fatalf("shrink mangled table: %+v", shrunk)
+	}
+}
+
+// TestPlanMigrationProperties sweeps (old size, new size, vnodes) pairs
+// and checks the planner's load-bearing properties against the public
+// ring API:
+//
+//   - a sampled key is moved iff its home differs between the two rings,
+//     and its move is listed in Plan.Moves (completeness);
+//   - growing moves keys only INTO new groups, shrinking only OUT OF
+//     retired groups (the consistent-hashing minimal-movement guarantee,
+//     lifted to the plan);
+//   - equal shard sets plan zero moves (epoch bumps move nothing);
+//   - Outgoing/Incoming partition the move set.
+func TestPlanMigrationProperties(t *testing.T) {
+	const keys = 4000
+	for _, vn := range []int{1, 8, 32} {
+		for oldS := 1; oldS <= 5; oldS++ {
+			for newS := 1; newS <= 5; newS++ {
+				from := NewTable("kv", oldS, vn)
+				to := from.Reshape(newS)
+				plan, err := PlanMigration(from, to)
+				if err != nil {
+					t.Fatalf("plan %d->%d vn=%d: %v", oldS, newS, vn, err)
+				}
+				fromRing, toRing := NewRing(from), NewRing(to)
+				listed := make(map[Move]bool, len(plan.Moves))
+				for _, m := range plan.Moves {
+					listed[m] = true
+				}
+				for i := 0; i < keys; i++ {
+					key := fmt.Sprintf("key-%d", i)
+					src, dst := fromRing.HomeGroup(key), toRing.HomeGroup(key)
+					m, moved := plan.MoveOf(key)
+					if moved != (src != dst) {
+						t.Fatalf("%d->%d vn=%d key %s: MoveOf=%v, ring diff=%v",
+							oldS, newS, vn, key, moved, src != dst)
+					}
+					if moved {
+						if m.Source != src || m.Target != dst {
+							t.Fatalf("key %s: move %+v, rings say %s->%s", key, m, src, dst)
+						}
+						if !listed[m] {
+							t.Fatalf("%d->%d vn=%d: realized move %+v missing from plan %v",
+								oldS, newS, vn, m, plan.Moves)
+						}
+					}
+				}
+				switch {
+				case newS == oldS:
+					if len(plan.Moves) != 0 {
+						t.Fatalf("equal shard sets planned moves: %v", plan.Moves)
+					}
+				case newS > oldS:
+					for _, m := range plan.Moves {
+						if _, idx, ok := SplitGroup(m.Target); !ok || idx < oldS {
+							t.Fatalf("grow %d->%d moves into surviving group: %+v", oldS, newS, m)
+						}
+					}
+				default:
+					for _, m := range plan.Moves {
+						if _, idx, ok := SplitGroup(m.Source); !ok || idx < newS {
+							t.Fatalf("shrink %d->%d moves out of surviving group: %+v", oldS, newS, m)
+						}
+					}
+				}
+				var split []Move
+				for _, g := range to.Shards {
+					split = append(split, plan.Incoming(g)...)
+				}
+				if newS > oldS && len(split) != len(plan.Moves) {
+					t.Fatalf("Incoming does not partition moves: %d vs %d", len(split), len(plan.Moves))
+				}
+				split = split[:0]
+				for _, g := range from.Shards {
+					split = append(split, plan.Outgoing(g)...)
+				}
+				if len(split) != len(plan.Moves) {
+					t.Fatalf("Outgoing does not partition moves: %d vs %d", len(split), len(plan.Moves))
+				}
+			}
+		}
+	}
+}
+
+// TestPlanMigrationDeterministic: the plan is a pure function of the two
+// tables — computing it twice yields identical move lists (replicas and
+// the orchestrator plan independently and must agree).
+func TestPlanMigrationDeterministic(t *testing.T) {
+	from := NewTable("kv", 2, 32)
+	to := from.Reshape(4)
+	a, err := PlanMigration(from, to)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	b, _ := PlanMigration(from, to)
+	if len(a.Moves) == 0 {
+		t.Fatalf("2->4 planned no moves")
+	}
+	if fmt.Sprint(a.Moves) != fmt.Sprint(b.Moves) {
+		t.Fatalf("plans differ: %v vs %v", a.Moves, b.Moves)
+	}
+}
+
+// TestPlanMigrationRejects: cross-object and non-adjacent-epoch plans are
+// deterministic errors.
+func TestPlanMigrationRejects(t *testing.T) {
+	from := NewTable("kv", 2, 16)
+	if _, err := PlanMigration(from, NewTable("other", 4, 16)); err == nil {
+		t.Fatalf("cross-object plan accepted")
+	}
+	skip := from.Reshape(4)
+	skip.Epoch++
+	if _, err := PlanMigration(from, skip); err == nil {
+		t.Fatalf("epoch-skipping plan accepted")
+	}
+	if _, err := PlanMigration(from, Table{}); err == nil {
+		t.Fatalf("invalid target accepted")
+	}
+}
+
+// TestChunksPartition: chunking a sorted key list concatenates back to
+// the original, respects the size cap, and an empty list still yields one
+// (empty) chunk so the handoff stream has an extent.
+func TestChunksPartition(t *testing.T) {
+	var keys []string
+	for i := 0; i < 1000; i++ {
+		keys = append(keys, fmt.Sprintf("k%04d", i))
+	}
+	for _, size := range []int{1, 7, 256, 999, 1000, 5000} {
+		chunks := Chunks(keys, size)
+		var back []string
+		for _, c := range chunks {
+			if len(c) > size {
+				t.Fatalf("size=%d: chunk of %d keys", size, len(c))
+			}
+			back = append(back, c...)
+		}
+		if len(back) != len(keys) {
+			t.Fatalf("size=%d: partition lost keys (%d of %d)", size, len(back), len(keys))
+		}
+		for i := range back {
+			if back[i] != keys[i] {
+				t.Fatalf("size=%d: key %d reordered", size, i)
+			}
+		}
+	}
+	if chunks := Chunks(nil, 0); len(chunks) != 1 || len(chunks[0]) != 0 {
+		t.Fatalf("empty list chunked to %v", chunks)
+	}
+	if chunks := Chunks(keys, 0); len(chunks) != (len(keys)+DefaultChunkKeys-1)/DefaultChunkKeys {
+		t.Fatalf("default chunk size not applied: %d chunks", len(chunks))
+	}
+}
+
+// TestGroupStateTransition drives the replica-side epoch state machine:
+// arm, idempotent re-arm, guarded install during transition, fence.
+func TestGroupStateTransition(t *testing.T) {
+	tab := NewTable("kv", 2, 16)
+	g := NewGroupState(GroupName("kv", 0), tab)
+	next := tab.Reshape(4)
+	plan, err := g.BeginTransition(next)
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if g.Pending() == nil || g.Pending().Table.Epoch != 2 || g.Plan() != plan {
+		t.Fatalf("transition not armed: pending=%+v", g.Pending())
+	}
+	if g.Current().Table.Epoch != 1 {
+		t.Fatalf("begin flipped current epoch early")
+	}
+	// Re-arming the identical transition is idempotent.
+	again, err := g.BeginTransition(next)
+	if err != nil || again != plan {
+		t.Fatalf("re-arm: plan=%p err=%v", again, err)
+	}
+	// A different transition while one is armed is rejected.
+	if _, err := g.BeginTransition(tab.Reshape(3)); err == nil {
+		t.Fatalf("conflicting transition accepted")
+	}
+	// EpochMethod installs are rejected mid-transition.
+	if err := g.Install(tab.Next(32)); err == nil || !strings.Contains(err.Error(), "transition") {
+		t.Fatalf("install during transition: %v", err)
+	}
+	e, err := g.FinalizeTransition()
+	if err != nil || e.Table.Epoch != 2 {
+		t.Fatalf("fence: %+v %v", e, err)
+	}
+	if g.Pending() != nil || g.Current().Table.Epoch != 2 || len(g.Current().Table.Shards) != 4 {
+		t.Fatalf("fence did not install: %+v", g.Current().Table)
+	}
+	// Fencing without a transition is an error.
+	if _, err := g.FinalizeTransition(); err == nil {
+		t.Fatalf("double fence accepted")
+	}
+}
+
+// TestGroupStateInstallGuardsShardSet: the migration-free EpochMethod
+// path refuses shard-set changes now that the directory allows them —
+// those must travel through BeginTransition/FinalizeTransition.
+func TestGroupStateInstallGuardsShardSet(t *testing.T) {
+	tab := NewTable("kv", 2, 16)
+	g := NewGroupState(GroupName("kv", 0), tab)
+	if err := g.Install(tab.Reshape(4)); err == nil || !strings.Contains(err.Error(), "migration") {
+		t.Fatalf("shard-set install accepted: %v", err)
+	}
+	// Restore (the snapshot path) may adopt any valid same-object table.
+	if err := g.Restore(tab.Reshape(4)); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if len(g.Current().Table.Shards) != 4 || g.Pending() != nil {
+		t.Fatalf("restore did not adopt: %+v", g.Current().Table)
+	}
+	if err := g.Restore(NewTable("other", 2, 16)); err == nil {
+		t.Fatalf("cross-object restore accepted")
+	}
+}
+
+// TestStatusRoundTrip: Status encodes canonically and Done tracks the
+// handoff counters.
+func TestStatusRoundTrip(t *testing.T) {
+	s := Status{Epoch: 3, Next: 4, OutDone: 1, OutTotal: 2, InDone: 0, InTotal: 1, Parked: 5, Forwarded: 7}
+	dec, err := DecodeStatus(s.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec != s {
+		t.Fatalf("round trip mangled status: %+v vs %+v", dec, s)
+	}
+	if s.Done() {
+		t.Fatalf("incomplete handoff reported done")
+	}
+	done := Status{Epoch: 3, Next: 4, OutDone: 2, OutTotal: 2, InDone: 1, InTotal: 1}
+	if !done.Done() {
+		t.Fatalf("complete handoff not done")
+	}
+	if (Status{Epoch: 4}).Done() {
+		t.Fatalf("no-transition status reported done")
+	}
+	if _, err := DecodeStatus([]byte{0x01}); err == nil {
+		t.Fatalf("truncated status decoded")
+	}
+	if _, err := DecodeStatus(append(s.Encode(), 0x00)); err == nil {
+		t.Fatalf("trailing bytes accepted")
+	}
+}
+
+// FuzzDecodeStatus: arbitrary bytes never panic, and anything that
+// decodes re-encodes byte-identically (canonical form).
+func FuzzDecodeStatus(f *testing.F) {
+	f.Add(Status{Epoch: 1, Next: 2, OutTotal: 3}.Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeStatus(b)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(s.Encode(), b) {
+			t.Fatalf("non-canonical status encoding accepted: %x", b)
+		}
+	})
+}

@@ -64,7 +64,13 @@ func (r *Ring) Table() Table { return r.table }
 
 // Home returns the shard index owning a key.
 func (r *Ring) Home(key string) int {
-	h := hashKey(key)
+	return r.homeHash(hashKey(key))
+}
+
+// homeHash returns the shard index owning a raw ring position — the first
+// point at or clockwise of h. The migration planner diffs two rings arc by
+// arc through this, so it must match Home exactly.
+func (r *Ring) homeHash(h uint64) int {
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap: first point clockwise of the top of the circle

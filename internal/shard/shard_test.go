@@ -111,10 +111,15 @@ func TestDirectoryStateApply(t *testing.T) {
 	if err := d.Apply(wrongObj); err == nil {
 		t.Fatalf("object rename accepted")
 	}
-	grown := d.Get().Next(0)
-	grown.Shards = append(grown.Shards, GroupName("kv", 2))
-	if err := d.Apply(grown); err == nil || !strings.Contains(err.Error(), "migration") {
-		t.Fatalf("shard-set change accepted: %v", err)
+	// Shard-set changes are allowed — the directory flip is half of the
+	// resharding fence; the shard replicas' own EpochMethod path keeps its
+	// SameShards guard.
+	grown := d.Get().Reshape(3)
+	if err := d.Apply(grown); err != nil {
+		t.Fatalf("shard-set change rejected: %v", err)
+	}
+	if got := d.Get(); len(got.Shards) != 3 || got.Epoch != grown.Epoch {
+		t.Fatalf("reshape did not install: %+v", got)
 	}
 }
 

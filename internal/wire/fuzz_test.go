@@ -49,6 +49,31 @@ func exemplarMessages() []wire.Message {
 		{From: "g/0", To: "g/1", Payload: lsa.TableUpdate{
 			From:    "g/0",
 			Entries: []lsa.TableEntry{{M: "state", L: "client/c1"}}}},
+		// Migration handoff frames ride the ordered stream as gcs.Submit
+		// payloads: a mid-stream chunk with key images, and a stream-opening
+		// chunk carrying migrated reply-cache entries.
+		{From: "kv@0/0", To: "kv@2/0", Payload: gcs.Submit{
+			Group: "kv@2", ID: "migrate/kv/2/kv@0/kv@2/1", Origin: "kv@0/0",
+			Payload: replica.MigrateChunk{
+				Object: "kv", Epoch: 2, Source: "kv@0", Target: "kv@2",
+				Index: 1, Count: 3, Cut: 57,
+				Keys: []replica.KeyState{
+					{Key: "acct-4", Data: []byte{0, 0, 0, 0, 0, 0, 0, 9}},
+					{Key: "acct-12", Data: nil},
+				}}}},
+		{From: "kv@0/1", To: "kv@2/1", Payload: gcs.Ordered{
+			Group: "kv@2", Epoch: 1, Seq: 9, ID: "migrate/kv/2/kv@0/kv@2/0", Origin: "kv@0/1",
+			Payload: replica.MigrateChunk{
+				Object: "kv", Epoch: 2, Source: "kv@0", Target: "kv@2",
+				Index: 0, Count: 3, Cut: 57,
+				Cache: []replica.CacheEntry{{
+					ID:  wire.InvocationID{Logical: "client/c1", Seq: 12},
+					Key: "acct-4",
+					Reply: replica.Reply{
+						ID:     wire.InvocationID{Logical: "client/c1", Seq: 12},
+						From:   "kv@0/0",
+						Result: []byte{0, 0, 0, 0, 0, 0, 0, 5}},
+				}}}}},
 	}
 }
 

@@ -94,6 +94,11 @@ type (
 	// deterministic checkpointing with an explicit serialization (see
 	// WithCheckpointEvery); states without it fall back to encoding/gob.
 	Snapshotter = replica.Snapshotter
+	// KeyedSnapshotter is implemented by object states that support
+	// per-key export/install/drop — the requirement for elastic resharding
+	// (Sharded.Reshard): a migration moves a key subset between two live
+	// shard groups, which a whole-state Snapshotter cannot express.
+	KeyedSnapshotter = replica.KeyedSnapshotter
 	// MetricsRegistry collects counters, gauges and latency histograms and
 	// renders them in Prometheus text format (see internal/obs).
 	MetricsRegistry = obs.Registry

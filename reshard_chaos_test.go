@@ -1,0 +1,360 @@
+package replobj_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/faultnet"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/transport"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// reshardChaosSeed is the fixed fault-schedule seed for the migration
+// chaos runs; every failure message carries it so the identical schedule
+// can be replayed.
+const reshardChaosSeed int64 = 260809
+
+// reshardChaosOpts is the group option set every migration chaos run uses:
+// schedule tracing for the digest oracle, failure detection so crashed
+// members are excluded from views (and the stability watermark), and the
+// quorum guard.
+func reshardChaosOpts(extra ...replobj.GroupOption) []replobj.GroupOption {
+	opts := []replobj.GroupOption{
+		replobj.WithSchedTrace(0),
+		replobj.WithFailureDetection(true),
+		replobj.WithGCSConfig(gcs.Config{Quorum: true}),
+	}
+	return append(opts, extra...)
+}
+
+// reshardChaosClient builds a client hardened for the faulty network.
+func reshardChaosClient(c *replobj.Cluster, name string) *replobj.Client {
+	return c.NewClient(name,
+		replobj.WithRetransmit(300*time.Millisecond),
+		replobj.WithInvocationTimeout(120*time.Second))
+}
+
+// reshardChaosDrivers runs n routed-put drivers with retransmission over
+// the faulty network while the caller reshards and injects crashes.
+func reshardChaosDrivers(rt *vtime.VirtualRuntime, c *replobj.Cluster, object string, names []string, n, putsEach int) *vtime.Mailbox[reshardDriveOut] {
+	done := vtime.NewMailbox[reshardDriveOut](rt, "reshard-chaos-drivers")
+	for d := 0; d < n; d++ {
+		d := d
+		rt.Go(fmt.Sprintf("reshard-chaos-driver-%d", d), func() {
+			cl := reshardChaosClient(c, fmt.Sprintf("rcd%d", d))
+			r := cl.Router(object).WithMaxRedirects(32)
+			out := reshardDriveOut{puts: make(map[string]uint64)}
+			for i := 0; i < putsEach && out.err == nil; i++ {
+				key := names[(i*n+d)%len(names)]
+				if _, err := r.Invoke("put", u64(1), replobj.WithShardKey(key)); err != nil {
+					out.err = fmt.Errorf("driver %d put %d (%s): %w", d, i, key, err)
+				} else {
+					out.puts[key]++
+				}
+				rt.Sleep(1 * time.Millisecond)
+			}
+			done.Put(out)
+		})
+	}
+	return done
+}
+
+// reshardChaosCheck is the post-settle oracle: exact per-key values (every
+// increment applied exactly once despite retransmissions and the move),
+// conservation across per-shard sums, and per-shard trace-digest equality
+// across replicas — skipping ranks listed in down (crashed, not restored).
+func reshardChaosCheck(t *testing.T, c *replobj.Cluster, s *replobj.Sharded, want map[string]uint64, replicas int, down map[replobj.NodeID]bool) {
+	t.Helper()
+	cl := reshardChaosClient(c, "reshard-reader")
+	r := cl.Router(s.Object())
+	var wantTotal uint64
+	for key, w := range want {
+		wantTotal += w
+		v, err := r.Invoke("get", nil, replobj.WithShardKey(key))
+		if err != nil {
+			t.Fatalf("chaos seed %d: get %s: %v", reshardChaosSeed, key, err)
+		}
+		if got := fromU64(v); got != w {
+			t.Errorf("chaos seed %d: %s = %d, want %d (at-most-once across the move broken)",
+				reshardChaosSeed, key, got, w)
+		}
+	}
+	var total uint64
+	for _, gid := range s.Groups() {
+		v, err := cl.Invoke(gid, "sum", nil)
+		if err != nil {
+			t.Fatalf("chaos seed %d: sum %s: %v", reshardChaosSeed, gid, err)
+		}
+		total += fromU64(v)
+	}
+	if total != wantTotal {
+		t.Errorf("chaos seed %d: conservation: per-shard sums = %d, want %d",
+			reshardChaosSeed, total, wantTotal)
+	}
+	s.EachShard(func(i int, g *replobj.Group) {
+		members := g.Members()
+		ref := -1
+		for rank := 0; rank < replicas; rank++ {
+			if !down[members[rank]] {
+				ref = rank
+				break
+			}
+		}
+		if ref < 0 {
+			t.Fatalf("chaos seed %d: shard %d has no surviving rank", reshardChaosSeed, i)
+		}
+		for rank := ref + 1; rank < replicas; rank++ {
+			if down[members[rank]] {
+				continue
+			}
+			if d := replobj.FirstTraceDivergence(g.Trace(ref), g.Trace(rank)); d != nil {
+				t.Errorf("chaos seed %d: shard %d: rank %d vs rank %d diverged: %v",
+					reshardChaosSeed, i, ref, rank, d)
+			}
+		}
+	})
+}
+
+// seedReshardKV seeds the key set and returns the expected-value map.
+func seedReshardKV(t *testing.T, c *replobj.Cluster, object string, keys, perKey int) ([]string, map[string]uint64) {
+	t.Helper()
+	cl := reshardChaosClient(c, "reshard-seeder")
+	r := cl.Router(object)
+	names := make([]string, keys)
+	want := make(map[string]uint64, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("acct-%d", i)
+		for j := 0; j < perKey; j++ {
+			if _, err := r.Invoke("put", u64(1), replobj.WithShardKey(names[i])); err != nil {
+				t.Fatalf("chaos seed %d: seed %s: %v", reshardChaosSeed, names[i], err)
+			}
+		}
+		want[names[i]] = uint64(perKey)
+	}
+	return names, want
+}
+
+// TestReshardChaosSourceSequencerCrash: the sequencer of a source shard
+// group is crash-stopped moments after a live 2→4 reshard begins — in the
+// middle of the handoff it is responsible for cutting and shipping. The
+// group fails over, the armed transition survives on the remaining
+// replicas (it was ordered state), and the reshard must still complete
+// with every effect applied exactly once and all surviving replicas
+// digest-equal.
+func TestReshardChaosSourceSequencerCrash(t *testing.T) {
+	const (
+		replicas = 3
+		keys     = 16
+		perKey   = 2
+		putsEach = 40
+	)
+	rt := vtime.Virtual()
+	c, fnet := chaosCluster(rt, faultnet.Mild(), reshardChaosSeed)
+	s := shardedKV(t, c, "kv", 2, replicas, reshardChaosOpts()...)
+
+	run(rt, c, func() {
+		names, want := seedReshardKV(t, c, "kv", keys, perKey)
+		victim := s.Shard(0).Members()[0] // source sequencer
+
+		done := reshardChaosDrivers(rt, c, "kv", names, 2, putsEach)
+		resharded := vtime.NewMailbox[error](rt, "reshard-done")
+		rt.Go("resharder", func() {
+			admin := reshardChaosClient(c, "reshard-admin")
+			resharded.Put(s.Reshard(admin, 4))
+		})
+
+		// Crash the source sequencer mid-handoff.
+		rt.Sleep(4 * time.Millisecond)
+		fnet.Crash(victim)
+
+		if err, _ := resharded.Get(); err != nil {
+			t.Fatalf("chaos seed %d: Reshard 2->4 under sequencer crash: %v", reshardChaosSeed, err)
+		}
+		for d := 0; d < 2; d++ {
+			out, _ := done.Get()
+			if out.err != nil {
+				t.Fatalf("chaos seed %d: %v", reshardChaosSeed, out.err)
+			}
+			for k, n := range out.puts {
+				want[k] += n
+			}
+		}
+		fnet.Quiesce()
+		rt.Sleep(1500 * time.Millisecond)
+
+		if s.NumShards() != 4 {
+			t.Fatalf("chaos seed %d: NumShards = %d, want 4", reshardChaosSeed, s.NumShards())
+		}
+		reshardChaosCheck(t, c, s, want, replicas, map[replobj.NodeID]bool{victim: true})
+	})
+
+	// Non-vacuousness: the fault schedule really interfered.
+	if n := fnet.Counts(); n.Dropped == 0 && n.Duplicated == 0 && n.Delayed == 0 {
+		t.Errorf("chaos seed %d: fault network interfered with nothing — test is vacuous", reshardChaosSeed)
+	}
+	rt.Stop()
+}
+
+// TestReshardChaosTargetFollowerCrash: a follower of a freshly created
+// TARGET group is crash-stopped mid-handoff — it misses the prepare, the
+// incoming chunks and the fence. The group's majority absorbs the handoff;
+// after the reshard the follower is restored and must catch up through the
+// group's ordered recovery path until it is digest-equal with its peers,
+// holding the migrated keys.
+func TestReshardChaosTargetFollowerCrash(t *testing.T) {
+	const (
+		replicas = 3
+		keys     = 16
+		perKey   = 2
+		putsEach = 40
+	)
+	rt := vtime.Virtual()
+	c, fnet := chaosCluster(rt, faultnet.Mild(), reshardChaosSeed+1)
+	s := shardedKV(t, c, "kv", 2, replicas, reshardChaosOpts()...)
+	// The target group does not exist yet; its member ids are deterministic.
+	victim := wire.ReplicaID(replobj.ShardGroupName("kv", 2), 2)
+
+	run(rt, c, func() {
+		names, want := seedReshardKV(t, c, "kv", keys, perKey)
+
+		done := reshardChaosDrivers(rt, c, "kv", names, 2, putsEach)
+		resharded := vtime.NewMailbox[error](rt, "reshard-done")
+		rt.Go("resharder", func() {
+			admin := reshardChaosClient(c, "reshard-admin")
+			resharded.Put(s.Reshard(admin, 4))
+		})
+		rt.Sleep(3 * time.Millisecond)
+		fnet.Crash(victim)
+
+		if err, _ := resharded.Get(); err != nil {
+			t.Fatalf("chaos seed %d: Reshard 2->4 under target-follower crash: %v", reshardChaosSeed+1, err)
+		}
+		for d := 0; d < 2; d++ {
+			out, _ := done.Get()
+			if out.err != nil {
+				t.Fatalf("chaos seed %d: %v", reshardChaosSeed+1, out.err)
+			}
+			for k, n := range out.puts {
+				want[k] += n
+			}
+		}
+
+		// Restore the follower; post-fence traffic plus the recovery path
+		// bring it level with its group.
+		fnet.Restore(victim)
+		cl := reshardChaosClient(c, "nudger")
+		r := cl.Router("kv")
+		for i := 0; i < 24; i++ {
+			key := names[i%len(names)]
+			if _, err := r.Invoke("put", u64(1), replobj.WithShardKey(key)); err != nil {
+				t.Fatalf("chaos seed %d: nudge put: %v", reshardChaosSeed+1, err)
+			}
+			want[key]++
+		}
+		fnet.Quiesce()
+		rt.Sleep(1500 * time.Millisecond)
+
+		// All ranks compared — the restored follower included.
+		reshardChaosCheck(t, c, s, want, replicas, nil)
+	})
+	rt.Stop()
+}
+
+// TestReshardChaosRejoinerDuringMigration is the truncation-hold
+// regression (the stability-watermark fix in internal/gcs): a SOURCE
+// follower crashes before the reshard, the log floor moves past its
+// position (checkpoints + tight LogRetain), and it is restored in the
+// middle of the handoff. Recovery needs both legs: a checkpoint image for
+// the truncated prefix AND the retained ordered tail from the migration
+// prepare onward — which exists only because the armed migration pins
+// truncation at its prepare position (checkpoints are deferred inside the
+// window, so no snapshot can cover the half-moved state). The rejoiner
+// replays the prepare, re-arms the transition, replays the handoff and
+// lands digest-equal with its peers.
+func TestReshardChaosRejoinerDuringMigration(t *testing.T) {
+	const (
+		replicas = 3
+		keys     = 16
+		perKey   = 4
+		putsEach = 40
+		every    = 8
+	)
+	rt := vtime.Virtual()
+	reg := replobj.NewMetricsRegistry()
+	fnet := faultnet.New(rt, transport.NewInproc(rt), faultnet.Mild(), reshardChaosSeed+2)
+	c := replobj.NewCluster(rt, replobj.WithNetwork(fnet), replobj.WithMetrics(reg))
+	s := shardedKV(t, c, "kv", 2, replicas, reshardChaosOpts(
+		replobj.WithCheckpointEvery(every),
+		replobj.WithGCSConfig(gcs.Config{Quorum: true, LogRetain: 16}))...)
+
+	run(rt, c, func() {
+		names, want := seedReshardKV(t, c, "kv", keys, perKey)
+		victim := s.Shard(1).Members()[2] // source follower
+
+		fnet.Crash(victim)
+		rt.Sleep(600 * time.Millisecond) // let the view exclude it
+
+		// Move the log floor past the crashed follower's position: more
+		// traffic, checkpoints every 8 deliveries, only 16 retained entries.
+		cl := reshardChaosClient(c, "mover")
+		r := cl.Router("kv")
+		for i := 0; i < 48; i++ {
+			key := names[i%len(names)]
+			if _, err := r.Invoke("put", u64(1), replobj.WithShardKey(key)); err != nil {
+				t.Fatalf("chaos seed %d: pre-reshard put: %v", reshardChaosSeed+2, err)
+			}
+			want[key]++
+		}
+
+		done := reshardChaosDrivers(rt, c, "kv", names, 2, putsEach)
+		resharded := vtime.NewMailbox[error](rt, "reshard-done")
+		rt.Go("resharder", func() {
+			admin := reshardChaosClient(c, "reshard-admin")
+			resharded.Put(s.Reshard(admin, 4))
+		})
+
+		// Restore the follower mid-handoff.
+		rt.Sleep(5 * time.Millisecond)
+		fnet.Restore(victim)
+
+		if err, _ := resharded.Get(); err != nil {
+			t.Fatalf("chaos seed %d: Reshard 2->4 with rejoiner: %v", reshardChaosSeed+2, err)
+		}
+		for d := 0; d < 2; d++ {
+			out, _ := done.Get()
+			if out.err != nil {
+				t.Fatalf("chaos seed %d: %v", reshardChaosSeed+2, out.err)
+			}
+			for k, n := range out.puts {
+				want[k] += n
+			}
+		}
+		fnet.Quiesce()
+		rt.Sleep(2 * time.Second)
+
+		// Non-vacuousness: the rejoiner really came back through snapshot
+		// state transfer — plain log replay was impossible below the floor.
+		// Sharded groups render gcs stats with a shard label, so match the
+		// rendered line rather than reconstructing the full label set.
+		installed := int64(0)
+		for _, line := range strings.Split(grepMetrics(reg.Render(), "replobj_gcs_snapshots_installed_total"), "\n") {
+			if strings.Contains(line, `node="`+string(victim)+`"`) {
+				var v int64
+				if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err == nil {
+					installed += v
+				}
+			}
+		}
+		if installed == 0 {
+			t.Errorf("chaos seed %d: rejoiner caught up without a snapshot — log was never truncated past its position",
+				reshardChaosSeed+2)
+		}
+		reshardChaosCheck(t, c, s, want, replicas, nil)
+	})
+	rt.Stop()
+}

@@ -2,6 +2,7 @@ package replobj_test
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
@@ -12,6 +13,73 @@ import (
 // kvState is the per-replica state of one shard of a sharded key/value
 // object.
 type kvState struct{ m map[string]uint64 }
+
+// Snapshot/Restore (Snapshotter): deterministic sorted encoding, used by
+// the checkpointed resharding tests.
+func (st *kvState) Snapshot() ([]byte, error) {
+	keys := make([]string, 0, len(st.m))
+	for k := range st.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	out = append(out, u64(uint64(len(keys)))...)
+	for _, k := range keys {
+		out = append(out, u64(uint64(len(k)))...)
+		out = append(out, k...)
+		out = append(out, u64(st.m[k])...)
+	}
+	return out, nil
+}
+
+func (st *kvState) Restore(b []byte) error {
+	m := make(map[string]uint64)
+	if len(b) < 8 {
+		return fmt.Errorf("kvState: short snapshot")
+	}
+	n := fromU64(b[:8])
+	b = b[8:]
+	for i := uint64(0); i < n; i++ {
+		if len(b) < 8 {
+			return fmt.Errorf("kvState: truncated snapshot")
+		}
+		kl := fromU64(b[:8])
+		b = b[8:]
+		if uint64(len(b)) < kl+8 {
+			return fmt.Errorf("kvState: truncated snapshot")
+		}
+		m[string(b[:kl])] = fromU64(b[kl : kl+8])
+		b = b[kl+8:]
+	}
+	st.m = m
+	return nil
+}
+
+// ExportKeys/InstallKeys/DropKeys (KeyedSnapshotter): the per-key state
+// transfer elastic resharding rides on.
+func (st *kvState) ExportKeys(selected func(key string) bool) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	for k, v := range st.m {
+		if selected(k) {
+			out[k] = u64(v)
+		}
+	}
+	return out, nil
+}
+
+func (st *kvState) InstallKeys(state map[string][]byte) error {
+	for k, b := range state {
+		st.m[k] = fromU64(b)
+	}
+	return nil
+}
+
+func (st *kvState) DropKeys(keys []string) error {
+	for _, k := range keys {
+		delete(st.m, k)
+	}
+	return nil
+}
 
 // shardedKV builds a sharded key/value object: "put" adds to the keyed
 // slot, "get" reads it, "sum" totals the local shard's slots (used by

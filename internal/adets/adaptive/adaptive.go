@@ -425,6 +425,16 @@ func (s *Scheduler) BeginNested(t *adets.Thread) {
 // EndNested implements adets.Scheduler.
 func (s *Scheduler) EndNested(t *adets.Thread) { s.current().EndNested(t) }
 
+// EarlySubmit implements adets.EarlyScheduler by forwarding to the active
+// inner scheduler when it is early-capable (currently ADETS-CC). An early
+// plan computed just before a boundary switch is simply lost with the old
+// scheduler — plans are recomputable hints, so the swap stays safe.
+func (s *Scheduler) EarlySubmit(id wire.InvocationID, classes []string) {
+	if es, ok := s.current().(adets.EarlyScheduler); ok {
+		es.EarlySubmit(id, classes)
+	}
+}
+
 // ViewChanged implements adets.Scheduler.
 func (s *Scheduler) ViewChanged(v gcs.View) { s.current().ViewChanged(v) }
 

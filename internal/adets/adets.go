@@ -203,6 +203,23 @@ type Scheduler interface {
 	HandleDirect(from wire.NodeID, payload any) bool
 }
 
+// EarlyScheduler is implemented by schedulers that can use a request's
+// declared conflict classes before the total order assigns it a position —
+// the "early scheduling" of Alchieri et al.: the replica feeds every
+// optimistically delivered submit to EarlySubmit at arrival time, so the
+// class→lane assignment is already computed (and the lane plan cached)
+// when the ordered Submit arrives. Early plans are pure functions of the
+// request content, identical to what Submit would compute, so consuming a
+// cached plan never changes a scheduling decision — only when it is made.
+// Plans for requests that are never ordered are dropped by a bounded cache
+// and at quiesce boundaries.
+type EarlyScheduler interface {
+	// EarlySubmit announces a request's conflict classes ahead of its
+	// ordered submission. Safe to call any number of times per id; calls
+	// after the ordered Submit are ignored.
+	EarlySubmit(id wire.InvocationID, classes []string)
+}
+
 // StatefulScheduler is implemented by schedulers whose scheduling decisions
 // depend on replicated meta-state beyond the current delivery — e.g. the
 // adaptive meta-scheduler's epoch counter, metrics window and active-kind

@@ -89,9 +89,17 @@ type Scheduler struct {
 	threads map[*adets.Thread]bool
 	stopped bool
 	quiesce func(drained bool)
+
+	// early caches lane plans computed at optimistic-delivery time (see
+	// adets.EarlyScheduler); earlyOrder bounds it FIFO.
+	early      map[wire.InvocationID][]int
+	earlyOrder []wire.InvocationID
 }
 
-var _ adets.Scheduler = (*Scheduler)(nil)
+var (
+	_ adets.Scheduler      = (*Scheduler)(nil)
+	_ adets.EarlyScheduler = (*Scheduler)(nil)
+)
 
 // New returns an ADETS-CC scheduler.
 func New(opts ...Option) *Scheduler {
@@ -183,7 +191,7 @@ func (s *Scheduler) Submit(req adets.Request) {
 		// saw the truncated prefix, but its lane trace must still line up
 		// with replicas that executed it.
 		pos := strconv.FormatUint(req.Seq, 10)
-		tk.lanes = AssignLanes(req.Classes, s.laneCount)
+		tk.lanes = s.takeEarlyPlanLocked(req.ID, req.Classes)
 		for _, l := range tk.lanes {
 			s.queues[l] = append(s.queues[l], tk)
 			s.env.Obs.LaneAssign(l, string(req.Logical), pos)
@@ -411,6 +419,51 @@ func (s *Scheduler) EndNested(t *adets.Thread) {
 	t.Unpark(rt)
 }
 
+// maxEarlyPlans bounds the early-plan cache: requests that are optimistically
+// delivered but never ordered (lost submits) must not pin memory.
+const maxEarlyPlans = 1 << 12
+
+// EarlySubmit implements adets.EarlyScheduler: the class→lane assignment is
+// computed at optimistic-delivery time and cached for the ordered Submit.
+// AssignLanes is a pure function of (classes, laneCount), so the cached
+// plan is byte-identical to what Submit would compute — early scheduling
+// moves work off the ordered path without entering any scheduling state,
+// and nothing is recorded into the (ordered-only) trace streams.
+func (s *Scheduler) EarlySubmit(id wire.InvocationID, classes []string) {
+	rt := s.env.RT
+	if rt == nil {
+		return // not started
+	}
+	rt.Lock()
+	defer rt.Unlock()
+	if s.stopped {
+		return
+	}
+	if _, ok := s.early[id]; ok {
+		return
+	}
+	if s.early == nil {
+		s.early = make(map[wire.InvocationID][]int)
+	}
+	if len(s.earlyOrder) >= maxEarlyPlans {
+		old := s.earlyOrder[0]
+		s.earlyOrder = s.earlyOrder[1:]
+		delete(s.early, old)
+	}
+	s.early[id] = AssignLanes(classes, s.laneCount)
+	s.earlyOrder = append(s.earlyOrder, id)
+}
+
+// takeEarlyPlanLocked consumes the cached early lane plan for id, falling
+// back to computing it fresh — both paths yield the same plan.
+func (s *Scheduler) takeEarlyPlanLocked(id wire.InvocationID, classes []string) []int {
+	if plan, ok := s.early[id]; ok {
+		delete(s.early, id)
+		return plan
+	}
+	return AssignLanes(classes, s.laneCount)
+}
+
 // ViewChanged implements adets.Scheduler: a fence spanning every lane is
 // inserted at the view's totally-ordered delivery position, draining all
 // requests ordered before the membership change from their lanes before
@@ -462,6 +515,15 @@ func (s *Scheduler) checkQuiesceLocked() {
 	}
 	report := s.quiesce
 	s.quiesce = nil
+	if len(s.threads) == 0 {
+		// Drained boundary: drop cached early plans. They are arrival-time
+		// hints, not ordered state — a checkpoint cut (and any replica
+		// restored from it) must not depend on what happened to arrive
+		// optimistically here; un-ordered requests recompute their plan at
+		// their ordered Submit.
+		s.early = nil
+		s.earlyOrder = nil
+	}
 	report(len(s.threads) == 0)
 }
 

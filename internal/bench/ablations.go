@@ -302,6 +302,7 @@ func All(cfg Config) ([]Result, error) {
 		{"scenarios", ProductionScenarios},
 		{"shards", ShardScaleOut},
 		{"reshard", ReshardLive},
+		{"speculation", Speculation},
 	}
 	out := make([]Result, 0, len(exps))
 	for _, e := range exps {
@@ -339,5 +340,6 @@ func Experiments() map[string]func(Config) (Result, error) {
 		"scenarios":         ProductionScenarios,
 		"shards":            ShardScaleOut,
 		"reshard":           ReshardLive,
+		"speculation":       Speculation,
 	}
 }

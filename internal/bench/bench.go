@@ -90,6 +90,9 @@ type Result struct {
 	// ReshardCells carries the per-transition rows of the live-resharding
 	// experiment (empty for every other result).
 	ReshardCells []ReshardCell `json:",omitempty"`
+	// SpecCells carries the per-(ratio, mode) rows of the speculation
+	// experiment (empty for every other result).
+	SpecCells []SpecCell `json:",omitempty"`
 }
 
 // Format renders a result as an aligned text table (clients × strategies),
@@ -157,6 +160,15 @@ func (r Result) Format() string {
 			fmt.Fprintf(&b, "%-16s %-10s %7d %6s %8d %12.1f %10.3f %10.3f %8s\n",
 				sc.Scenario, sc.Scheduler, sc.Shards, shardCol, sc.Requests,
 				sc.ThroughputRPS, sc.P50ms, sc.P99ms, speedup)
+		}
+	}
+	if len(r.SpecCells) > 0 {
+		fmt.Fprintf(&b, "\n%-8s %-6s %8s %10s %10s %10s %8s %8s %9s\n",
+			"ratio", "mode", "reqs", "p50 ms", "p99 ms", "attempts", "hits", "aborts", "hit rate")
+		for _, sc := range r.SpecCells {
+			fmt.Fprintf(&b, "%-8g %-6s %8d %10.3f %10.3f %10d %8d %8d %9.2f\n",
+				sc.Ratio, sc.Mode, sc.Requests, sc.P50ms, sc.P99ms,
+				sc.Attempts, sc.Hits, sc.Aborts, sc.HitRate)
 		}
 	}
 	if len(r.ReshardCells) > 0 {

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/vtime"
+)
+
+// The speculation experiment measures what optimistic delivery buys: with
+// WithSpeculation, a replica executes a request against a state fork as
+// soon as the client's submit arrives and releases the reply the moment
+// the total order confirms the fork was valid — so at conflict ratio 0 the
+// committed-reply latency drops by roughly the submit→delivery ordering
+// gap. As the ratio rises, conflicting dispatches land between fork and
+// confirmation, speculations go stale and are discarded, and the latency
+// converges back to the non-speculative baseline (the ordered execution
+// always runs; speculation only changes when the reply leaves).
+
+// SpecClients is the client count of the speculation sweep — small enough
+// that quiescent windows occur between delivery batches, which is when the
+// fork image can be refreshed.
+const SpecClients = 4
+
+// SpecCompute is the in-lock computation per request.
+const SpecCompute = time.Millisecond
+
+// SpecThink is the per-client pause between invocations (outside the
+// measured latency); it creates the quiescent windows above.
+const SpecThink = 2 * time.Millisecond
+
+// SpecLanes sizes the CC lane pool of the speculation object.
+const SpecLanes = 32
+
+// DefaultSpecRatios is the conflict-ratio grid of the sweep.
+var DefaultSpecRatios = []float64{0, 0.25, 0.5, 1}
+
+// SpecCell is one (conflict ratio, mode) measurement of the speculation
+// experiment.
+type SpecCell struct {
+	Ratio    float64
+	Mode     string // "spec" or "base"
+	Requests int
+	P50ms    float64
+	P99ms    float64
+	// Speculation counters summed over the replicas (zero in base mode).
+	Attempts uint64
+	Hits     uint64
+	Aborts   uint64
+	// HitRate is Hits/Attempts (0 when no speculation was attempted).
+	HitRate float64
+}
+
+// specState is the experiment object: a keyed counter whose conflict class
+// is the key byte. Each client owns one key; a request is global
+// (classless, conflicts with everything) with probability ratio. The
+// exported field keeps the state serializable for fork images and
+// checkpoints.
+type specState struct{ Slots map[byte]uint64 }
+
+// ConflictClasses implements replobj.ConflictClasser: args[0] is the key,
+// args[1] != 0 marks the request global.
+func (specState) ConflictClasses(method string, args []byte) []string {
+	if method != "op" || len(args) < 2 || args[1] != 0 {
+		return nil
+	}
+	return []string{fmt.Sprintf("key%d", args[0])}
+}
+
+// specArgs builds one invocation (deterministic in client, seq).
+func specArgs(client, seq int, ratio float64) []byte {
+	key := byte(client % SpecClients)
+	global := byte(0)
+	if mix(uint64(client), uint64(seq), 13)%1_000_000 < uint64(ratio*1_000_000) {
+		global = 1
+	}
+	return []byte{key, global}
+}
+
+// runSpecCell measures one cell and, in spec mode, reads the speculation
+// counters off a per-run registry.
+func runSpecCell(cfg Config, ratio float64, speculative bool) (SpecCell, error) {
+	mode := "base"
+	if speculative {
+		mode = "spec"
+	}
+	cell := SpecCell{Ratio: ratio, Mode: mode}
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	reg := replobj.NewMetricsRegistry()
+	c := replobj.NewCluster(rt,
+		replobj.WithLatency(cfg.Latency),
+		replobj.WithMetrics(reg))
+	var durs []time.Duration
+	var firstErr error
+	vtime.Run(rt, "spec-main", func() {
+		defer c.Close()
+		opts := append(groupOpts(replobj.CC, SpecClients),
+			replobj.WithCCLanes(SpecLanes),
+			replobj.WithState(func() any { return &specState{Slots: make(map[byte]uint64)} }),
+			replobj.WithSchedTrace(0))
+		if speculative {
+			opts = append(opts, replobj.WithSpeculation())
+		}
+		g, err := c.NewGroup("spec", cfg.Replicas, opts...)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		g.Register("op", func(inv *replobj.Invocation) ([]byte, error) {
+			m := replobj.MutexID(fmt.Sprintf("key%d", inv.Args()[0]))
+			if err := inv.Lock(m); err != nil {
+				return nil, err
+			}
+			inv.Compute(SpecCompute)
+			st := inv.State().(*specState)
+			if st.Slots == nil {
+				st.Slots = make(map[byte]uint64)
+			}
+			st.Slots[inv.Args()[0]]++
+			if err := inv.Unlock(m); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		})
+		g.Start()
+		results := vtime.NewMailbox[clientResult](rt, "spec-results")
+		for i := 0; i < SpecClients; i++ {
+			i := i
+			rt.Go(fmt.Sprintf("spec-client-%d", i), func() {
+				cl := c.NewClient(fmt.Sprintf("c%d", i),
+					replobj.WithReplyPolicy(cfg.Policy),
+					replobj.WithInvocationTimeout(5*time.Minute))
+				invoke := func(seq int) error {
+					_, err := cl.Invoke("spec", "op", specArgs(i, seq, ratio))
+					return err
+				}
+				for w := 0; w < cfg.Warmup; w++ {
+					if err := invoke(w); err != nil {
+						results.Put(clientResult{err: err})
+						return
+					}
+					rt.Sleep(SpecThink)
+				}
+				ds := make([]time.Duration, 0, cfg.PerClient)
+				for s := 0; s < cfg.PerClient; s++ {
+					t0 := rt.Now()
+					if err := invoke(cfg.Warmup + s); err != nil {
+						results.Put(clientResult{durs: ds, err: err})
+						return
+					}
+					ds = append(ds, rt.Now()-t0)
+					rt.Sleep(SpecThink) // think time, outside the measurement
+				}
+				results.Put(clientResult{durs: ds})
+			})
+		}
+		for i := 0; i < SpecClients; i++ {
+			res, _ := results.Get()
+			if res.err != nil && firstErr == nil {
+				firstErr = res.err
+			}
+			durs = append(durs, res.durs...)
+		}
+		// Speculation must not perturb the committed run: the schedule-trace
+		// digests stay identical across replicas.
+		if firstErr == nil {
+			ref := g.Trace(0)
+			for rank := 1; rank < cfg.Replicas; rank++ {
+				if d := replobj.FirstTraceDivergence(ref, g.Trace(rank)); d != nil {
+					firstErr = fmt.Errorf("speculation ratio=%g %s: replica %d trace diverged: %v",
+						ratio, mode, rank, d)
+					return
+				}
+			}
+		}
+	})
+	if firstErr != nil {
+		return cell, firstErr
+	}
+	if len(durs) == 0 {
+		return cell, fmt.Errorf("speculation ratio=%g %s: no samples collected", ratio, mode)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	cell.Requests = len(durs)
+	cell.P50ms = quantileMS(durs, 0.50)
+	cell.P99ms = quantileMS(durs, 0.99)
+	for i := 0; i < cfg.Replicas; i++ {
+		node := fmt.Sprintf(`{node="spec/%d"}`, i)
+		cell.Attempts += reg.Counter("replobj_replica_spec_attempts_total" + node).Value()
+		cell.Hits += reg.Counter("replobj_replica_spec_hits_total" + node).Value()
+		cell.Aborts += reg.Counter("replobj_replica_spec_aborts_total" + node).Value()
+	}
+	if cell.Attempts > 0 {
+		cell.HitRate = float64(cell.Hits) / float64(cell.Attempts)
+	}
+	return cell, nil
+}
+
+// Speculation sweeps the conflict ratio and compares committed-reply
+// latency with and without speculative execution under ADETS-CC.
+func Speculation(cfg Config) (Result, error) {
+	ratios := DefaultSpecRatios
+	if cfg.ConflictRatio >= 0 {
+		ratios = []float64{cfg.ConflictRatio}
+	}
+	res := Result{
+		ID:     "speculation",
+		Title:  "Speculative execution on optimistic delivery — committed-reply latency vs conflict ratio (CC, 4 clients)",
+		XLabel: "conflict ratio",
+		YLabel: "p50 ms",
+	}
+	spec := Series{Label: "spec"}
+	base := Series{Label: "base"}
+	for _, ratio := range ratios {
+		for _, speculative := range []bool{true, false} {
+			cell, err := runSpecCell(cfg, ratio, speculative)
+			if err != nil {
+				return res, err
+			}
+			res.SpecCells = append(res.SpecCells, cell)
+			if speculative {
+				spec.Points = append(spec.Points, Point{X: ratio, Y: cell.P50ms})
+			} else {
+				base.Points = append(base.Points, Point{X: ratio, Y: cell.P50ms})
+			}
+		}
+	}
+	res.Series = []Series{spec, base}
+	return res, nil
+}

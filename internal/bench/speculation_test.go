@@ -1,0 +1,58 @@
+package bench
+
+import "testing"
+
+// TestSpeculationBeatsBaselineAtRatioZero pins the acceptance criterion of
+// the speculation work: at conflict ratio 0, speculative execution must
+// deliver a lower committed-reply p50 than the non-speculative baseline,
+// with a real hit rate behind it. Deliberately small so it runs under
+// -short — it is the regression pin, not the full sweep.
+func TestSpeculationBeatsBaselineAtRatioZero(t *testing.T) {
+	cfg := Defaults()
+	cfg.PerClient = 20
+	cfg.Warmup = 3
+	spec, err := runSpecCell(cfg, 0, true)
+	if err != nil {
+		t.Fatalf("spec cell: %v", err)
+	}
+	base, err := runSpecCell(cfg, 0, false)
+	if err != nil {
+		t.Fatalf("base cell: %v", err)
+	}
+	t.Logf("ratio 0: spec p50=%.3fms (hits=%d/%d) vs base p50=%.3fms",
+		spec.P50ms, spec.Hits, spec.Attempts, base.P50ms)
+	if spec.Hits == 0 {
+		t.Fatal("conflict-free workload produced no speculation hits")
+	}
+	if spec.P50ms >= base.P50ms {
+		t.Errorf("speculation p50 %.3fms is not below baseline %.3fms at conflict ratio 0",
+			spec.P50ms, base.P50ms)
+	}
+	if base.Attempts != 0 {
+		t.Errorf("baseline run attempted %d speculations", base.Attempts)
+	}
+}
+
+// TestSpeculationConvergesUnderConflict checks the other end of the sweep:
+// at conflict ratio 1 every request is global, speculations go stale, and
+// the discarded forks must cost the committed path essentially nothing —
+// spec p50 stays within 10% of the baseline.
+func TestSpeculationConvergesUnderConflict(t *testing.T) {
+	cfg := Defaults()
+	cfg.PerClient = 20
+	cfg.Warmup = 3
+	spec, err := runSpecCell(cfg, 1, true)
+	if err != nil {
+		t.Fatalf("spec cell: %v", err)
+	}
+	base, err := runSpecCell(cfg, 1, false)
+	if err != nil {
+		t.Fatalf("base cell: %v", err)
+	}
+	t.Logf("ratio 1: spec p50=%.3fms (aborts=%d/%d) vs base p50=%.3fms",
+		spec.P50ms, spec.Aborts, spec.Attempts, base.P50ms)
+	if spec.P50ms > base.P50ms*1.10 {
+		t.Errorf("speculation p50 %.3fms exceeds baseline %.3fms by more than 10%% at conflict ratio 1",
+			spec.P50ms, base.P50ms)
+	}
+}

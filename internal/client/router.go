@@ -189,7 +189,10 @@ func (r *Router) Invoke(method string, args []byte, opts ...InvokeOption) ([]byt
 			// Bounded backoff before refreshing: during a table update the
 			// directory may answer the new epoch before the shard groups have
 			// installed it (or vice versa); a short pause lets the EpochMethod
-			// deliveries land instead of hammering the directory.
+			// deliveries land instead of hammering the directory. Exactly one
+			// sleep-and-double per redirect attempt — the poll rounds below
+			// reuse the current backoff without compounding it again, so the
+			// schedule stays the advertised 2× per retry.
 			r.c.rt.Sleep(backoff)
 			if backoff *= 2; backoff > r.maxBackoff {
 				backoff = r.maxBackoff
@@ -203,9 +206,6 @@ func (r *Router) Invoke(method string, args []byte, opts ...InvokeOption) ([]byt
 			// under the same backoff before spending another shard attempt.
 			for round := 0; r.table.Epoch < wantEpoch && round < r.maxRedirects; round++ {
 				r.c.rt.Sleep(backoff)
-				if backoff *= 2; backoff > r.maxBackoff {
-					backoff = r.maxBackoff
-				}
 				if err := r.Refresh(); err != nil {
 					return nil, err
 				}

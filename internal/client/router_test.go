@@ -446,6 +446,54 @@ func TestRouterDualHomeRedirectStormBounded(t *testing.T) {
 	})
 }
 
+// TestRouterBackoffSingleDoublePerAttempt pins the redirect backoff
+// schedule: exactly one sleep-and-double per redirect attempt, with the
+// directory poll rounds reusing the current backoff instead of compounding
+// it. A regression for the double-doubling bug where both the attempt path
+// and every poll round multiplied the backoff, growing it 4×+ per attempt:
+// with b0=4ms and 2 budgeted retries the buggy schedule slept
+// 4+8+16+32+64+100 = 224ms where the intended one sleeps
+// 4+8+8+8+16+16 = 60ms.
+func TestRouterBackoffSingleDoublePerAttempt(t *testing.T) {
+	rt := vtime.Virtual()
+	defer rt.Stop()
+	net := transport.NewInproc(rt)
+	w := newFakeShardWorld(t, rt, net, 2)
+	c := newRouterClient(w)
+	vtime.Run(rt, "main", func() {
+		defer w.close()
+		defer c.Close()
+		r := c.Router("o").WithMaxRedirects(2).WithRedirectBackoff(4 * time.Millisecond)
+		if err := r.Refresh(); err != nil {
+			t.Fatalf("Refresh: %v", err)
+		}
+		// Shards install epoch 2; the directory stays at 1 — every attempt
+		// redirects and every poll round sees a too-old table, so the full
+		// backoff schedule runs before the router gives up.
+		rt.Lock()
+		for _, gid := range w.table.Shards {
+			w.installed[gid] = 2
+		}
+		rt.Unlock()
+		t0 := rt.Now()
+		if _, err := r.Invoke("m", nil, WithShardKey("k1")); err == nil {
+			t.Fatal("Invoke succeeded against permanently mismatched epochs")
+		}
+		waited := rt.Now() - t0
+		// Intended schedule: attempt sleeps 4, 8 with poll rounds at the
+		// already-doubled value (8+8, 16+16) — 60ms of backoff plus a few
+		// round-trip latencies.
+		if waited < 60*time.Millisecond {
+			t.Errorf("total wait %v, want >= 60ms (4+8+8+8+16+16)", waited)
+		}
+		// The double-doubling schedule slept 224ms before giving up; anything
+		// in that region means the backoff compounds more than 2× per attempt.
+		if waited >= 120*time.Millisecond {
+			t.Errorf("total wait %v, want < 120ms — backoff compounds more than once per attempt", waited)
+		}
+	})
+}
+
 // TestRouterBackoffIsBoundedAndDoubles pins the backoff schedule: 2ms, 4ms,
 // 8ms... capped at 100ms, all in virtual time.
 func TestRouterBackoffDoubles(t *testing.T) {

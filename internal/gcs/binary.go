@@ -21,6 +21,7 @@ const (
 	tagSyncReq   = 15
 	tagSyncResp  = 16
 	tagSnapshot  = 17
+	tagHint      = 18
 )
 
 func init() {
@@ -150,6 +151,28 @@ func init() {
 				return nil, err
 			}
 			return s, nil
+		})
+	wire.RegisterBinaryPayload(tagHint, Hint{},
+		func(b *wire.Buffer, v any) error {
+			h := v.(Hint)
+			b.String(string(h.Group))
+			b.String(h.ID)
+			b.Uvarint(h.Seq)
+			return nil
+		},
+		func(r *wire.Reader) (any, error) {
+			var h Hint
+			var err error
+			if h.Group, err = groupID(r); err != nil {
+				return nil, err
+			}
+			if h.ID, err = r.String(); err != nil {
+				return nil, err
+			}
+			if h.Seq, err = r.Uvarint(); err != nil {
+				return nil, err
+			}
+			return h, nil
 		})
 }
 

@@ -177,6 +177,20 @@ type Snapshot struct {
 	Data  []byte
 }
 
+// Hint is the sequencer's spontaneous-order announcement: on accepting a
+// fresh submit for ordering it predicts the sequence number the submit
+// will take (exact under stable batching, wrong across view changes or
+// resubmit races) and broadcasts the prediction immediately, before the
+// ordering round completes. Replicas use hints purely as speculation
+// fuel — a wrong hint costs a discarded speculative execution, never
+// correctness, because speculations are validated against the confirmed
+// position at the ordered dispatch point.
+type Hint struct {
+	Group wire.GroupID
+	ID    string
+	Seq   uint64
+}
+
 // Propose announces a candidate next view after a suspicion.
 type Propose struct {
 	Group wire.GroupID
@@ -217,6 +231,7 @@ func init() {
 	wire.RegisterPayload(SyncReq{})
 	wire.RegisterPayload(SyncResp{})
 	wire.RegisterPayload(Snapshot{})
+	wire.RegisterPayload(Hint{})
 }
 
 // rankSubset returns the members of initial, in rank order, minus the
@@ -292,8 +307,30 @@ type Config struct {
 	// original transmission was lost. Without it, a retransmitting client
 	// can wait forever once every live replica has delivered the request
 	// (the sequencer's log re-broadcast only repairs members that missed
-	// the ordered message itself).
-	DuplicateSubmit func(sub Submit)
+	// the ordered message itself). seq is the stream position the id was
+	// ordered at, 0 when the position has been pruned from the tracking
+	// window — the replica layer uses it to classify retransmissions whose
+	// reply-cache entry has already been evicted.
+	DuplicateSubmit func(sub Submit, seq uint64)
+
+	// OptimisticDeliver, when non-nil, is invoked (outside the runtime
+	// lock) for each fresh submit this member sees before it is ordered —
+	// the optimistic-delivery stream speculative execution runs on. The
+	// hook may fire for submits that are never ordered (e.g. lost before
+	// the sequencer) and fires at most once per id per member; the ordered
+	// stream remains the only authority on what executes.
+	OptimisticDeliver func(sub Submit)
+
+	// SpecHints, when true, makes the sequencer broadcast a Hint — its
+	// predicted sequence number — for every fresh submit it accepts, the
+	// moment it is accepted (before the ordering round completes). Hints
+	// feed HintDeliver on every member, including the sequencer itself.
+	SpecHints bool
+
+	// HintDeliver, when non-nil, receives sequencer spontaneous-order
+	// hints (outside the runtime lock). Predictions are best-effort; see
+	// Hint.
+	HintDeliver func(h Hint)
 
 	// Stats receives protocol metrics. May be nil (all recordings no-op).
 	Stats *Stats

@@ -274,6 +274,10 @@ func (m *Member) Handle(from wire.NodeID, payload any) bool {
 		}
 	case Snapshot:
 		m.handleSnapshotLocked(p, &act)
+	case Hint:
+		if m.cfg.HintDeliver != nil {
+			act.hints = append(act.hints, p)
+		}
 	case Propose:
 		m.noteEpochLocked(p.View.Epoch)
 		m.adoptProposalLocked(p.View, &act)
@@ -307,6 +311,8 @@ func payloadGroup(payload any) (wire.GroupID, bool) {
 		return p.Group, true
 	case Snapshot:
 		return p.Group, true
+	case Hint:
+		return p.Group, true
 	}
 	return "", false
 }
@@ -323,12 +329,24 @@ type outMsg struct {
 // go straight to the mailbox via PutLocked, preserving total order.
 type actions struct {
 	sends []outMsg
-	// dups are already-ordered submits to surface through the
-	// DuplicateSubmit hook once the lock is released.
-	dups []Submit
+	// dups are already-ordered submits (with the position each was ordered
+	// at, 0 when pruned) to surface through the DuplicateSubmit hook once
+	// the lock is released.
+	dups []dupSubmit
+	// opts are fresh submits to surface through the OptimisticDeliver hook
+	// once the lock is released.
+	opts []Submit
+	// hints are sequencer spontaneous-order predictions to surface through
+	// the HintDeliver hook once the lock is released.
+	hints []Hint
 	// nacked dedups gap NACKs within one lock section (see
 	// handleOrderedLocked).
 	nacked bool
+}
+
+type dupSubmit struct {
+	sub Submit
+	seq uint64
 }
 
 func (a *actions) send(to wire.NodeID, payload any) {
@@ -342,13 +360,24 @@ func (a *actions) do(send func(to wire.NodeID, payload any)) {
 }
 
 // finish runs the post-lock tail of an event: queued sends, then the
-// duplicate-submit notifications (which may call back into the replica
-// layer and so must also run without the runtime lock held).
+// duplicate-submit / optimistic-delivery / hint notifications (which may
+// call back into the replica layer and so must also run without the
+// runtime lock held).
 func (a *actions) finish(m *Member) {
 	a.do(m.cfg.Send)
 	if m.cfg.DuplicateSubmit != nil {
 		for _, d := range a.dups {
-			m.cfg.DuplicateSubmit(d)
+			m.cfg.DuplicateSubmit(d.sub, d.seq)
+		}
+	}
+	if m.cfg.OptimisticDeliver != nil {
+		for _, s := range a.opts {
+			m.cfg.OptimisticDeliver(s)
+		}
+	}
+	if m.cfg.HintDeliver != nil {
+		for _, h := range a.hints {
+			m.cfg.HintDeliver(h)
 		}
 	}
 }
@@ -400,7 +429,7 @@ func (m *Member) quorumOKLocked(now time.Duration) bool {
 func (m *Member) handleSubmitLocked(sub Submit, act *actions) {
 	if m.orderedIDs[sub.ID] {
 		if m.cfg.DuplicateSubmit != nil {
-			act.dups = append(act.dups, sub)
+			act.dups = append(act.dups, dupSubmit{sub: sub, seq: m.idToSeq[sub.ID]})
 		}
 		// A duplicate of something already ordered — usually a client
 		// retransmission because some replica never received the ordered
@@ -427,6 +456,14 @@ func (m *Member) handleSubmitLocked(sub Submit, act *actions) {
 		}
 		return
 	}
+	if m.cfg.OptimisticDeliver != nil {
+		// First sight of a fresh, not-yet-ordered submit on this member:
+		// surface it on the optimistic-delivery stream (once per id — later
+		// retransmissions find it in the submit cache).
+		if _, seen := m.submitCache[sub.ID]; !seen {
+			act.opts = append(act.opts, sub)
+		}
+	}
 	m.cacheSubmitLocked(sub)
 	if m.isSequencerLocked() {
 		m.sequenceSubmitLocked(sub, act)
@@ -450,6 +487,7 @@ func (m *Member) handleSubmitLocked(sub Submit, act *actions) {
 // otherwise it is ordered immediately.
 func (m *Member) sequenceSubmitLocked(sub Submit, act *actions) {
 	if m.cfg.MaxBatch <= 1 {
+		m.hintLocked(sub.ID, m.nextSeq, act)
 		m.orderLocked(sub.ID, sub.Origin, sub.Payload, nil, act)
 		return
 	}
@@ -458,10 +496,33 @@ func (m *Member) sequenceSubmitLocked(sub Submit, act *actions) {
 			return // already waiting in the open batch
 		}
 	}
+	// Predicted position: the open batch flushes before anything else is
+	// ordered in this event, so the submit takes nextSeq plus its batch
+	// index. The prediction is announced before the ordering round — exact
+	// in steady state, and harmlessly wrong across view changes.
+	m.hintLocked(sub.ID, m.nextSeq+uint64(len(m.batch)), act)
 	m.batch = append(m.batch, sub)
 	m.batchAt = append(m.batchAt, m.rt.NowLocked())
 	if len(m.batch) >= m.cfg.MaxBatch {
 		m.flushBatchLocked(act)
+	}
+}
+
+// hintLocked queues a spontaneous-order hint for broadcast to every view
+// member (the sequencer's own HintDeliver fires via the local actions
+// tail). No-op unless Config.SpecHints is set.
+func (m *Member) hintLocked(id string, seq uint64, act *actions) {
+	if !m.cfg.SpecHints || id == "" {
+		return
+	}
+	h := Hint{Group: m.cfg.Group, ID: id, Seq: seq}
+	for _, peer := range m.view.Members {
+		if peer != m.cfg.Self {
+			act.send(peer, h)
+		}
+	}
+	if m.cfg.HintDeliver != nil {
+		act.hints = append(act.hints, h)
 	}
 }
 

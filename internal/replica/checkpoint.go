@@ -193,6 +193,10 @@ func (r *Replica) evictStableLocked(seq uint64) {
 		return
 	}
 	floor := seq - window
+	// Remember the eviction floor: a retransmission ordered at or below it
+	// whose entry is gone can no longer be answered from the reply cache —
+	// the duplicate hook returns a typed expired-duplicate error instead.
+	r.evictFloor = floor
 	kept := r.seenOrder[:0]
 	for _, id := range r.seenOrder {
 		at, ok := r.seen[id]
@@ -269,6 +273,12 @@ func (r *Replica) installSnapshot(d gcs.Delivery) {
 	// rebuilds them deterministically.
 	r.mig = nil
 	r.earlyChunks = nil
+	if r.specMgr != nil {
+		// The primary state was rewritten wholesale: no fork taken before
+		// this point can be valid, and in-flight accounting is void.
+		r.specMgr.Reset(env.Seq)
+		r.specPending = 0
+	}
 	r.rt.Unlock()
 	if r.shard != nil && len(env.Shard) > 0 {
 		// Restore, not Install: the donor's table may be any number of

@@ -29,13 +29,26 @@ type Invocation struct {
 	epoch     *shard.Epoch
 	nestedSeq uint64
 	anonSeq   uint64
+	// speculative marks an execution against a private fork (see
+	// speculate.go): t is nil, State returns fork, lock operations are
+	// no-ops (the fork is single-threaded by construction), and facilities
+	// that cannot run without the scheduler — condition variables, nested
+	// invocations — abort the speculation via a sentinel panic.
+	speculative bool
+	fork        any
 }
 
 // Args returns the marshalled invocation arguments.
 func (inv *Invocation) Args() []byte { return inv.req.Args }
 
-// State returns this replica's private object state (see Config.State).
-func (inv *Invocation) State() any { return inv.r.state }
+// State returns this replica's private object state (see Config.State) —
+// or, under speculative execution, the invocation's private fork of it.
+func (inv *Invocation) State() any {
+	if inv.speculative {
+		return inv.fork
+	}
+	return inv.r.state
+}
 
 // Method returns the invoked method name.
 func (inv *Invocation) Method() string { return inv.req.Method }
@@ -47,13 +60,21 @@ func (inv *Invocation) Logical() wire.LogicalID { return inv.req.Logical() }
 // not branch behaviour on it, or replicas diverge).
 func (inv *Invocation) Replica() wire.NodeID { return inv.r.self }
 
-// Lock acquires the named reentrant mutex through the scheduler.
+// Lock acquires the named reentrant mutex through the scheduler. Under
+// speculative execution it is a no-op: the fork is private to this one
+// goroutine, so mutual exclusion is vacuous.
 func (inv *Invocation) Lock(m adets.MutexID) error {
+	if inv.speculative {
+		return nil
+	}
 	return inv.r.reent.Lock(inv.t, m)
 }
 
 // Unlock releases one hold of m.
 func (inv *Invocation) Unlock(m adets.MutexID) error {
+	if inv.speculative {
+		return nil
+	}
 	return inv.r.reent.Unlock(inv.t, m)
 }
 
@@ -70,22 +91,36 @@ func (inv *Invocation) NewMutex() adets.MutexID {
 // Java-style condition variable); d > 0 bounds the wait and the result
 // reports whether the deterministic timeout fired.
 func (inv *Invocation) Wait(m adets.MutexID, c adets.CondID, d time.Duration) (timedOut bool, err error) {
+	if inv.speculative {
+		panic(specAbort{}) // needs other threads: cannot run on a fork
+	}
 	return inv.r.reent.Wait(inv.t, m, c, d)
 }
 
 // Notify wakes the deterministically-first waiter of (m, c).
 func (inv *Invocation) Notify(m adets.MutexID, c adets.CondID) error {
+	if inv.speculative {
+		panic(specAbort{})
+	}
 	return inv.r.reent.Notify(inv.t, m, c)
 }
 
 // NotifyAll wakes all waiters of (m, c).
 func (inv *Invocation) NotifyAll(m adets.MutexID, c adets.CondID) error {
+	if inv.speculative {
+		panic(specAbort{})
+	}
 	return inv.r.reent.NotifyAll(inv.t, m, c)
 }
 
 // Yield offers the scheduler a voluntary scheduling point (ADETS-MAT's
 // remedy for trailing computations, paper Section 5.3).
-func (inv *Invocation) Yield() { inv.r.sched.Yield(inv.t) }
+func (inv *Invocation) Yield() {
+	if inv.speculative {
+		return
+	}
+	inv.r.sched.Yield(inv.t)
+}
 
 // DeclareNoMoreLocks tells a prediction-capable scheduler (ADETS-MAT) that
 // this invocation will acquire no further mutexes — the explicit-API form
@@ -93,6 +128,9 @@ func (inv *Invocation) Yield() { inv.r.sched.Yield(inv.t) }
 // schedulers it is a no-op. A later Lock fails with
 // adets.ErrLockAfterDeclaration.
 func (inv *Invocation) DeclareNoMoreLocks() {
+	if inv.speculative {
+		return
+	}
 	if lp, ok := inv.r.sched.(adets.LockPredictor); ok {
 		lp.NoMoreLocks(inv.t)
 	}
@@ -165,6 +203,11 @@ func (inv *Invocation) Invoke(group wire.GroupID, method string, args []byte) ([
 }
 
 func (inv *Invocation) invoke(group wire.GroupID, method string, args []byte, mod func(*Request)) ([]byte, error) {
+	if inv.speculative {
+		// A nested invocation would leak the speculation into another
+		// group's total order; abort and leave it to the ordered run.
+		panic(specAbort{})
+	}
 	inv.nestedSeq++
 	id := wire.InvocationID{Logical: inv.req.Logical(), Seq: inv.nestedSeq + inv.req.ID.Seq*1000}
 	req := Request{

@@ -7,6 +7,7 @@
 package replica
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"github.com/replobj/replobj/internal/obs"
 	"github.com/replobj/replobj/internal/obs/tracing"
 	"github.com/replobj/replobj/internal/shard"
+	"github.com/replobj/replobj/internal/spec"
 	"github.com/replobj/replobj/internal/transport"
 	"github.com/replobj/replobj/internal/vtime"
 	"github.com/replobj/replobj/internal/wire"
@@ -173,6 +175,15 @@ type Config struct {
 	// truncated. The trigger is a pure function of the stream, so every
 	// replica checkpoints (or deterministically skips) the same boundaries.
 	CheckpointEvery int
+	// Speculative enables speculative execution on optimistic delivery (see
+	// speculate.go): arriving submits are executed immediately against a
+	// forked state and the precomputed reply is released when the total
+	// order confirms the speculation as conflict-free. Requires State (the
+	// factory builds the forks); ignored on sharded groups, whose requests
+	// are validated and possibly redirected at their ordered position. Also
+	// enables sequencer spontaneous-order hints and early scheduling
+	// (conflict classes fed to ADETS-CC at arrival time).
+	Speculative bool
 	// Shard, if non-nil, marks this replica a member of a sharded object's
 	// shard group: requests routed with a shard epoch are validated against
 	// the installed table at their ordered dispatch point (wrong epoch or
@@ -197,17 +208,20 @@ type Config struct {
 
 // Replica is one member of a replicated object group.
 type Replica struct {
-	rt      vtime.Runtime
-	group   wire.GroupID
-	self    wire.NodeID
-	dir     *Directory
-	ep      transport.Endpoint
-	member  *gcs.Member
-	sched   adets.Scheduler
-	reent   *adets.Reentrancy
-	state   any
-	journal func(Request)
-	classes func(method string, args []byte) []string
+	rt     vtime.Runtime
+	group  wire.GroupID
+	self   wire.NodeID
+	dir    *Directory
+	ep     transport.Endpoint
+	member *gcs.Member
+	sched  adets.Scheduler
+	reent  *adets.Reentrancy
+	state  any
+	// stateFactory is Config.State, retained so speculative executions can
+	// build private fork instances (nil when speculation is off).
+	stateFactory func() any
+	journal      func(Request)
+	classes      func(method string, args []byte) []string
 
 	// shard is non-nil on shard-group members (see Config.Shard);
 	// shardLabel tags this replica's spans with its shard group id so the
@@ -219,19 +233,26 @@ type Replica struct {
 	ckptEvery uint64
 
 	// Observability (all nil-safe; nil when disabled).
-	schedObs       *adets.SchedObs
-	trace          *obs.Trace
-	spans          *tracing.Collector
-	inflight       *obs.Gauge
-	cacheHits      *obs.Counter
-	checkpoints    *obs.Counter
-	ckptSkipped    *obs.Counter
-	snapSize       *obs.Gauge
-	ckptDuration   *obs.Histogram
-	shardRouted    *obs.Counter
-	shardRedirects *obs.Counter
-	shardCross     *obs.Counter
-	shardEpochG    *obs.Gauge
+	schedObs        *adets.SchedObs
+	trace           *obs.Trace
+	spans           *tracing.Collector
+	inflight        *obs.Gauge
+	cacheHits       *obs.Counter
+	dupReplies      *obs.Counter
+	dupExpired      *obs.Counter
+	specAttempts    *obs.Counter
+	specHits        *obs.Counter
+	specAborts      *obs.Counter
+	specMismatches  *obs.Counter
+	specHintMatches *obs.Counter
+	checkpoints     *obs.Counter
+	ckptSkipped     *obs.Counter
+	snapSize        *obs.Gauge
+	ckptDuration    *obs.Histogram
+	shardRouted     *obs.Counter
+	shardRedirects  *obs.Counter
+	shardCross      *obs.Counter
+	shardEpochG     *obs.Gauge
 
 	// Migration metrics (see migrate.go).
 	migActive          *obs.Gauge
@@ -263,6 +284,17 @@ type Replica struct {
 	nestedWaiting    map[wire.LogicalID]int
 	pendingCallbacks map[wire.LogicalID][]pendingCallback
 	stopped          bool
+
+	// specMgr holds the speculation bookkeeping (nil when Config.Speculative
+	// is off or unusable); specPending counts requests dispatched to local
+	// execution whose handler has not completed — the fork image may only be
+	// refreshed when it is zero (the primary state is then exactly the
+	// ordered prefix). evictFloor is the highest stream position whose
+	// reply-cache entries evictStableLocked has dropped; duplicates ordered
+	// at or below it are answered with a typed expired-duplicate error.
+	specMgr     *spec.Manager
+	specPending int
+	evictFloor  uint64
 
 	// mig is the in-progress ring transition (nil outside migrations);
 	// earlyChunks buffers handoff chunks delivered before this group's own
@@ -311,6 +343,10 @@ func New(cfg Config) *Replica {
 		r.shard = cfg.Shard
 		r.shardLabel = string(cfg.Group)
 	}
+	if cfg.Speculative && cfg.State != nil && cfg.Shard == nil {
+		r.stateFactory = cfg.State
+		r.specMgr = spec.NewManager()
+	}
 	r.journal = cfg.Journal
 	r.classes = cfg.Classes
 	if r.classes == nil {
@@ -330,6 +366,15 @@ func New(cfg Config) *Replica {
 		label := `{node="` + string(cfg.Self) + `"}`
 		r.inflight = cfg.Metrics.Gauge("replobj_replica_invocations_in_flight" + label)
 		r.cacheHits = cfg.Metrics.Counter("replobj_replica_reply_cache_hits_total" + label)
+		r.dupReplies = cfg.Metrics.Counter("replobj_replica_duplicate_submit_replies_total" + label)
+		r.dupExpired = cfg.Metrics.Counter("replobj_replica_duplicate_expired_total" + label)
+		if r.specMgr != nil {
+			r.specAttempts = cfg.Metrics.Counter("replobj_replica_spec_attempts_total" + label)
+			r.specHits = cfg.Metrics.Counter("replobj_replica_spec_hits_total" + label)
+			r.specAborts = cfg.Metrics.Counter("replobj_replica_spec_aborts_total" + label)
+			r.specMismatches = cfg.Metrics.Counter("replobj_replica_spec_mismatches_total" + label)
+			r.specHintMatches = cfg.Metrics.Counter("replobj_replica_spec_hint_matches_total" + label)
+		}
 		r.checkpoints = cfg.Metrics.Counter("replobj_replica_checkpoints_total" + label)
 		r.ckptSkipped = cfg.Metrics.Counter("replobj_replica_checkpoints_skipped_total" + label)
 		r.snapSize = cfg.Metrics.Gauge("replobj_replica_snapshot_bytes" + label)
@@ -367,20 +412,51 @@ func New(cfg Config) *Replica {
 	// delivery, so the dispatch-time duplicate path never sees it. Replay
 	// the cached at-most-once reply here instead — the original reply may
 	// have been lost in the network, and with replicas down the client may
-	// have no slack to reach its reply quorum without this replica.
-	g.DuplicateSubmit = func(sub gcs.Submit) {
+	// have no slack to reach its reply quorum without this replica. seq is
+	// the retransmitted request's ordered position (0 when the member has
+	// pruned its mapping): when the reply-cache entry has aged out of the
+	// duplicate-detection window, replay is impossible and the client gets
+	// a typed expired-duplicate error instead of eternal silence.
+	g.DuplicateSubmit = func(sub gcs.Submit, seq uint64) {
 		req, ok := sub.Payload.(Request)
 		if !ok || req.Kind != KindClient {
 			return
 		}
 		r.rt.Lock()
 		cached, done := r.cache[req.ID]
+		_, seen := r.seen[req.ID]
+		floor := r.evictFloor
 		stopped := r.stopped
 		r.rt.Unlock()
-		if done && !stopped {
-			r.cacheHits.Inc()
-			r.sendReply(req, cached)
+		if stopped {
+			return
 		}
+		switch {
+		case done:
+			r.dupReplies.Inc()
+			r.sendReply(req, cached)
+		case seen:
+			// Ordered and still executing: the original execution replies.
+		case seq != 0 && seq <= floor:
+			r.dupExpired.Inc()
+			reply := Reply{ID: req.ID, From: r.self, Err: expiredDuplicateError(seq)}
+			if req.Trace.Valid() {
+				reply.Trace = req.Trace
+			}
+			r.sendReply(req, reply)
+		}
+		// Remaining case — ordered above the eviction floor but not yet
+		// dispatched locally — resolves when the delivery arrives.
+	}
+	if r.specMgr != nil {
+		g.SpecHints = true
+		g.OptimisticDeliver = r.onOptimisticSubmit
+		g.HintDeliver = r.onHint
+	} else if cfg.Speculative {
+		// No forkable state (or a sharded group): speculation proper is off,
+		// but conflict classes are still fed to an early-scheduling-capable
+		// scheduler at arrival time.
+		g.OptimisticDeliver = r.onOptimisticSubmit
 	}
 	r.member = gcs.NewMember(cfg.RT, g)
 	r.reent = adets.NewReentrancy(cfg.RT, cfg.Scheduler)
@@ -611,6 +687,19 @@ func (r *Replica) dispatchRequest(req Request, seq uint64) {
 	if r.journal != nil && req.Kind == KindClient {
 		r.journal(req)
 	}
+	var act specAction
+	if r.specMgr != nil {
+		var classes []string
+		if r.classes != nil {
+			classes = r.classes(req.Method, req.Args)
+		}
+		// Confirm against the floors as of the previous dispatch, then raise
+		// them with this request: its own dispatch must not invalidate its
+		// own speculation.
+		act = r.specConfirmLocked(req, seq, classes)
+		r.specMgr.TrackDispatch(seq, classes)
+		r.specPending++
+	}
 	callback := r.logicalLive[req.Logical()] > 0
 	r.logicalLive[req.Logical()]++
 	if callback && r.nestedWaiting[req.Logical()] == 0 {
@@ -621,9 +710,11 @@ func (r *Replica) dispatchRequest(req Request, seq uint64) {
 		// Defer it; Invoke flushes it once the originator is in place.
 		r.pendingCallbacks[req.Logical()] = append(r.pendingCallbacks[req.Logical()], pendingCallback{req: req, epoch: epoch})
 		r.rt.Unlock()
+		r.specConfirmFinish(req, act)
 		return
 	}
 	r.rt.Unlock()
+	r.specConfirmFinish(req, act)
 	r.submitRequest(req, callback, seq, epoch)
 }
 
@@ -745,8 +836,40 @@ func (r *Replica) execute(req Request, t *adets.Thread, epoch *shard.Epoch) {
 			r.spans.Unbind(string(req.Logical()))
 		}
 	}
+	var suppress, mismatch, late bool
+	if r.specMgr != nil {
+		if r.specPending > 0 {
+			r.specPending--
+		}
+		if req.Kind == KindClient {
+			srep, released, l := r.specMgr.Resolve(req.ID.String())
+			late = l
+			if released {
+				if sr, ok := srep.(Reply); ok && sr.Err == reply.Err && bytes.Equal(sr.Result, reply.Result) {
+					// The released speculative reply matches: the client has
+					// it already, suppress the duplicate send.
+					suppress = true
+				} else {
+					// The speculative reply differed from the ordered one —
+					// the handler broke the purity/class-confinement contract.
+					// Send the authoritative reply too and surface the event.
+					mismatch = true
+				}
+			}
+		}
+	}
 	r.rt.Unlock()
-	r.sendReply(req, reply)
+	if mismatch {
+		r.specMismatches.Inc()
+	}
+	if late {
+		// Confirmed-valid speculation outrun by the ordered execution: the
+		// early reply never left, so it counts as a (cheap) abort.
+		r.specAborts.Inc()
+	}
+	if !suppress {
+		r.sendReply(req, reply)
+	}
 }
 
 // sendReply routes a reply: directly to the client, or into the

@@ -1,0 +1,295 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"strings"
+	"time"
+
+	"github.com/replobj/replobj/internal/adets"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/obs/tracing"
+	"github.com/replobj/replobj/internal/spec"
+)
+
+// Speculative execution on optimistic delivery.
+//
+// Clients already send every Submit to every member, so each replica sees a
+// request the moment it arrives — long before the sequencer assigns it a
+// position. With Config.Speculative set, the replica uses that window: it
+// executes the request immediately against a forked copy of the object
+// state, and when the total order confirms the request it releases the
+// precomputed reply at once if no conflicting request was dispatched in
+// between (a hit). The ordered execution still runs unchanged on every
+// replica — it is what mutates the primary state, feeds the schedule-trace
+// digests, and populates the reply cache — so committed state, traces and
+// at-most-once behaviour are bit-identical to a non-speculative run; a
+// speculation only ever touches its private fork, and an abort is a plain
+// discard. What speculation changes is purely when the client's reply
+// leaves the replica.
+//
+// Validity is judged with conflict classes (the same classes ADETS-CC
+// schedules by): a speculation forked at stream position base is a hit iff
+// no request whose classes intersect was dispatched after base. A handler
+// must therefore confine its reads and writes to its declared classes and
+// be a pure function of (state, args) — a handler that peeks outside them
+// can produce a speculative reply that differs from the ordered one; the
+// mismatch counter surfaces exactly that.
+//
+// A speculation whose handler is still running when the order confirms it
+// is not discarded: its validity verdict is frozen (later dispatches are
+// ordered after it and cannot conflict retroactively) and the reply is
+// released the moment the handler finishes — the deferred hit that keeps
+// speculation profitable when execution time exceeds the ordering delay.
+
+// expiredDuplicatePrefix tags the typed error a replica returns when a
+// client retransmits a request whose reply has aged out of the
+// duplicate-detection window (see evictStableLocked): at-most-once can no
+// longer replay the original reply, and silence would leave the client
+// retrying forever.
+const expiredDuplicatePrefix = "replica: duplicate expired"
+
+// expiredDuplicateError formats the typed expired-duplicate error.
+func expiredDuplicateError(seq uint64) string {
+	return expiredDuplicatePrefix + ": reply evicted at stream position " + utoa(seq)
+}
+
+// IsExpiredDuplicate reports whether an invocation error marks a
+// retransmission whose original reply was evicted from the reply cache.
+// The caller cannot learn the outcome of the original execution; it must
+// treat the request as possibly-executed.
+func IsExpiredDuplicate(err error) bool {
+	return err != nil && strings.HasPrefix(err.Error(), expiredDuplicatePrefix)
+}
+
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for v > 0 {
+		p--
+		b[p] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[p:])
+}
+
+// errSpecAbort is the sentinel a speculative invocation panics with when
+// the handler uses a facility that cannot run against a private fork
+// (condition variables, nested invocations). runSpeculation recovers it
+// and poisons the record; the ordered execution runs the request normally.
+type specAbort struct{}
+
+// onOptimisticSubmit fires (outside the runtime lock) for every fresh
+// Submit arriving at this member, before the total order positions it.
+// It feeds the conflict classes to an early-scheduling-capable scheduler
+// and, when possible, starts a speculative execution on a forked state.
+func (r *Replica) onOptimisticSubmit(sub gcs.Submit) {
+	req, ok := sub.Payload.(Request)
+	if !ok || req.Kind != KindClient {
+		return
+	}
+	var classes []string
+	if r.classes != nil {
+		classes = r.classes(req.Method, req.Args)
+	}
+	// Early scheduling: the class→lane plan is computed (and cached) now,
+	// so the ordered Submit finds it ready.
+	if es, ok := r.sched.(adets.EarlyScheduler); ok {
+		es.EarlySubmit(req.ID, classes)
+	}
+	h, ok := r.handlers[req.Method]
+	if !ok {
+		return
+	}
+	r.rt.Lock()
+	if r.stopped || r.specMgr == nil {
+		r.rt.Unlock()
+		return
+	}
+	if _, seen := r.seen[req.ID]; seen {
+		// Already ordered and dispatched: speculating now cannot beat it.
+		r.rt.Unlock()
+		return
+	}
+	// Refresh the fork image when it is stale and the state is quiescent:
+	// no dispatched request is between submission and completed execution,
+	// so the primary state is exactly the ordered prefix up to LastSeq.
+	// Holding the runtime lock keeps it that way (dispatch takes the lock
+	// first), so the snapshot cannot tear.
+	if r.specMgr.NeedImage() && r.specPending == 0 {
+		if data, usedGob, err := r.snapshotState(); err == nil {
+			r.specMgr.SetImage(data, usedGob, r.specMgr.LastSeq())
+		}
+	}
+	image, usedGob, base, okImg := r.specMgr.Image()
+	if !okImg || !r.specMgr.Begin(req.ID.String(), base, classes) {
+		// No usable image (or a duplicate/overflowing record): skip — the
+		// ordered execution alone serves this request.
+		r.rt.Unlock()
+		return
+	}
+	r.rt.Unlock()
+	r.specAttempts.Inc()
+	r.rt.Go("spec/"+req.ID.String(), func() {
+		r.runSpeculation(req, h, image, usedGob)
+	})
+}
+
+// onHint records a sequencer spontaneous-order hint: the predicted stream
+// position for a submission in flight. Hints are advisory — the conflict
+// floors remain the sole validity authority — and are only consumed by the
+// hint-accuracy counter at confirm time.
+func (r *Replica) onHint(h gcs.Hint) {
+	r.rt.Lock()
+	if !r.stopped && r.specMgr != nil {
+		r.specMgr.Hint(h.ID, h.Seq)
+	}
+	r.rt.Unlock()
+}
+
+// forkState builds a private state instance from the cached image.
+func (r *Replica) forkState(image []byte, usedGob bool) (any, error) {
+	if r.stateFactory == nil {
+		return nil, errors.New("replica: no state factory to fork")
+	}
+	st := r.stateFactory()
+	if len(image) == 0 {
+		return st, nil
+	}
+	if s, ok := st.(Snapshotter); ok && !usedGob {
+		if err := s.Restore(image); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(image)).Decode(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// runSpeculation executes req's handler against a fork restored from
+// image, entirely outside the scheduler: the fork is private to this
+// goroutine, so locks degenerate to no-ops and no deterministic decision
+// is ever taken (nothing here reaches the trace streams). On completion
+// the reply is stored for the confirm path — or sent directly when the
+// total order already confirmed the speculation as valid (deferred hit).
+func (r *Replica) runSpeculation(req Request, h Handler, image []byte, usedGob bool) {
+	id := req.ID.String()
+	fork, err := r.forkState(image, usedGob)
+	if err != nil {
+		r.rt.Lock()
+		r.specMgr.Abort(id)
+		r.rt.Unlock()
+		return
+	}
+	traced := r.spans != nil && req.Trace.Valid()
+	var tStart time.Duration
+	if traced {
+		tStart = r.rt.Now()
+	}
+	inv := &Invocation{r: r, req: req, speculative: true, fork: fork}
+	var reply Reply
+	aborted := false
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if _, ok := p.(specAbort); ok {
+					aborted = true
+					return
+				}
+				panic(p)
+			}
+		}()
+		result, herr := h(inv)
+		reply = Reply{ID: req.ID, From: r.self, Result: result}
+		if herr != nil {
+			reply.Err = herr.Error()
+		}
+	}()
+	if traced {
+		tEnd := r.rt.Now()
+		specID := tracing.NewSpanID(req.Trace.TraceID, "spec", string(r.self), tStart)
+		r.spans.Record(tracing.Span{
+			Trace:  req.Trace.TraceID,
+			ID:     specID,
+			Parent: req.Trace.Span,
+			Name:   "spec",
+			Node:   string(r.self),
+			Detail: req.Method,
+			Start:  tStart,
+			Dur:    tEnd - tStart,
+		})
+		// A released speculative reply links back to this span exactly as an
+		// ordered reply links to its exec span.
+		reply.Trace = tracing.Context{TraceID: req.Trace.TraceID, Span: specID}
+	}
+	r.rt.Lock()
+	if aborted {
+		r.specMgr.Abort(id)
+		r.rt.Unlock()
+		return
+	}
+	release, _ := r.specMgr.Finish(id, reply)
+	stopped := r.stopped
+	r.rt.Unlock()
+	if release && !stopped {
+		// Deferred hit: the order confirmed this speculation while the
+		// handler was still running; release the reply now.
+		r.specHits.Inc()
+		r.sendReply(req, reply)
+	}
+}
+
+// specConfirm resolves a confirmed request against the speculation state
+// at its totally ordered dispatch point. Called under the runtime lock,
+// before the request's own TrackDispatch; the returned action is performed
+// by the caller after unlocking.
+type specAction struct {
+	reply     Reply
+	send      bool // hit: release the precomputed reply now
+	abort     bool // stale or poisoned: count it
+	hintMatch bool // the sequencer's position hint was exact
+	hintSeen  bool
+}
+
+func (r *Replica) specConfirmLocked(req Request, seq uint64, classes []string) (act specAction) {
+	if r.specMgr == nil || req.Kind != KindClient {
+		return act
+	}
+	id := req.ID.String()
+	act.hintMatch, act.hintSeen = r.specMgr.HintMatch(id, seq)
+	rep, out := r.specMgr.Confirm(id, classes)
+	switch out {
+	case spec.Hit:
+		if rp, ok := rep.(Reply); ok {
+			act.reply = rp
+			act.send = true
+		}
+	case spec.Stale, spec.Aborted:
+		act.abort = true
+	case spec.Pending, spec.Miss:
+		// Pending: the running handler releases the reply on finish (or the
+		// ordered execution outruns it — counted there). Miss: nothing to do.
+	}
+	return act
+}
+
+// specConfirmFinish performs the side effects of a confirm outcome outside
+// the runtime lock.
+func (r *Replica) specConfirmFinish(req Request, act specAction) {
+	if act.hintSeen && act.hintMatch {
+		r.specHintMatches.Inc()
+	}
+	if act.abort {
+		r.specAborts.Inc()
+	}
+	if act.send {
+		r.specHits.Inc()
+		r.sendReply(req, act.reply)
+	}
+}

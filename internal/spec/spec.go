@@ -1,0 +1,352 @@
+// Package spec implements the bookkeeping for speculative execution on
+// optimistic delivery: replicas begin executing a request against a forked
+// copy of the object state as soon as the Submit arrives, before the
+// sequencer assigns it a position. When the total order later confirms the
+// request, the precomputed reply is released immediately if the speculation
+// is still valid — i.e. no conflicting request was dispatched between the
+// fork's base position and the confirmed position — and discarded (the
+// ordered execution re-runs it from scratch) otherwise.
+//
+// The Manager holds per-replica speculation state: the cached fork image
+// (a snapshot of the primary state), per-conflict-class dispatch floors
+// used to validate a speculation at confirm time, the in-flight speculation
+// records, and the sequencer's spontaneous-order hints. It performs no
+// locking of its own — every method must be called under the replica's
+// runtime lock (vtime.Runtime), matching how the rest of the replica's
+// bookkeeping is guarded.
+//
+// Correctness does not depend on speculation: a speculative run only ever
+// touches the fork, never the primary state, so an abort is a plain
+// discard. The validation here is deliberately conservative (a stale fork
+// is never declared a hit), which keeps committed trace digests and
+// replica state bit-identical to a non-speculative run.
+package spec
+
+// Record tracks one in-flight speculative execution.
+type Record struct {
+	// Base is the stream position the fork image was taken at: every
+	// dispatch at or below Base is reflected in the forked state.
+	Base uint64
+	// Classes are the request's declared conflict classes (empty = global).
+	Classes []string
+	// Done marks the speculative handler as finished with Reply valid.
+	Done bool
+	// Aborted marks the speculation as poisoned (handler used a facility
+	// that cannot run speculatively, e.g. locks or nested invocations).
+	Aborted bool
+	// Confirmed marks the total order as having validated this speculation
+	// while the handler was still running: its validity verdict is frozen
+	// (later dispatches are ordered after this request and cannot conflict
+	// retroactively) and Finish releases the reply the moment it lands.
+	Confirmed bool
+	// Released marks the reply as already sent to the client — at confirm
+	// time (Hit) or at Finish after a Pending confirm; the ordered
+	// execution then suppresses its own duplicate send.
+	Released bool
+	// Reply is the precomputed reply (opaque to this package).
+	Reply any
+}
+
+// Outcome classifies a confirmation.
+type Outcome int
+
+// Confirmation outcomes.
+const (
+	// Miss: no speculation record exists for the request (it was never
+	// started, or the map was reset by a snapshot install).
+	Miss Outcome = iota
+	// Hit: the speculation finished and its fork base is at or above every
+	// conflicting dispatch — the precomputed reply equals what the ordered
+	// execution will compute.
+	Hit
+	// Stale: a conflicting request was dispatched after the fork base; the
+	// precomputed reply may be wrong and must be discarded.
+	Stale
+	// Aborted: the speculative handler bailed out (unsupported facility).
+	Aborted
+	// Pending: the speculation is valid but the handler is still running —
+	// the reply is released by Finish when it lands (deferred hit), unless
+	// the ordered execution completes first (see Resolve).
+	Pending
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Stale:
+		return "stale"
+	case Aborted:
+		return "abort"
+	case Pending:
+		return "pending"
+	default:
+		return "miss"
+	}
+}
+
+// maxRecords caps in-flight speculations; beyond it Begin declines, which
+// only costs latency, never correctness.
+const maxRecords = 1 << 12
+
+// maxHints caps remembered sequencer hints.
+const maxHints = 1 << 12
+
+// Manager is a replica's speculation state. All methods must run under the
+// replica's runtime lock; Manager does no locking of its own.
+type Manager struct {
+	// classFloor[c] is the highest stream position at which a request
+	// declaring class c was dispatched to local execution.
+	classFloor map[string]uint64
+	// globalFloor is the highest position of a classless (global) dispatch,
+	// which conflicts with every class.
+	globalFloor uint64
+	// maxFloor is the highest position of any dispatch; a classless
+	// speculation conflicts with everything and validates against it.
+	maxFloor uint64
+	// lastSeq is the highest dispatched position — the base a fresh fork
+	// image must cover to be current.
+	lastSeq uint64
+
+	// Cached fork image: a serialized snapshot of the primary state taken
+	// at imageSeq with no executions in flight.
+	image    []byte
+	imageGob bool
+	imageSeq uint64
+	hasImage bool
+
+	records  map[string]*Record
+	recOrder []string // insertion order, for cap eviction of dead records
+	hints    map[string]uint64
+	hintsFD  []string // FIFO eviction order for hints
+}
+
+// NewManager returns an empty speculation manager.
+func NewManager() *Manager {
+	return &Manager{
+		classFloor: make(map[string]uint64),
+		records:    make(map[string]*Record),
+		hints:      make(map[string]uint64),
+	}
+}
+
+// TrackDispatch records that a fresh request with the given conflict
+// classes was dispatched to local execution at stream position seq. Every
+// later speculation whose classes intersect must fork from an image at or
+// above seq to be valid.
+func (m *Manager) TrackDispatch(seq uint64, classes []string) {
+	if seq > m.maxFloor {
+		m.maxFloor = seq
+	}
+	if seq > m.lastSeq {
+		m.lastSeq = seq
+	}
+	if len(classes) == 0 {
+		if seq > m.globalFloor {
+			m.globalFloor = seq
+		}
+		return
+	}
+	for _, c := range classes {
+		if seq > m.classFloor[c] {
+			m.classFloor[c] = seq
+		}
+	}
+}
+
+// NeedImage reports whether the cached fork image is missing or stale
+// (taken before the latest dispatch).
+func (m *Manager) NeedImage() bool {
+	return !m.hasImage || m.imageSeq < m.lastSeq
+}
+
+// LastSeq returns the highest dispatched stream position — the base a
+// fork image snapshotted now covers.
+func (m *Manager) LastSeq() uint64 { return m.lastSeq }
+
+// SetImage installs a fresh fork image snapshotted at stream position seq.
+func (m *Manager) SetImage(data []byte, usedGob bool, seq uint64) {
+	m.image = data
+	m.imageGob = usedGob
+	m.imageSeq = seq
+	m.hasImage = true
+}
+
+// Image returns the cached fork image (data, gob-encoded?, base position).
+// ok is false when no image is cached.
+func (m *Manager) Image() (data []byte, usedGob bool, seq uint64, ok bool) {
+	return m.image, m.imageGob, m.imageSeq, m.hasImage
+}
+
+// Begin opens a speculation record for id, forked from base. It declines
+// (returns false) when a record already exists, or when too many are in
+// flight and none can be evicted (only unconfirmed records — speculations
+// whose request was never ordered, e.g. a submit lost before the
+// sequencer — are evictable).
+func (m *Manager) Begin(id string, base uint64, classes []string) bool {
+	if _, dup := m.records[id]; dup {
+		return false
+	}
+	if len(m.records) >= maxRecords && !m.evictOneLocked() {
+		return false
+	}
+	m.records[id] = &Record{Base: base, Classes: classes}
+	m.recOrder = append(m.recOrder, id)
+	return true
+}
+
+// evictOneLocked drops the oldest record that the total order has not yet
+// touched, pruning recOrder entries already removed via Confirm/Resolve.
+func (m *Manager) evictOneLocked() bool {
+	for len(m.recOrder) > 0 {
+		id := m.recOrder[0]
+		m.recOrder = m.recOrder[1:]
+		rec := m.records[id]
+		if rec == nil {
+			continue // already confirmed/resolved
+		}
+		if !rec.Confirmed && !rec.Released {
+			delete(m.records, id)
+			return true
+		}
+		// Confirmed records are about to be consumed; put it back and give up
+		// rather than scanning past it (the window self-clears quickly).
+		m.recOrder = append([]string{id}, m.recOrder...)
+		return false
+	}
+	return false
+}
+
+// Finish stores the speculative reply for id. ok is false when the record
+// is gone (already resolved) or aborted. release is true when the total
+// order already confirmed this speculation as valid (a Pending confirm):
+// the caller must send the reply now — the deferred-hit path.
+func (m *Manager) Finish(id string, reply any) (release, ok bool) {
+	rec := m.records[id]
+	if rec == nil || rec.Aborted {
+		return false, false
+	}
+	rec.Done = true
+	rec.Reply = reply
+	if rec.Confirmed && !rec.Released {
+		rec.Released = true
+		return true, true
+	}
+	return false, true
+}
+
+// Abort poisons the speculation record for id (if any).
+func (m *Manager) Abort(id string) {
+	if rec := m.records[id]; rec != nil {
+		rec.Aborted = true
+	}
+}
+
+// floorFor returns the highest dispatched position conflicting with the
+// given class set.
+func (m *Manager) floorFor(classes []string) uint64 {
+	if len(classes) == 0 {
+		// Global request: conflicts with every prior dispatch.
+		return m.maxFloor
+	}
+	floor := m.globalFloor
+	for _, c := range classes {
+		if f := m.classFloor[c]; f > floor {
+			floor = f
+		}
+	}
+	return floor
+}
+
+// Confirm resolves the speculation for id at its confirmed stream
+// position. It must be called before TrackDispatch of the confirmed
+// request itself. On Hit the returned reply must be sent immediately; on
+// Pending the speculation is valid but still running (Finish releases it);
+// on Stale/Aborted the speculation is discarded and the ordered execution
+// alone produces the reply. Hit/Pending records survive until Resolve.
+func (m *Manager) Confirm(id string, classes []string) (reply any, out Outcome) {
+	rec := m.records[id]
+	if rec == nil {
+		return nil, Miss
+	}
+	switch {
+	case rec.Aborted:
+		delete(m.records, id)
+		return nil, Aborted
+	case m.floorFor(classes) > rec.Base:
+		delete(m.records, id)
+		return nil, Stale
+	case !rec.Done:
+		// Valid but still running: freeze the verdict. Every later dispatch
+		// is ordered after this request and cannot conflict retroactively.
+		rec.Confirmed = true
+		return nil, Pending
+	default:
+		rec.Confirmed = true
+		rec.Released = true
+		return rec.Reply, Hit
+	}
+}
+
+// Resolve consumes the record at ordered-execution completion. released
+// reports that the precomputed reply was (or is being) sent — the caller
+// compares it against the authoritative reply and suppresses its own send
+// on a match. late reports a confirmed-valid speculation that the ordered
+// execution outran: no reply was released early.
+func (m *Manager) Resolve(id string) (reply any, released, late bool) {
+	rec := m.records[id]
+	if rec == nil {
+		return nil, false, false
+	}
+	delete(m.records, id)
+	if rec.Released {
+		return rec.Reply, true, false
+	}
+	return nil, false, rec.Confirmed
+}
+
+// Hint records the sequencer's predicted stream position for id.
+func (m *Manager) Hint(id string, seq uint64) {
+	if _, dup := m.hints[id]; !dup {
+		if len(m.hintsFD) >= maxHints {
+			old := m.hintsFD[0]
+			m.hintsFD = m.hintsFD[1:]
+			delete(m.hints, old)
+		}
+		m.hintsFD = append(m.hintsFD, id)
+	}
+	m.hints[id] = seq
+}
+
+// HintMatch consumes the hint for id and reports whether it predicted the
+// confirmed position exactly. ok is false when no hint was recorded.
+func (m *Manager) HintMatch(id string, seq uint64) (match, ok bool) {
+	h, ok := m.hints[id]
+	if !ok {
+		return false, false
+	}
+	delete(m.hints, id)
+	return h == seq, true
+}
+
+// Pending returns the number of open speculation records (tests).
+func (m *Manager) Pending() int { return len(m.records) }
+
+// Reset drops every record, hint and the cached image, and raises all
+// floors to seq. Called when a snapshot install rewrites the primary state
+// wholesale: nothing forked before it can be valid afterwards.
+func (m *Manager) Reset(seq uint64) {
+	m.classFloor = make(map[string]uint64)
+	m.globalFloor = seq
+	m.maxFloor = seq
+	if seq > m.lastSeq {
+		m.lastSeq = seq
+	}
+	m.image = nil
+	m.hasImage = false
+	m.imageSeq = 0
+	m.records = make(map[string]*Record)
+	m.recOrder = nil
+	m.hints = make(map[string]uint64)
+	m.hintsFD = nil
+}

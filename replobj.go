@@ -138,6 +138,13 @@ func FirstTraceDivergence(a, b *ScheduleTrace) *TraceDivergence {
 	return obs.FirstDivergence(a.Snapshot(), b.Snapshot())
 }
 
+// IsExpiredDuplicate reports whether an invocation error marks a client
+// retransmission whose original reply has aged out of the replicas'
+// duplicate-detection window: at-most-once can no longer replay the
+// original reply, and the caller must treat the request as
+// possibly-executed (re-issuing it may execute it twice).
+func IsExpiredDuplicate(err error) bool { return replica.IsExpiredDuplicate(err) }
+
 // Reply policies re-exported from the client stub.
 const (
 	Majority = client.Majority
@@ -359,6 +366,7 @@ type groupConfig struct {
 	ccLanes          int
 	conflictClasses  map[string][]string
 	checkpointEvery  int
+	speculative      bool
 	adaptive         AdaptiveConfig
 	shards           int
 	shardVNodes      int
@@ -489,6 +497,27 @@ func WithFailureDetection(enabled bool) GroupOption {
 // value.
 func WithCheckpointEvery(n int) GroupOption {
 	return func(g *groupConfig) { g.checkpointEvery = n }
+}
+
+// WithSpeculation enables speculative execution on optimistic delivery:
+// every replica executes an arriving request immediately against a forked
+// copy of its state (clients already send each submit to every member, so
+// arrival precedes ordering) and releases the precomputed reply the moment
+// the total order confirms it as conflict-free — the reply leaves after one
+// network delay instead of waiting for the full ordering round. The ordered
+// execution still runs unchanged, so committed state, schedule-trace
+// digests and at-most-once semantics are identical to a non-speculative
+// run; a stale speculation is discarded for free. Also enables sequencer
+// spontaneous-order hints and early scheduling (conflict classes reach
+// ADETS-CC at arrival time).
+//
+// Speculation requires WithState (the factory builds the forks) and a
+// handler that confines itself to its declared conflict classes and is a
+// pure function of (state, args) — see the spec-mismatch counter. Handlers
+// using condition variables or nested invocations abort their speculation
+// harmlessly. Ignored on sharded objects.
+func WithSpeculation() GroupOption {
+	return func(g *groupConfig) { g.speculative = true }
 }
 
 // WithSchedTrace enables the deterministic schedule trace on every replica
@@ -693,6 +722,7 @@ func (g *Group) StartRank(rank int) {
 		Scheduler:       sched,
 		State:           g.cfg.state,
 		CheckpointEvery: g.cfg.checkpointEvery,
+		Speculative:     g.cfg.speculative,
 		GCS:             gcfg,
 		Metrics:         g.cluster.metrics,
 		Spans:           g.cluster.spans,

@@ -1,0 +1,389 @@
+package replobj_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	replobj "github.com/replobj/replobj"
+	"github.com/replobj/replobj/internal/gcs"
+	"github.com/replobj/replobj/internal/replica"
+	"github.com/replobj/replobj/internal/transport"
+	"github.com/replobj/replobj/internal/vtime"
+	"github.com/replobj/replobj/internal/wire"
+)
+
+// kcounter is a keyed counter with per-key conflict classes: operations on
+// distinct keys commute (conflict ratio 0), operations on a shared key
+// conflict — the workload knob for speculation tests. Exported field so the
+// gob fallback can serialize fork images and checkpoints.
+type kcounter struct{ Slots map[string]uint64 }
+
+func newKCounter() any { return &kcounter{Slots: make(map[string]uint64)} }
+
+// ConflictClasses implements replobj.ConflictClasser: the key byte is the
+// class — a pure function of the arguments.
+func (k *kcounter) ConflictClasses(method string, args []byte) []string {
+	if len(args) > 0 {
+		return []string{"key/" + string(args[:1])}
+	}
+	return nil
+}
+
+// kcounterGroup registers add(key, delta) and get(key) with per-key locks.
+func kcounterGroup(t *testing.T, c *replobj.Cluster, name string, n int, opts ...replobj.GroupOption) *replobj.Group {
+	t.Helper()
+	opts = append(opts, replobj.WithState(newKCounter))
+	g, err := c.NewGroup(name, n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Register("add", func(inv *replobj.Invocation) ([]byte, error) {
+		key := string(inv.Args()[:1])
+		if err := inv.Lock(replobj.MutexID("key/" + key)); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock(replobj.MutexID("key/" + key)) }()
+		inv.Compute(200 * time.Microsecond)
+		st := inv.State().(*kcounter)
+		if st.Slots == nil {
+			st.Slots = make(map[string]uint64)
+		}
+		st.Slots[key] += uint64(inv.Args()[1])
+		return u64(st.Slots[key]), nil
+	})
+	g.Register("get", func(inv *replobj.Invocation) ([]byte, error) {
+		key := string(inv.Args()[:1])
+		if err := inv.Lock(replobj.MutexID("key/" + key)); err != nil {
+			return nil, err
+		}
+		defer func() { _ = inv.Unlock(replobj.MutexID("key/" + key)) }()
+		st := inv.State().(*kcounter)
+		return u64(st.Slots[key]), nil
+	})
+	g.Start()
+	return g
+}
+
+// TestSpeculationChaosDigestsAndAtMostOnce drives a speculative group for
+// SEQ, CC and ADAPT with a mixed workload — each client alternating between
+// a private key (conflict ratio 0: speculations can hit) and a shared hot
+// key all clients contend on (seeded mis-speculation: forks go stale and
+// must be discarded) — while an injector floods every member with stale
+// sequencer hints for the clients' future invocation ids. The oracles are
+// exact effect counts (no speculation may be lost or applied twice) and
+// cross-replica schedule-digest equality (speculation must not perturb the
+// deterministic ordered run).
+func TestSpeculationChaosDigestsAndAtMostOnce(t *testing.T) {
+	for _, kind := range []replobj.SchedulerKind{replobj.SEQ, replobj.CC, replobj.ADAPT} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			const (
+				replicas = 3
+				clients  = 3
+				rounds   = 6
+			)
+			rt := vtime.Virtual()
+			net := transport.NewInproc(rt)
+			reg := replobj.NewMetricsRegistry()
+			c := replobj.NewCluster(rt, replobj.WithNetwork(net), replobj.WithMetrics(reg))
+			opts := append(groupOptsFor(kind, clients),
+				replobj.WithSpeculation(),
+				replobj.WithSchedTrace(0),
+				replobj.WithCheckpointEvery(16))
+			g := kcounterGroup(t, c, "spec", replicas, opts...)
+			run(rt, c, func() {
+				// Seed mis-speculation: stale hints for ids the clients will
+				// actually use, pointing at absurd stream positions. Hints are
+				// advisory — wrong ones may cost a discarded speculation but
+				// can never corrupt the committed run.
+				inj := net.Endpoint("hint-injector")
+				defer inj.Close()
+				for ci := 0; ci < clients; ci++ {
+					for i := 1; i <= 2*rounds; i++ {
+						for _, m := range g.Members() {
+							inj.Send(m, gcs.Hint{
+								Group: "spec",
+								ID:    fmt.Sprintf("c%d#%d#0", ci, i),
+								Seq:   uint64(10_000 + i),
+							})
+						}
+					}
+				}
+				results := vtime.NewMailbox[error](rt, "results")
+				for ci := 0; ci < clients; ci++ {
+					ci := ci
+					name := fmt.Sprintf("c%d", ci)
+					priv := []byte{byte('a' + ci), 1}
+					hot := []byte{'H', 1}
+					rt.Go("client/"+name, func() {
+						cl := c.NewClient(name)
+						var err error
+						for i := 0; i < rounds && err == nil; i++ {
+							if _, err = cl.Invoke("spec", "add", priv); err == nil {
+								_, err = cl.Invoke("spec", "add", hot)
+							}
+							rt.Sleep(2 * time.Millisecond) // think time: lets images refresh
+						}
+						results.Put(err)
+					})
+				}
+				for i := 0; i < clients; i++ {
+					if err, _ := results.Get(); err != nil {
+						t.Fatalf("client error: %v", err)
+					}
+				}
+				// Exact effect counts on every replica: nothing lost, nothing
+				// doubled — mis-speculated forks left no trace.
+				reader := c.NewClient("reader", replobj.WithReplyPolicy(replobj.All))
+				check := func(key byte, want uint64) {
+					replies, err := reader.InvokeAll("spec", "get", []byte{key})
+					if err != nil {
+						t.Fatalf("InvokeAll(get %q): %v", key, err)
+					}
+					for node, rep := range replies {
+						if rep.Err != "" {
+							t.Errorf("%v: get %q: %s", node, key, rep.Err)
+						} else if got := fromU64(rep.Result); got != want {
+							t.Errorf("%v: key %q = %d, want %d", node, key, got, want)
+						}
+					}
+				}
+				for ci := 0; ci < clients; ci++ {
+					check(byte('a'+ci), rounds)
+				}
+				check('H', clients*rounds)
+				// Cross-replica digest equality: the ordered run is untouched.
+				for i := 1; i < replicas; i++ {
+					if d := replobj.FirstTraceDivergence(g.Trace(0), g.Trace(i)); d != nil {
+						t.Errorf("trace divergence rank0 vs rank%d: %+v", i, d)
+					}
+				}
+				var attempts uint64
+				for i := 0; i < replicas; i++ {
+					attempts += reg.Counter(fmt.Sprintf(`replobj_replica_spec_attempts_total{node="spec/%d"}`, i)).Value()
+				}
+				if attempts == 0 {
+					t.Error("no speculation was ever attempted")
+				}
+			})
+		})
+	}
+}
+
+// TestSpeculationDigestsMatchBaseline pins the central invariant from the
+// issue: a speculative run's committed schedule-trace digests are
+// bit-identical to a non-speculative run of the same workload. One client,
+// sequential invokes, so the total order is the same in both runs.
+func TestSpeculationDigestsMatchBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("digest identity needs the full workload")
+	}
+	for _, kind := range []replobj.SchedulerKind{replobj.SEQ, replobj.CC} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			const invokes = 12
+			traces := make(map[bool]*replobj.ScheduleTrace)
+			hits := make(map[bool]uint64)
+			for _, speculative := range []bool{false, true} {
+				rt := vtime.Virtual()
+				reg := replobj.NewMetricsRegistry()
+				c := replobj.NewCluster(rt, replobj.WithMetrics(reg))
+				opts := append(groupOptsFor(kind, 1),
+					replobj.WithSchedTrace(0),
+					replobj.WithCheckpointEvery(8))
+				if speculative {
+					opts = append(opts, replobj.WithSpeculation())
+				}
+				g := kcounterGroup(t, c, "cnt", 3, opts...)
+				run(rt, c, func() {
+					cl := c.NewClient("c0")
+					for i := 0; i < invokes; i++ {
+						if _, err := cl.Invoke("cnt", "add", []byte{'a', 1}); err != nil {
+							t.Fatalf("Invoke: %v", err)
+						}
+						rt.Sleep(2 * time.Millisecond)
+					}
+					rep, err := cl.Invoke("cnt", "get", []byte{'a'})
+					if err != nil || fromU64(rep) != invokes {
+						t.Fatalf("get = %d (%v), want %d", fromU64(rep), err, invokes)
+					}
+					for i := 1; i < 3; i++ {
+						if d := replobj.FirstTraceDivergence(g.Trace(0), g.Trace(i)); d != nil {
+							t.Errorf("spec=%v: divergence rank0 vs rank%d: %+v", speculative, i, d)
+						}
+					}
+				})
+				traces[speculative] = g.Trace(0)
+				for i := 0; i < 3; i++ {
+					hits[speculative] += reg.Counter(fmt.Sprintf(`replobj_replica_spec_hits_total{node="cnt/%d"}`, i)).Value()
+				}
+			}
+			// Cross-run comparison: every shared stream must agree position
+			// for position — speculation changed when replies left, not what
+			// the replicas committed.
+			if d := replobj.FirstTraceDivergence(traces[false], traces[true]); d != nil {
+				t.Errorf("speculative run diverges from baseline: %+v", d)
+			}
+			if hits[true] == 0 {
+				t.Error("conflict-free sequential workload produced no speculation hits")
+			}
+			if hits[false] != 0 {
+				t.Errorf("baseline run recorded %d speculation hits", hits[false])
+			}
+		})
+	}
+}
+
+// submitFor builds the raw wire Submit a client would send for a request —
+// the injection vehicle for the duplicate-retransmission regressions.
+func submitFor(group replobj.GroupID, id wire.InvocationID, method string, args []byte, replyTo replobj.NodeID) gcs.Submit {
+	return gcs.Submit{
+		Group:  group,
+		ID:     id.String(),
+		Origin: replyTo,
+		Payload: replica.Request{
+			ID:      id,
+			Group:   group,
+			Method:  method,
+			Args:    args,
+			Kind:    replica.KindClient,
+			ReplyTo: replyTo,
+		},
+	}
+}
+
+// TestDuplicateAfterEvictionReturnsTypedError is the regression for the
+// silent-drop bug: a client retransmission whose reply-cache entry was
+// already evicted by the checkpoint eviction pass (evictStableLocked) was
+// dropped without an answer, leaving the client to retry forever. The
+// replica must answer with the typed expired-duplicate error instead.
+func TestDuplicateAfterEvictionReturnsTypedError(t *testing.T) {
+	rt := vtime.Virtual()
+	net := transport.NewInproc(rt)
+	reg := replobj.NewMetricsRegistry()
+	c := replobj.NewCluster(rt, replobj.WithNetwork(net), replobj.WithMetrics(reg))
+	const ckptEvery = 4
+	counterGroup(t, c, "cnt", 3, replobj.WithCheckpointEvery(ckptEvery))
+	run(rt, c, func() {
+		inj := net.Endpoint("inj")
+		id := wire.InvocationID{Logical: "inj#1", Seq: 0}
+		sub := submitFor("cnt", id, "add", []byte{1}, "inj")
+		members := c.Directory().Members("cnt")
+		// Watchdog: on the buggy code the resend is silently dropped and
+		// Recv would block forever; close the endpoint after a (virtual)
+		// grace period so the test fails instead of hanging.
+		stop := make(chan struct{})
+		rt.Go("watchdog", func() {
+			for i := 0; i < 100; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rt.Sleep(100 * time.Millisecond)
+			}
+			inj.Close()
+		})
+		for _, m := range members {
+			inj.Send(m, sub)
+		}
+		for range members {
+			msg, ok := inj.Recv()
+			if !ok {
+				t.Fatal("endpoint closed before the original replies arrived")
+			}
+			if rep := msg.Payload.(replica.Reply); rep.Err != "" {
+				t.Fatalf("original invoke failed: %s", rep.Err)
+			}
+		}
+		// Age the entry out: enough ordered positions that a checkpoint's
+		// eviction floor (seq - 2*ckptEvery) passes the injected request.
+		cl := c.NewClient("pad")
+		for i := 0; i < 4*ckptEvery; i++ {
+			if _, err := cl.Invoke("cnt", "add", []byte{1}); err != nil {
+				t.Fatalf("padding invoke: %v", err)
+			}
+		}
+		// Retransmit: the member classifies it as a duplicate of an ordered
+		// position below the eviction floor.
+		for _, m := range members {
+			inj.Send(m, sub)
+		}
+		for range members {
+			msg, ok := inj.Recv()
+			if !ok {
+				t.Fatal("retransmission was silently dropped (no reply before watchdog)")
+			}
+			rep := msg.Payload.(replica.Reply)
+			if rep.Err == "" {
+				t.Fatalf("expected a typed expired-duplicate error, got success %v", rep.Result)
+			}
+			if !replobj.IsExpiredDuplicate(errors.New(rep.Err)) {
+				t.Fatalf("error %q is not the typed expired-duplicate error", rep.Err)
+			}
+		}
+		close(stop)
+		var expired uint64
+		for i := 0; i < 3; i++ {
+			expired += reg.Counter(fmt.Sprintf(`replobj_replica_duplicate_expired_total{node="cnt/%d"}`, i)).Value()
+		}
+		if expired == 0 {
+			t.Error("duplicate_expired_total not incremented")
+		}
+	})
+}
+
+// TestDuplicateSubmitMetricSplit is the regression for the metric
+// mislabeling: a retransmission answered from the reply cache via the
+// group-layer duplicate hook was counted as a reply-cache *hit* — the
+// metric for dispatch-time duplicates in the ordered stream. The two paths
+// must count separately.
+func TestDuplicateSubmitMetricSplit(t *testing.T) {
+	rt := vtime.Virtual()
+	net := transport.NewInproc(rt)
+	reg := replobj.NewMetricsRegistry()
+	c := replobj.NewCluster(rt, replobj.WithNetwork(net), replobj.WithMetrics(reg))
+	counterGroup(t, c, "cnt", 3)
+	run(rt, c, func() {
+		inj := net.Endpoint("inj")
+		id := wire.InvocationID{Logical: "inj#1", Seq: 0}
+		sub := submitFor("cnt", id, "add", []byte{1}, "inj")
+		members := c.Directory().Members("cnt")
+		for _, m := range members {
+			inj.Send(m, sub)
+		}
+		for range members {
+			if _, ok := inj.Recv(); !ok {
+				t.Fatal("endpoint closed")
+			}
+		}
+		// Retransmit while the reply is still cached: every member replays
+		// it through the duplicate-submit hook.
+		for _, m := range members {
+			inj.Send(m, sub)
+		}
+		for range members {
+			msg, ok := inj.Recv()
+			if !ok {
+				t.Fatal("endpoint closed")
+			}
+			rep := msg.Payload.(replica.Reply)
+			if rep.Err != "" || fromU64(rep.Result) != 1 {
+				t.Fatalf("replayed reply = %v/%q, want the cached result 1", rep.Result, rep.Err)
+			}
+		}
+		var dupReplies, cacheHits uint64
+		for i := 0; i < 3; i++ {
+			dupReplies += reg.Counter(fmt.Sprintf(`replobj_replica_duplicate_submit_replies_total{node="cnt/%d"}`, i)).Value()
+			cacheHits += reg.Counter(fmt.Sprintf(`replobj_replica_reply_cache_hits_total{node="cnt/%d"}`, i)).Value()
+		}
+		if dupReplies != 3 {
+			t.Errorf("duplicate_submit_replies_total = %d, want 3 (one per member)", dupReplies)
+		}
+		if cacheHits != 0 {
+			t.Errorf("reply_cache_hits_total = %d, want 0 — the group-layer replay path must not count as a dispatch-time cache hit", cacheHits)
+		}
+	})
+}
